@@ -1,0 +1,130 @@
+"""[X5] The symmetry-breaking substrate: Linial + Kuhn-Wattenhofer.
+
+The `O(poly d + log* n)` shape of the paper's corollaries rests on the
+coloring substrate.  This bench measures it in isolation:
+
+* Linial phase: rounds grow like log* of the identifier space —
+  increasing n from 10^2 to 10^12 adds only a handful of rounds — and
+  the fixpoint palette is O(d^2);
+* reduction phase: Kuhn-Wattenhofer needs O(d log(m/d)) rounds vs the
+  greedy eliminator's O(m) — the gap that makes the plateau of T2/T4
+  reachable at practical n.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentRecord, log_star
+from repro.coloring import (
+    GreedyColorReductionAlgorithm,
+    KWColorReductionAlgorithm,
+    compute_vertex_coloring,
+    fixpoint_palette,
+    is_proper_vertex_coloring,
+    reduction_schedule,
+)
+from repro.generators import cycle_graph, random_regular_graph
+from repro.local_model import Network
+
+LINIAL_ID_SPACES = (10**2, 10**4, 10**8, 10**12)
+LINIAL_DEGREES = (2, 4, 8, 16)
+REDUCTION_PALETTES = (100, 1000, 10**6)
+
+
+def run_linial_shape():
+    rows = []
+    for id_space in LINIAL_ID_SPACES:
+        schedule = reduction_schedule(id_space, 4)
+        rows.append(
+            {
+                "phase": "linial",
+                "parameter": f"N={id_space:.0e}",
+                "rounds": len(schedule),
+                "result_palette": fixpoint_palette(id_space, 4),
+                "log_star": log_star(id_space),
+            }
+        )
+    for degree in LINIAL_DEGREES:
+        palette = fixpoint_palette(10**9, degree)
+        rows.append(
+            {
+                "phase": "fixpoint",
+                "parameter": f"d={degree}",
+                "rounds": len(reduction_schedule(10**9, degree)),
+                "result_palette": palette,
+                "log_star": log_star(10**9),
+            }
+        )
+    return rows
+
+
+def run_reduction_comparison():
+    rows = []
+    for palette in REDUCTION_PALETTES:
+        kw = KWColorReductionAlgorithm(palette, 9, 8)
+        greedy = GreedyColorReductionAlgorithm(palette, 9, 8)
+        rows.append(
+            {
+                "phase": "reduction",
+                "parameter": f"m={palette:.0e}",
+                "rounds": kw.rounds_needed,
+                "result_palette": 9,
+                "log_star": greedy.rounds_needed,  # column reuse: greedy rounds
+            }
+        )
+    return rows
+
+
+def run_end_to_end_coloring():
+    rows = []
+    for n in (64, 256, 1024):
+        graph = random_regular_graph(n, 4, seed=n)
+        result = compute_vertex_coloring(Network(graph))
+        assert is_proper_vertex_coloring(graph, result.colors)
+        rows.append(
+            {
+                "phase": "end-to-end (d+1 colors)",
+                "parameter": f"n={n}",
+                "rounds": result.total_rounds,
+                "result_palette": result.palette,
+                "log_star": log_star(n),
+            }
+        )
+    return rows
+
+
+def test_coloring_substrate(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_linial_shape()
+        + run_reduction_comparison()
+        + run_end_to_end_coloring(),
+        rounds=1,
+        iterations=1,
+    )
+    records = [
+        ExperimentRecord(
+            "X5", {"phase": row["phase"], "parameter": row["parameter"]}, row
+        )
+        for row in rows
+    ]
+    emit("X5", records, "Coloring substrate: Linial + KW shapes")
+
+    linial = [row for row in rows if row["phase"] == "linial"]
+    # log*-like: a 10^10-fold increase in the id space adds <= 3 rounds.
+    assert linial[-1]["rounds"] - linial[0]["rounds"] <= 3
+    fixpoints = [row for row in rows if row["phase"] == "fixpoint"]
+    for row in fixpoints:
+        degree = int(row["parameter"].split("=")[1])
+        assert row["result_palette"] <= (4 * degree + 2) ** 2  # O(d^2)
+
+    reductions = [row for row in rows if row["phase"] == "reduction"]
+    for row in reductions:
+        kw_rounds = row["rounds"]
+        greedy_rounds = row["log_star"]
+        assert kw_rounds <= greedy_rounds
+    # At m = 10^6 the gap is enormous (O(d log m) vs O(m)).
+    assert reductions[-1]["rounds"] < 400
+    assert reductions[-1]["log_star"] > 10**5
+
+    end_to_end = [row for row in rows if row["phase"].startswith("end")]
+    totals = [row["rounds"] for row in end_to_end]
+    assert totals[-1] < 2 * totals[0]  # flat-ish in n

@@ -1,0 +1,91 @@
+"""[T2] Corollary 1.2: O(d + log* n) rounds for rank-2 instances.
+
+Two sweeps on the distributed rank-2 algorithm:
+
+* n-sweep at fixed degree — total rounds must flatten once n passes the
+  Linial fixpoint (the log* n regime), i.e. doubling n stops changing
+  the count;
+* d-sweep at fixed n — the *schedule* phase (the part the corollary
+  attributes to iterating the edge-color classes) must grow linearly in
+  d (palette 2d - 1), while the coloring phase stays polynomial in d.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentRecord, growth_ratios
+from repro.core import solve_distributed_rank2
+from repro.generators import all_zero_edge_instance, cycle_graph, random_regular_graph
+from repro.lll import verify_solution
+
+N_SWEEP = (64, 128, 256, 512, 1024)
+D_SWEEP = (3, 4, 5, 6)
+D_SWEEP_N = 48
+
+
+def run_n_sweep():
+    rows = []
+    for n in N_SWEEP:
+        instance = all_zero_edge_instance(cycle_graph(n), 3)
+        result = solve_distributed_rank2(instance)
+        ok = verify_solution(instance, result.assignment).ok
+        rows.append(
+            {
+                "sweep": "n",
+                "n": n,
+                "d": 2,
+                "ok": ok,
+                "total_rounds": result.total_rounds,
+                "coloring_rounds": result.coloring_rounds,
+                "schedule_rounds": result.schedule_rounds,
+            }
+        )
+    return rows
+
+
+def run_d_sweep():
+    rows = []
+    for d in D_SWEEP:
+        instance = all_zero_edge_instance(
+            random_regular_graph(D_SWEEP_N, d, seed=d), 3
+        )
+        result = solve_distributed_rank2(instance)
+        ok = verify_solution(instance, result.assignment).ok
+        rows.append(
+            {
+                "sweep": "d",
+                "n": D_SWEEP_N,
+                "d": d,
+                "ok": ok,
+                "total_rounds": result.total_rounds,
+                "coloring_rounds": result.coloring_rounds,
+                "schedule_rounds": result.schedule_rounds,
+            }
+        )
+    return rows
+
+
+def test_cor12_rounds(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_n_sweep() + run_d_sweep(), rounds=1, iterations=1
+    )
+    records = [
+        ExperimentRecord("T2", {"sweep": row["sweep"]}, row) for row in rows
+    ]
+    emit("T2", records, "Corollary 1.2: rounds vs n and d (rank 2)")
+
+    n_rows = [row for row in rows if row["sweep"] == "n"]
+    d_rows = [row for row in rows if row["sweep"] == "d"]
+    assert all(row["ok"] for row in rows)
+
+    # n-sweep: flat tail (log* regime) — last doubling adds nothing.
+    totals = [row["total_rounds"] for row in n_rows]
+    assert totals[-1] == totals[-2]
+    # And nothing close to the Omega(log n) growth of the threshold regime:
+    # across a 16x increase in n, rounds grow by far less than 4x.
+    assert totals[-1] < 2 * totals[0]
+
+    # d-sweep: the schedule phase is exactly the edge palette = 2d - 1.
+    for row in d_rows:
+        assert row["schedule_rounds"] <= 2 * row["d"] - 1
+    schedule = [row["schedule_rounds"] for row in d_rows]
+    assert schedule == sorted(schedule)  # grows with d

@@ -1,0 +1,91 @@
+"""[T4] Corollary 1.4: O(d^2 + log* n) rounds for rank-3 instances.
+
+n-sweep at fixed structure (cyclic triples, d = 4): total rounds must
+plateau once the identifier space passes the Linial fixpoint of G^2.
+d-sweep via partition-round triples (t rounds per node -> d ~ 2t): the
+schedule phase is bounded by the 2-hop palette d^2 + 1 and grows with d,
+while remaining flat in n.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentRecord
+from repro.core import solve_distributed_rank3
+from repro.generators import (
+    all_zero_triple_instance,
+    cyclic_triples,
+    partition_rounds_triples,
+)
+from repro.lll import verify_solution
+
+N_SWEEP = (36, 108, 324, 648)
+T_SWEEP = (1, 2, 3)  # triples per node; dependency degree <= 2t
+T_SWEEP_N = 36
+
+
+def run_n_sweep():
+    rows = []
+    for n in N_SWEEP:
+        instance = all_zero_triple_instance(n, cyclic_triples(n), 5)
+        result = solve_distributed_rank3(instance)
+        rows.append(
+            {
+                "sweep": "n",
+                "n": n,
+                "d": instance.max_dependency_degree,
+                "ok": verify_solution(instance, result.assignment).ok,
+                "total_rounds": result.total_rounds,
+                "coloring_rounds": result.coloring_rounds,
+                "schedule_rounds": result.schedule_rounds,
+                "palette": result.palette,
+            }
+        )
+    return rows
+
+
+def run_d_sweep():
+    rows = []
+    for t in T_SWEEP:
+        triples = partition_rounds_triples(T_SWEEP_N, t, seed=t)
+        # Alphabet 5 > 4 keeps every node strictly below its local
+        # threshold: p_v = 5^-t < 2^-2t >= 2^-deg(v).
+        instance = all_zero_triple_instance(T_SWEEP_N, triples, 5)
+        result = solve_distributed_rank3(instance, require_criterion="local")
+        d = instance.max_dependency_degree
+        rows.append(
+            {
+                "sweep": "d",
+                "n": T_SWEEP_N,
+                "d": d,
+                "ok": verify_solution(instance, result.assignment).ok,
+                "total_rounds": result.total_rounds,
+                "coloring_rounds": result.coloring_rounds,
+                "schedule_rounds": result.schedule_rounds,
+                "palette": result.palette,
+            }
+        )
+    return rows
+
+
+def test_cor14_rounds(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_n_sweep() + run_d_sweep(), rounds=1, iterations=1
+    )
+    records = [
+        ExperimentRecord("T4", {"sweep": row["sweep"]}, row) for row in rows
+    ]
+    emit("T4", records, "Corollary 1.4: rounds vs n and d (rank 3)")
+
+    assert all(row["ok"] for row in rows)
+
+    n_rows = [row for row in rows if row["sweep"] == "n"]
+    totals = [row["total_rounds"] for row in n_rows]
+    # Flat tail: the last doubling of n leaves the round count unchanged.
+    assert totals[-1] == totals[-2]
+
+    d_rows = [row for row in rows if row["sweep"] == "d"]
+    for row in d_rows:
+        # Schedule bounded by the 2-hop palette <= d^2 + 1.
+        assert row["schedule_rounds"] <= row["d"] ** 2 + 1
+    schedules = [row["schedule_rounds"] for row in d_rows]
+    assert schedules == sorted(schedules)

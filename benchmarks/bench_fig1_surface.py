@@ -1,0 +1,118 @@
+"""[F1] Figure 1: the surface bounding the set of representable triples.
+
+Regenerates the data behind the paper's Figure 1 — a grid of
+``f(a, b) = 4 + (ab - 2a - 2b - sqrt(ab(4-a)(4-b)))/2`` over the triangle
+``{a, b >= 0, a + b <= 4}`` — and certifies the two properties the figure
+illustrates: the surface is convex (Lemma 3.6, via Hessian minors) and
+the region below it, ``S_rep``, is incurved (Lemma 3.7, via random
+outside-segment sampling).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import ExperimentRecord
+from repro.geometry import (
+    boundary_surface,
+    hessian_minors,
+    is_representable_triple,
+    surface_grid,
+    violates_incurvedness,
+)
+
+GRID_RESOLUTION = 40
+CONVEXITY_SAMPLES = 2000
+INCURVEDNESS_SEGMENTS = 1000
+
+
+def run_surface_grid():
+    """The Figure-1 data: sampled surface heights over the domain."""
+    return surface_grid(GRID_RESOLUTION)
+
+
+def run_convexity_certificate(samples: int = CONVEXITY_SAMPLES):
+    """Check Hessian positive-definiteness at random interior points."""
+    rng = random.Random(1)
+    failures = 0
+    min_first = float("inf")
+    min_second = float("inf")
+    for _ in range(samples):
+        a = rng.uniform(1e-3, 3.99)
+        b = rng.uniform(1e-3, 3.999 - a)
+        first, second = hessian_minors(a, b)
+        min_first = min(min_first, first)
+        min_second = min(min_second, second)
+        if first <= 0 or second <= 0:
+            failures += 1
+    return failures, min_first, min_second
+
+
+def run_incurvedness_certificate(segments: int = INCURVEDNESS_SEGMENTS):
+    """Sample segments between outside points; count incursions into S_rep."""
+    rng = random.Random(2)
+    violations = 0
+    tested = 0
+    while tested < segments:
+        s = tuple(rng.uniform(0, 4.5) for _ in range(3))
+        s_prime = tuple(rng.uniform(0, 4.5) for _ in range(3))
+        if is_representable_triple(*s) or is_representable_triple(*s_prime):
+            continue
+        tested += 1
+        if violates_incurvedness(s, s_prime, num_samples=51):
+            violations += 1
+    return violations
+
+
+def test_fig1_surface(benchmark, emit):
+    import os
+
+    from repro.analysis import surface_to_csv
+
+    a_values, b_values, f_values = benchmark(run_surface_grid)
+    convexity_failures, min_first, min_second = run_convexity_certificate()
+    incurvedness_violations = run_incurvedness_certificate()
+    # Persist the plottable Figure-1 artifact next to the JSON records.
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    surface_to_csv(
+        os.path.join(results_dir, "F1_surface.csv"), resolution=GRID_RESOLUTION
+    )
+
+    records = [
+        ExperimentRecord(
+            "F1",
+            {"artifact": "surface grid", "resolution": GRID_RESOLUTION},
+            {
+                "points": len(f_values),
+                "f_max": max(f_values),
+                "f_min": min(f_values),
+                "f(0,0)": boundary_surface(0, 0),
+                "f(2,2)": boundary_surface(2, 2),
+            },
+        ),
+        ExperimentRecord(
+            "F1",
+            {"artifact": "convexity (Lemma 3.6)", "samples": CONVEXITY_SAMPLES},
+            {
+                "minor_failures": convexity_failures,
+                "min_first_minor": min_first,
+                "min_second_minor": min_second,
+            },
+        ),
+        ExperimentRecord(
+            "F1",
+            {
+                "artifact": "incurvedness (Lemma 3.7)",
+                "segments": INCURVEDNESS_SEGMENTS,
+            },
+            {"violations": incurvedness_violations},
+        ),
+    ]
+    emit("F1", records, "Figure 1: the surface of S_rep and its certificates")
+
+    # Shape assertions mirroring the paper's figure.
+    assert max(f_values) == 4.0  # apex at the origin
+    assert min(f_values) >= 0.0  # floor on a + b = 4
+    assert convexity_failures == 0
+    assert incurvedness_violations == 0

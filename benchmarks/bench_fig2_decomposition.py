@@ -1,0 +1,81 @@
+"""[F2] Figure 2: decomposing representable triples into edge values.
+
+The paper's Figure 2 exhibits the triple (1/4, 3/2, 1/10) together with
+witness values a1, a2, b1, b3, c2, c3 on the triangle's edges.  This
+bench regenerates that witness with the constructive proof of Lemma 3.5
+and sweeps the whole boundary surface, decomposing every sampled triple
+and reporting the worst constraint violation (which must be float dust).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import ExperimentRecord
+from repro.geometry import boundary_surface, decompose_triple
+
+FIGURE2_TRIPLE = (0.25, 1.5, 0.1)
+SWEEP_SAMPLES = 2000
+
+
+def run_figure2_decomposition():
+    """Decompose the exact triple illustrated in the paper's Figure 2."""
+    return decompose_triple(*FIGURE2_TRIPLE)
+
+
+def run_boundary_sweep(samples: int = SWEEP_SAMPLES):
+    """Decompose random triples on and below the surface."""
+    rng = random.Random(3)
+    worst_violation = 0.0
+    count_boundary = 0
+    for index in range(samples):
+        a = rng.uniform(0, 4)
+        b = rng.uniform(0, 4 - a)
+        limit = boundary_surface(a, b)
+        if index % 2 == 0:
+            c = limit  # exactly on the surface: the worst case
+            count_boundary += 1
+        else:
+            c = rng.uniform(0, limit)
+        decomposition = decompose_triple(a, b, c)
+        worst_violation = max(
+            worst_violation, decomposition.max_violation(a, b, c)
+        )
+    return worst_violation, count_boundary
+
+
+def test_fig2_decomposition(benchmark, emit):
+    decomposition = benchmark(run_figure2_decomposition)
+    worst_violation, boundary_count = run_boundary_sweep()
+
+    products = decomposition.products()
+    records = [
+        ExperimentRecord(
+            "F2",
+            {"triple": str(FIGURE2_TRIPLE)},
+            {
+                "a1": decomposition.a1,
+                "a2": decomposition.a2,
+                "b1": decomposition.b1,
+                "b3": decomposition.b3,
+                "c2": decomposition.c2,
+                "c3": decomposition.c3,
+                "violation": decomposition.max_violation(*FIGURE2_TRIPLE),
+            },
+        ),
+        ExperimentRecord(
+            "F2",
+            {"triple": "random sweep", "samples": SWEEP_SAMPLES},
+            {
+                "boundary_cases": boundary_count,
+                "worst_violation": worst_violation,
+            },
+        ),
+    ]
+    emit("F2", records, "Figure 2: constructive decompositions")
+
+    # The figure's triple must decompose exactly (a1*a2 = 1/4 etc.).
+    assert abs(products[0] - FIGURE2_TRIPLE[0]) < 1e-9
+    assert abs(products[1] - FIGURE2_TRIPLE[1]) < 1e-9
+    assert abs(products[2] - FIGURE2_TRIPLE[2]) < 1e-9
+    assert worst_violation < 1e-7

@@ -1,0 +1,107 @@
+"""[L1] The Variable Fixing Lemma (Lemma 3.2), statistically.
+
+Lemma 3.2 promises: while property P* holds, every random variable has at
+least one non-evil value.  This bench instruments every fixing step across
+a batch of rank-3 runs and reports (a) the fraction of steps where a
+non-evil value existed (must be exactly 1.0), (b) the distribution of how
+many candidate values were good, and (c) the distribution of the margin
+(slack inside S_rep) of the chosen value.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+from repro.analysis import ExperimentRecord
+from repro.applications import hypergraph_sinkless_instance
+from repro.core import solve_rank3
+from repro.generators import (
+    all_zero_triple_instance,
+    cyclic_triples,
+    partition_rounds_triples,
+)
+
+RUNS_PER_WORKLOAD = 5
+
+
+def _collect(instance_factory, criterion=True):
+    rng = random.Random(11)
+    steps_total = 0
+    steps_with_good_value = 0
+    good_fractions = []
+    slacks = []
+    for _run in range(RUNS_PER_WORKLOAD):
+        instance = instance_factory()
+        order = [v.name for v in instance.variables]
+        rng.shuffle(order)
+        result = solve_rank3(
+            instance, order=order, require_criterion=criterion
+        )
+        for step in result.steps:
+            steps_total += 1
+            if step.num_good_values >= 1:
+                steps_with_good_value += 1
+            good_fractions.append(step.num_good_values / step.num_values)
+            slacks.append(step.slack)
+    return {
+        "steps": steps_total,
+        "good_value_rate": steps_with_good_value / steps_total,
+        "mean_good_fraction": statistics.mean(good_fractions),
+        "min_good_fraction": min(good_fractions),
+        "mean_slack": statistics.mean(slacks),
+        "min_slack": min(slacks),
+    }
+
+
+WORKLOADS = [
+    (
+        "cyclic k=5",
+        lambda: all_zero_triple_instance(21, cyclic_triples(21), 5),
+        True,
+    ),
+    (
+        "cyclic k=6 biased",
+        lambda: all_zero_triple_instance(
+            21, cyclic_triples(21), 6,
+            probabilities=(0.05, 0.25, 0.25, 0.2, 0.15, 0.1),
+        ),
+        True,
+    ),
+    (
+        "partition t=2 k=5",
+        lambda: all_zero_triple_instance(
+            18, partition_rounds_triples(18, 2, seed=5), 5
+        ),
+        "local",
+    ),
+    (
+        "hypergraph orientation",
+        lambda: hypergraph_sinkless_instance(15, cyclic_triples(15)),
+        True,
+    ),
+]
+
+
+def run_all():
+    rows = []
+    for name, factory, criterion in WORKLOADS:
+        row = _collect(factory, criterion)
+        row["workload"] = name
+        rows.append(row)
+    return rows
+
+
+def test_lemma32_fixing(benchmark, emit):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    records = [
+        ExperimentRecord("L1", {"workload": row["workload"]}, row)
+        for row in rows
+    ]
+    emit("L1", records, "Lemma 3.2: non-evil values exist at every step")
+
+    for row in rows:
+        # The lemma's guarantee, observed: a good value at EVERY step.
+        assert row["good_value_rate"] == 1.0
+        assert row["min_good_fraction"] > 0.0
+        assert row["min_slack"] >= 0.0

@@ -1,0 +1,93 @@
+"""[X4] Approaching the threshold from below: how sharp is sharp?
+
+Sweep parity instances (bad event = "XOR of my incident bits is 1",
+which no single fixing can kill) whose bit bias ``q`` drives
+``p = 2q(1-q)`` toward the threshold ``2^-d = 1/4`` on a cycle.  For
+each margin we track the *peak pressure*: the largest certified bound
+``p_v * prod(weights)`` observed at any point of the run — the closest
+the bookkeeping ever gets to losing its guarantee.
+
+Findings this bench certifies:
+
+* success stays at 100% for every margin > 1 (the theorem is binary),
+* the bookkeeping never inflates: the peak pressure equals the initial
+  ``p`` — on this family the greedy choice always *reduces* both
+  endpoints' bounds — while the per-step slack tightens monotonically
+  as the margin vanishes,
+* both classical conditions (symmetric ``ep(d+1) < 1`` and even the
+  general asymmetric LLL) give up partway through the sweep while the
+  exponential criterion — and the fixer — keep going: on this family
+  the paper's regime reaches strictly beyond them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentRecord
+from repro.core import Rank2Fixer
+from repro.lll import SymmetricLLLCriterion, asymmetric_criterion_holds
+from repro.generators import cycle_graph, parity_edge_instance
+from repro.lll import verify_solution
+
+#: Bit biases; p = 2q(1-q) on a cycle reaches the threshold 1/4 at
+#: q = (2 - sqrt(2))/4 ~ 0.14645.
+Q_SWEEP = (0.02, 0.05, 0.08, 0.11, 0.13, 0.145)
+CYCLE_SIZE = 20
+
+
+def run_sweep():
+    rows = []
+    symmetric = SymmetricLLLCriterion()
+    for q in Q_SWEEP:
+        instance = parity_edge_instance(cycle_graph(CYCLE_SIZE), q)
+        p = instance.max_event_probability
+        d = instance.max_dependency_degree
+        fixer = Rank2Fixer(instance)
+        peak_pressure = max(fixer.certified_bounds().values())
+        for variable in instance.variables:
+            fixer.fix_variable(variable.name)
+            peak_pressure = max(
+                peak_pressure, max(fixer.certified_bounds().values())
+            )
+        result = fixer.run(order=())
+        ok = verify_solution(instance, result.assignment).ok
+        rows.append(
+            {
+                "q": q,
+                "p": p,
+                "margin_2^-d/p": (2.0**-d) / p,
+                "success": ok,
+                "peak_certified_bound": peak_pressure,
+                "min_step_slack": result.min_slack,
+                "symmetric_lll_holds": symmetric.is_satisfied(p, d),
+                "asymmetric_lll_holds": asymmetric_criterion_holds(
+                    parity_edge_instance(cycle_graph(CYCLE_SIZE), q)
+                ),
+            }
+        )
+    return rows
+
+
+def test_margin_sweep(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    records = [ExperimentRecord("X4", {"q": row["q"]}, row) for row in rows]
+    emit("X4", records, "Approaching p = 2^-d from below (parity events)")
+
+    # Success is binary: 100% everywhere strictly below the threshold.
+    assert all(row["success"] for row in rows)
+    # The margin shrinks toward 1 along the sweep...
+    margins = [row["margin_2^-d/p"] for row in rows]
+    assert margins == sorted(margins, reverse=True)
+    assert margins[-1] < 1.01
+    # The bookkeeping never inflates above the initial probability: the
+    # greedy choice reduces both endpoints' bounds on parity events.
+    for row in rows:
+        assert row["peak_certified_bound"] <= row["p"] + 1e-9
+    # Per-step slack tightens monotonically as the margin shrinks.
+    slacks = [row["min_step_slack"] for row in rows]
+    assert slacks == sorted(slacks, reverse=True)
+    # Both classical conditions give up inside the sweep; the exponential
+    # criterion (and the fixer) keep going — the paper's regime reaches
+    # beyond them on this family.
+    assert not all(row["symmetric_lll_holds"] for row in rows)
+    assert any(row["symmetric_lll_holds"] for row in rows)
+    assert not all(row["asymmetric_lll_holds"] for row in rows)

@@ -1,0 +1,114 @@
+"""[X2] How much stronger is the naive rank-r criterion than p < 2^-d?
+
+Section 1 of the paper motivates the main theorem by pricing the
+"straightforward" generalisation of the rank-2 argument: it needs
+``p < r^-C(d, r-1)``, exponentially stronger than the paper's
+``p < 2^-d``.  This bench makes that gap concrete:
+
+* a table of the two thresholds over d (the criterion-gap curve), and
+* live instances in the wedge between them — accepted and solved by the
+  P*-based rank-3 fixer, rejected by the naive fixer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import ExperimentRecord
+from repro.core import check_naive_criterion, solve_naive, solve_rank3
+from repro.errors import CriterionViolationError
+from repro.generators import all_zero_triple_instance, cyclic_triples
+from repro.lll import NaiveRankCriterion, verify_solution
+
+DEGREES = (4, 6, 8, 10, 12)
+
+
+def run_threshold_gap():
+    """Tabulate p-thresholds: the paper's 2^-d vs naive 3^-C(d,2)."""
+    naive = NaiveRankCriterion(3)
+    rows = []
+    for d in DEGREES:
+        paper = 2.0**-d
+        straightforward = naive.threshold(d)
+        rows.append(
+            {
+                "kind": "threshold",
+                "d": d,
+                "paper_2^-d": paper,
+                "naive_3^-C(d,2)": straightforward,
+                "gap_factor": paper / straightforward,
+            }
+        )
+    return rows
+
+
+def run_wedge_instances():
+    """Instances between the criteria: P* solves, naive rejects.
+
+    Cyclic triples with alphabet 3: each node has 3 hyperedges and
+    dependency degree 4, so p = 3^-3 = 1/27 < 2^-4 = 1/16 (paper: OK)
+    while the naive per-event bound demands p < 3^-3 (exactly violated).
+    """
+    rows = []
+    for n in (9, 15, 21):
+        instance = all_zero_triple_instance(n, cyclic_triples(n), 3)
+        pstar_result = solve_rank3(instance)
+        pstar_ok = verify_solution(instance, pstar_result.assignment).ok
+        naive_rejects = False
+        try:
+            check_naive_criterion(
+                all_zero_triple_instance(n, cyclic_triples(n), 3)
+            )
+        except CriterionViolationError:
+            naive_rejects = True
+        rows.append(
+            {
+                "kind": "wedge instance",
+                "d": instance.max_dependency_degree,
+                "n": n,
+                "p": instance.max_event_probability,
+                "pstar_solves": pstar_ok,
+                "naive_rejects": naive_rejects,
+            }
+        )
+    return rows
+
+
+def run_naive_on_easy():
+    """Sanity: when its criterion holds, the naive fixer also succeeds."""
+    instance = all_zero_triple_instance(15, cyclic_triples(15), 28)
+    # p = 28^-3 < 3^-3 = naive bound with 3 hyperedges per node.
+    result = solve_naive(instance)
+    return verify_solution(instance, result.assignment).ok
+
+
+def test_naive_vs_pstar(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_threshold_gap() + run_wedge_instances(),
+        rounds=1,
+        iterations=1,
+    )
+    naive_easy_ok = run_naive_on_easy()
+    records = [
+        ExperimentRecord("X2", {"kind": row["kind"], "d": row["d"]}, row)
+        for row in rows
+    ]
+    records.append(
+        ExperimentRecord(
+            "X2",
+            {"kind": "naive on its own turf", "d": 4},
+            {"naive_solves": naive_easy_ok},
+        )
+    )
+    emit("X2", records, "Criterion gap: naive rank-r vs the paper's p < 2^-d")
+
+    # The gap grows super-exponentially with d.
+    gaps = [row["gap_factor"] for row in rows if row["kind"] == "threshold"]
+    assert all(later > earlier for earlier, later in zip(gaps, gaps[1:]))
+    assert gaps[-1] > 1e6
+
+    # In the wedge: P* solves everything, naive rejects everything.
+    wedge = [row for row in rows if row["kind"] == "wedge instance"]
+    assert all(row["pstar_solves"] for row in wedge)
+    assert all(row["naive_rejects"] for row in wedge)
+    assert naive_easy_ok

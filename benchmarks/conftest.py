@@ -1,0 +1,35 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench module reproduces one experiment row of DESIGN.md.  The
+``emit`` fixture prints the experiment's table (the "rows the paper
+reports") and persists the records as JSON under ``benchmarks/results/``
+so EXPERIMENTS.md can be regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import pytest
+
+from repro.analysis import ExperimentRecord, records_to_table, write_records_json
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def emit():
+    """Return a callable that prints and persists experiment records."""
+
+    def _emit(
+        experiment: str, records: Sequence[ExperimentRecord], title: str
+    ) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        table = records_to_table(records, title=f"[{experiment}] {title}")
+        print("\n" + table)
+        write_records_json(
+            records, os.path.join(RESULTS_DIR, f"{experiment}.json")
+        )
+
+    return _emit

@@ -1,0 +1,57 @@
+"""The paper's rank-3 application: three sinkless-ish hypergraph orientations.
+
+Given a 3-uniform hypergraph, compute three orientations (each hyperedge
+picks a head per orientation) such that every node is a sink in at most
+one of the three.  With a node in t hyperedges, the bad event "sink in
+two or more orientations" has probability 3*9^-t - 2*27^-t, below the
+exponential threshold 2^-d once t >= 2 — the regime of Theorem 1.3.
+
+Run:  python examples/hypergraph_orientation.py
+"""
+
+from repro.applications import (
+    hypergraph_sinkless_instance,
+    orientations_from_assignment,
+)
+from repro.applications.hypergraph_sinkless import (
+    satisfies_requirement,
+    sink_counts,
+)
+from repro.core import solve_distributed
+from repro.generators import cyclic_triples
+from repro.lll import check_preconditions
+
+
+def main() -> None:
+    num_nodes = 21
+    triples = cyclic_triples(num_nodes)
+    print(f"hypergraph: {num_nodes} nodes, {len(triples)} rank-3 hyperedges")
+    print("  (every node lies in 3 hyperedges)")
+
+    instance = hypergraph_sinkless_instance(num_nodes, triples)
+    report = check_preconditions(instance, max_rank=3)
+    print(f"  p = {report.p:.6f}, d = {report.d}, "
+          f"threshold 2^-d = {report.threshold:.6f} "
+          f"(slack {report.slack:.1f}x)")
+
+    result = solve_distributed(instance)
+    print(f"\nsolved distributedly in {result.total_rounds} LOCAL rounds "
+          f"({result.coloring_rounds} for the 2-hop coloring, "
+          f"{result.schedule_rounds} schedule rounds over "
+          f"{result.palette} color classes)")
+
+    orientations = orientations_from_assignment(triples, result.assignment)
+    counts = sink_counts(num_nodes, triples, orientations)
+    print(f"requirement met (every node a non-sink in >= 2 orientations): "
+          f"{satisfies_requirement(num_nodes, triples, orientations)}")
+    print(f"sink-count histogram: "
+          f"{ {k: counts.count(k) for k in sorted(set(counts))} }")
+
+    print("\norientation of the first three hyperedges:")
+    for triple in triples[:3]:
+        heads = [orientations[i][tuple(sorted(triple))] for i in range(3)]
+        print(f"  hyperedge {triple}: heads = {heads}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Property B: the LLL's original application, derandomized.
+
+Erdős and Lovász introduced the Local Lemma to two-color sparse k-uniform
+hypergraphs with no monochromatic edge.  When every node lies in at most
+three hyperedges and overlaps are sparse, the instance sits below the
+exponential threshold p = 2^-d and the paper's deterministic fixer
+produces the coloring directly — no resampling, one pass.
+
+Run:  python examples/property_b_demo.py
+"""
+
+from collections import Counter
+
+from repro.applications import (
+    is_proper_two_coloring,
+    property_b_instance,
+    sparse_uniform_hypergraph,
+)
+from repro.applications.property_b import coloring_from_assignment
+from repro.baselines import sequential_moser_tardos
+from repro.core import solve
+from repro.lll import check_preconditions, verify_solution
+
+
+def main() -> None:
+    num_nodes, edges = sparse_uniform_hypergraph(
+        num_edges=25, uniformity=7, shared_per_edge=2, seed=99
+    )
+    print(f"hypergraph: {num_nodes} nodes, {len(edges)} edges of size 7")
+
+    instance = property_b_instance(num_nodes, edges)
+    report = check_preconditions(instance, max_rank=3)
+    print(f"  p = 2^-6 = {report.p:.6f}, d = {report.d}, "
+          f"2^-d = {report.threshold:.6f} (slack {report.slack:.1f}x)")
+
+    result = solve(instance)
+    assert verify_solution(instance, result.assignment).ok
+    coloring = coloring_from_assignment(num_nodes, result.assignment)
+    print(f"\ndeterministic 2-coloring found: "
+          f"{is_proper_two_coloring(edges, coloring)}")
+    counts = Counter(coloring.values())
+    print(f"color balance: {dict(counts)}")
+
+    # Contrast: the classical randomized route needs resampling.
+    mt_instance = property_b_instance(num_nodes, edges)
+    mt = sequential_moser_tardos(mt_instance, seed=1)
+    print(f"\nMoser-Tardos (randomized) needed {mt.resamplings} resamplings; "
+          f"the deterministic fixer needed none.")
+
+
+if __name__ == "__main__":
+    main()

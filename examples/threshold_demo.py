@@ -1,0 +1,69 @@
+"""The sharp threshold in action: sinkless orientation vs. its relaxation.
+
+Sinkless orientation on a 3-regular graph sits *exactly at* the paper's
+threshold (every node is a sink with probability 2^-3 = 2^-d): the
+deterministic fixers must reject it, and the lower bounds of [BFH+16] and
+[CKP16] apply.  Relaxing each edge to 3 labels drops the bad-event
+probability to 3^-3 < 2^-3 — strictly below the threshold — and the same
+graph is suddenly solvable deterministically, in a number of LOCAL rounds
+that does not grow with n.
+
+Run:  python examples/threshold_demo.py
+"""
+
+from repro.applications import (
+    is_sinkless,
+    orientation_from_assignment,
+    relaxed_sinkless_instance,
+    sinkless_orientation_instance,
+)
+from repro.baselines import distributed_moser_tardos
+from repro.core import solve_distributed
+from repro.errors import CriterionViolationError
+from repro.generators import random_regular_graph
+
+
+def main() -> None:
+    graph = random_regular_graph(num_nodes=24, degree=3, seed=7)
+
+    # --- At the threshold: p = 2^-d exactly -----------------------------
+    at_threshold = sinkless_orientation_instance(graph)
+    print("sinkless orientation (AT the threshold)")
+    print(f"  p = {at_threshold.max_event_probability:.4f}"
+          f" = 2^-{at_threshold.max_dependency_degree}")
+    try:
+        solve_distributed(at_threshold)
+    except CriterionViolationError as error:
+        print(f"  deterministic fixer: REJECTED ({error})")
+
+    result = distributed_moser_tardos(at_threshold, seed=1)
+    orientation = orientation_from_assignment(graph, result.assignment)
+    print(f"  randomized Moser-Tardos: solved in {result.rounds} rounds, "
+          f"sinkless = {is_sinkless(graph, orientation)}")
+
+    # --- Strictly below: 3 labels per edge ------------------------------
+    below = relaxed_sinkless_instance(graph, labels=3)
+    print("\nrelaxed sinkless orientation (BELOW the threshold)")
+    print(f"  p = {below.max_event_probability:.4f}"
+          f" < 2^-{below.max_dependency_degree}"
+          f" = {2.0 ** -below.max_dependency_degree:.4f}")
+    deterministic = solve_distributed(below)
+    print(f"  deterministic algorithm: solved in "
+          f"{deterministic.total_rounds} LOCAL rounds "
+          f"({deterministic.coloring_rounds} coloring + "
+          f"{deterministic.schedule_rounds} schedule)")
+
+    # --- The phase shift, quantified over n -----------------------------
+    print("\nround growth as n doubles (deterministic, below threshold):")
+    for n in (24, 48, 96, 192):
+        instance = relaxed_sinkless_instance(
+            random_regular_graph(n, 3, seed=7), labels=3
+        )
+        rounds = solve_distributed(instance).total_rounds
+        print(f"  n = {n:4d}: {rounds} rounds")
+    print("(flat up to log* n — the paper's O(d + log* n); compare the "
+          "Omega(log n) deterministic lower bound at the threshold)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package, so the
+PEP-517 editable path (which needs ``bdist_wheel``) is unavailable; this
+file enables the classic ``pip install -e .`` develop-mode install.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Analysis and experiment-harness utilities (S13)."""
+
+from repro.analysis.bounds import (
+    deterministic_lower_bound,
+    deterministic_rank2_bound,
+    deterministic_rank3_bound,
+    moser_tardos_distributed_bound,
+    randomized_lower_bound,
+    rank2_schedule_bound,
+    rank3_schedule_bound,
+    universal_lower_bound,
+)
+from repro.analysis.export import (
+    records_to_markdown,
+    render_surface_ascii,
+    surface_to_csv,
+)
+from repro.analysis.landscape import (
+    LandscapeEntry,
+    landscape_rows,
+    landscape_table,
+    lower_bound_table,
+)
+from repro.analysis.logstar import iterated_log, log_star, power_tower
+from repro.analysis.report import (
+    EXPERIMENT_TITLES,
+    load_results,
+    render_report,
+    report_summary,
+)
+from repro.analysis.records import (
+    ExperimentRecord,
+    format_cell,
+    format_table,
+    growth_ratios,
+    records_to_table,
+    write_records_json,
+)
+
+__all__ = [
+    "EXPERIMENT_TITLES",
+    "LandscapeEntry",
+    "landscape_rows",
+    "landscape_table",
+    "lower_bound_table",
+    "ExperimentRecord",
+    "load_results",
+    "render_report",
+    "report_summary",
+    "deterministic_lower_bound",
+    "deterministic_rank2_bound",
+    "deterministic_rank3_bound",
+    "format_cell",
+    "format_table",
+    "growth_ratios",
+    "iterated_log",
+    "log_star",
+    "moser_tardos_distributed_bound",
+    "power_tower",
+    "randomized_lower_bound",
+    "rank2_schedule_bound",
+    "rank3_schedule_bound",
+    "records_to_markdown",
+    "records_to_table",
+    "render_surface_ascii",
+    "surface_to_csv",
+    "universal_lower_bound",
+    "write_records_json",
+]

@@ -1,0 +1,61 @@
+"""Reference round-complexity curves from the paper's landscape.
+
+These are the *shapes* the benchmark harness compares measurements
+against: the paper's upper bounds for the deterministic fixers, the
+baselines' known complexities, and the lower-bound regimes above the
+threshold.  Constants are illustrative (the paper's bounds are
+asymptotic); benchmarks compare growth, not absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.logstar import log_star
+
+
+def rank2_schedule_bound(d: int) -> int:
+    """Color classes the Corollary-1.2 schedule iterates: ``2d - 1`` (+1
+    for rank-1 variables)."""
+    return max(2 * d - 1, 0) + 1
+
+
+def rank3_schedule_bound(d: int) -> int:
+    """Color classes the Corollary-1.4 schedule iterates: ``d^2 + 1``."""
+    return d * d + 1
+
+
+def deterministic_rank2_bound(d: int, n: int) -> float:
+    """The ``O(d + log* n)`` shape of Corollary 1.2 (unit constants)."""
+    return d + log_star(n)
+
+
+def deterministic_rank3_bound(d: int, n: int) -> float:
+    """The ``O(d^2 + log* n)`` shape of Corollary 1.4 (unit constants)."""
+    return d * d + log_star(n)
+
+
+def moser_tardos_distributed_bound(n: int) -> float:
+    """The ``O(log^2 n)`` shape of distributed Moser-Tardos (unit constants)."""
+    if n < 2:
+        return 1.0
+    return math.log2(n) ** 2
+
+
+def randomized_lower_bound(n: int) -> float:
+    """The ``Omega(log log n)`` shape at/above the threshold [BFH+16]."""
+    if n < 4:
+        return 1.0
+    return math.log2(math.log2(n))
+
+
+def deterministic_lower_bound(n: int) -> float:
+    """The ``Omega(log n)`` shape at/above the threshold [CKP16]."""
+    if n < 2:
+        return 1.0
+    return math.log2(n)
+
+
+def universal_lower_bound(n: int) -> float:
+    """The ``Omega(log* n)`` bound holding under every criterion [CPS17]."""
+    return float(log_star(n))

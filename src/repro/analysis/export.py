@@ -1,0 +1,85 @@
+"""Exporting experiment artifacts: CSV, markdown tables, ASCII plots.
+
+The Figure-1 surface can be written to CSV for external plotting or
+rendered directly in the terminal as an ASCII height map; experiment
+records can be re-emitted as markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.analysis.records import ExperimentRecord, format_cell
+from repro.geometry import boundary_surface, in_domain, surface_grid
+
+#: Height-map ramp from low to high.
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def surface_to_csv(path: str, resolution: int = 40) -> int:
+    """Write the Figure-1 surface samples as ``a,b,f`` rows.
+
+    Returns the number of data rows written.
+    """
+    a_values, b_values, f_values = surface_grid(resolution)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["a", "b", "f"])
+        for row in zip(a_values, b_values, f_values):
+            writer.writerow([f"{value:.12g}" for value in row])
+    return len(f_values)
+
+
+def render_surface_ascii(width: int = 48, height: int = 24) -> str:
+    """An ASCII height map of ``f(a, b)`` over its triangular domain.
+
+    Rows sweep ``b`` from 4 (top) to 0 (bottom); columns sweep ``a`` from
+    0 to 4.  Cells outside ``a + b <= 4`` are blank; inside, the ramp
+    character encodes ``f / 4``.
+    """
+    if width < 2 or height < 2:
+        raise ReproError("width and height must be at least 2")
+    lines: List[str] = []
+    for row in range(height):
+        b = 4.0 * (height - 1 - row) / (height - 1)
+        cells = []
+        for column in range(width):
+            a = 4.0 * column / (width - 1)
+            if not in_domain(a, b, tolerance=1e-9):
+                cells.append(" ")
+                continue
+            value = boundary_surface(a, b) / 4.0
+            index = min(int(value * (len(_ASCII_RAMP) - 1) + 0.5),
+                        len(_ASCII_RAMP) - 1)
+            cells.append(_ASCII_RAMP[index])
+        lines.append("".join(cells).rstrip())
+    legend = (
+        f"f(a,b) over a,b>=0, a+b<=4; ramp '{_ASCII_RAMP}' = 0..4 "
+        f"(apex @ origin, floor on a+b=4)"
+    )
+    return "\n".join(lines + [legend])
+
+
+def records_to_markdown(
+    records: Sequence[ExperimentRecord],
+    headers: Optional[Sequence[str]] = None,
+) -> str:
+    """Render experiment records as a GitHub-markdown table."""
+    if not records:
+        return "(no rows)"
+    rows = [record.as_dict() for record in records]
+    if headers is None:
+        headers = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(format_cell(row.get(header, "")) for header in headers)
+            + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""The distributed-LLL complexity landscape, as data.
+
+The paper's introduction and related-work section survey the runtime
+landscape across LLL criteria.  This module encodes that survey as
+structured rows — the state of the art *as of the paper* (PODC 2019),
+including the paper's own contribution — so tools and docs can render
+it, and tests can sanity-check the orderings it claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LandscapeEntry:
+    """One row of the complexity landscape."""
+
+    #: The LLL criterion (as written in the paper).
+    criterion: str
+    #: Round complexity (randomized unless stated otherwise).
+    runtime: str
+    #: Whether the algorithm is deterministic.
+    deterministic: bool
+    #: Citation key as used in the paper.
+    reference: str
+    #: Free-form note.
+    note: str = ""
+
+
+def landscape_table() -> List[LandscapeEntry]:
+    """The upper-bound landscape the paper surveys (plus its own rows)."""
+    return [
+        LandscapeEntry(
+            criterion="ep(d+1) < 1",
+            runtime="O(log^2 n)",
+            deterministic=False,
+            reference="MT10",
+            note="distributed Moser-Tardos",
+        ),
+        LandscapeEntry(
+            criterion="ep(d+1) < 1",
+            runtime="O(log n * log^2 d)",
+            deterministic=False,
+            reference="CPS17",
+        ),
+        LandscapeEntry(
+            criterion="ep(d+1) < 1",
+            runtime="O(log n * log d)",
+            deterministic=False,
+            reference="Gha16",
+        ),
+        LandscapeEntry(
+            criterion="epd^2 < 1",
+            runtime="O(log_{1/epd^2} n)",
+            deterministic=False,
+            reference="CPS17",
+        ),
+        LandscapeEntry(
+            criterion="epd^32 < 1 (d small)",
+            runtime="2^{O(sqrt(log log n))}",
+            deterministic=False,
+            reference="FG17",
+        ),
+        LandscapeEntry(
+            criterion="d^8 p = O(1)",
+            runtime="exp^{(i)}(O((log^{(i+1)} n)^{1/2}))",
+            deterministic=False,
+            reference="GHK18",
+            note="state of the art under polynomial criteria",
+        ),
+        LandscapeEntry(
+            criterion="p(ed)^lambda < 1",
+            runtime="lambda n^{1/lambda} 2^{sqrt(log n)}",
+            deterministic=True,
+            reference="FG17",
+        ),
+        LandscapeEntry(
+            criterion="p < 2^-d, r <= 2",
+            runtime="O(d + log* n)",
+            deterministic=True,
+            reference="this paper (Cor. 1.2)",
+            note="matches the Omega(log* n) lower bound for bounded d",
+        ),
+        LandscapeEntry(
+            criterion="p < 2^-d, r <= 3",
+            runtime="O(d^2 + log* n)",
+            deterministic=True,
+            reference="this paper (Cor. 1.4)",
+            note="the main result; same threshold as r = 2",
+        ),
+    ]
+
+
+def lower_bound_table() -> List[LandscapeEntry]:
+    """The lower bounds that frame the threshold."""
+    return [
+        LandscapeEntry(
+            criterion="p >= 2^-d",
+            runtime="Omega(log log n)",
+            deterministic=False,
+            reference="BFH+16",
+            note="via sinkless orientation",
+        ),
+        LandscapeEntry(
+            criterion="p >= 2^-d",
+            runtime="Omega(log n)",
+            deterministic=True,
+            reference="CKP16",
+        ),
+        LandscapeEntry(
+            criterion="any function of d",
+            runtime="Omega(log* n)",
+            deterministic=False,
+            reference="CPS17",
+            note="no criterion escapes log* n",
+        ),
+    ]
+
+
+def landscape_rows() -> List[dict]:
+    """Both tables flattened to dictionaries (for table renderers)."""
+    rows = []
+    for entry in landscape_table():
+        rows.append(
+            {
+                "kind": "upper bound",
+                "criterion": entry.criterion,
+                "runtime": entry.runtime,
+                "deterministic": entry.deterministic,
+                "reference": entry.reference,
+                "note": entry.note,
+            }
+        )
+    for entry in lower_bound_table():
+        rows.append(
+            {
+                "kind": "lower bound",
+                "criterion": entry.criterion,
+                "runtime": entry.runtime,
+                "deterministic": entry.deterministic,
+                "reference": entry.reference,
+                "note": entry.note,
+            }
+        )
+    return rows

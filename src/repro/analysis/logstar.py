@@ -1,0 +1,50 @@
+"""Iterated logarithms and ``log*``.
+
+``log* n`` is the number of times ``log2`` must be applied to ``n`` before
+the value drops to at most 1 — the complexity currency of the paper's
+``O(d + log* n)`` and ``O(d^2 + log* n)`` upper bounds and of the
+``Omega(log* n)`` universal lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+
+def log_star(n: float) -> int:
+    """The base-2 iterated logarithm ``log* n``.
+
+    ``log*(n) = 0`` for ``n <= 1``, else ``1 + log*(log2 n)``.
+    """
+    if n < 0:
+        raise ReproError("log* is undefined for negative values")
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def iterated_log(n: float, times: int) -> float:
+    """``log2`` applied ``times`` times (the paper's ``log^(i)``)."""
+    if times < 0:
+        raise ReproError("times must be non-negative")
+    value = float(n)
+    for _ in range(times):
+        if value <= 0.0:
+            raise ReproError("iterated log left the positive domain")
+        value = math.log2(value)
+    return value
+
+
+def power_tower(base: float, height: int) -> float:
+    """``base^base^...^base`` of the given height (the paper's ``exp^(i)``)."""
+    if height < 0:
+        raise ReproError("height must be non-negative")
+    value = 1.0
+    for _ in range(height):
+        value = base**value
+    return value

@@ -1,0 +1,106 @@
+"""Experiment records and plain-text table/series rendering.
+
+The benchmark harness emits its results through these helpers so that
+every experiment prints the same kind of artifact: a titled ASCII table
+(the "rows the paper reports") plus machine-readable dictionaries for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured configuration of one experiment."""
+
+    #: Experiment identifier from DESIGN.md (e.g. "T2", "F1").
+    experiment: str
+    #: Workload parameters (n, d, k, seed, ...).
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    #: Measured quantities (rounds, success, slack, ...).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten to a single JSON-friendly dictionary."""
+        flat: Dict[str, Any] = {"experiment": self.experiment}
+        flat.update(self.parameters)
+        flat.update(self.metrics)
+        return flat
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly rendering of one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    headers: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dictionaries as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if headers is None:
+        headers = list(rows[0].keys())
+    cells = [[format_cell(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(str(header)), max(len(row[i]) for row in cells))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def records_to_table(
+    records: Sequence[ExperimentRecord],
+    headers: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render experiment records as an ASCII table."""
+    return format_table([r.as_dict() for r in records], headers, title)
+
+
+def write_records_json(records: Sequence[ExperimentRecord], path: str) -> None:
+    """Persist records as a JSON list (for EXPERIMENTS.md regeneration)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([r.as_dict() for r in records], handle, indent=2, default=str)
+
+
+def growth_ratios(values: Sequence[float]) -> List[float]:
+    """Consecutive ratios of a series — the benches' growth-shape check.
+
+    Ratios near 1 mean a flat series (our deterministic algorithms as n
+    grows); ratios meaningfully above 1 mean growth (the baselines).
+    """
+    ratios = []
+    for earlier, later in zip(values, values[1:]):
+        if earlier == 0:
+            ratios.append(float("inf") if later > 0 else 1.0)
+        else:
+            ratios.append(later / earlier)
+    return ratios

@@ -1,0 +1,92 @@
+"""Consolidated experiment reports from the benchmark artifacts.
+
+Every bench module writes its records to ``benchmarks/results/<ID>.json``;
+this module reads a directory of such artifacts and renders one
+consolidated report (plain text or markdown), so EXPERIMENTS.md can be
+cross-checked against freshly regenerated numbers with one command:
+
+    python -m repro report --results-dir benchmarks/results
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.analysis.records import format_table
+
+#: The experiment ids in presentation order, with one-line titles.
+EXPERIMENT_TITLES = {
+    "F1": "Figure 1: the surface of S_rep and its certificates",
+    "F2": "Figure 2: constructive decompositions",
+    "T1": "Theorem 1.1: rank-2 fixer success",
+    "T2": "Corollary 1.2: rounds vs n and d (rank 2)",
+    "T3": "Theorem 1.3: rank-3 fixer success",
+    "T4": "Corollary 1.4: rounds vs n and d (rank 3)",
+    "T5": "The sharp threshold phase shift",
+    "T6": "Deterministic vs Moser-Tardos",
+    "A1": "Application: hypergraph sinkless orientations",
+    "A2": "Application: relaxed weak splitting",
+    "A3": "Application: Property B two-coloring",
+    "L1": "Lemma 3.2: non-evil values at every step",
+    "X1": "Ablations: orders and selection rule",
+    "X2": "Criterion gap: naive rank-r vs p < 2^-d",
+    "X3": "Message-level protocol fidelity",
+    "X4": "Threshold sharpness (margin sweep)",
+}
+
+
+def load_results(results_dir: str) -> Dict[str, List[dict]]:
+    """Load every ``<ID>.json`` artifact from a results directory."""
+    if not os.path.isdir(results_dir):
+        raise ReproError(f"no such results directory: {results_dir!r}")
+    artifacts: Dict[str, List[dict]] = {}
+    for entry in sorted(os.listdir(results_dir)):
+        if not entry.endswith(".json"):
+            continue
+        experiment = entry[: -len(".json")]
+        path = os.path.join(results_dir, entry)
+        with open(path, "r", encoding="utf-8") as handle:
+            rows = json.load(handle)
+        if isinstance(rows, list):
+            artifacts[experiment] = rows
+    if not artifacts:
+        raise ReproError(
+            f"no experiment artifacts found in {results_dir!r}; run "
+            f"`pytest benchmarks/ --benchmark-only` first"
+        )
+    return artifacts
+
+
+def render_report(
+    artifacts: Dict[str, List[dict]],
+    experiments: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the artifacts as one plain-text report."""
+    if experiments is None:
+        ordered = [e for e in EXPERIMENT_TITLES if e in artifacts]
+        ordered += [e for e in sorted(artifacts) if e not in EXPERIMENT_TITLES]
+    else:
+        missing = [e for e in experiments if e not in artifacts]
+        if missing:
+            raise ReproError(f"no artifacts for experiments {missing!r}")
+        ordered = list(experiments)
+    sections = []
+    for experiment in ordered:
+        rows = artifacts[experiment]
+        title = EXPERIMENT_TITLES.get(experiment, experiment)
+        cleaned = [
+            {k: v for k, v in row.items() if k != "experiment"}
+            for row in rows
+        ]
+        sections.append(
+            format_table(cleaned, title=f"[{experiment}] {title}")
+        )
+    return ("\n\n".join(sections)) + "\n"
+
+
+def report_summary(artifacts: Dict[str, List[dict]]) -> Dict[str, int]:
+    """Per-experiment row counts — the quick 'is everything there' view."""
+    return {experiment: len(rows) for experiment, rows in artifacts.items()}

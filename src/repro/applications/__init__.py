@@ -1,0 +1,71 @@
+"""The paper's applications (S11) as ready-made LLL instances.
+
+* :mod:`repro.applications.sinkless` — sinkless orientation (at the
+  threshold; hardness witness) and its below-threshold relaxation,
+* :mod:`repro.applications.hypergraph_sinkless` — three orientations of a
+  rank-3 hypergraph with every node a non-sink in at least two,
+* :mod:`repro.applications.weak_splitting` — relaxed weak splitting
+  (r <= 3, 16 colors, every V-node sees >= 2 colors),
+* :mod:`repro.applications.sat` — bounded-occurrence SAT with a sharing
+  budget keeping it below the exponential threshold.
+"""
+
+from repro.applications import (
+    hypergraph_sinkless,
+    property_b,
+    sat,
+    sinkless,
+    weak_splitting,
+)
+from repro.applications.hypergraph_sinkless import (
+    hypergraph_sinkless_instance,
+    orientations_from_assignment,
+)
+from repro.applications.property_b import (
+    is_proper_two_coloring,
+    property_b_instance,
+    sparse_uniform_hypergraph,
+)
+from repro.applications.sat import (
+    CnfFormula,
+    assignment_to_values,
+    sat_instance,
+    sparse_shared_formula,
+)
+from repro.applications.sinkless import (
+    is_sinkless,
+    orientation_from_assignment,
+    relaxed_sinkless_instance,
+    sinkless_orientation_instance,
+    sinks_of_orientation,
+)
+from repro.applications.weak_splitting import (
+    coloring_from_assignment,
+    random_splitting_workload,
+    weak_splitting_instance,
+)
+
+__all__ = [
+    "CnfFormula",
+    "assignment_to_values",
+    "coloring_from_assignment",
+    "hypergraph_sinkless",
+    "hypergraph_sinkless_instance",
+    "is_proper_two_coloring",
+    "is_sinkless",
+    "property_b",
+    "property_b_instance",
+    "sparse_uniform_hypergraph",
+    "orientation_from_assignment",
+    "orientations_from_assignment",
+    "random_splitting_workload",
+    "relaxed_sinkless_instance",
+    "sat",
+    "sat_instance",
+    "sinkless",
+    "sinkless_orientation_instance",
+    "sinks_of_orientation",
+    "sparse_shared_formula",
+    "weak_splitting",
+    "weak_splitting_instance",
+]

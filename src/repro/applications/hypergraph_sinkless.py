@@ -1,0 +1,142 @@
+"""Hypergraph sinkless orientation — the paper's rank-3 application.
+
+Rank-3 hypergraph: every hyperedge contains exactly three nodes.  An
+*orientation* assigns each hyperedge a head; a node is a sink (in that
+orientation) iff it is the head of all its hyperedges.  The task from the
+paper's Applications section: compute **three** orientations such that
+every node is a non-sink in at least two of them.
+
+As an LLL instance: the variable of a hyperedge is the triple of heads
+``(h_0, h_1, h_2)`` (one per orientation), uniform over the 27
+combinations; the bad event at node ``v`` is "v is a sink in at least two
+orientations".  For a node in ``t`` hyperedges,
+``Pr[bad] <= 3 * 9^-t`` while the dependency degree is at most ``2t``,
+so the exponential criterion ``p < 2^-d`` holds once ``t >= 2`` (the
+paper's "degree of the dependency graph at least 7" corresponds to its
+worst-case parameter accounting; the builders below verify the criterion
+exactly per instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lll.instance import LLLInstance
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+Triple = Tuple[int, int, int]
+#: Number of simultaneous orientations requested.
+NUM_ORIENTATIONS = 3
+#: Maximum number of orientations in which a node may be a sink.
+MAX_SINK_ORIENTATIONS = 1
+
+
+def _variable_name(triple: Sequence[int]) -> Tuple[str, int, int, int]:
+    a, b, c = sorted(triple)
+    return ("hsink", a, b, c)
+
+
+def hypergraph_sinkless_instance(
+    num_nodes: int, triples: Sequence[Triple]
+) -> LLLInstance:
+    """Build the three-orientation sinkless LLL instance.
+
+    Parameters
+    ----------
+    num_nodes:
+        Nodes are ``0 .. num_nodes - 1``; every node must appear in at
+        least one triple.
+    triples:
+        The hyperedges; each a triple of three distinct nodes.
+    """
+    incident: List[List[DiscreteVariable]] = [[] for _ in range(num_nodes)]
+    heads_choices: List[Tuple[int, int, int]] = []
+    variables = {}
+    for triple in triples:
+        ordered = tuple(sorted(triple))
+        if len(set(ordered)) != 3:
+            raise ReproError(f"triple {triple!r} has repeated nodes")
+        name = _variable_name(ordered)
+        if name in variables:
+            raise ReproError(f"duplicate triple {triple!r}")
+        # Value = which member of the triple heads each orientation.
+        values = [
+            (ordered[i], ordered[j], ordered[k])
+            for i in range(3)
+            for j in range(3)
+            for k in range(3)
+        ]
+        variable = DiscreteVariable(name, values)
+        variables[name] = variable
+        for node in ordered:
+            if node < 0 or node >= num_nodes:
+                raise ReproError(f"triple node {node} out of range")
+            incident[node].append(variable)
+
+    events = []
+    for node in range(num_nodes):
+        scope = incident[node]
+        if not scope:
+            raise ReproError(f"node {node} appears in no triple")
+        names = tuple(variable.name for variable in scope)
+
+        def predicate(values_map: Mapping, _names=names, _node=node) -> bool:
+            sink_count = 0
+            for orientation in range(NUM_ORIENTATIONS):
+                if all(
+                    values_map[name][orientation] == _node for name in _names
+                ):
+                    sink_count += 1
+            return sink_count > MAX_SINK_ORIENTATIONS
+
+        events.append(BadEvent(node, scope, predicate))
+    return LLLInstance(events)
+
+
+def orientations_from_assignment(
+    triples: Sequence[Triple], assignment: PartialAssignment
+) -> List[Dict[Triple, int]]:
+    """Extract the three hyperedge -> head maps from a solved instance."""
+    orientations: List[Dict[Triple, int]] = [
+        {} for _ in range(NUM_ORIENTATIONS)
+    ]
+    for triple in triples:
+        ordered = tuple(sorted(triple))
+        heads = assignment.value_of(_variable_name(ordered))
+        for orientation in range(NUM_ORIENTATIONS):
+            orientations[orientation][ordered] = heads[orientation]
+    return orientations
+
+
+def sink_counts(
+    num_nodes: int,
+    triples: Sequence[Triple],
+    orientations: Sequence[Mapping[Triple, int]],
+) -> List[int]:
+    """For each node, in how many orientations it is a sink."""
+    counts = [0] * num_nodes
+    incident: List[List[Triple]] = [[] for _ in range(num_nodes)]
+    for triple in triples:
+        ordered = tuple(sorted(triple))
+        for node in ordered:
+            incident[node].append(ordered)
+    for node in range(num_nodes):
+        for orientation in orientations:
+            if incident[node] and all(
+                orientation[triple] == node for triple in incident[node]
+            ):
+                counts[node] += 1
+    return counts
+
+
+def satisfies_requirement(
+    num_nodes: int,
+    triples: Sequence[Triple],
+    orientations: Sequence[Mapping[Triple, int]],
+) -> bool:
+    """Whether every node is a non-sink in at least two orientations."""
+    return all(
+        count <= MAX_SINK_ORIENTATIONS
+        for count in sink_counts(num_nodes, triples, orientations)
+    )

@@ -1,0 +1,145 @@
+"""Property B: two-coloring a k-uniform hypergraph with no monochromatic edge.
+
+The original motivating application of the Lovász Local Lemma [EL74]:
+color the nodes of a k-uniform hypergraph with two colors so that no
+hyperedge is monochromatic.  With fair-coin node colors, a hyperedge is
+monochromatic with probability ``2^(1-k)``.
+
+In the paper's regime: each *node* is a random variable; when every node
+lies in at most three hyperedges the instance has rank <= 3, and when
+hyperedges overlap sparsely (each shares nodes with at most ``k - 2``
+others) the dependency degree satisfies ``d <= k - 2``, so
+``p = 2^(1-k) < 2^-d`` — strictly below the threshold, and Theorem 1.3
+two-colors the hypergraph deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lll.instance import LLLInstance
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+Edge = Tuple[int, ...]
+
+
+def _variable_name(node: int) -> Tuple[str, int]:
+    return ("node", node)
+
+
+def property_b_instance(num_nodes: int, edges: Sequence[Edge]) -> LLLInstance:
+    """The LLL instance: fair-coin node colors, bad = monochromatic edge.
+
+    Parameters
+    ----------
+    num_nodes:
+        Nodes are ``0 .. num_nodes - 1``.
+    edges:
+        The hyperedges; each a tuple of distinct nodes (size >= 2).
+    """
+    if not edges:
+        raise ReproError("need at least one hyperedge")
+    variables = {
+        node: DiscreteVariable.fair_coin(_variable_name(node))
+        for node in range(num_nodes)
+    }
+    events = []
+    for index, edge in enumerate(edges):
+        ordered = tuple(sorted(edge))
+        if len(set(ordered)) != len(ordered):
+            raise ReproError(f"edge {edge!r} repeats a node")
+        if len(ordered) < 2:
+            raise ReproError(f"edge {edge!r} needs at least two nodes")
+        for node in ordered:
+            if node < 0 or node >= num_nodes:
+                raise ReproError(f"edge node {node} out of range")
+        scope = [variables[node] for node in ordered]
+        names = tuple(variable.name for variable in scope)
+
+        def predicate(values: Mapping, _names=names) -> bool:
+            first = values[_names[0]]
+            return all(values[name] == first for name in _names)
+
+        events.append(BadEvent(("edge", index), scope, predicate))
+    return LLLInstance(events)
+
+
+def coloring_from_assignment(
+    num_nodes: int, assignment: PartialAssignment
+) -> Dict[int, int]:
+    """Extract the node 2-coloring from a solved instance."""
+    return {
+        node: assignment.value_of(_variable_name(node))
+        for node in range(num_nodes)
+    }
+
+
+def monochromatic_edges(
+    edges: Sequence[Edge], coloring: Mapping[int, int]
+) -> List[Edge]:
+    """The hyperedges that are monochromatic under ``coloring``."""
+    bad = []
+    for edge in edges:
+        colors = {coloring[node] for node in edge}
+        if len(colors) == 1:
+            bad.append(tuple(sorted(edge)))
+    return bad
+
+
+def is_proper_two_coloring(
+    edges: Sequence[Edge], coloring: Mapping[int, int]
+) -> bool:
+    """Whether no hyperedge is monochromatic."""
+    return not monochromatic_edges(edges, coloring)
+
+
+def sparse_uniform_hypergraph(
+    num_edges: int,
+    uniformity: int,
+    shared_per_edge: int,
+    seed: int,
+) -> Tuple[int, List[Edge]]:
+    """A k-uniform hypergraph below the exponential threshold.
+
+    Each hyperedge takes ``shared_per_edge`` nodes from a common pool
+    (each pool node used by at most three hyperedges — rank 3) and the
+    rest private.  The dependency degree is then at most
+    ``2 * shared_per_edge``, so ``p = 2^(1-k) < 2^-d`` holds whenever
+    ``uniformity > 2 * shared_per_edge + 1``.
+
+    Returns ``(num_nodes, edges)``.
+    """
+    if uniformity <= 2 * shared_per_edge + 1:
+        raise ReproError(
+            f"uniformity ({uniformity}) must exceed 2*shared_per_edge + 1 "
+            f"({2 * shared_per_edge + 1}) for the exponential criterion"
+        )
+    if shared_per_edge < 1:
+        raise ReproError("shared_per_edge must be at least 1")
+    rng = random.Random(seed)
+    pool_size = max((num_edges * shared_per_edge + 2) // 3 + 1, uniformity)
+    pool_usage = [0] * pool_size
+    edges: List[Edge] = []
+    next_private = pool_size
+    for _ in range(num_edges):
+        available = [
+            node for node in range(pool_size) if pool_usage[node] < 3
+        ]
+        if len(available) < shared_per_edge:
+            raise ReproError("shared pool exhausted")
+        shared = rng.sample(available, shared_per_edge)
+        for node in shared:
+            pool_usage[node] += 1
+        privates = list(
+            range(next_private, next_private + uniformity - shared_per_edge)
+        )
+        next_private += uniformity - shared_per_edge
+        edges.append(tuple(sorted(shared + privates)))
+    # Compact node ids: unused pool nodes would otherwise be colorless
+    # spectators (they appear in no hyperedge, hence in no event scope).
+    used = sorted({node for edge in edges for node in edge})
+    renumber = {node: index for index, node in enumerate(used)}
+    edges = [tuple(sorted(renumber[node] for node in edge)) for edge in edges]
+    return len(used), edges

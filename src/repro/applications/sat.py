@@ -1,0 +1,140 @@
+"""Bounded-occurrence SAT under the exponential criterion.
+
+A CNF formula in which every Boolean variable occurs in at most three
+clauses is a natural rank-3 LLL instance: variables are fair coins,
+the bad event of a clause is "the clause is unsatisfied"
+(probability ``2^-width``), and two clauses are dependent iff they share
+a variable.  The exponential criterion ``p < 2^-d`` holds when every
+clause's width exceeds the number of *other clause slots* its variables
+appear in — i.e. wide clauses with few shared variables.  The generator
+below builds such formulas with an explicit sharing budget.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.lll.instance import LLLInstance
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+#: A literal: (variable index, wanted truth value).
+Literal = Tuple[int, bool]
+#: A clause: a tuple of literals over distinct variables.
+Clause = Tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class CnfFormula:
+    """A CNF formula with named Boolean variables ``0 .. num_variables-1``."""
+
+    num_variables: int
+    clauses: Tuple[Clause, ...]
+
+    def is_satisfied(self, values: Mapping[int, bool]) -> bool:
+        """Whether every clause has at least one true literal."""
+        return all(
+            any(values[index] == wanted for index, wanted in clause)
+            for clause in self.clauses
+        )
+
+    def max_occurrence(self) -> int:
+        """The largest number of clauses any variable appears in."""
+        counts: Dict[int, int] = {}
+        for clause in self.clauses:
+            for index, _wanted in clause:
+                counts[index] = counts.get(index, 0) + 1
+        return max(counts.values(), default=0)
+
+
+def _variable_name(index: int) -> Tuple[str, int]:
+    return ("x", index)
+
+
+def sat_instance(formula: CnfFormula) -> LLLInstance:
+    """The LLL instance of a CNF formula (clause = bad event)."""
+    if not formula.clauses:
+        raise ReproError("formula needs at least one clause")
+    variables = {
+        index: DiscreteVariable(_variable_name(index), (False, True))
+        for index in range(formula.num_variables)
+    }
+    events = []
+    for clause_index, clause in enumerate(formula.clauses):
+        seen = {index for index, _wanted in clause}
+        if len(seen) != len(clause):
+            raise ReproError(
+                f"clause {clause_index} repeats a variable"
+            )
+        scope = [variables[index] for index, _wanted in clause]
+
+        def predicate(values_map: Mapping, _clause=clause) -> bool:
+            return all(
+                values_map[_variable_name(index)] != wanted
+                for index, wanted in _clause
+            )
+
+        events.append(BadEvent(("clause", clause_index), scope, predicate))
+    return LLLInstance(events)
+
+
+def assignment_to_values(
+    formula: CnfFormula, assignment: PartialAssignment
+) -> Dict[int, bool]:
+    """Extract the Boolean values from a solved instance."""
+    return {
+        index: assignment.value_of(_variable_name(index))
+        for index in range(formula.num_variables)
+    }
+
+
+def sparse_shared_formula(
+    num_clauses: int,
+    width: int,
+    shared_per_clause: int,
+    seed: int,
+) -> CnfFormula:
+    """A random CNF below the exponential threshold.
+
+    Each clause has ``width`` literals: ``shared_per_clause`` variables
+    drawn from a common pool (every pool variable used by at most three
+    clauses — rank 3) and the rest private.  The dependency degree is at
+    most ``2 * shared_per_clause``, so the exponential criterion
+    ``2^-width < 2^-d`` holds whenever ``width > 2 * shared_per_clause``.
+
+    Raises
+    ------
+    ReproError
+        If the parameters violate that inequality.
+    """
+    if width <= 2 * shared_per_clause:
+        raise ReproError(
+            f"width ({width}) must exceed 2 * shared_per_clause "
+            f"({2 * shared_per_clause}) for the exponential criterion"
+        )
+    if shared_per_clause < 1:
+        raise ReproError("shared_per_clause must be at least 1")
+    rng = random.Random(seed)
+    # Pool sized so that three uses per pool variable suffice.
+    pool_size = max((num_clauses * shared_per_clause + 2) // 3 + 1, 3)
+    pool_usage = [0] * pool_size
+    clauses: List[Clause] = []
+    next_private = pool_size
+    for _clause_index in range(num_clauses):
+        available = [
+            index for index in range(pool_size) if pool_usage[index] < 3
+        ]
+        if len(available) < shared_per_clause:
+            raise ReproError("shared pool exhausted; increase pool capacity")
+        shared = rng.sample(available, shared_per_clause)
+        for index in shared:
+            pool_usage[index] += 1
+        privates = list(range(next_private, next_private + width - shared_per_clause))
+        next_private += width - shared_per_clause
+        literals = tuple(
+            (index, rng.random() < 0.5) for index in shared + privates
+        )
+        clauses.append(literals)
+    return CnfFormula(num_variables=next_private, clauses=tuple(clauses))

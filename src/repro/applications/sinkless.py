@@ -1,0 +1,135 @@
+"""Sinkless orientation — the threshold's hardness witness.
+
+Orient every edge of a graph so that no node is a *sink* (a node all of
+whose incident edges point at it).  With each edge oriented uniformly at
+random, the bad event "v is a sink" has probability exactly
+``2^-deg(v)`` — the instance sits *exactly at* the paper's threshold
+``p = 2^-d``, which is why sinkless orientation powers both the
+``Omega(log log n)`` randomized [BFH+16] and the ``Omega(log n)``
+deterministic [CKP16] lower bounds.  The deterministic fixers reject it
+(criterion check fails); the threshold benchmark runs randomized baselines
+on it instead.
+
+The module also provides the *relaxed* variant with ``k >= 3`` orientation
+labels per edge (a node is bad iff every incident edge gives it label 0),
+which is strictly below the threshold and falls to Theorem 1.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+import networkx as nx
+
+from repro.errors import ReproError
+from repro.lll.instance import LLLInstance
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def _edge_key(u, v) -> EdgeKey:
+    return (min(u, v), max(u, v))
+
+
+def _variable_name(u, v) -> Tuple[str, Hashable, Hashable]:
+    key = _edge_key(u, v)
+    return ("orient", key[0], key[1])
+
+
+def sinkless_orientation_instance(graph: nx.Graph) -> LLLInstance:
+    """The at-threshold LLL instance: one head-choice variable per edge.
+
+    The variable on edge ``{u, v}`` takes the value ``u`` or ``v`` (the
+    edge's head) uniformly; the bad event at ``v`` occurs iff every
+    incident edge has head ``v``.  For a ``delta``-regular graph:
+    ``p = 2^-delta`` and dependency degree ``d = delta`` — exactly
+    ``p = 2^-d``.
+    """
+    if any(degree == 0 for _node, degree in graph.degree()):
+        raise ReproError("graph must have no isolated nodes")
+    if graph.number_of_edges() == 0:
+        raise ReproError("graph must have at least one edge")
+    variables = {}
+    for u, v in graph.edges():
+        key = _edge_key(u, v)
+        variables[key] = DiscreteVariable(_variable_name(u, v), key)
+    events = []
+    for node in graph.nodes():
+        scope = [
+            variables[_edge_key(node, neighbor)]
+            for neighbor in sorted(graph.neighbors(node))
+        ]
+        names = tuple(variable.name for variable in scope)
+
+        def predicate(values: Mapping, _names=names, _node=node) -> bool:
+            return all(values[name] == _node for name in _names)
+
+        events.append(BadEvent(node, scope, predicate))
+    return LLLInstance(events)
+
+
+def orientation_from_assignment(
+    graph: nx.Graph, assignment: PartialAssignment
+) -> Dict[EdgeKey, Hashable]:
+    """Extract the edge -> head mapping from a solved instance."""
+    orientation = {}
+    for u, v in graph.edges():
+        key = _edge_key(u, v)
+        orientation[key] = assignment.value_of(_variable_name(u, v))
+    return orientation
+
+
+def sinks_of_orientation(
+    graph: nx.Graph, orientation: Mapping[EdgeKey, Hashable]
+) -> Tuple[Hashable, ...]:
+    """The nodes that are sinks under the given orientation."""
+    sinks = []
+    for node in graph.nodes():
+        incident = [
+            orientation[_edge_key(node, neighbor)]
+            for neighbor in graph.neighbors(node)
+        ]
+        if incident and all(head == node for head in incident):
+            sinks.append(node)
+    return tuple(sinks)
+
+
+def is_sinkless(graph: nx.Graph, orientation: Mapping[EdgeKey, Hashable]) -> bool:
+    """Whether no node is a sink."""
+    return not sinks_of_orientation(graph, orientation)
+
+
+def relaxed_sinkless_instance(graph: nx.Graph, labels: int = 3) -> LLLInstance:
+    """A strictly-below-threshold relaxation with ``labels >= 3`` per edge.
+
+    Each edge carries a uniform variable over ``{0, .., labels-1}``; a node
+    is bad iff every incident edge's variable is 0 ("all edges point the
+    bad way").  On a ``delta``-regular graph this gives
+    ``p = labels^-delta < 2^-delta = 2^-d`` — the regime of Theorem 1.1.
+    """
+    if labels < 3:
+        raise ReproError(
+            "labels must be at least 3; labels=2 is the at-threshold "
+            "sinkless orientation"
+        )
+    if any(degree == 0 for _node, degree in graph.degree()):
+        raise ReproError("graph must have no isolated nodes")
+    values = tuple(range(labels))
+    variables = {}
+    for u, v in graph.edges():
+        key = _edge_key(u, v)
+        variables[key] = DiscreteVariable(_variable_name(u, v), values)
+    events = []
+    for node in graph.nodes():
+        scope = [
+            variables[_edge_key(node, neighbor)]
+            for neighbor in sorted(graph.neighbors(node))
+        ]
+        names = tuple(variable.name for variable in scope)
+
+        def predicate(values_map: Mapping, _names=names) -> bool:
+            return all(values_map[name] == 0 for name in _names)
+
+        events.append(BadEvent(node, scope, predicate))
+    return LLLInstance(events)

@@ -1,0 +1,167 @@
+"""Relaxed weak splitting (the paper's second application).
+
+Weak splitting: given a bipartite graph ``B = (V u U, E)``, color the
+nodes of ``U`` so that every node of ``V`` sees more than one color among
+its ``U``-neighbors.  The standard 2-color version is P-SLOCAL-complete
+and sits *above* the exponential threshold; the paper's relaxation —
+``r <= 3`` (``U``-degrees at most 3), **16 colors**, every ``V``-node must
+see **at least 2** colors — drops below the threshold and is solved
+deterministically by Theorem 1.3.
+
+As an LLL instance: each ``U``-node is a uniform 16-valued variable
+affecting its at most three ``V``-neighbors (rank ``<= 3``); the bad event
+at ``v`` is "all of v's U-neighbors chose the same color", with
+probability ``16^(1 - deg(v))``, while the dependency degree is at most
+``2 * deg(v)``; the criterion ``p < 2^-d`` holds whenever every ``V``-node
+has degree at least 3.  (The same structure, read as coloring rank-r
+hyperedges, is the frugal / hypergraph edge-coloring formulation the
+paper mentions.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import ReproError
+from repro.lll.instance import LLLInstance
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+#: Palette size of the relaxed variant discussed in the paper.
+DEFAULT_NUM_COLORS = 16
+#: Minimum number of distinct colors each V-node must see.
+MIN_COLORS_SEEN = 2
+
+
+def _variable_name(u_node: Hashable) -> Tuple[str, Hashable]:
+    return ("usplit", u_node)
+
+
+def weak_splitting_instance(
+    bipartite: nx.Graph,
+    v_nodes: Sequence[Hashable],
+    num_colors: int = DEFAULT_NUM_COLORS,
+) -> LLLInstance:
+    """Build the relaxed weak-splitting LLL instance.
+
+    Parameters
+    ----------
+    bipartite:
+        The bipartite graph; edges must only connect ``v_nodes`` to the
+        remaining (``U``) side.
+    v_nodes:
+        The constraint side ``V``.  Every ``V``-node needs degree at
+        least 1; degree at least 3 is needed for the exponential
+        criterion (checked downstream, not here).
+    num_colors:
+        The ``U`` palette; 16 in the paper's relaxation.
+    """
+    if num_colors < MIN_COLORS_SEEN:
+        raise ReproError(f"need at least {MIN_COLORS_SEEN} colors")
+    v_set = set(v_nodes)
+    u_set = set(bipartite.nodes()) - v_set
+    for u, v in bipartite.edges():
+        if (u in v_set) == (v in v_set):
+            raise ReproError(
+                f"edge {{{u!r}, {v!r}}} does not cross the bipartition"
+            )
+    for u_node in u_set:
+        if bipartite.degree(u_node) > 3:
+            raise ReproError(
+                f"U-node {u_node!r} has degree {bipartite.degree(u_node)} "
+                f"> 3; the relaxation requires r <= 3"
+            )
+    values = tuple(range(num_colors))
+    variables = {
+        u_node: DiscreteVariable(_variable_name(u_node), values)
+        for u_node in sorted(u_set, key=repr)
+    }
+    events = []
+    for v_node in v_nodes:
+        neighbors = sorted(bipartite.neighbors(v_node), key=repr)
+        if not neighbors:
+            raise ReproError(f"V-node {v_node!r} has no U-neighbors")
+        scope = [variables[u_node] for u_node in neighbors]
+        names = tuple(variable.name for variable in scope)
+
+        def predicate(values_map: Mapping, _names=names) -> bool:
+            seen = {values_map[name] for name in _names}
+            return len(seen) < MIN_COLORS_SEEN
+
+        events.append(BadEvent(v_node, scope, predicate))
+    return LLLInstance(events)
+
+
+def coloring_from_assignment(
+    u_nodes: Sequence[Hashable], assignment: PartialAssignment
+) -> Dict[Hashable, int]:
+    """Extract the ``U``-coloring from a solved instance."""
+    return {
+        u_node: assignment.value_of(_variable_name(u_node))
+        for u_node in u_nodes
+    }
+
+
+def colors_seen(
+    bipartite: nx.Graph,
+    v_node: Hashable,
+    coloring: Mapping[Hashable, int],
+) -> int:
+    """How many distinct colors ``v_node`` sees among its neighbors."""
+    return len({coloring[u_node] for u_node in bipartite.neighbors(v_node)})
+
+
+def satisfies_requirement(
+    bipartite: nx.Graph,
+    v_nodes: Sequence[Hashable],
+    coloring: Mapping[Hashable, int],
+) -> bool:
+    """Whether every ``V``-node sees at least two colors."""
+    return all(
+        colors_seen(bipartite, v_node, coloring) >= MIN_COLORS_SEEN
+        for v_node in v_nodes
+    )
+
+
+def random_splitting_workload(
+    num_v: int, num_u: int, v_degree: int, seed: int
+) -> Tuple[nx.Graph, List[int], List[int]]:
+    """A random bipartite workload with ``U``-degrees at most 3.
+
+    ``V``-nodes are ``0 .. num_v - 1`` with exactly ``v_degree``
+    neighbors each; ``U``-nodes are ``num_v .. num_v + num_u - 1`` and
+    absorb at most three ``V``-neighbors each.  Requires enough ``U``
+    capacity: ``3 * num_u >= v_degree * num_v``.
+    """
+    import random as _random
+
+    if 3 * num_u < v_degree * num_v:
+        raise ReproError(
+            "not enough U capacity: need 3 * num_u >= v_degree * num_v"
+        )
+    rng = _random.Random(seed)
+    graph = nx.Graph()
+    v_nodes = list(range(num_v))
+    u_nodes = list(range(num_v, num_v + num_u))
+    graph.add_nodes_from(v_nodes)
+    graph.add_nodes_from(u_nodes)
+    capacity = {u_node: 3 for u_node in u_nodes}
+    for v_node in v_nodes:
+        available = [
+            u_node
+            for u_node in u_nodes
+            if capacity[u_node] > 0 and not graph.has_edge(v_node, u_node)
+        ]
+        if len(available) < v_degree:
+            raise ReproError(
+                f"V-node {v_node} cannot find {v_degree} distinct U-nodes"
+            )
+        chosen = rng.sample(available, v_degree)
+        for u_node in chosen:
+            graph.add_edge(v_node, u_node)
+            capacity[u_node] -= 1
+    used_u = [u_node for u_node in u_nodes if graph.degree(u_node) > 0]
+    isolated = [u_node for u_node in u_nodes if graph.degree(u_node) == 0]
+    graph.remove_nodes_from(isolated)
+    return graph, v_nodes, used_u

@@ -1,0 +1,25 @@
+"""Baseline algorithms (S10): Moser-Tardos, exhaustive search, sampling."""
+
+from repro.baselines.moser_tardos import (
+    MoserTardosResult,
+    distributed_moser_tardos,
+    sequential_moser_tardos,
+)
+from repro.baselines.search import (
+    SamplingResult,
+    avoidance_probability,
+    count_avoiding_assignments,
+    exhaustive_search,
+    rejection_sampling,
+)
+
+__all__ = [
+    "MoserTardosResult",
+    "SamplingResult",
+    "avoidance_probability",
+    "count_avoiding_assignments",
+    "distributed_moser_tardos",
+    "exhaustive_search",
+    "rejection_sampling",
+    "sequential_moser_tardos",
+]

@@ -1,0 +1,85 @@
+"""Non-LLL baselines: exhaustive search and rejection sampling.
+
+:func:`exhaustive_search` is the ground-truth oracle for tiny instances —
+tests use it to confirm that the deterministic fixers find assignments
+exactly when one exists.  :func:`rejection_sampling` is the naive
+randomized baseline (draw until all events are avoided); its success
+probability decays with the number of events, which is precisely the
+weakness the Local Lemma circumvents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AlgorithmFailedError
+from repro.lll.instance import LLLInstance
+from repro.probability import PartialAssignment
+
+
+def exhaustive_search(instance: LLLInstance) -> Optional[PartialAssignment]:
+    """The first (in enumeration order) assignment avoiding all bad events.
+
+    Returns ``None`` when no avoiding assignment exists.  Exponential in
+    the number of variables; guarded by the product-space enumeration
+    limit.
+    """
+    for assignment, _mass in instance.space.enumerate_assignments():
+        if not instance.occurring_events(assignment):
+            return assignment
+    return None
+
+
+def count_avoiding_assignments(instance: LLLInstance) -> int:
+    """The number of assignments avoiding all bad events (tiny instances)."""
+    count = 0
+    for assignment, _mass in instance.space.enumerate_assignments():
+        if not instance.occurring_events(assignment):
+            count += 1
+    return count
+
+
+def avoidance_probability(instance: LLLInstance) -> float:
+    """Exact probability that a random assignment avoids all bad events.
+
+    The LLL guarantees this is positive under its criterion; benches use
+    it to show how small the naive success probability is compared to the
+    deterministic fixers' certainty.
+    """
+    return instance.space.probability(
+        lambda assignment: not instance.occurring_events(assignment)
+    )
+
+
+@dataclass
+class SamplingResult:
+    """Outcome of rejection sampling."""
+
+    #: The avoiding assignment found.
+    assignment: PartialAssignment
+    #: Number of complete samples drawn (including the successful one).
+    attempts: int
+
+
+def rejection_sampling(
+    instance: LLLInstance,
+    seed: int,
+    max_attempts: int = 100_000,
+) -> SamplingResult:
+    """Resample the whole space until no bad event occurs.
+
+    Raises
+    ------
+    AlgorithmFailedError
+        If ``max_attempts`` samples all fail.
+    """
+    rng = random.Random(seed)
+    for attempt in range(1, max_attempts + 1):
+        assignment = instance.space.sample(rng)
+        if not instance.occurring_events(assignment):
+            return SamplingResult(assignment=assignment, attempts=attempt)
+    raise AlgorithmFailedError(
+        f"rejection sampling failed {max_attempts} times"
+    )

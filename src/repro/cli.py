@@ -1,0 +1,280 @@
+"""Command-line interface: quick demos and instance solving.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro info                      # paper + library summary
+    python -m repro solve --family cycle --n 24 --alphabet 3
+    python -m repro solve --family triples --n 18 --alphabet 5 --distributed
+    python -m repro threshold --n 32          # the phase-shift demo
+    python -m repro logstar 1000000           # evaluate log*
+
+The CLI intentionally exposes only the curated workload families of
+:mod:`repro.generators`; programmatic users should build instances
+directly against the library API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis import format_table, log_star
+from repro.core import solve, solve_distributed, solve_distributed_local
+from repro.errors import CriterionViolationError, ReproError
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.lll import verify_solution
+
+FAMILIES = ("cycle", "regular", "torus", "triples")
+
+
+def _build_instance(args):
+    if args.family == "cycle":
+        return all_zero_edge_instance(cycle_graph(args.n), args.alphabet)
+    if args.family == "regular":
+        return all_zero_edge_instance(
+            random_regular_graph(args.n, args.degree, seed=args.seed),
+            args.alphabet,
+        )
+    if args.family == "torus":
+        side = max(int(round(args.n**0.5)), 3)
+        return all_zero_edge_instance(torus_graph(side, side), args.alphabet)
+    if args.family == "triples":
+        return all_zero_triple_instance(
+            args.n, cyclic_triples(args.n), args.alphabet
+        )
+    raise ReproError(f"unknown family {args.family!r}")
+
+
+def _command_info(args) -> int:
+    print(f"repro {__version__}")
+    print(
+        "Reproduction of Brandt, Maus & Uitto, 'A Sharp Threshold "
+        "Phenomenon for the\nDistributed Complexity of the Lovász Local "
+        "Lemma' (PODC 2019)."
+    )
+    print()
+    rows = [
+        {"claim": "Theorem 1.1 (rank 2)", "api": "repro.core.solve_rank2"},
+        {"claim": "Theorem 1.3 (rank 3)", "api": "repro.core.solve_rank3"},
+        {"claim": "Corollary 1.2/1.4", "api": "repro.core.solve_distributed"},
+        {
+            "claim": "message-level protocol",
+            "api": "repro.core.solve_distributed_local",
+        },
+        {
+            "claim": "naive rank-r (Sec. 1)",
+            "api": "repro.core.solve_naive",
+        },
+        {"claim": "Moser-Tardos baselines", "api": "repro.baselines"},
+        {"claim": "applications", "api": "repro.applications"},
+    ]
+    print(format_table(rows))
+    if getattr(args, "landscape", False):
+        from repro.analysis import landscape_rows
+
+        print()
+        print(
+            format_table(
+                landscape_rows(),
+                title="The distributed-LLL complexity landscape "
+                "(as surveyed by the paper)",
+            )
+        )
+    return 0
+
+
+def _command_solve(args) -> int:
+    instance = _build_instance(args)
+    summary = instance.summary()
+    print(
+        f"instance: {summary['num_events']} events, "
+        f"{summary['num_variables']} variables, rank {summary['rank']}, "
+        f"p = {summary['p']:.6g}, d = {summary['d']}, "
+        f"p*2^d = {summary['p_times_2^d']:.4g}"
+    )
+    try:
+        if args.protocol:
+            result = solve_distributed_local(instance)
+        elif args.distributed:
+            result = solve_distributed(instance)
+        else:
+            result = solve(instance)
+    except CriterionViolationError as error:
+        print(f"REJECTED: {error}")
+        return 1
+    if args.distributed or args.protocol:
+        print(
+            f"solved in {result.total_rounds} LOCAL rounds "
+            f"({result.coloring_rounds} coloring + "
+            f"{result.schedule_rounds} schedule)"
+        )
+        assignment = result.assignment
+    else:
+        print(f"solved sequentially in {result.num_steps} fixing steps")
+        assignment = result.assignment
+    ok = verify_solution(instance, assignment).ok
+    print(f"verification: {'all bad events avoided' if ok else 'FAILED'}")
+    return 0 if ok else 2
+
+
+def _command_threshold(args) -> int:
+    from repro.applications import (
+        relaxed_sinkless_instance,
+        sinkless_orientation_instance,
+    )
+    from repro.baselines import distributed_moser_tardos
+
+    graph = random_regular_graph(args.n, 3, seed=args.seed)
+    at = sinkless_orientation_instance(graph)
+    print(f"AT the threshold (sinkless orientation, p = 2^-3):")
+    try:
+        solve(at)
+        print("  unexpectedly accepted?!")
+    except CriterionViolationError:
+        print("  deterministic fixer: rejected (as the paper proves)")
+    mt = distributed_moser_tardos(at, seed=args.seed)
+    print(f"  distributed Moser-Tardos: {mt.rounds} rounds")
+    below = relaxed_sinkless_instance(graph, labels=3)
+    result = solve_distributed(below)
+    print(f"BELOW the threshold (3 labels, p = 3^-3):")
+    print(f"  deterministic: {result.total_rounds} LOCAL rounds")
+    return 0
+
+
+def _command_logstar(args) -> int:
+    print(log_star(args.value))
+    return 0
+
+
+def _command_report(args) -> int:
+    from repro.analysis import load_results, render_report
+
+    artifacts = load_results(args.results_dir)
+    print(render_report(artifacts, args.experiments or None))
+    return 0
+
+
+def _command_surface(args) -> int:
+    from repro.analysis import render_surface_ascii, surface_to_csv
+
+    if args.csv:
+        count = surface_to_csv(args.csv, resolution=args.resolution)
+        print(f"wrote {count} samples of f(a, b) to {args.csv}")
+    else:
+        print(render_surface_ascii(width=args.width, height=args.height))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deterministic distributed LLL below the exponential "
+        "threshold (Brandt-Maus-Uitto, PODC 2019).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info_parser = commands.add_parser(
+        "info", help="library and paper summary"
+    )
+    info_parser.add_argument(
+        "--landscape", action="store_true",
+        help="also print the complexity-landscape survey",
+    )
+
+    solve_parser = commands.add_parser(
+        "solve", help="solve a generated workload"
+    )
+    solve_parser.add_argument(
+        "--family", choices=FAMILIES, default="cycle",
+        help="workload family",
+    )
+    solve_parser.add_argument("--n", type=int, default=24, help="size")
+    solve_parser.add_argument(
+        "--alphabet", type=int, default=3, help="values per variable"
+    )
+    solve_parser.add_argument(
+        "--degree", type=int, default=4, help="degree (regular family)"
+    )
+    solve_parser.add_argument("--seed", type=int, default=0)
+    solve_parser.add_argument(
+        "--distributed", action="store_true",
+        help="run the scheduled distributed algorithm",
+    )
+    solve_parser.add_argument(
+        "--protocol", action="store_true",
+        help="run the message-level LOCAL protocol",
+    )
+
+    threshold_parser = commands.add_parser(
+        "threshold", help="demonstrate the phase shift"
+    )
+    threshold_parser.add_argument("--n", type=int, default=24)
+    threshold_parser.add_argument("--seed", type=int, default=0)
+
+    logstar_parser = commands.add_parser(
+        "logstar", help="evaluate log*(value)"
+    )
+    logstar_parser.add_argument("value", type=float)
+
+    report_parser = commands.add_parser(
+        "report", help="render the benchmark artifacts as one report"
+    )
+    report_parser.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory of <ID>.json artifacts",
+    )
+    report_parser.add_argument(
+        "--experiments", nargs="*",
+        help="restrict to these experiment ids",
+    )
+
+    surface_parser = commands.add_parser(
+        "surface", help="render or export the Figure-1 surface f(a, b)"
+    )
+    surface_parser.add_argument(
+        "--csv", help="write samples to this CSV file instead of rendering"
+    )
+    surface_parser.add_argument("--resolution", type=int, default=40)
+    surface_parser.add_argument("--width", type=int, default=48)
+    surface_parser.add_argument("--height", type=int, default=24)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _command_info,
+        "solve": _command_solve,
+        "threshold": _command_threshold,
+        "logstar": _command_logstar,
+        "report": _command_report,
+        "surface": _command_surface,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `head`) closed the pipe: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

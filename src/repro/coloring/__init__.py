@@ -1,0 +1,82 @@
+"""Deterministic distributed coloring (substrate S8).
+
+Linial-style iterated color reduction in ``O(log* n)`` rounds
+(:mod:`repro.coloring.linial`), greedy class elimination
+(:mod:`repro.coloring.reduction`), and the derived pipelines the fixers
+schedule with: ``(d+1)``-vertex coloring, ``(2d-1)``-edge coloring and
+``(d^2+1)``-color 2-hop coloring (:mod:`repro.coloring.vertex`,
+:mod:`repro.coloring.derived`).
+"""
+
+from repro.coloring.cole_vishkin import (
+    ColeVishkinAlgorithm,
+    compute_cole_vishkin_coloring,
+    cv_reduce,
+    cv_rounds_needed,
+    cycle_parents,
+)
+from repro.coloring.derived import (
+    EdgeColoringResult,
+    TwoHopColoringResult,
+    VIRTUAL_ROUND_FACTOR,
+    compute_edge_coloring,
+    compute_two_hop_coloring,
+)
+from repro.coloring.linial import (
+    LinialColoringAlgorithm,
+    fixpoint_palette,
+    reduce_color,
+    reduction_parameters,
+    reduction_schedule,
+)
+from repro.coloring.primes import (
+    integer_nth_root_ceil,
+    is_prime,
+    smallest_prime_at_least,
+)
+from repro.coloring.reduction import (
+    GreedyColorReductionAlgorithm,
+    KWColorReductionAlgorithm,
+    kw_phase_schedule,
+)
+from repro.coloring.validate import (
+    is_proper_edge_coloring,
+    is_proper_vertex_coloring,
+    is_two_hop_coloring,
+    require_proper_edge_coloring,
+    require_proper_vertex_coloring,
+    require_two_hop_coloring,
+)
+from repro.coloring.vertex import ColoringResult, compute_vertex_coloring
+
+__all__ = [
+    "ColeVishkinAlgorithm",
+    "ColoringResult",
+    "compute_cole_vishkin_coloring",
+    "cv_reduce",
+    "cv_rounds_needed",
+    "cycle_parents",
+    "EdgeColoringResult",
+    "GreedyColorReductionAlgorithm",
+    "KWColorReductionAlgorithm",
+    "kw_phase_schedule",
+    "LinialColoringAlgorithm",
+    "TwoHopColoringResult",
+    "VIRTUAL_ROUND_FACTOR",
+    "compute_edge_coloring",
+    "compute_two_hop_coloring",
+    "compute_vertex_coloring",
+    "fixpoint_palette",
+    "integer_nth_root_ceil",
+    "is_prime",
+    "is_proper_edge_coloring",
+    "is_proper_vertex_coloring",
+    "is_two_hop_coloring",
+    "reduce_color",
+    "reduction_parameters",
+    "reduction_schedule",
+    "require_proper_edge_coloring",
+    "require_proper_vertex_coloring",
+    "require_two_hop_coloring",
+    "smallest_prime_at_least",
+]

@@ -1,0 +1,188 @@
+"""Linial-style iterated color reduction in ``O(log* n)`` rounds.
+
+One reduction round shrinks a proper ``m``-coloring of a graph with
+maximum degree ``d`` to a proper ``q^2``-coloring, where ``q`` is a prime
+chosen so that ``q >= d*k + 1`` and ``q^(k+1) >= m`` for some degree bound
+``k``.  A node's color is read as the coefficient vector of a polynomial
+of degree at most ``k`` over GF(q); distinct colors give distinct
+polynomials, two distinct degree-``<=k`` polynomials agree on at most
+``k`` points, so among the ``q > d*k`` evaluation points some ``x``
+distinguishes a node's polynomial from all ``<= d`` neighbors'.  The pair
+``(x, p(x))`` is the new color.
+
+Iterating from the identifier space ``m = N`` reaches a fixpoint palette
+of size ``O(d^2)`` after ``O(log* N)`` rounds — this reproduces the
+symmetry-breaking substrate that the paper's Corollaries 1.2 and 1.4 cite
+([PR01], [FHK16]) with the same ``log* n`` round shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import ColoringError
+from repro.coloring.primes import integer_nth_root_ceil, smallest_prime_at_least
+from repro.local_model.algorithm import LocalAlgorithm, NodeState
+
+#: Cap on the polynomial degree considered when picking parameters; the
+#: palette shrinks so fast that tiny degrees always win, but the search is
+#: cheap and a bound keeps it obviously finite.
+_MAX_POLY_DEGREE = 64
+
+
+def reduction_parameters(m: int, d: int) -> Optional[Tuple[int, int]]:
+    """The ``(q, k)`` minimising the next palette size ``q^2``.
+
+    Returns ``None`` when no choice makes progress (``q^2 < m``), i.e.
+    the iteration has reached its fixpoint.
+    """
+    if m < 2:
+        return None
+    d = max(d, 1)
+    best: Optional[Tuple[int, int]] = None
+    best_size = m  # require strict progress
+    for k in range(1, _MAX_POLY_DEGREE + 1):
+        lower = max(d * k + 1, integer_nth_root_ceil(m, k + 1))
+        q = smallest_prime_at_least(lower)
+        size = q * q
+        if size < best_size:
+            best_size = size
+            best = (q, k)
+        if d * k + 1 > best_size:
+            break
+    return best
+
+
+def fixpoint_palette(m: int, d: int) -> int:
+    """The palette size at which :func:`reduction_parameters` stalls."""
+    while True:
+        parameters = reduction_parameters(m, d)
+        if parameters is None:
+            return m
+        q, _k = parameters
+        m = q * q
+
+
+def reduction_schedule(m: int, d: int) -> List[Tuple[int, int, int]]:
+    """The deterministic sequence of reductions from palette ``m``.
+
+    Returns a list of ``(m_before, q, k)`` rows; its length is the number
+    of communication rounds the Linial phase needs (``O(log* m)``).
+    """
+    schedule = []
+    while True:
+        parameters = reduction_parameters(m, d)
+        if parameters is None:
+            return schedule
+        q, k = parameters
+        schedule.append((m, q, k))
+        m = q * q
+
+
+def _polynomial_coefficients(color: int, q: int, k: int) -> List[int]:
+    """The base-``q`` digits of ``color`` as ``k + 1`` coefficients."""
+    coefficients = []
+    for _ in range(k + 1):
+        coefficients.append(color % q)
+        color //= q
+    if color != 0:
+        raise ColoringError(
+            f"color does not fit in {k + 1} base-{q} digits"
+        )
+    return coefficients
+
+
+def _evaluate(coefficients: List[int], x: int, q: int) -> int:
+    """Evaluate the polynomial at ``x`` over GF(q) (Horner)."""
+    value = 0
+    for coefficient in reversed(coefficients):
+        value = (value * x + coefficient) % q
+    return value
+
+
+def reduce_color(
+    color: int, neighbor_colors: Iterable[int], m: int, q: int, k: int
+) -> int:
+    """One node's Linial reduction step: old color -> new color in ``[q^2]``.
+
+    Raises
+    ------
+    ColoringError
+        If no distinguishing evaluation point exists — impossible for a
+        proper coloring with ``q > d*k``, so this signals an improper
+        input coloring.
+    """
+    if color < 0 or color >= m:
+        raise ColoringError(f"color {color} outside palette [0, {m})")
+    neighbor_list = list(neighbor_colors)
+    if any(c == color for c in neighbor_list):
+        raise ColoringError("a neighbor shares this node's color")
+    own = _polynomial_coefficients(color, q, k)
+    others = [_polynomial_coefficients(c, q, k) for c in neighbor_list]
+    for x in range(q):
+        value = _evaluate(own, x, q)
+        if all(_evaluate(other, x, q) != value for other in others):
+            return x * q + value
+    raise ColoringError(
+        f"no distinguishing point found (q={q}, k={k}, "
+        f"{len(others)} neighbors) — input coloring was not proper"
+    )
+
+
+class LinialColoringAlgorithm(LocalAlgorithm):
+    """LOCAL algorithm: iterate the reduction until the fixpoint palette.
+
+    Node input: the initial color (defaults to the node identifier).  The
+    palette evolution is deterministic and globally known, so all nodes
+    follow the same schedule and halt together after ``len(schedule)``
+    rounds, outputting their final color.
+
+    Parameters
+    ----------
+    identifier_space:
+        Strict upper bound on initial colors (e.g. ``max id + 1``).
+    degree_bound:
+        Maximum degree ``d`` of the network.
+    """
+
+    def __init__(self, identifier_space: int, degree_bound: int) -> None:
+        if identifier_space < 1:
+            raise ColoringError("identifier_space must be positive")
+        self._schedule = reduction_schedule(identifier_space, degree_bound)
+
+    @property
+    def schedule(self) -> List[Tuple[int, int, int]]:
+        """The ``(m, q, k)`` reduction schedule this instance follows."""
+        return list(self._schedule)
+
+    @property
+    def final_palette(self) -> int:
+        """Palette size after the last scheduled reduction."""
+        if not self._schedule:
+            return 0
+        m, q, _k = self._schedule[-1]
+        return q * q
+
+    def initialize(self, node: NodeState) -> None:
+        color = node.input if node.input is not None else node.identifier
+        if not isinstance(color, int) or color < 0:
+            raise ColoringError(
+                f"node {node.identifier!r} needs a non-negative integer "
+                f"initial color"
+            )
+        node.memory["color"] = color
+        if not self._schedule:
+            node.halt_with(color)
+
+    def send(self, node: NodeState, round_number: int) -> Dict[Hashable, int]:
+        color = node.memory["color"]
+        return {neighbor: color for neighbor in node.neighbors}
+
+    def receive(self, node: NodeState, messages, round_number: int) -> None:
+        m, q, k = self._schedule[round_number - 1]
+        neighbor_colors = [c for c in messages.values() if c is not None]
+        node.memory["color"] = reduce_color(
+            node.memory["color"], neighbor_colors, m, q, k
+        )
+        if round_number == len(self._schedule):
+            node.halt_with(node.memory["color"])

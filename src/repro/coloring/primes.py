@@ -1,0 +1,54 @@
+"""Small number-theory helpers for the Linial color reduction.
+
+The polynomial set-family construction evaluates polynomials over a prime
+field GF(q); these routines find suitable primes and integer roots without
+floating-point hazards.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ColoringError
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality test (fine for small n)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def smallest_prime_at_least(n: int) -> int:
+    """The smallest prime ``>= n``."""
+    if n < 2:
+        return 2
+    candidate = n
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def integer_nth_root_ceil(value: int, n: int) -> int:
+    """The smallest integer ``r`` with ``r**n >= value`` (exact arithmetic)."""
+    if value <= 0:
+        raise ColoringError("value must be positive")
+    if n < 1:
+        raise ColoringError("n must be at least 1")
+    if value == 1:
+        return 1
+    low, high = 1, value
+    while low < high:
+        mid = (low + high) // 2
+        if mid**n >= value:
+            high = mid
+        else:
+            low = mid + 1
+    return low

@@ -1,0 +1,78 @@
+"""Independent validity checks for colorings.
+
+These checkers never trust the algorithms that produced a coloring; the
+test suite and the distributed fixers re-validate every coloring before
+using it as a schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+import networkx as nx
+
+from repro.errors import ColoringError
+
+
+def is_proper_vertex_coloring(graph: nx.Graph, colors: Mapping) -> bool:
+    """Whether adjacent nodes always have distinct colors."""
+    missing = [node for node in graph.nodes() if node not in colors]
+    if missing:
+        return False
+    return all(colors[u] != colors[v] for u, v in graph.edges())
+
+
+def is_proper_edge_coloring(graph: nx.Graph, colors: Mapping) -> bool:
+    """Whether edges sharing an endpoint always have distinct colors.
+
+    ``colors`` is keyed by ``(min(u, v), max(u, v))`` tuples.
+    """
+    for u, v in graph.edges():
+        if (min(u, v), max(u, v)) not in colors:
+            return False
+    for node in graph.nodes():
+        seen = set()
+        for neighbor in graph.neighbors(node):
+            key = (min(node, neighbor), max(node, neighbor))
+            color = colors[key]
+            if color in seen:
+                return False
+            seen.add(color)
+    return True
+
+
+def is_two_hop_coloring(graph: nx.Graph, colors: Mapping) -> bool:
+    """Whether nodes within distance two always have distinct colors."""
+    if not is_proper_vertex_coloring(graph, colors):
+        return False
+    for node in graph.nodes():
+        seen: Dict[int, Hashable] = {}
+        for neighbor in graph.neighbors(node):
+            color = colors[neighbor]
+            if color in seen and seen[color] != neighbor:
+                return False
+            seen[color] = neighbor
+        # Distance-2 pairs through this node: all neighbors are pairwise
+        # within distance two, which the loop above already enforces via
+        # distinct colors; also the node itself vs. its neighbors.
+        if colors[node] in seen:
+            return False
+    return True
+
+
+def require_proper_vertex_coloring(graph: nx.Graph, colors: Mapping) -> None:
+    """Raise :class:`ColoringError` unless the vertex coloring is proper."""
+    if not is_proper_vertex_coloring(graph, colors):
+        raise ColoringError("vertex coloring is not proper")
+
+
+def require_proper_edge_coloring(graph: nx.Graph, colors: Mapping) -> None:
+    """Raise :class:`ColoringError` unless the edge coloring is proper."""
+    if not is_proper_edge_coloring(graph, colors):
+        raise ColoringError("edge coloring is not proper")
+
+
+def require_two_hop_coloring(graph: nx.Graph, colors: Mapping) -> None:
+    """Raise :class:`ColoringError` unless the coloring is 2-hop proper."""
+    if not is_two_hop_coloring(graph, colors):
+        raise ColoringError("coloring is not a proper 2-hop coloring")

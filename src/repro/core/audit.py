@@ -1,0 +1,177 @@
+"""Independent auditing of fixing traces.
+
+A :class:`repro.core.results.FixingResult` records which variable was
+fixed to which value, in which order.  :func:`audit_trace` replays that
+trace against a *fresh* copy of the bookkeeping — recomputing every
+``Inc`` ratio from the exact probability engine and re-deriving the
+P*/budget updates for the recorded values — and certifies that
+
+1. every recorded choice was admissible at its point in the trace
+   (the weighted budget, or membership of the scaled triple in
+   ``S_rep``), and
+2. the trace ends with every variable fixed and every certified bound
+   below 1.
+
+This is the reproduction's equivalent of proof-checking a run: the
+auditor shares no state with the fixer that produced the trace, so a
+bookkeeping bug in either one surfaces as a discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.errors import NotRepresentableError, PStarViolationError
+from repro.geometry import decompose_triple, representability_margin
+from repro.lll.instance import LLLInstance
+from repro.core.pstar import PStarState
+from repro.core.results import FixingResult
+from repro.probability import PartialAssignment
+
+#: Tolerance for re-derived admissibility checks.
+AUDIT_TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of replaying a fixing trace."""
+
+    #: Whether every step was admissible and the final state certifies.
+    ok: bool
+    #: Number of steps replayed.
+    steps: int
+    #: Human-readable descriptions of any discrepancies found.
+    problems: Tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def audit_trace(instance: LLLInstance, result: FixingResult) -> AuditReport:
+    """Replay a fixing trace and re-certify every step.
+
+    Supports instances of rank at most 3 (the paper's regime).  The
+    audit is read-only with respect to its inputs.
+    """
+    problems: List[str] = []
+    assignment = PartialAssignment()
+    pstar = PStarState(instance)
+    seen: set = set()
+
+    for index, step in enumerate(result.steps):
+        label = f"step {index} ({step.variable!r})"
+        if step.variable in seen:
+            problems.append(f"{label}: variable fixed twice")
+            continue
+        seen.add(step.variable)
+        try:
+            variable = instance.variable(step.variable)
+        except Exception:
+            problems.append(f"{label}: unknown variable")
+            continue
+        if step.value not in variable:
+            problems.append(f"{label}: value {step.value!r} out of support")
+            continue
+        events = instance.events_of_variable(step.variable)
+        increases = [
+            event.conditional_increase(assignment, variable, step.value)
+            for event in events
+        ]
+        # Cross-check the recorded increases.
+        if len(increases) == len(step.increases):
+            for recorded, rederived in zip(step.increases, increases):
+                if abs(recorded - rederived) > AUDIT_TOLERANCE:
+                    problems.append(
+                        f"{label}: recorded Inc {recorded} differs from "
+                        f"re-derived {rederived}"
+                    )
+        else:
+            problems.append(
+                f"{label}: records {len(step.increases)} increases for "
+                f"{len(events)} events"
+            )
+
+        if len(events) == 1:
+            if increases[0] > 1.0 + AUDIT_TOLERANCE:
+                problems.append(
+                    f"{label}: rank-1 increase {increases[0]} exceeds 1"
+                )
+        elif len(events) == 2:
+            u, v = events[0].name, events[1].name
+            weight_u = pstar.value(u, v, u)
+            weight_v = pstar.value(u, v, v)
+            total = weight_u * increases[0] + weight_v * increases[1]
+            if total > 2.0 + AUDIT_TOLERANCE:
+                problems.append(
+                    f"{label}: weighted pair increase {total} exceeds 2"
+                )
+            else:
+                pstar.set_edge(
+                    u, v, weight_u * increases[0], weight_v * increases[1]
+                )
+        else:
+            u, v, w = (event.name for event in events)
+            a = pstar.value(u, v, u) * pstar.value(u, w, u)
+            b = pstar.value(u, v, v) * pstar.value(v, w, v)
+            c = pstar.value(u, w, w) * pstar.value(v, w, w)
+            candidate = (increases[0] * a, increases[1] * b, increases[2] * c)
+            margin = representability_margin(*candidate)
+            if margin < -AUDIT_TOLERANCE:
+                problems.append(
+                    f"{label}: scaled triple {candidate} is outside S_rep "
+                    f"(margin {margin:.3g})"
+                )
+            else:
+                try:
+                    decomposition = decompose_triple(
+                        *candidate,
+                        tolerance=max(AUDIT_TOLERANCE, -margin + 1e-12),
+                    )
+                except NotRepresentableError:
+                    problems.append(
+                        f"{label}: triple {candidate} failed to decompose"
+                    )
+                    continue
+                try:
+                    pstar.set_edge(
+                        u, v, decomposition.a1, decomposition.b1
+                    )
+                    pstar.set_edge(
+                        u, w, decomposition.a2, decomposition.c2
+                    )
+                    pstar.set_edge(
+                        v, w, decomposition.b3, decomposition.c3
+                    )
+                except PStarViolationError as error:
+                    problems.append(f"{label}: {error}")
+                    continue
+        assignment.fix(variable, step.value)
+
+    # Final-state checks.
+    unfixed = [
+        variable.name
+        for variable in instance.variables
+        if not assignment.is_fixed(variable.name)
+    ]
+    if unfixed:
+        problems.append(f"trace leaves {len(unfixed)} variables unfixed")
+    else:
+        for variable in instance.variables:
+            recorded = result.assignment.get(variable.name)
+            replayed = assignment.value_of(variable.name)
+            if recorded != replayed:
+                problems.append(
+                    f"final assignment mismatch on {variable.name!r}: "
+                    f"{recorded!r} vs {replayed!r}"
+                )
+                break
+        occurring = instance.occurring_events(assignment)
+        if occurring:
+            problems.append(
+                f"{len(occurring)} bad events occur under the replayed "
+                f"assignment"
+            )
+    return AuditReport(
+        ok=not problems, steps=len(result.steps), problems=tuple(problems)
+    )

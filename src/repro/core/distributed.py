@@ -1,0 +1,273 @@
+"""Distributed LLL algorithms (Corollary 1.2 and Corollary 1.4).
+
+Both algorithms have the same two-phase shape:
+
+1. **Symmetry breaking.**  Corollary 1.2 edge-colors the dependency graph
+   with ``2d - 1`` colors; Corollary 1.4 computes a 2-hop vertex coloring
+   with ``d^2 + 1`` colors.  Both run as honest LOCAL simulations
+   (:mod:`repro.coloring`) whose round counts are ``O(poly d + log* n)``.
+
+2. **Scheduled fixing.**  The color classes are processed one per
+   communication round.  In an edge class, the variables of each edge of
+   that color are fixed by its endpoints; in a 2-hop class, every node of
+   that color fixes all its still-unfixed variables.  Because same-color
+   edges share no endpoint (resp. same-color nodes are at distance at
+   least 3), no two simultaneous fixings touch a common event, so the
+   parallel execution is equivalent to *some* sequential order — and
+   Theorems 1.1/1.3 hold for every order.
+
+The fixing decisions themselves are purely local (they read the 1-hop
+bookkeeping and the fixed values in the events' scopes), so the simulator
+executes them through the sequential fixers in schedule order and asserts
+the disjointness that makes this faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import SimulationError
+from repro.coloring import (
+    compute_edge_coloring,
+    compute_two_hop_coloring,
+    require_proper_edge_coloring,
+    require_two_hop_coloring,
+)
+from repro.core.rank2 import Rank2Fixer
+from repro.core.rank3 import Rank3Fixer
+from repro.core.results import FixingResult
+from repro.lll.instance import LLLInstance
+from repro.local_model.network import Network
+
+
+@dataclass
+class DistributedResult:
+    """Outcome and round accounting of a distributed LLL run."""
+
+    #: Result of the underlying fixing process (assignment + trace).
+    fixing: FixingResult
+    #: LOCAL rounds spent computing the coloring (host-graph rounds).
+    coloring_rounds: int
+    #: LOCAL rounds spent iterating the color classes.
+    schedule_rounds: int
+    #: Size of the coloring palette (= number of schedule rounds budgeted).
+    palette: int
+
+    @property
+    def total_rounds(self) -> int:
+        """Total LOCAL rounds of the algorithm."""
+        return self.coloring_rounds + self.schedule_rounds
+
+    @property
+    def assignment(self):
+        """The computed variable assignment."""
+        return self.fixing.assignment
+
+
+def _indexed_dependency_network(
+    instance: LLLInstance,
+) -> Tuple[Network, Dict[Hashable, int], Dict[int, Hashable]]:
+    """The dependency graph as a network with integer identifiers.
+
+    Event names may be arbitrary hashables; LOCAL identifiers must be
+    integers, so events are indexed in sorted-repr order.
+    """
+    graph = instance.dependency_graph
+    ordered = sorted(graph.nodes(), key=repr)
+    to_index = {name: i for i, name in enumerate(ordered)}
+    from_index = {i: name for name, i in to_index.items()}
+    relabeled = nx.relabel_nodes(graph, to_index, copy=True)
+    return Network(relabeled), to_index, from_index
+
+
+def _assert_round_disjoint(
+    instance: LLLInstance, round_variables: Sequence[Hashable]
+) -> None:
+    """Check that simultaneously-fixed variables share no event."""
+    touched: Set[Hashable] = set()
+    for name in round_variables:
+        events = {event.name for event in instance.events_of_variable(name)}
+        overlap = touched & events
+        if overlap:
+            raise SimulationError(
+                f"schedule conflict: variable {name!r} touches events "
+                f"{sorted(map(repr, overlap))} already touched this round"
+            )
+        touched.update(events)
+
+
+def solve_distributed_rank2(
+    instance: LLLInstance,
+    require_criterion: bool = True,
+    validate_invariant: bool = False,
+) -> DistributedResult:
+    """Corollary 1.2: the ``O(d + log* n)``-schedule distributed algorithm.
+
+    Edge-colors the dependency graph, then fixes one edge color class per
+    round (rank-1 variables go in one initial round, since variables of
+    distinct events cannot conflict).
+    """
+    fixer = Rank2Fixer(
+        instance,
+        require_criterion=require_criterion,
+        validate_invariant=validate_invariant,
+    )
+    network, to_index, _from_index = _indexed_dependency_network(instance)
+
+    # Group variables: singles by host event, pairs by dependency edge.
+    singles: List[Hashable] = []
+    by_edge: Dict[Tuple[int, int], List[Hashable]] = {}
+    for variable in instance.variables:
+        events = instance.events_of_variable(variable.name)
+        if len(events) == 1:
+            singles.append(variable.name)
+        else:
+            u = to_index[events[0].name]
+            v = to_index[events[1].name]
+            key = (min(u, v), max(u, v))
+            by_edge.setdefault(key, []).append(variable.name)
+
+    if network.graph.number_of_edges() > 0:
+        coloring = compute_edge_coloring(network)
+        require_proper_edge_coloring(network.graph, coloring.colors)
+        palette = coloring.palette
+        coloring_rounds = coloring.host_rounds
+    else:
+        palette = 0
+        coloring_rounds = 0
+        coloring = None
+
+    schedule_rounds = 0
+    if singles:
+        # One round: every event's host node fixes its private variables.
+        schedule_rounds += 1
+        for name in sorted(singles, key=repr):
+            fixer.fix_variable(name)
+    for color in range(palette):
+        schedule_rounds += 1
+        round_variables: List[Hashable] = []
+        for edge_key, names in sorted(by_edge.items()):
+            if coloring.colors.get(edge_key) == color:
+                round_variables.extend(sorted(names, key=repr))
+        # Variables of the same edge are fixed sequentially by the edge's
+        # endpoints within the round; disjointness must hold across edges.
+        distinct_edges: List[Hashable] = []
+        for edge_key, names in sorted(by_edge.items()):
+            if coloring.colors.get(edge_key) == color and names:
+                distinct_edges.append(names[0])
+        _assert_round_disjoint(instance, distinct_edges)
+        for name in round_variables:
+            fixer.fix_variable(name)
+
+    result = fixer.run(order=())
+    return DistributedResult(
+        fixing=result,
+        coloring_rounds=coloring_rounds,
+        schedule_rounds=schedule_rounds,
+        palette=palette,
+    )
+
+
+def solve_distributed_rank3(
+    instance: LLLInstance,
+    require_criterion: bool = True,
+    validate_invariant: bool = False,
+) -> DistributedResult:
+    """Corollary 1.4: the ``O(d^2 + log* n)``-schedule distributed algorithm.
+
+    Computes a 2-hop coloring of the dependency graph with ``d^2 + 1``
+    colors, then iterates the color classes; each active node fixes all
+    its still-unfixed variables in its class's round.
+    """
+    fixer = Rank3Fixer(
+        instance,
+        require_criterion=require_criterion,
+        validate_invariant=validate_invariant,
+    )
+    network, to_index, from_index = _indexed_dependency_network(instance)
+
+    if network.graph.number_of_edges() > 0:
+        coloring = compute_two_hop_coloring(network)
+        require_two_hop_coloring(network.graph, coloring.colors)
+        palette = coloring.palette
+        coloring_rounds = coloring.host_rounds
+        colors = coloring.colors
+    else:
+        palette = 1
+        coloring_rounds = 0
+        colors = {index: 0 for index in from_index}
+
+    # Variables owned by each event node, in deterministic order.
+    variables_of_node: Dict[Hashable, List[Hashable]] = {
+        event.name: [] for event in instance.events
+    }
+    for variable in instance.variables:
+        for event in instance.events_of_variable(variable.name):
+            variables_of_node[event.name].append(variable.name)
+
+    schedule_rounds = 0
+    for color in range(palette):
+        schedule_rounds += 1
+        active_nodes = sorted(
+            (index for index, c in colors.items() if c == color)
+        )
+        batches: List[List[Hashable]] = []
+        for index in active_nodes:
+            event_name = from_index[index]
+            node_batch = [
+                name
+                for name in sorted(variables_of_node[event_name], key=repr)
+                if not fixer.is_fixed(name)
+                and all(name not in batch for batch in batches)
+            ]
+            if node_batch:
+                batches.append(node_batch)
+        # Two active nodes are at distance >= 3, so their batches touch
+        # disjoint event sets; verify rather than trust the coloring.
+        touched: Set[Hashable] = set()
+        for batch in batches:
+            batch_events: Set[Hashable] = set()
+            for name in batch:
+                batch_events.update(
+                    event.name for event in instance.events_of_variable(name)
+                )
+            overlap = touched & batch_events
+            if overlap:
+                raise SimulationError(
+                    f"schedule conflict in color class {color}: events "
+                    f"{sorted(map(repr, overlap))} touched by two nodes"
+                )
+            touched.update(batch_events)
+        for batch in batches:
+            for name in batch:
+                fixer.fix_variable(name)
+
+    result = fixer.run(order=())
+    return DistributedResult(
+        fixing=result,
+        coloring_rounds=coloring_rounds,
+        schedule_rounds=schedule_rounds,
+        palette=palette,
+    )
+
+
+def solve_distributed(
+    instance: LLLInstance,
+    require_criterion: bool = True,
+    validate_invariant: bool = False,
+) -> DistributedResult:
+    """Dispatch to the rank-2 or rank-3 distributed algorithm by rank."""
+    if instance.rank <= 2:
+        return solve_distributed_rank2(
+            instance,
+            require_criterion=require_criterion,
+            validate_invariant=validate_invariant,
+        )
+    return solve_distributed_rank3(
+        instance,
+        require_criterion=require_criterion,
+        validate_invariant=validate_invariant,
+    )

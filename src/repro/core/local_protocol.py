@@ -1,0 +1,376 @@
+"""A message-level LOCAL implementation of the distributed fixing phase.
+
+:mod:`repro.core.distributed` schedules the sequential fixers along a
+coloring and *accounts* rounds; this module goes one level deeper and
+runs the fixing phase as an actual message-passing protocol on the
+simulator — every node holds only its own state, and every piece of
+information it uses provably arrived in a message.
+
+**Protocol.**  Nodes are the events of the instance (2-hop colored with
+palette ``P``); each variable is *owned* by its smallest affected event.
+The schedule takes two rounds per color class ``c``:
+
+* **state round (2c+1):** every node broadcasts everything it knows —
+  the fixed values of variables in its 1-hop view and its versioned
+  ``phi`` ledger entries; receivers merge (higher version wins).
+* **commit round (2c+2):** nodes of color ``c`` fix all their owned,
+  still-unfixed variables *locally* (the selection rules of
+  :mod:`repro.core.selection` read only the merged 1-hop state), bump
+  the versions of the ``phi`` entries they rewrite, and broadcast the
+  updates; receivers merge.
+
+Why two rounds per class suffice: a value fixed by owner ``o`` in class
+``c`` reaches ``o``'s neighbors in the same commit round and, through
+their next state broadcast, every node at distance two by the start of
+class ``c + 1``'s commit — and the 2-hop coloring guarantees that no
+node closer than that decides before then.
+
+This mirrors the proof of Corollary 1.4: the fixing decision of
+Theorem 1.3 depends only on the 1-hop neighborhood, so iterating the
+color classes of a 2-hop coloring yields a legal sequential order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.coloring import compute_two_hop_coloring, require_two_hop_coloring
+from repro.core.distributed import DistributedResult, _indexed_dependency_network
+from repro.core.results import FixingResult, StepRecord
+from repro.core.selection import select_rank1, select_rank2, select_rank3
+from repro.lll.instance import LLLInstance
+from repro.local_model.algorithm import LocalAlgorithm, NodeState
+from repro.local_model.simulator import Simulator
+from repro.probability import PartialAssignment
+
+#: phi ledger key: (sorted edge index pair, side index).
+PhiKey = Tuple[Tuple[int, int], int]
+#: phi ledger entry: (version, value).
+PhiEntry = Tuple[int, float]
+
+
+def _edge_key(i: int, j: int) -> Tuple[int, int]:
+    return (i, j) if i < j else (j, i)
+
+
+class LocalFixingProtocol(LocalAlgorithm):
+    """The two-rounds-per-class fixing protocol (rank <= 3).
+
+    Node input (a dict):
+
+    * ``"color"`` / ``"palette"`` — the node's 2-hop color and the
+      global palette size;
+    * ``"owned"`` — list of ``(variable, event_indices)`` this node
+      coordinates (it is the minimum index in each tuple);
+    * ``"events_by_index"`` — the :class:`BadEvent` objects of the node
+      itself and its neighbors (1-hop knowledge, exchanged in one
+      pre-round that the wrapper accounts for);
+    * ``"incident_edges"`` — dependency edges (index pairs) at the node.
+    """
+
+    def __init__(self, palette: int) -> None:
+        if palette < 1:
+            raise SimulationError("palette must be at least 1")
+        self._palette = palette
+        #: StepRecords from every commit, in global execution order
+        #: (collected for reporting; not visible to the nodes).
+        self.records: List[StepRecord] = []
+
+    @property
+    def rounds_needed(self) -> int:
+        """Two rounds per color class."""
+        return 2 * self._palette
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def initialize(self, node: NodeState) -> None:
+        node.memory["fixed"] = {}
+        phi: Dict[PhiKey, PhiEntry] = {}
+        for edge in node.input["incident_edges"]:
+            for side in edge:
+                phi[(edge, side)] = (0, 1.0)
+        node.memory["phi"] = phi
+
+    def send(self, node: NodeState, round_number: int) -> Dict[Hashable, Any]:
+        if round_number % 2 == 1:
+            # State round: broadcast the full local view.
+            payload = {
+                "kind": "state",
+                "fixed": dict(node.memory["fixed"]),
+                "phi": dict(node.memory["phi"]),
+            }
+            return {neighbor: payload for neighbor in node.neighbors}
+        # Commit round for color class (round_number // 2) - 1.
+        color = round_number // 2 - 1
+        if node.input["color"] != color:
+            return {}
+        updates = self._commit(node)
+        if not updates["fixed"] and not updates["phi"]:
+            return {}
+        payload = {"kind": "commit", **updates}
+        return {neighbor: payload for neighbor in node.neighbors}
+
+    def receive(self, node: NodeState, messages, round_number: int) -> None:
+        for payload in messages.values():
+            if payload is None:
+                continue
+            self._merge_fixed(node, payload["fixed"])
+            self._merge_phi(node, payload["phi"])
+        if round_number == self.rounds_needed:
+            node.halt_with(
+                {
+                    "fixed": dict(node.memory["fixed"]),
+                    "phi": dict(node.memory["phi"]),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Local fixing
+    # ------------------------------------------------------------------
+    def _commit(self, node: NodeState) -> Dict[str, Dict]:
+        """Fix all owned unfixed variables using only local state."""
+        new_fixed: Dict[Hashable, Hashable] = {}
+        new_phi: Dict[PhiKey, PhiEntry] = {}
+        events_by_index = node.input["events_by_index"]
+        for variable, indices in node.input["owned"]:
+            if variable.name in node.memory["fixed"]:
+                continue
+            assignment = PartialAssignment(node.memory["fixed"])
+            events = [events_by_index[index] for index in indices]
+            if len(indices) == 1:
+                choice = select_rank1(variable, events[0], assignment)
+                record = StepRecord(
+                    variable=variable.name,
+                    value=choice.value,
+                    events=tuple(event.name for event in events),
+                    increases=(choice.increase,),
+                    slack=choice.slack,
+                    num_good_values=choice.num_good_values,
+                    num_values=variable.num_values,
+                )
+            elif len(indices) == 2:
+                i, j = indices
+                edge = _edge_key(i, j)
+                weights = (
+                    self._phi_value(node, edge, i),
+                    self._phi_value(node, edge, j),
+                )
+                choice = select_rank2(variable, events, weights, assignment)
+                self._stage_phi(node, new_phi, edge, i, choice.new_weights[0])
+                self._stage_phi(node, new_phi, edge, j, choice.new_weights[1])
+                record = StepRecord(
+                    variable=variable.name,
+                    value=choice.value,
+                    events=tuple(event.name for event in events),
+                    increases=choice.increases,
+                    slack=choice.slack,
+                    num_good_values=choice.num_good_values,
+                    num_values=variable.num_values,
+                )
+            else:
+                i, j, k = indices
+                edge_ij = _edge_key(i, j)
+                edge_ik = _edge_key(i, k)
+                edge_jk = _edge_key(j, k)
+                triple = (
+                    self._phi_value(node, edge_ij, i)
+                    * self._phi_value(node, edge_ik, i),
+                    self._phi_value(node, edge_ij, j)
+                    * self._phi_value(node, edge_jk, j),
+                    self._phi_value(node, edge_ik, k)
+                    * self._phi_value(node, edge_jk, k),
+                )
+                choice = select_rank3(variable, events, triple, assignment)
+                decomposition = choice.decomposition
+                self._stage_phi(node, new_phi, edge_ij, i, decomposition.a1)
+                self._stage_phi(node, new_phi, edge_ij, j, decomposition.b1)
+                self._stage_phi(node, new_phi, edge_ik, i, decomposition.a2)
+                self._stage_phi(node, new_phi, edge_ik, k, decomposition.c2)
+                self._stage_phi(node, new_phi, edge_jk, j, decomposition.b3)
+                self._stage_phi(node, new_phi, edge_jk, k, decomposition.c3)
+                record = StepRecord(
+                    variable=variable.name,
+                    value=choice.value,
+                    events=tuple(event.name for event in events),
+                    increases=choice.increases,
+                    slack=max(choice.margin, 0.0),
+                    num_good_values=choice.num_good_values,
+                    num_values=variable.num_values,
+                )
+            node.memory["fixed"][variable.name] = choice.value
+            new_fixed[variable.name] = choice.value
+            self.records.append(record)
+        return {"fixed": new_fixed, "phi": new_phi}
+
+    def _phi_value(self, node: NodeState, edge, side: int) -> float:
+        entry = node.memory["phi"].get((edge, side))
+        if entry is None:
+            # First contact with an edge between two neighbors whose state
+            # has not mentioned it yet: it still carries its initial value.
+            return 1.0
+        return entry[1]
+
+    def _stage_phi(
+        self,
+        node: NodeState,
+        staged: Dict[PhiKey, PhiEntry],
+        edge,
+        side: int,
+        value: float,
+    ) -> None:
+        """Write a phi update locally and stage it for broadcast."""
+        key = (edge, side)
+        old = node.memory["phi"].get(key, (0, 1.0))
+        entry = (old[0] + 1, value)
+        node.memory["phi"][key] = entry
+        staged[key] = entry
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_fixed(node: NodeState, incoming: Dict) -> None:
+        fixed = node.memory["fixed"]
+        for name, value in incoming.items():
+            existing = fixed.get(name, _MISSING)
+            if existing is not _MISSING and existing != value:
+                raise SimulationError(
+                    f"node {node.identifier!r}: conflicting values for "
+                    f"variable {name!r} ({existing!r} vs {value!r})"
+                )
+            fixed[name] = value
+
+    @staticmethod
+    def _merge_phi(node: NodeState, incoming: Dict) -> None:
+        phi = node.memory["phi"]
+        for key, (version, value) in incoming.items():
+            current = phi.get(key)
+            if current is None or current[0] < version:
+                phi[key] = (version, value)
+            elif current[0] == version and abs(current[1] - value) > 1e-9:
+                raise SimulationError(
+                    f"node {node.identifier!r}: conflicting phi entries "
+                    f"for {key!r} at version {version}"
+                )
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def solve_distributed_local(
+    instance: LLLInstance,
+    require_criterion=True,
+) -> DistributedResult:
+    """Run the full message-level distributed algorithm (rank <= 3).
+
+    Computes a 2-hop coloring (simulated, rounds accounted), runs
+    :class:`LocalFixingProtocol`, merges the per-node outputs into a
+    global assignment, and cross-checks consistency.  One extra round is
+    charged for the initial 1-hop exchange of event descriptions.
+    """
+    from repro.lll.verify import check_preconditions
+
+    check_preconditions(
+        instance, max_rank=3, require_criterion=require_criterion
+    )
+    network, to_index, from_index = _indexed_dependency_network(instance)
+
+    if network.graph.number_of_edges() > 0:
+        coloring = compute_two_hop_coloring(network)
+        require_two_hop_coloring(network.graph, coloring.colors)
+        colors = coloring.colors
+        palette = coloring.palette
+        coloring_rounds = coloring.host_rounds
+    else:
+        colors = {index: 0 for index in from_index}
+        palette = 1
+        coloring_rounds = 0
+
+    # Assemble per-node inputs (the 1-hop knowledge a real execution
+    # would gather in one pre-round, charged below).
+    events_by_index = {
+        to_index[event.name]: event for event in instance.events
+    }
+    owned: Dict[int, List] = {index: [] for index in from_index}
+    for variable in instance.variables:
+        indices = tuple(
+            sorted(
+                to_index[event.name]
+                for event in instance.events_of_variable(variable.name)
+            )
+        )
+        owned[indices[0]].append((variable, indices))
+    for batch in owned.values():
+        batch.sort(key=lambda item: repr(item[0].name))
+
+    inputs = {}
+    for index in from_index:
+        neighbor_indices = set(network.neighbors(index))
+        neighbor_indices.add(index)
+        inputs[index] = {
+            "color": colors[index],
+            "palette": palette,
+            "owned": owned[index],
+            "events_by_index": {
+                i: events_by_index[i] for i in neighbor_indices
+            },
+            "incident_edges": [
+                _edge_key(index, neighbor)
+                for neighbor in network.neighbors(index)
+            ],
+        }
+
+    protocol = LocalFixingProtocol(palette)
+    simulator = Simulator(network, protocol, inputs=inputs)
+    result = simulator.run(max_rounds=protocol.rounds_needed + 1)
+
+    # Merge outputs and cross-check agreement between nodes.
+    merged: Dict[Hashable, Hashable] = {}
+    final_phi: Dict[PhiKey, PhiEntry] = {}
+    for output in result.outputs.values():
+        for name, value in output["fixed"].items():
+            if name in merged and merged[name] != value:
+                raise SimulationError(
+                    f"nodes disagree on variable {name!r}"
+                )
+            merged[name] = value
+        for key, entry in output["phi"].items():
+            current = final_phi.get(key)
+            if current is None or current[0] < entry[0]:
+                final_phi[key] = entry
+
+    assignment = PartialAssignment()
+    for variable in instance.variables:
+        if variable.name not in merged:
+            raise SimulationError(
+                f"protocol finished without fixing {variable.name!r}"
+            )
+        assignment.fix(variable, merged[variable.name])
+
+    certified = {}
+    for event in instance.events:
+        index = to_index[event.name]
+        bound = event.probability()
+        for neighbor in network.neighbors(index):
+            edge = _edge_key(index, neighbor)
+            entry = final_phi.get((edge, index), (0, 1.0))
+            bound *= entry[1]
+        certified[event.name] = bound
+
+    fixing = FixingResult(
+        assignment=assignment,
+        steps=tuple(protocol.records),
+        certified_bounds=certified,
+    )
+    return DistributedResult(
+        fixing=fixing,
+        coloring_rounds=coloring_rounds + 1,  # +1: the 1-hop pre-exchange
+        schedule_rounds=result.rounds,
+        palette=palette,
+    )

@@ -1,0 +1,161 @@
+"""Property P* bookkeeping (Definition 3.1 of the paper).
+
+During the rank-3 fixing process, every edge ``e = {u, v}`` of the
+dependency graph carries two non-negative values ``phi_e^u`` and
+``phi_e^v`` with ``phi_e^u + phi_e^v <= 2``.  Property P* holds when,
+additionally, every event's conditional probability (given the variables
+fixed so far) is at most its initial probability times the product of the
+values on its side of its incident edges.
+
+The paper states the bound with the *global* maximum probability ``p``;
+we track the per-event initial probability ``p_v`` instead, which is a
+strictly stronger invariant maintained by exactly the same argument and
+gives tighter certified bounds (``p_v * 2^deg(v)`` instead of
+``p * 2^d``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Mapping, Tuple
+
+from repro.errors import PStarViolationError
+from repro.lll.instance import LLLInstance
+from repro.probability import PartialAssignment
+
+#: Tolerance for edge-sum and probability-bound checks.
+PSTAR_TOLERANCE = 1e-7
+
+EdgeKey = FrozenSet
+
+
+class PStarState:
+    """The ``phi`` function of Definition 3.1, with validation helpers."""
+
+    def __init__(self, instance: LLLInstance) -> None:
+        self._instance = instance
+        self._phi: Dict[EdgeKey, Dict[Hashable, float]] = {}
+        for u, v in instance.dependency_graph.edges():
+            self._phi[frozenset((u, v))] = {u: 1.0, v: 1.0}
+        self._initial_probabilities = {
+            event.name: event.probability() for event in instance.events
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def initial_probabilities(self) -> Dict[Hashable, float]:
+        """The unconditional probability of each event (a copy)."""
+        return dict(self._initial_probabilities)
+
+    def edge_key(self, u: Hashable, v: Hashable) -> EdgeKey:
+        """The canonical key for the dependency edge ``{u, v}``."""
+        key = frozenset((u, v))
+        if key not in self._phi:
+            raise PStarViolationError(
+                f"no dependency edge between {u!r} and {v!r}"
+            )
+        return key
+
+    def value(self, u: Hashable, v: Hashable, side: Hashable) -> float:
+        """``phi_e^side`` for ``e = {u, v}``; ``side`` must be an endpoint."""
+        key = self.edge_key(u, v)
+        try:
+            return self._phi[key][side]
+        except KeyError:
+            raise PStarViolationError(
+                f"{side!r} is not an endpoint of edge {{{u!r}, {v!r}}}"
+            ) from None
+
+    def node_product(self, node: Hashable) -> float:
+        """``prod over e containing node of phi_e^node``."""
+        product = 1.0
+        for neighbor in self._instance.dependency_graph.neighbors(node):
+            product *= self._phi[frozenset((node, neighbor))][node]
+        return product
+
+    def certified_bound(self, node: Hashable) -> float:
+        """``p_node * node_product(node)``: the P* probability bound."""
+        return self._initial_probabilities[node] * self.node_product(node)
+
+    def certified_bounds(self) -> Dict[Hashable, float]:
+        """The P* bound of every event."""
+        return {
+            event.name: self.certified_bound(event.name)
+            for event in self._instance.events
+        }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def set_edge(
+        self, u: Hashable, v: Hashable, value_u: float, value_v: float
+    ) -> None:
+        """Overwrite both values on edge ``{u, v}``.
+
+        Raises
+        ------
+        PStarViolationError
+            If either value is outside ``[0, 2]`` or they sum to more
+            than 2 (beyond tolerance).  Values within tolerance are
+            clamped so float dust cannot accumulate across steps.
+        """
+        key = self.edge_key(u, v)
+        for side, value in ((u, value_u), (v, value_v)):
+            if value < -PSTAR_TOLERANCE or value > 2.0 + PSTAR_TOLERANCE:
+                raise PStarViolationError(
+                    f"phi value {value} for edge {{{u!r}, {v!r}}} side "
+                    f"{side!r} is outside [0, 2]"
+                )
+        if value_u + value_v > 2.0 + PSTAR_TOLERANCE:
+            raise PStarViolationError(
+                f"edge {{{u!r}, {v!r}}}: values {value_u} + {value_v} > 2"
+            )
+        value_u = min(max(value_u, 0.0), 2.0)
+        value_v = min(max(value_v, 0.0), 2.0)
+        if value_u + value_v > 2.0:
+            excess = value_u + value_v - 2.0
+            if value_u >= value_v:
+                value_u -= excess
+            else:
+                value_v -= excess
+        self._phi[key][u] = value_u
+        self._phi[key][v] = value_v
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(self, assignment: PartialAssignment) -> None:
+        """Assert property P* for the given partial assignment.
+
+        Checks both subproperties of Definition 3.1: every edge's pair
+        sums to at most 2, and every event's conditional probability is
+        at most its certified bound.
+
+        Raises
+        ------
+        PStarViolationError
+            If either subproperty fails beyond :data:`PSTAR_TOLERANCE`.
+        """
+        for key, sides in self._phi.items():
+            total = sum(sides.values())
+            if total > 2.0 + PSTAR_TOLERANCE:
+                raise PStarViolationError(
+                    f"edge {set(key)!r}: phi values sum to {total} > 2"
+                )
+        for event in self._instance.events:
+            conditional = event.probability(assignment)
+            bound = self.certified_bound(event.name)
+            if conditional > bound + PSTAR_TOLERANCE:
+                raise PStarViolationError(
+                    f"event {event.name!r}: conditional probability "
+                    f"{conditional} exceeds P* bound {bound}"
+                )
+
+    def snapshot(self) -> Dict[Tuple[Hashable, Hashable], float]:
+        """A flat copy ``{(frozen edge, side): phi}`` for inspection/tests."""
+        flat = {}
+        for key, sides in self._phi.items():
+            for side, value in sides.items():
+                flat[(key, side)] = value
+        return flat

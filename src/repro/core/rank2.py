@@ -1,0 +1,255 @@
+"""The rank-2 deterministic fixer (Theorem 1.1 / Corollary 1.2).
+
+Every variable affects at most two bad events, i.e. lives on an edge of
+the dependency graph.  The fixer processes the variables in an arbitrary
+(even adversarial) order; for the variable on edge ``{u, v}`` it chooses
+the value minimising the *weighted* sum of conditional-probability
+increases, where the weights are the increases accumulated so far on that
+edge.  Linearity of expectation guarantees a value with weighted sum at
+most 2 (the paper's claim in the proof of Theorem 1.1, in its weighted
+form from Section 3.1), so after all variables are fixed every event's
+probability is below ``p * 2^d < 1`` — and an exhausted probability space
+with positive survival probability means no bad event occurs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import NoGoodValueError, PStarViolationError
+from repro.lll.instance import LLLInstance
+from repro.lll.verify import check_preconditions
+from repro.core.results import FixingResult, StepRecord
+from repro.probability import DiscreteVariable, PartialAssignment
+
+#: Slack below which a chosen value is treated as violating the invariant.
+CONSTRAINT_TOLERANCE = 1e-9
+
+
+class Rank2Fixer:
+    """Sequential deterministic fixer for instances of rank at most 2.
+
+    Parameters
+    ----------
+    instance:
+        The LLL instance.  Every variable must affect at most two events.
+    require_criterion:
+        If True (default), reject instances violating ``p < 2^-d`` up
+        front.  Disabling the check lets experiments probe behaviour *at*
+        the threshold, where the method may legitimately fail with
+        :class:`NoGoodValueError`.
+    validate_invariant:
+        If True, re-verify the bookkeeping invariant (each event's
+        conditional probability is below its certified bound) after every
+        step.  Costs extra probability computations; used by tests.
+    """
+
+    def __init__(
+        self,
+        instance: LLLInstance,
+        require_criterion: bool = True,
+        validate_invariant: bool = False,
+    ) -> None:
+        self._instance = instance
+        check_preconditions(
+            instance, max_rank=2, require_criterion=require_criterion
+        )
+        self._validate = validate_invariant
+        self._assignment = PartialAssignment()
+        # Cumulative increase weights per dependency edge and endpoint.
+        # _edge_weights[frozenset({u, v})][u] is the product of the Inc
+        # ratios event u has absorbed from variables on edge {u, v}.
+        self._edge_weights: Dict[FrozenSet[Hashable], Dict[Hashable, float]] = {}
+        # Cumulative increase for events touched by rank-1 variables.
+        self._initial_probabilities = {
+            event.name: event.probability() for event in instance.events
+        }
+        self._steps: List[StepRecord] = []
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def assignment(self) -> PartialAssignment:
+        """The (partial) assignment built so far."""
+        return self._assignment
+
+    @property
+    def steps(self) -> Tuple[StepRecord, ...]:
+        """Trace of the fixing steps performed so far."""
+        return tuple(self._steps)
+
+    def is_fixed(self, variable_name: Hashable) -> bool:
+        """Whether the named variable has already been fixed."""
+        return self._assignment.is_fixed(variable_name)
+
+    # ------------------------------------------------------------------
+    # Fixing
+    # ------------------------------------------------------------------
+    def fix_variable(self, variable_name: Hashable) -> StepRecord:
+        """Fix one variable, preserving the bookkeeping invariant.
+
+        Returns the step record.  Raises :class:`NoGoodValueError` if no
+        value keeps the weighted increase within budget — impossible under
+        ``p < 2^-d`` by Theorem 1.1, so on checked instances this would
+        indicate a numerical problem.
+        """
+        if self._assignment.is_fixed(variable_name):
+            raise PStarViolationError(
+                f"variable {variable_name!r} is already fixed"
+            )
+        variable = self._instance.variable(variable_name)
+        events = self._instance.events_of_variable(variable_name)
+        if len(events) == 1:
+            record = self._fix_rank1(variable, events[0])
+        else:
+            record = self._fix_rank2(variable, events[0], events[1])
+        self._steps.append(record)
+        if self._validate:
+            self.check_invariant()
+        return record
+
+    def _fix_rank1(self, variable: DiscreteVariable, event) -> StepRecord:
+        """A variable affecting one event: pick the value with ``Inc <= 1``."""
+        best_value = None
+        best_inc = math.inf
+        good = 0
+        for value, _prob in variable.support_items():
+            inc = event.conditional_increase(self._assignment, variable, value)
+            if inc <= 1.0 + CONSTRAINT_TOLERANCE:
+                good += 1
+            if inc < best_inc:
+                best_inc = inc
+                best_value = value
+        if best_inc > 1.0 + CONSTRAINT_TOLERANCE:
+            raise NoGoodValueError(
+                f"rank-1 variable {variable.name!r}: every value increases "
+                f"the event probability (min Inc = {best_inc})"
+            )
+        self._assignment.fix(variable, best_value)
+        return StepRecord(
+            variable=variable.name,
+            value=best_value,
+            events=(event.name,),
+            increases=(best_inc,),
+            slack=1.0 - best_inc,
+            num_good_values=good,
+            num_values=variable.num_values,
+        )
+
+    def _fix_rank2(self, variable: DiscreteVariable, event_u, event_v) -> StepRecord:
+        """A variable on edge ``{u, v}``: minimise the weighted increase sum."""
+        edge = frozenset((event_u.name, event_v.name))
+        weights = self._edge_weights.setdefault(
+            edge, {event_u.name: 1.0, event_v.name: 1.0}
+        )
+        weight_u = weights[event_u.name]
+        weight_v = weights[event_v.name]
+
+        best_value = None
+        best_total = math.inf
+        best_incs: Tuple[float, float] = (math.inf, math.inf)
+        good = 0
+        for value, _prob in variable.support_items():
+            inc_u = event_u.conditional_increase(self._assignment, variable, value)
+            inc_v = event_v.conditional_increase(self._assignment, variable, value)
+            total = weight_u * inc_u + weight_v * inc_v
+            if total <= 2.0 + CONSTRAINT_TOLERANCE:
+                good += 1
+            if total < best_total:
+                best_total = total
+                best_value = value
+                best_incs = (inc_u, inc_v)
+        if best_total > 2.0 + CONSTRAINT_TOLERANCE:
+            raise NoGoodValueError(
+                f"rank-2 variable {variable.name!r} on edge "
+                f"{{{event_u.name!r}, {event_v.name!r}}}: minimum weighted "
+                f"increase {best_total} exceeds 2"
+            )
+        weights[event_u.name] = weight_u * best_incs[0]
+        weights[event_v.name] = weight_v * best_incs[1]
+        self._assignment.fix(variable, best_value)
+        return StepRecord(
+            variable=variable.name,
+            value=best_value,
+            events=(event_u.name, event_v.name),
+            increases=best_incs,
+            slack=2.0 - best_total,
+            num_good_values=good,
+            num_values=variable.num_values,
+        )
+
+    def run(self, order: Optional[Iterable[Hashable]] = None) -> FixingResult:
+        """Fix every variable (in ``order`` if given) and return the result.
+
+        The order may be any permutation of the variable names; Theorem 1.1
+        guarantees success for all of them.
+        """
+        if order is None:
+            order = [variable.name for variable in self._instance.variables]
+        for name in order:
+            self.fix_variable(name)
+        remaining = [
+            variable.name
+            for variable in self._instance.variables
+            if not self._assignment.is_fixed(variable.name)
+        ]
+        for name in remaining:
+            self.fix_variable(name)
+        return FixingResult(
+            assignment=self._assignment,
+            steps=tuple(self._steps),
+            certified_bounds=self.certified_bounds(),
+        )
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def certified_bounds(self) -> Dict[Hashable, float]:
+        """Per-event bound ``p_v * product of absorbed edge weights``."""
+        bounds = {
+            name: probability
+            for name, probability in self._initial_probabilities.items()
+        }
+        for edge, weights in self._edge_weights.items():
+            for node, weight in weights.items():
+                bounds[node] *= weight
+        return bounds
+
+    def check_invariant(self) -> None:
+        """Assert the Theorem-1.1 bookkeeping invariant.
+
+        For every event: its conditional probability given the current
+        partial assignment is at most its certified bound, and every edge's
+        weight pair sums to at most 2.
+
+        Raises
+        ------
+        PStarViolationError
+            If either condition fails beyond numerical tolerance.
+        """
+        for edge, weights in self._edge_weights.items():
+            total = sum(weights.values())
+            if total > 2.0 + 1e-7:
+                raise PStarViolationError(
+                    f"edge {set(edge)!r}: weights sum to {total} > 2"
+                )
+        bounds = self.certified_bounds()
+        for event in self._instance.events:
+            conditional = event.probability(self._assignment)
+            if conditional > bounds[event.name] + 1e-7:
+                raise PStarViolationError(
+                    f"event {event.name!r}: conditional probability "
+                    f"{conditional} exceeds certified bound {bounds[event.name]}"
+                )
+
+
+def solve_rank2(
+    instance: LLLInstance,
+    order: Optional[Iterable[Hashable]] = None,
+    require_criterion: bool = True,
+) -> FixingResult:
+    """Convenience wrapper: build a :class:`Rank2Fixer` and run it."""
+    fixer = Rank2Fixer(instance, require_criterion=require_criterion)
+    return fixer.run(order)

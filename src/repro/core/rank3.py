@@ -1,0 +1,215 @@
+"""The rank-3 deterministic fixer (Theorem 1.3 / Corollary 1.4).
+
+Variables may affect up to three bad events.  The fixer maintains
+property P* (:class:`repro.core.pstar.PStarState`).  To fix a rank-3
+variable on the event triangle ``{u, v, w}``:
+
+1. read the current representable triple
+   ``(a, b, c) = (phi_e^u phi_e'^u, phi_e^v phi_e''^v, phi_e'^w phi_e''^w)``,
+2. for each candidate value ``y`` compute the exact increase triple
+   ``(Inc(u,y), Inc(v,y), Inc(w,y))``,
+3. keep the values whose scaled triple stays in ``S_rep`` — these are
+   exactly the non-(a,b,c)-evil values of Definition 3.8, whose existence
+   Lemma 3.2 guarantees via the incurvedness of ``S_rep`` —
+4. fix the variable to the value with the largest representability
+   margin and write the decomposition of the new triple back onto the
+   three edges.
+
+Rank-2 variables are handled by the weighted pair rule (the "weighted
+version" discussed in Section 3.1): with current edge values ``(s, t)``
+there is a value with ``s*Inc_u + t*Inc_v <= 2``, and the edge is updated
+to ``(s*Inc_u, t*Inc_v)``.  Rank-1 variables take any value with
+``Inc <= 1``.  This realises the paper's virtual-third-event reduction
+without inflating the dependency graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from repro.errors import PStarViolationError
+from repro.lll.instance import LLLInstance
+from repro.lll.verify import check_preconditions
+from repro.core.pstar import PStarState
+from repro.core.results import FixingResult, StepRecord
+from repro.core.selection import (
+    MEMBERSHIP_TOLERANCE,
+    select_rank1,
+    select_rank2,
+    select_rank3,
+)
+from repro.probability import DiscreteVariable, PartialAssignment
+
+
+class Rank3Fixer:
+    """Sequential deterministic fixer for instances of rank at most 3.
+
+    Parameters
+    ----------
+    instance:
+        The LLL instance.  Every variable must affect at most three events.
+    require_criterion:
+        If True (default), reject instances violating ``p < 2^-d``.
+        Disable to probe behaviour at the threshold, where
+        :class:`NoGoodValueError` may legitimately occur.
+    validate_invariant:
+        If True, assert property P* after every fixing step (slow; used
+        by tests).
+    """
+
+    def __init__(
+        self,
+        instance: LLLInstance,
+        require_criterion: bool = True,
+        validate_invariant: bool = False,
+    ) -> None:
+        self._instance = instance
+        check_preconditions(
+            instance, max_rank=3, require_criterion=require_criterion
+        )
+        self._validate = validate_invariant
+        self._assignment = PartialAssignment()
+        self._pstar = PStarState(instance)
+        self._steps: List[StepRecord] = []
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def assignment(self) -> PartialAssignment:
+        """The (partial) assignment built so far."""
+        return self._assignment
+
+    @property
+    def pstar(self) -> PStarState:
+        """The live property-P* bookkeeping state."""
+        return self._pstar
+
+    @property
+    def steps(self) -> Tuple[StepRecord, ...]:
+        """Trace of fixing steps performed so far."""
+        return tuple(self._steps)
+
+    def is_fixed(self, variable_name: Hashable) -> bool:
+        """Whether the named variable has already been fixed."""
+        return self._assignment.is_fixed(variable_name)
+
+    # ------------------------------------------------------------------
+    # Fixing
+    # ------------------------------------------------------------------
+    def fix_variable(self, variable_name: Hashable) -> StepRecord:
+        """Fix one variable while preserving property P*.
+
+        Dispatches on the variable's rank.  Raises
+        :class:`NoGoodValueError` when every value is evil — which
+        Lemma 3.2 proves impossible while P* holds.
+        """
+        if self._assignment.is_fixed(variable_name):
+            raise PStarViolationError(
+                f"variable {variable_name!r} is already fixed"
+            )
+        variable = self._instance.variable(variable_name)
+        events = self._instance.events_of_variable(variable_name)
+        if len(events) == 1:
+            record = self._fix_rank1(variable, events)
+        elif len(events) == 2:
+            record = self._fix_rank2(variable, events)
+        else:
+            record = self._fix_rank3(variable, events)
+        self._steps.append(record)
+        if self._validate:
+            self._pstar.check(self._assignment)
+        return record
+
+    def _fix_rank1(self, variable: DiscreteVariable, events) -> StepRecord:
+        """Rank 1: any value with ``Inc <= 1`` exists by averaging."""
+        event = events[0]
+        choice = select_rank1(variable, event, self._assignment)
+        self._assignment.fix(variable, choice.value)
+        return StepRecord(
+            variable=variable.name,
+            value=choice.value,
+            events=(event.name,),
+            increases=(choice.increase,),
+            slack=choice.slack,
+            num_good_values=choice.num_good_values,
+            num_values=variable.num_values,
+        )
+
+    def _fix_rank2(self, variable: DiscreteVariable, events) -> StepRecord:
+        """Rank 2 inside the P* framework: the weighted pair rule.
+
+        Only the edge ``{u, v}`` changes; property P* is preserved because
+        the new values ``(s*Inc_u, t*Inc_v)`` absorb exactly the realised
+        increases and still sum to at most 2 for the chosen value.
+        """
+        event_u, event_v = events
+        u, v = event_u.name, event_v.name
+        weights = (self._pstar.value(u, v, u), self._pstar.value(u, v, v))
+        choice = select_rank2(variable, events, weights, self._assignment)
+        self._pstar.set_edge(u, v, *choice.new_weights)
+        self._assignment.fix(variable, choice.value)
+        return StepRecord(
+            variable=variable.name,
+            value=choice.value,
+            events=(u, v),
+            increases=choice.increases,
+            slack=choice.slack,
+            num_good_values=choice.num_good_values,
+            num_values=variable.num_values,
+        )
+
+    def _fix_rank3(self, variable: DiscreteVariable, events) -> StepRecord:
+        """Rank 3: the Variable Fixing Lemma (Lemma 3.2) made executable."""
+        event_u, event_v, event_w = events
+        u, v, w = event_u.name, event_v.name, event_w.name
+        # Current representable triple: the products of the phi values on
+        # the sides of u, v and w within the triangle {u, v, w}.
+        a = self._pstar.value(u, v, u) * self._pstar.value(u, w, u)
+        b = self._pstar.value(u, v, v) * self._pstar.value(v, w, v)
+        c = self._pstar.value(u, w, w) * self._pstar.value(v, w, w)
+
+        choice = select_rank3(variable, events, (a, b, c), self._assignment)
+        decomposition = choice.decomposition
+        self._pstar.set_edge(u, v, decomposition.a1, decomposition.b1)
+        self._pstar.set_edge(u, w, decomposition.a2, decomposition.c2)
+        self._pstar.set_edge(v, w, decomposition.b3, decomposition.c3)
+        self._assignment.fix(variable, choice.value)
+        return StepRecord(
+            variable=variable.name,
+            value=choice.value,
+            events=(u, v, w),
+            increases=choice.increases,
+            slack=max(choice.margin, 0.0),
+            num_good_values=choice.num_good_values,
+            num_values=variable.num_values,
+        )
+
+    def run(self, order: Optional[Iterable[Hashable]] = None) -> FixingResult:
+        """Fix every variable (in ``order`` if given) and return the result."""
+        if order is None:
+            order = [variable.name for variable in self._instance.variables]
+        for name in order:
+            self.fix_variable(name)
+        remaining = [
+            variable.name
+            for variable in self._instance.variables
+            if not self._assignment.is_fixed(variable.name)
+        ]
+        for name in remaining:
+            self.fix_variable(name)
+        return FixingResult(
+            assignment=self._assignment,
+            steps=tuple(self._steps),
+            certified_bounds=self._pstar.certified_bounds(),
+        )
+
+
+def solve_rank3(
+    instance: LLLInstance,
+    order: Optional[Iterable[Hashable]] = None,
+    require_criterion: bool = True,
+) -> FixingResult:
+    """Convenience wrapper: build a :class:`Rank3Fixer` and run it."""
+    fixer = Rank3Fixer(instance, require_criterion=require_criterion)
+    return fixer.run(order)

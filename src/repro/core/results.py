@@ -1,0 +1,83 @@
+"""Result records produced by the fixing algorithms.
+
+Every fixer returns a :class:`FixingResult`: the computed assignment, a
+per-step trace (:class:`StepRecord`) and summary statistics.  The trace is
+what the Lemma-3.2 ablation benchmarks consume — it records, for every
+variable fixing, which value was chosen and how much slack the chosen
+value left in the geometric constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.probability import PartialAssignment
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One variable-fixing step of a deterministic fixer."""
+
+    #: Name of the fixed variable.
+    variable: Hashable
+    #: The value it was fixed to.
+    value: Hashable
+    #: Names of the events the variable affects, in bookkeeping order.
+    events: Tuple[Hashable, ...]
+    #: The ``Inc`` ratio of each affected event for the chosen value.
+    increases: Tuple[float, ...]
+    #: Slack left in the step's constraint (>= 0; larger is safer).
+    #: For rank 2 this is ``2 - (s*Inc_u + t*Inc_v)``; for rank 3 it is the
+    #: margin of the new triple inside ``S_rep``.
+    slack: float
+    #: Number of candidate values that would have preserved the invariant.
+    num_good_values: int
+    #: Total number of candidate values of the variable.
+    num_values: int
+
+
+@dataclass
+class FixingResult:
+    """Outcome of running a deterministic fixer to completion."""
+
+    #: The complete assignment produced.
+    assignment: PartialAssignment
+    #: Per-variable trace, in fixing order.
+    steps: Tuple[StepRecord, ...]
+    #: Final per-event probability bound certified by the bookkeeping
+    #: (``p_v * product of edge values``); all entries are < 1.
+    certified_bounds: Dict[Hashable, float]
+
+    @property
+    def num_steps(self) -> int:
+        """Number of variables fixed."""
+        return len(self.steps)
+
+    @property
+    def min_slack(self) -> float:
+        """The tightest constraint slack over all steps (``inf`` if no steps)."""
+        if not self.steps:
+            return float("inf")
+        return min(step.slack for step in self.steps)
+
+    @property
+    def max_certified_bound(self) -> float:
+        """The largest certified final event-probability bound."""
+        if not self.certified_bounds:
+            return 0.0
+        return max(self.certified_bounds.values())
+
+    @property
+    def good_value_fraction(self) -> float:
+        """Mean fraction of candidate values that were invariant-preserving."""
+        if not self.steps:
+            return 1.0
+        fractions = [
+            step.num_good_values / step.num_values
+            for step in self.steps
+            if step.num_values > 0
+        ]
+        if not fractions:
+            return 1.0
+        return sum(fractions) / len(fractions)

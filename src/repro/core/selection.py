@@ -1,0 +1,175 @@
+"""Pure value-selection rules shared by the fixers and the LOCAL protocol.
+
+Each function takes the variable to fix, the affected events, the current
+bookkeeping state and a partial assignment, and returns the chosen value
+together with the realised increases and the updated bookkeeping — with
+no side effects.  :class:`repro.core.rank3.Rank3Fixer` applies these to
+its global state; :mod:`repro.core.local_protocol` applies them to each
+node's purely local view, which is what makes the message-level
+implementation faithful: the decision provably depends only on 1-hop
+information.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.errors import NoGoodValueError
+from repro.geometry import (
+    TripleDecomposition,
+    decompose_triple,
+    representability_margin,
+)
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+#: Margin below which a candidate value counts as invariant-violating.
+MEMBERSHIP_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Rank1Choice:
+    """Outcome of selecting a value for a rank-1 variable."""
+
+    value: Hashable
+    increase: float
+    slack: float
+    num_good_values: int
+
+
+@dataclass(frozen=True)
+class Rank2Choice:
+    """Outcome of selecting a value for a rank-2 variable."""
+
+    value: Hashable
+    increases: Tuple[float, float]
+    #: The updated pair of edge weights (w_u * Inc_u, w_v * Inc_v).
+    new_weights: Tuple[float, float]
+    slack: float
+    num_good_values: int
+
+
+@dataclass(frozen=True)
+class Rank3Choice:
+    """Outcome of selecting a value for a rank-3 variable."""
+
+    value: Hashable
+    increases: Tuple[float, float, float]
+    #: The new representable triple realised by the decomposition.
+    triple: Tuple[float, float, float]
+    decomposition: TripleDecomposition
+    margin: float
+    num_good_values: int
+
+
+def select_rank1(
+    variable: DiscreteVariable,
+    event: BadEvent,
+    assignment: PartialAssignment,
+) -> Rank1Choice:
+    """Pick a value with ``Inc <= 1`` (exists by averaging)."""
+    best_value, best_inc, good = None, math.inf, 0
+    for value, _prob in variable.support_items():
+        inc = event.conditional_increase(assignment, variable, value)
+        if inc <= 1.0 + MEMBERSHIP_TOLERANCE:
+            good += 1
+        if inc < best_inc:
+            best_inc, best_value = inc, value
+    if best_inc > 1.0 + MEMBERSHIP_TOLERANCE:
+        raise NoGoodValueError(
+            f"rank-1 variable {variable.name!r}: min Inc = {best_inc} > 1"
+        )
+    return Rank1Choice(
+        value=best_value,
+        increase=best_inc,
+        slack=1.0 - best_inc,
+        num_good_values=good,
+    )
+
+
+def select_rank2(
+    variable: DiscreteVariable,
+    events: Sequence[BadEvent],
+    weights: Tuple[float, float],
+    assignment: PartialAssignment,
+) -> Rank2Choice:
+    """The weighted pair rule: minimise ``w_u*Inc_u + w_v*Inc_v`` (<= 2)."""
+    event_u, event_v = events
+    weight_u, weight_v = weights
+    best_value, best_total = None, math.inf
+    best_incs: Tuple[float, float] = (math.inf, math.inf)
+    good = 0
+    for value, _prob in variable.support_items():
+        inc_u = event_u.conditional_increase(assignment, variable, value)
+        inc_v = event_v.conditional_increase(assignment, variable, value)
+        total = weight_u * inc_u + weight_v * inc_v
+        if total <= 2.0 + MEMBERSHIP_TOLERANCE:
+            good += 1
+        if total < best_total:
+            best_total, best_value = total, value
+            best_incs = (inc_u, inc_v)
+    if best_total > 2.0 + MEMBERSHIP_TOLERANCE:
+        raise NoGoodValueError(
+            f"rank-2 variable {variable.name!r}: minimum weighted increase "
+            f"{best_total} exceeds 2"
+        )
+    return Rank2Choice(
+        value=best_value,
+        increases=best_incs,
+        new_weights=(weight_u * best_incs[0], weight_v * best_incs[1]),
+        slack=2.0 - best_total,
+        num_good_values=good,
+    )
+
+
+def select_rank3(
+    variable: DiscreteVariable,
+    events: Sequence[BadEvent],
+    triple: Tuple[float, float, float],
+    assignment: PartialAssignment,
+) -> Rank3Choice:
+    """The Variable Fixing Lemma's selection: maximise the S_rep margin.
+
+    ``triple`` is the current representable triple ``(a, b, c)`` of the
+    three affected events on the triangle's edges; the chosen value's
+    scaled triple is decomposed into new edge values.
+    """
+    event_u, event_v, event_w = events
+    a, b, c = triple
+    best_value = None
+    best_margin = -math.inf
+    best_triple: Tuple[float, float, float] = (math.inf,) * 3
+    best_incs: Tuple[float, float, float] = (math.inf,) * 3
+    good = 0
+    for value, _prob in variable.support_items():
+        inc_u = event_u.conditional_increase(assignment, variable, value)
+        inc_v = event_v.conditional_increase(assignment, variable, value)
+        inc_w = event_w.conditional_increase(assignment, variable, value)
+        candidate = (inc_u * a, inc_v * b, inc_w * c)
+        margin = representability_margin(*candidate)
+        if margin >= -MEMBERSHIP_TOLERANCE:
+            good += 1
+        if margin > best_margin:
+            best_margin = margin
+            best_value = value
+            best_triple = candidate
+            best_incs = (inc_u, inc_v, inc_w)
+    if best_margin < -MEMBERSHIP_TOLERANCE:
+        raise NoGoodValueError(
+            f"rank-3 variable {variable.name!r}: every value is "
+            f"({a:.6g}, {b:.6g}, {c:.6g})-evil "
+            f"(best margin {best_margin:.3g})"
+        )
+    decomposition = decompose_triple(
+        *best_triple,
+        tolerance=max(MEMBERSHIP_TOLERANCE, -best_margin + 1e-12),
+    )
+    return Rank3Choice(
+        value=best_value,
+        increases=best_incs,
+        triple=best_triple,
+        decomposition=decomposition,
+        margin=best_margin,
+        num_good_values=good,
+    )

@@ -1,0 +1,183 @@
+"""Sequential drivers and fixing-order strategies.
+
+Theorems 1.1 and 1.3 hold for *any* order in which the variables are
+fixed, including orders chosen by an adaptive adversary that inspects the
+fixer's bookkeeping.  This module provides static orders, adaptive
+adversaries, and a top-level :func:`solve` that dispatches to the right
+fixer by instance rank.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import RankViolationError
+from repro.lll.instance import LLLInstance
+from repro.core.rank2 import Rank2Fixer
+from repro.core.rank3 import Rank3Fixer
+from repro.core.results import FixingResult
+
+Fixer = Union[Rank2Fixer, Rank3Fixer]
+#: An adaptive adversary: given the live fixer and the unfixed variable
+#: names, return the name to fix next.
+Chooser = Callable[[Fixer, Sequence[Hashable]], Hashable]
+
+
+# ----------------------------------------------------------------------
+# Static orders
+# ----------------------------------------------------------------------
+def construction_order(instance: LLLInstance) -> List[Hashable]:
+    """Variable names in instance-construction order."""
+    return [variable.name for variable in instance.variables]
+
+
+def reversed_order(instance: LLLInstance) -> List[Hashable]:
+    """Construction order, reversed."""
+    return list(reversed(construction_order(instance)))
+
+
+def random_order(instance: LLLInstance, rng: random.Random) -> List[Hashable]:
+    """A uniformly random permutation of the variable names."""
+    order = construction_order(instance)
+    rng.shuffle(order)
+    return order
+
+
+def interleaved_order(instance: LLLInstance, stride: int = 2) -> List[Hashable]:
+    """Construction order visited with a stride (a simple 'scattered' order)."""
+    order = construction_order(instance)
+    result = []
+    for offset in range(stride):
+        result.extend(order[offset::stride])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Adaptive adversaries
+# ----------------------------------------------------------------------
+def max_pressure_chooser(fixer: Fixer, unfixed: Sequence[Hashable]) -> Hashable:
+    """Pick the variable whose events carry the largest certified bounds.
+
+    This adversary always pokes the most-stressed part of the bookkeeping,
+    trying to drive some event's certified bound toward 1.
+    """
+    bounds = _current_bounds(fixer)
+    instance = _instance_of(fixer)
+
+    def pressure(name: Hashable) -> float:
+        return sum(
+            bounds[event.name] for event in instance.events_of_variable(name)
+        )
+
+    return max(unfixed, key=lambda name: (pressure(name), repr(name)))
+
+
+def min_pressure_chooser(fixer: Fixer, unfixed: Sequence[Hashable]) -> Hashable:
+    """Pick the variable whose events carry the smallest certified bounds."""
+    bounds = _current_bounds(fixer)
+    instance = _instance_of(fixer)
+
+    def pressure(name: Hashable) -> float:
+        return sum(
+            bounds[event.name] for event in instance.events_of_variable(name)
+        )
+
+    return min(unfixed, key=lambda name: (pressure(name), repr(name)))
+
+
+def lexicographic_chooser(fixer: Fixer, unfixed: Sequence[Hashable]) -> Hashable:
+    """Pick the lexicographically smallest unfixed variable name."""
+    return min(unfixed, key=repr)
+
+
+def make_random_chooser(rng: random.Random) -> Chooser:
+    """An adversary that picks uniformly at random (for control runs)."""
+
+    def chooser(fixer: Fixer, unfixed: Sequence[Hashable]) -> Hashable:
+        return unfixed[rng.randrange(len(unfixed))]
+
+    return chooser
+
+
+def run_with_adversary(fixer: Fixer, chooser: Chooser) -> FixingResult:
+    """Drive ``fixer`` to completion with an adaptive adversary.
+
+    The adversary sees the live fixer (including its bookkeeping state)
+    before every step — the strongest setting the theorems cover.
+    """
+    instance = _instance_of(fixer)
+    unfixed = [
+        variable.name
+        for variable in instance.variables
+        if not fixer.is_fixed(variable.name)
+    ]
+    while unfixed:
+        name = chooser(fixer, unfixed)
+        fixer.fix_variable(name)
+        unfixed.remove(name)
+    # run() with no order fixes nothing further and assembles the result.
+    return fixer.run(order=())
+
+
+# ----------------------------------------------------------------------
+# Top-level dispatch
+# ----------------------------------------------------------------------
+def solve(
+    instance: LLLInstance,
+    order: Optional[Iterable[Hashable]] = None,
+    chooser: Optional[Chooser] = None,
+    require_criterion: bool = True,
+    validate_invariant: bool = False,
+) -> FixingResult:
+    """Solve an LLL instance with the appropriate deterministic fixer.
+
+    Rank-1/2 instances use :class:`Rank2Fixer` (Theorem 1.1); rank-3
+    instances use :class:`Rank3Fixer` (Theorem 1.3).  Exactly one of
+    ``order`` (a static permutation) and ``chooser`` (an adaptive
+    adversary) may be given; with neither, construction order is used.
+
+    Raises
+    ------
+    RankViolationError
+        If the instance has rank greater than 3 — the regime the paper's
+        Conjecture 1.5 leaves open.
+    """
+    if order is not None and chooser is not None:
+        raise ValueError("pass either a static order or a chooser, not both")
+    rank = instance.rank
+    if rank <= 2:
+        fixer: Fixer = Rank2Fixer(
+            instance,
+            require_criterion=require_criterion,
+            validate_invariant=validate_invariant,
+        )
+    elif rank == 3:
+        fixer = Rank3Fixer(
+            instance,
+            require_criterion=require_criterion,
+            validate_invariant=validate_invariant,
+        )
+    else:
+        raise RankViolationError(
+            f"instance has rank {rank}; the paper's fixers support rank <= 3 "
+            f"(Conjecture 1.5 covers larger ranks)"
+        )
+    if chooser is not None:
+        return run_with_adversary(fixer, chooser)
+    return fixer.run(order)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _instance_of(fixer: Fixer) -> LLLInstance:
+    """The instance a fixer operates on (both fixers store it privately)."""
+    return fixer._instance  # noqa: SLF001 - friend access within the package
+
+
+def _current_bounds(fixer: Fixer):
+    """Current certified bounds, regardless of fixer flavour."""
+    if isinstance(fixer, Rank3Fixer):
+        return fixer.pstar.certified_bounds()
+    return fixer.certified_bounds()

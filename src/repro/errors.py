@@ -1,0 +1,76 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidDistributionError(ReproError):
+    """A discrete distribution is malformed.
+
+    Raised when probabilities are negative, do not sum to one, or the
+    number of probabilities does not match the number of values.
+    """
+
+
+class UnknownVariableError(ReproError):
+    """An operation referenced a variable that is not part of the scope."""
+
+
+class InvalidAssignmentError(ReproError):
+    """A variable was assigned a value outside its support."""
+
+
+class EnumerationLimitError(ReproError):
+    """An exact probability computation would enumerate too many outcomes.
+
+    The exact engine enumerates the product space of the *unfixed* variables
+    in an event's scope.  Instances in the paper's regime (bounded degree)
+    keep this small; this error surfaces accidental blow-ups instead of
+    letting a computation run away silently.
+    """
+
+
+class CriterionViolationError(ReproError):
+    """An LLL instance does not satisfy the criterion required by an algorithm."""
+
+
+class RankViolationError(ReproError):
+    """A variable affects more events than the algorithm supports."""
+
+
+class NoGoodValueError(ReproError):
+    """No value of a random variable preserves the algorithm's invariant.
+
+    For instances satisfying ``p < 2^-d`` the paper proves this can never
+    happen (Lemma 3.2 / Theorem 1.1); seeing this error on such an instance
+    indicates a bug or a numerical-tolerance problem, so the fixers raise
+    loudly rather than guessing.
+    """
+
+
+class NotRepresentableError(ReproError):
+    """A triple is outside ``S_rep`` and therefore cannot be decomposed."""
+
+
+class PStarViolationError(ReproError):
+    """The property P* bookkeeping invariant was violated."""
+
+
+class AlgorithmFailedError(ReproError):
+    """A (typically randomized) algorithm exceeded its execution budget."""
+
+
+class SimulationError(ReproError):
+    """The LOCAL-model simulation reached an inconsistent state."""
+
+
+class ColoringError(ReproError):
+    """A coloring routine produced or received an invalid coloring."""

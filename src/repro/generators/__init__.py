@@ -1,0 +1,55 @@
+"""Workload generators (substrate S12): graphs, triples and LLL instances."""
+
+from repro.generators.graphs import (
+    balanced_tree,
+    complete_graph,
+    cycle_graph,
+    degree_profile,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    random_bipartite_regular,
+    random_regular_graph,
+    random_tree,
+    torus_graph,
+)
+from repro.generators.hypergraphs import (
+    cyclic_triples,
+    partition_rounds_triples,
+    random_triples,
+    triples_degree_profile,
+)
+from repro.generators.instances import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    edge_variable_name,
+    mixed_rank_instance,
+    parity_edge_instance,
+    threshold_count_edge_instance,
+    triple_variable_name,
+)
+
+__all__ = [
+    "all_zero_edge_instance",
+    "all_zero_triple_instance",
+    "balanced_tree",
+    "complete_graph",
+    "cycle_graph",
+    "cyclic_triples",
+    "degree_profile",
+    "edge_variable_name",
+    "grid_graph",
+    "hypercube_graph",
+    "mixed_rank_instance",
+    "parity_edge_instance",
+    "partition_rounds_triples",
+    "path_graph",
+    "random_bipartite_regular",
+    "random_regular_graph",
+    "random_tree",
+    "random_triples",
+    "threshold_count_edge_instance",
+    "torus_graph",
+    "triple_variable_name",
+    "triples_degree_profile",
+]

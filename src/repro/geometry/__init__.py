@@ -1,0 +1,50 @@
+"""Representable-triple geometry (core math, S3).
+
+The surface ``f(a, b)`` bounding ``S_rep`` with its convexity certificate
+(:mod:`repro.geometry.surface`, Lemmas 3.5/3.6), membership and
+constructive decomposition of representable pairs and triples, and
+empirical incurvedness checks (:mod:`repro.geometry.representable`,
+Definition 3.3/3.4, Lemma 3.7).
+"""
+
+from repro.geometry.representable import (
+    DEFAULT_TOLERANCE,
+    TripleDecomposition,
+    decompose_triple,
+    is_representable_pair,
+    is_representable_triple,
+    representability_margin,
+    segment_points_inside,
+    violates_incurvedness,
+)
+from repro.geometry.surface import (
+    boundary_surface,
+    gradient,
+    hessian,
+    hessian_minors,
+    in_domain,
+    is_convex_at,
+    numerical_gradient,
+    surface_alternative_form,
+    surface_grid,
+)
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "TripleDecomposition",
+    "boundary_surface",
+    "decompose_triple",
+    "gradient",
+    "hessian",
+    "hessian_minors",
+    "in_domain",
+    "is_convex_at",
+    "is_representable_pair",
+    "is_representable_triple",
+    "numerical_gradient",
+    "representability_margin",
+    "segment_points_inside",
+    "surface_alternative_form",
+    "surface_grid",
+    "violates_incurvedness",
+]

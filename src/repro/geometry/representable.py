@@ -1,0 +1,263 @@
+"""Representable pairs and triples (Definition 3.3) and their decomposition.
+
+A triple ``(a, b, c)`` is *representable* if there are values
+``a1, a2, b1, b3, c2, c3`` in ``[0, 2]`` with
+
+    a1*a2 = a,   b1*b3 = b,   c2*c3 = c,
+    a1 + b1 <= 2,   a2 + c2 <= 2,   b3 + c3 <= 2.
+
+The indices mirror the paper's picture: the triple lives on the triangle
+``{u, v, w}`` of the dependency graph; ``a1``/``b1`` sit on edge
+``e = {u, v}``, ``a2``/``c2`` on ``e' = {u, w}`` and ``b3``/``c3`` on
+``e'' = {v, w}``.  Lemma 3.5 characterises the representable set as
+``a + b <= 4`` and ``c <= f(a, b)``, and its proof is constructive; the
+:func:`decompose_triple` implementation follows that construction case by
+case.
+
+The rank-2 analogue is a *pair*: one edge carries two values summing to at
+most 2, so ``(a, b)`` is representable iff ``a, b >= 0`` and ``a + b <= 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from repro.errors import NotRepresentableError
+from repro.geometry.surface import boundary_surface
+
+#: Default numerical slack for membership and decomposition checks.
+DEFAULT_TOLERANCE = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Rank 2: representable pairs
+# ----------------------------------------------------------------------
+def is_representable_pair(
+    a: float, b: float, tolerance: float = DEFAULT_TOLERANCE
+) -> bool:
+    """Whether ``(a, b)`` can be written on one edge: ``a, b >= 0, a + b <= 2``."""
+    return a >= -tolerance and b >= -tolerance and a + b <= 2.0 + tolerance
+
+
+# ----------------------------------------------------------------------
+# Rank 3: representable triples
+# ----------------------------------------------------------------------
+def is_representable_triple(
+    a: float, b: float, c: float, tolerance: float = DEFAULT_TOLERANCE
+) -> bool:
+    """Membership in ``S_rep`` via the Lemma 3.5 characterisation."""
+    if a < -tolerance or b < -tolerance or c < -tolerance:
+        return False
+    a = max(a, 0.0)
+    b = max(b, 0.0)
+    c = max(c, 0.0)
+    if a + b > 4.0 + tolerance:
+        return False
+    a_dom = min(a, 4.0)
+    b_dom = min(b, 4.0)
+    if a_dom + b_dom > 4.0:
+        excess = a_dom + b_dom - 4.0
+        if a_dom >= b_dom:
+            a_dom -= excess
+        else:
+            b_dom -= excess
+    return c <= boundary_surface(a_dom, b_dom) + tolerance
+
+
+def representability_margin(a: float, b: float, c: float) -> float:
+    """Signed distance-like margin of ``(a, b, c)`` relative to ``S_rep``.
+
+    Positive means strictly inside, negative means outside; the magnitude
+    is the smallest slack over the characterisation's constraints
+    (non-negativity, ``a + b <= 4`` and ``c <= f(a, b)``).  The rank-3
+    fixer uses this to pick, among the non-evil values, the one leaving
+    the most room.
+    """
+    margin = min(a, b, c)
+    margin = min(margin, 4.0 - (a + b))
+    if margin < 0.0:
+        return margin
+    a_dom = min(max(a, 0.0), 4.0)
+    b_dom = min(max(b, 0.0), 4.0)
+    if a_dom + b_dom > 4.0:
+        excess = a_dom + b_dom - 4.0
+        if a_dom >= b_dom:
+            a_dom -= excess
+        else:
+            b_dom -= excess
+    return min(margin, boundary_surface(a_dom, b_dom) - max(c, 0.0))
+
+
+@dataclass(frozen=True)
+class TripleDecomposition:
+    """Witness values for a representable triple (Definition 3.3)."""
+
+    a1: float
+    a2: float
+    b1: float
+    b3: float
+    c2: float
+    c3: float
+
+    def products(self) -> Tuple[float, float, float]:
+        """The triple ``(a1*a2, b1*b3, c2*c3)`` this decomposition realises."""
+        return (self.a1 * self.a2, self.b1 * self.b3, self.c2 * self.c3)
+
+    def edge_sums(self) -> Tuple[float, float, float]:
+        """The three per-edge sums ``(a1+b1, a2+c2, b3+c3)``."""
+        return (self.a1 + self.b1, self.a2 + self.c2, self.b3 + self.c3)
+
+    def max_violation(self, a: float, b: float, c: float) -> float:
+        """How far this witness is from certifying ``(a, b, c)``.
+
+        Zero (up to float error) means: all six values are in ``[0, 2]``,
+        all three edge sums are at most 2, and the products are at least
+        ``a``, ``b`` and ``c`` respectively.  Products larger than the
+        target are fine — they only loosen the probability bound.
+        """
+        values = (self.a1, self.a2, self.b1, self.b3, self.c2, self.c3)
+        range_violation = max(
+            max(-value for value in values),
+            max(value - 2.0 for value in values),
+        )
+        sum_violation = max(total - 2.0 for total in self.edge_sums())
+        pa, pb, pc = self.products()
+        product_violation = max(a - pa, b - pb, c - pc)
+        return max(range_violation, sum_violation, product_violation, 0.0)
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    return min(max(value, low), high)
+
+
+def _interior_split_point(a: float, b: float) -> float:
+    """The optimal ``x1`` from the proof of Lemma 3.5, for ``a, b > 0``.
+
+    ``x1`` is the value of ``a1`` maximising the representable ``c``:
+    ``x1 = (a(4-b) - sqrt(ab(4-a)(4-b))) / (2(a-b))`` for ``a != b`` and
+    ``x1 = 1`` for ``a == b``.  The result lies in ``[a/2, 2 - b/2]``.
+    """
+    if math.isclose(a, b, rel_tol=0.0, abs_tol=1e-12):
+        return 1.0
+    radicand = a * b * (4.0 - a) * (4.0 - b)
+    root = math.sqrt(max(radicand, 0.0))
+    x1 = (a * (4.0 - b) - root) / (2.0 * (a - b))
+    return _clamp(x1, a / 2.0, 2.0 - b / 2.0)
+
+
+def decompose_triple(
+    a: float, b: float, c: float, tolerance: float = DEFAULT_TOLERANCE
+) -> TripleDecomposition:
+    """Constructively decompose a representable triple.
+
+    Follows the constructive direction of Lemma 3.5: choose
+    ``a1 = x1``, ``a2 = a/x1``, ``b1 = 2 - x1``, ``b3 = b/(2 - x1)``,
+    ``c2 = 2 - a2`` and absorb the slack ``c <= f(a, b)`` into ``c3``.
+
+    Raises
+    ------
+    NotRepresentableError
+        If ``(a, b, c)`` is not in ``S_rep`` (up to ``tolerance``).
+    """
+    if not is_representable_triple(a, b, c, tolerance):
+        raise NotRepresentableError(
+            f"triple ({a}, {b}, {c}) is not representable"
+        )
+    a = _clamp(a, 0.0, 4.0)
+    b = _clamp(b, 0.0, 4.0)
+    c = _clamp(c, 0.0, 4.0)
+    if a + b > 4.0:
+        excess = a + b - 4.0
+        if a >= b:
+            a -= excess
+        else:
+            b -= excess
+
+    zero = 1e-15
+    if a <= zero and b <= zero:
+        # f(0, 0) = 4; put all the mass on the c-edge pair.
+        return TripleDecomposition(
+            a1=0.0, a2=0.0, b1=0.0, b3=0.0, c2=2.0, c3=c / 2.0
+        )
+    if a <= zero:
+        # f(0, b) = 4 - b; the u-side is free, so b and c each use one
+        # full half of their shared budgets.
+        return TripleDecomposition(
+            a1=0.0, a2=0.0, b1=2.0, b3=b / 2.0, c2=2.0, c3=c / 2.0
+        )
+    if b <= zero:
+        # Symmetric to the previous case.
+        return TripleDecomposition(
+            a1=2.0, a2=a / 2.0, b1=0.0, b3=0.0, c2=2.0 - a / 2.0,
+            c3=0.0 if c <= zero else c / (2.0 - a / 2.0),
+        )
+
+    x1 = _interior_split_point(a, b)
+    a1 = x1
+    a2 = _clamp(a / x1, 0.0, 2.0)
+    b1 = 2.0 - x1
+    b3 = _clamp(b / (2.0 - x1), 0.0, 2.0)
+    c2 = 2.0 - a2
+    c3_cap = 2.0 - b3
+    if c <= zero:
+        c2_final, c3 = c2, 0.0
+    elif c2 <= zero:
+        # f(a, b) = c2 * c3_cap = 0 here, so a representable c must be ~0.
+        c2_final, c3 = c2, 0.0
+    else:
+        c2_final = c2
+        c3 = _clamp(c / c2, 0.0, c3_cap)
+    return TripleDecomposition(a1=a1, a2=a2, b1=b1, b3=b3, c2=c2_final, c3=c3)
+
+
+# ----------------------------------------------------------------------
+# Incurvedness (Definition 3.4) — empirical certification
+# ----------------------------------------------------------------------
+def segment_points_inside(
+    s: Tuple[float, float, float],
+    s_prime: Tuple[float, float, float],
+    num_samples: int = 101,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[float]:
+    """Interpolation weights ``q`` where ``q*s + (1-q)*s'`` lies in ``S_rep``.
+
+    Incurvedness of ``S_rep`` (Lemma 3.7) says: if neither endpoint is in
+    ``S_rep``, the returned list is empty.  A *negative* tolerance makes the
+    membership test strict, which is the right setting for checking
+    incurvedness on endpoints that sit exactly on the boundary.
+    """
+    inside = []
+    for index in range(num_samples):
+        q = index / (num_samples - 1) if num_samples > 1 else 0.0
+        point = tuple(
+            q * x + (1.0 - q) * y for x, y in zip(s, s_prime)
+        )
+        if is_representable_triple(*point, tolerance=tolerance):
+            inside.append(q)
+    return inside
+
+
+def violates_incurvedness(
+    s: Tuple[float, float, float],
+    s_prime: Tuple[float, float, float],
+    num_samples: int = 101,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Whether the segment ``s``–``s'`` witnesses a failure of incurvedness.
+
+    True iff both endpoints are outside ``S_rep`` but some sampled interior
+    point is inside.  Lemma 3.7 proves this never happens.
+    """
+    if is_representable_triple(*s, tolerance=tolerance):
+        return False
+    if is_representable_triple(*s_prime, tolerance=tolerance):
+        return False
+    # Use a strict membership test for interior points so that boundary
+    # grazes do not count as violations.
+    interior = segment_points_inside(
+        s, s_prime, num_samples=num_samples, tolerance=-tolerance
+    )
+    return bool(interior)

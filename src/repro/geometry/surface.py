@@ -1,0 +1,165 @@
+"""The boundary surface of the set of representable triples.
+
+Lemma 3.5 of the paper characterises the set ``S_rep`` of representable
+triples as ``{(a, b, c) : a + b <= 4, 0 <= c <= f(a, b)}`` with
+
+    f(a, b) = 4 + (a*b - 2a - 2b - sqrt(a*b*(4-a)*(4-b))) / 2 .
+
+Lemma 3.6 proves ``f`` convex on ``{a, b >= 0, a + b <= 4}`` by showing the
+leading principal minors of its Hessian are positive.  This module
+implements ``f``, its gradient and Hessian (the closed forms from the
+paper's appendix), and pointwise convexity checks used by the Figure-1
+reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import ReproError
+
+#: Numerical tolerance for domain membership checks.
+DOMAIN_TOLERANCE = 1e-12
+
+
+def in_domain(a: float, b: float, tolerance: float = DOMAIN_TOLERANCE) -> bool:
+    """Whether ``(a, b)`` lies in ``{a, b >= 0, a + b <= 4}`` (up to tolerance)."""
+    return a >= -tolerance and b >= -tolerance and a + b <= 4.0 + tolerance
+
+
+def _require_domain(a: float, b: float) -> Tuple[float, float]:
+    """Clamp tiny numerical excursions, reject genuine domain violations."""
+    if not in_domain(a, b, tolerance=1e-9):
+        raise ReproError(
+            f"({a}, {b}) is outside the domain a, b >= 0, a + b <= 4"
+        )
+    a = min(max(a, 0.0), 4.0)
+    b = min(max(b, 0.0), 4.0)
+    if a + b > 4.0:
+        # Shave the (at most 1e-9) excess off the larger coordinate.
+        excess = a + b - 4.0
+        if a >= b:
+            a -= excess
+        else:
+            b -= excess
+    return a, b
+
+
+def boundary_surface(a: float, b: float) -> float:
+    """``f(a, b)``: the largest ``c`` such that ``(a, b, c)`` is representable.
+
+    Defined on ``{a, b >= 0, a + b <= 4}``; the paper's Lemma 3.5.  The
+    value is always in ``[0, 4]``: it equals 4 at the origin and 0 on the
+    line ``a + b = 4``.
+    """
+    a, b = _require_domain(a, b)
+    radicand = a * b * (4.0 - a) * (4.0 - b)
+    value = 4.0 + 0.5 * (a * b - 2.0 * a - 2.0 * b - math.sqrt(max(radicand, 0.0)))
+    # The exact value is non-negative on the domain; clamp float dust.
+    return max(value, 0.0)
+
+
+def surface_alternative_form(a: float, b: float) -> float:
+    """``f(a, b)`` via the equivalent form ``((sqrt((4-a)(4-b)) - sqrt(ab))/2)^2``.
+
+    The paper's appendix derives this as an intermediate identity; having
+    both forms lets tests cross-check the algebra.
+    """
+    a, b = _require_domain(a, b)
+    root = math.sqrt((4.0 - a) * (4.0 - b)) - math.sqrt(a * b)
+    return (root / 2.0) ** 2
+
+
+def gradient(a: float, b: float) -> Tuple[float, float]:
+    """``(df/da, df/db)`` at an interior point of the domain.
+
+    Uses the closed form from the paper's appendix:
+    ``df/da = (b - 2 - b(4-b)(4-2a) / (2 sqrt(ab(4-a)(4-b)))) / 2``.
+
+    Raises
+    ------
+    ReproError
+        If the point is on the boundary ``a = 0``, ``b = 0``, ``a = 4`` or
+        ``b = 4``, where the derivative is unbounded or undefined.
+    """
+    a, b = _require_domain(a, b)
+    radicand = a * b * (4.0 - a) * (4.0 - b)
+    if radicand <= 0.0:
+        raise ReproError(
+            f"gradient of f is undefined on the boundary (a={a}, b={b})"
+        )
+    root = math.sqrt(radicand)
+    df_da = 0.5 * (b - 2.0 - b * (4.0 - b) * (4.0 - 2.0 * a) / (2.0 * root))
+    df_db = 0.5 * (a - 2.0 - a * (4.0 - a) * (4.0 - 2.0 * b) / (2.0 * root))
+    return df_da, df_db
+
+
+def hessian(a: float, b: float) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """The Hessian of ``f`` at an interior point, in closed form.
+
+    From the paper's appendix:
+
+    * ``d2f/da2 = 2 / (a(4-a)) * sqrt(b(4-b) / (a(4-a)))``
+    * ``d2f/dadb = 1/2 - (2-a)(2-b) / (2 sqrt(ab(4-a)(4-b)))``
+
+    and symmetrically for ``d2f/db2``.
+    """
+    a, b = _require_domain(a, b)
+    qa = a * (4.0 - a)
+    qb = b * (4.0 - b)
+    if qa <= 0.0 or qb <= 0.0:
+        raise ReproError(
+            f"Hessian of f is undefined on the boundary (a={a}, b={b})"
+        )
+    faa = 2.0 / qa * math.sqrt(qb / qa)
+    fbb = 2.0 / qb * math.sqrt(qa / qb)
+    fab = 0.5 - (2.0 - a) * (2.0 - b) / (2.0 * math.sqrt(qa * qb))
+    return ((faa, fab), (fab, fbb))
+
+
+def hessian_minors(a: float, b: float) -> Tuple[float, float]:
+    """The two leading principal minors of the Hessian at ``(a, b)``.
+
+    Lemma 3.6 proves both are strictly positive on the open domain, which
+    by Sylvester's criterion makes the Hessian positive definite and ``f``
+    convex.
+    """
+    ((faa, fab), (_, fbb)) = hessian(a, b)
+    return faa, faa * fbb - fab * fab
+
+
+def is_convex_at(a: float, b: float, tolerance: float = 0.0) -> bool:
+    """Whether the convexity certificate holds at the interior point ``(a, b)``."""
+    first, second = hessian_minors(a, b)
+    return first > tolerance and second > tolerance
+
+
+def numerical_gradient(a: float, b: float, step: float = 1e-6) -> Tuple[float, float]:
+    """Central-difference gradient of ``f``, for cross-checking the closed form."""
+    df_da = (boundary_surface(a + step, b) - boundary_surface(a - step, b)) / (
+        2.0 * step
+    )
+    df_db = (boundary_surface(a, b + step) - boundary_surface(a, b - step)) / (
+        2.0 * step
+    )
+    return df_da, df_db
+
+
+def surface_grid(resolution: int) -> Tuple[list, list, list]:
+    """Sample ``f`` on a triangular grid over its domain (Figure 1 data).
+
+    Returns parallel lists ``(a_values, b_values, f_values)`` covering the
+    points ``(4i/resolution, 4j/resolution)`` with ``a + b <= 4``.
+    """
+    if resolution < 1:
+        raise ReproError("resolution must be at least 1")
+    a_values, b_values, f_values = [], [], []
+    for i in range(resolution + 1):
+        a = 4.0 * i / resolution
+        for j in range(resolution + 1 - i):
+            b = 4.0 * j / resolution
+            a_values.append(a)
+            b_values.append(b)
+            f_values.append(boundary_surface(a, b))
+    return a_values, b_values, f_values

@@ -1,0 +1,64 @@
+"""LLL instance framework (substrate S2).
+
+Instances (:class:`LLLInstance`), the variable hypergraph
+(:class:`Hypergraph`), the criteria of the complexity landscape
+(:mod:`repro.lll.criteria`), and independent solution verification
+(:func:`verify_solution`).
+"""
+
+from repro.lll.asymmetric import (
+    asymmetric_criterion_holds,
+    certificate_is_valid,
+    expected_moser_tardos_resamplings,
+    find_asymmetric_certificate,
+)
+from repro.lll.criteria import (
+    Criterion,
+    ExponentialCriterion,
+    GHKCriterion,
+    NaiveRankCriterion,
+    PolynomialCriterion,
+    SymmetricLLLCriterion,
+    criterion_report,
+)
+from repro.lll.hypergraph import Hyperedge, Hypergraph
+from repro.lll.instance import LLLInstance
+from repro.lll.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.lll.verify import (
+    PreconditionReport,
+    VerificationResult,
+    check_local_criterion,
+    check_preconditions,
+    verify_solution,
+)
+
+__all__ = [
+    "Criterion",
+    "asymmetric_criterion_holds",
+    "certificate_is_valid",
+    "expected_moser_tardos_resamplings",
+    "find_asymmetric_certificate",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "save_instance",
+    "ExponentialCriterion",
+    "GHKCriterion",
+    "Hyperedge",
+    "Hypergraph",
+    "LLLInstance",
+    "NaiveRankCriterion",
+    "PolynomialCriterion",
+    "PreconditionReport",
+    "SymmetricLLLCriterion",
+    "VerificationResult",
+    "check_local_criterion",
+    "check_preconditions",
+    "criterion_report",
+    "verify_solution",
+]

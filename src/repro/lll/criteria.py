@@ -1,0 +1,146 @@
+"""LLL criteria: the thresholds the paper's complexity landscape is built on.
+
+Each criterion is a predicate on the pair ``(p, d)`` — maximum bad-event
+probability and maximum dependency degree.  The paper's sharp threshold sits
+at the *exponential* criterion ``p < 2^-d``; the others appear in its
+related-work comparison (Section 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.errors import CriterionViolationError
+
+
+class Criterion:
+    """Base class for symmetric LLL criteria.
+
+    Subclasses implement :meth:`threshold`, the largest event probability
+    allowed at dependency degree ``d``; a pair satisfies the criterion iff
+    ``p < threshold(d)``.
+    """
+
+    #: Human-readable formula, overridden by subclasses.
+    formula: str = "?"
+
+    def threshold(self, d: int) -> float:
+        """The supremum of admissible ``p`` at degree ``d``."""
+        raise NotImplementedError
+
+    def is_satisfied(self, p: float, d: int) -> bool:
+        """Whether ``(p, d)`` strictly satisfies the criterion."""
+        return p < self.threshold(d)
+
+    def margin(self, p: float, d: int) -> float:
+        """``threshold(d) / p``: how much slack the instance has (>1 is good).
+
+        Returns ``inf`` when ``p == 0``.
+        """
+        if p == 0.0:
+            return math.inf
+        return self.threshold(d) / p
+
+    def require(self, p: float, d: int, context: str = "") -> None:
+        """Raise :class:`CriterionViolationError` unless satisfied."""
+        if not self.is_satisfied(p, d):
+            where = f" ({context})" if context else ""
+            raise CriterionViolationError(
+                f"criterion {self.formula} violated{where}: "
+                f"p={p:.6g}, d={d}, threshold={self.threshold(d):.6g}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.formula})"
+
+
+class ExponentialCriterion(Criterion):
+    """``p < 2^-d`` — the paper's sharp threshold (Theorems 1.1 and 1.3)."""
+
+    formula = "p < 2^-d"
+
+    def threshold(self, d: int) -> float:
+        return 2.0 ** (-d)
+
+
+class SymmetricLLLCriterion(Criterion):
+    """``e·p·(d+1) < 1`` — the classical symmetric Lovász Local Lemma."""
+
+    formula = "e*p*(d+1) < 1"
+
+    def threshold(self, d: int) -> float:
+        return 1.0 / (math.e * (d + 1))
+
+
+class PolynomialCriterion(Criterion):
+    """``e·p·d² < 1`` — the Chung-Pettie-Su criterion [CPS17]."""
+
+    formula = "e*p*d^2 < 1"
+
+    def threshold(self, d: int) -> float:
+        if d == 0:
+            return 1.0
+        return 1.0 / (math.e * d * d)
+
+
+class GHKCriterion(Criterion):
+    """``d^8·p ≤ c`` — the Ghaffari-Harris-Kuhn criterion [GHK18].
+
+    Parameters
+    ----------
+    constant:
+        The ``O(1)`` constant; defaults to 1.
+    """
+
+    def __init__(self, constant: float = 1.0) -> None:
+        self._constant = float(constant)
+        self.formula = f"d^8*p < {self._constant:g}"
+
+    def threshold(self, d: int) -> float:
+        if d == 0:
+            return 1.0
+        return self._constant / float(d) ** 8
+
+
+class NaiveRankCriterion(Criterion):
+    """``p < r^-C(d, r-1)`` — what the *straightforward* rank-r generalisation needs.
+
+    Section 1 of the paper derives this cost of naively extending the rank-2
+    argument: each fixing may multiply probabilities by ``r``, and an event
+    may depend on ``C(d, r-1)`` variables.  The paper's main theorem shows
+    the far weaker ``p < 2^-d`` suffices for ``r = 3``; this class exists so
+    benchmarks can show how much stronger the naive requirement is.
+    """
+
+    def __init__(self, r: int) -> None:
+        if r < 2:
+            raise CriterionViolationError("rank must be at least 2")
+        self._r = r
+        self.formula = f"p < {r}^-C(d,{r - 1})"
+
+    def threshold(self, d: int) -> float:
+        exponent = math.comb(d, self._r - 1)
+        return float(self._r) ** (-exponent)
+
+
+def criterion_report(p: float, d: int) -> Dict[str, Dict[str, object]]:
+    """Evaluate all standard criteria for a ``(p, d)`` pair.
+
+    Returns a mapping from criterion formula to a dict with keys
+    ``satisfied``, ``threshold`` and ``margin``.
+    """
+    criteria = (
+        ExponentialCriterion(),
+        SymmetricLLLCriterion(),
+        PolynomialCriterion(),
+        GHKCriterion(),
+    )
+    report = {}
+    for criterion in criteria:
+        report[criterion.formula] = {
+            "satisfied": criterion.is_satisfied(p, d),
+            "threshold": criterion.threshold(d),
+            "margin": criterion.margin(p, d),
+        }
+    return report

@@ -1,0 +1,160 @@
+"""A small hypergraph data structure.
+
+The paper works with the hypergraph ``H = (V, F)`` whose nodes are the bad
+events and which has one hyperedge per random variable, connecting exactly
+the events that depend on that variable (Section 3).  The *rank* of ``H``
+is the cardinality of its largest hyperedge — the paper's parameter ``r``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class Hyperedge:
+    """A named hyperedge: a non-empty frozen set of nodes."""
+
+    __slots__ = ("_name", "_nodes")
+
+    def __init__(self, name: Hashable, nodes: Iterable[Hashable]) -> None:
+        nodes = frozenset(nodes)
+        if not nodes:
+            raise ReproError(f"hyperedge {name!r} must contain at least one node")
+        self._name = name
+        self._nodes = nodes
+
+    @property
+    def name(self) -> Hashable:
+        """The hyperedge's identifier."""
+        return self._name
+
+    @property
+    def nodes(self) -> FrozenSet[Hashable]:
+        """The set of nodes the hyperedge connects."""
+        return self._nodes
+
+    @property
+    def cardinality(self) -> int:
+        """Number of nodes in the hyperedge."""
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"Hyperedge(name={self._name!r}, nodes={sorted(map(repr, self._nodes))})"
+
+
+class Hypergraph:
+    """A hypergraph with named nodes and named hyperedges."""
+
+    __slots__ = ("_nodes", "_edges", "_incidence")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[Hashable, None] = {}
+        self._edges: Dict[Hashable, Hyperedge] = {}
+        self._incidence: Dict[Hashable, List[Hyperedge]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        """Add an isolated node (idempotent)."""
+        if node not in self._nodes:
+            self._nodes[node] = None
+            self._incidence[node] = []
+
+    def add_edge(self, name: Hashable, nodes: Iterable[Hashable]) -> Hyperedge:
+        """Add a hyperedge; missing endpoints are created.
+
+        Raises
+        ------
+        ReproError
+            If an edge with the same name already exists.
+        """
+        if name in self._edges:
+            raise ReproError(f"hyperedge named {name!r} already exists")
+        edge = Hyperedge(name, nodes)
+        self._edges[name] = edge
+        for node in edge.nodes:
+            self.add_node(node)
+            self._incidence[node].append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> Tuple[Hyperedge, ...]:
+        """All hyperedges, in insertion order."""
+        return tuple(self._edges.values())
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of hyperedges."""
+        return len(self._edges)
+
+    def edge(self, name: Hashable) -> Hyperedge:
+        """Look up a hyperedge by name."""
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise ReproError(f"no hyperedge named {name!r}") from None
+
+    def has_node(self, node: Hashable) -> bool:
+        """Whether the node exists."""
+        return node in self._nodes
+
+    def incident_edges(self, node: Hashable) -> Tuple[Hyperedge, ...]:
+        """Hyperedges containing ``node``."""
+        try:
+            return tuple(self._incidence[node])
+        except KeyError:
+            raise ReproError(f"no node named {node!r}") from None
+
+    def degree(self, node: Hashable) -> int:
+        """Number of hyperedges containing ``node``."""
+        return len(self.incident_edges(node))
+
+    @property
+    def rank(self) -> int:
+        """Cardinality of the largest hyperedge (0 for an edgeless graph)."""
+        if not self._edges:
+            return 0
+        return max(edge.cardinality for edge in self._edges.values())
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum node degree (0 for a nodeless graph)."""
+        if not self._incidence:
+            return 0
+        return max(len(edges) for edges in self._incidence.values())
+
+    def neighbors(self, node: Hashable) -> FrozenSet[Hashable]:
+        """Nodes sharing at least one hyperedge with ``node`` (excl. itself)."""
+        found = set()
+        for edge in self.incident_edges(node):
+            found.update(edge.nodes)
+        found.discard(node)
+        return frozenset(found)
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph({self.num_nodes} nodes, {self.num_edges} edges, "
+            f"rank={self.rank})"
+        )

@@ -1,0 +1,137 @@
+"""Verification helpers: solution checking and precondition checking.
+
+The fixers of :mod:`repro.core` promise assignments that avoid every bad
+event.  :func:`verify_solution` checks that promise independently, and
+:func:`check_preconditions` validates an instance against the rank bound and
+the exponential criterion before an algorithm runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.errors import CriterionViolationError, RankViolationError
+from repro.lll.criteria import ExponentialCriterion
+from repro.lll.instance import LLLInstance
+from repro.probability import PartialAssignment
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of checking an assignment against an instance."""
+
+    #: Whether every variable of the instance is fixed.
+    complete: bool
+    #: Names of bad events that occur (empty for a valid solution).
+    occurring: Tuple[Hashable, ...]
+    #: Names of variables that are still unfixed.
+    unfixed: Tuple[Hashable, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the assignment is complete and avoids every bad event."""
+        return self.complete and not self.occurring
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_solution(
+    instance: LLLInstance, assignment: PartialAssignment
+) -> VerificationResult:
+    """Check whether ``assignment`` is a complete, event-avoiding solution."""
+    unfixed = tuple(
+        variable.name
+        for variable in instance.variables
+        if not assignment.is_fixed(variable.name)
+    )
+    if unfixed:
+        return VerificationResult(complete=False, occurring=(), unfixed=unfixed)
+    occurring = tuple(event.name for event in instance.occurring_events(assignment))
+    return VerificationResult(complete=True, occurring=occurring, unfixed=())
+
+
+@dataclass(frozen=True)
+class PreconditionReport:
+    """Parameters gathered while checking an instance's preconditions."""
+
+    p: float
+    d: int
+    rank: int
+    threshold: float
+
+    @property
+    def slack(self) -> float:
+        """``threshold / p`` (``inf`` if p is 0)."""
+        if self.p == 0.0:
+            return float("inf")
+        return self.threshold / self.p
+
+
+def check_local_criterion(instance: LLLInstance) -> None:
+    """Check the per-event exponential criterion ``p_v < 2^-deg(v)``.
+
+    This is the condition the paper's bookkeeping argument actually uses:
+    every edge value is at most 2, so the final certified bound of event
+    ``v`` is ``p_v * 2^deg(v)``.  It is implied by the paper's global
+    statement ``p < 2^-d`` but is strictly weaker on irregular dependency
+    graphs (e.g. trees), where low-degree events tolerate much larger
+    probabilities than ``2^-d``.
+
+    Raises
+    ------
+    CriterionViolationError
+        Naming the first event that violates its local bound.
+    """
+    graph = instance.dependency_graph
+    for event in instance.events:
+        degree = graph.degree(event.name)
+        probability = event.probability()
+        if probability >= 2.0 ** (-degree):
+            raise CriterionViolationError(
+                f"event {event.name!r} violates the local criterion: "
+                f"p={probability:.6g} >= 2^-deg = {2.0 ** (-degree):.6g} "
+                f"(deg={degree})"
+            )
+
+
+def check_preconditions(
+    instance: LLLInstance,
+    max_rank: Optional[int] = None,
+    require_criterion=True,
+) -> PreconditionReport:
+    """Validate an instance for the paper's deterministic fixers.
+
+    Parameters
+    ----------
+    instance:
+        The LLL instance to check.
+    max_rank:
+        If given, raise :class:`RankViolationError` when any variable
+        affects more than this many events.
+    require_criterion:
+        ``True`` (default) enforces the paper's global criterion
+        ``p < 2^-d``; the string ``"local"`` enforces the strictly weaker
+        per-event criterion ``p_v < 2^-deg(v)`` (see
+        :func:`check_local_criterion`); ``False`` skips the check.
+
+    Returns
+    -------
+    PreconditionReport
+        The measured ``p``, ``d``, rank and exponential threshold.
+    """
+    rank = instance.rank
+    if max_rank is not None and rank > max_rank:
+        raise RankViolationError(
+            f"instance has rank {rank}, but the algorithm supports at most "
+            f"rank {max_rank}"
+        )
+    p = instance.max_event_probability
+    d = instance.max_dependency_degree
+    criterion = ExponentialCriterion()
+    if require_criterion == "local":
+        check_local_criterion(instance)
+    elif require_criterion:
+        criterion.require(p, d, context=f"instance with {instance.num_events} events")
+    return PreconditionReport(p=p, d=d, rank=rank, threshold=criterion.threshold(d))

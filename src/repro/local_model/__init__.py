@@ -1,0 +1,37 @@
+"""Synchronous LOCAL-model simulator (substrate S7).
+
+Networks with port numberings (:class:`Network`), node algorithms
+(:class:`LocalAlgorithm`, :class:`NodeState`) and the lock-step simulator
+(:class:`Simulator`).  The virtual-graph helpers
+(:func:`line_graph_network`, :func:`square_graph_network`) support running
+node algorithms on the line graph and on ``G^2`` with an explicit,
+accounted simulation factor.
+"""
+
+from repro.local_model.algorithm import BroadcastValue, LocalAlgorithm, NodeState
+from repro.local_model.network import (
+    Network,
+    line_graph_network,
+    square_graph_network,
+)
+from repro.local_model.simulator import (
+    DEFAULT_MAX_ROUNDS,
+    RoundTrace,
+    SimulationResult,
+    Simulator,
+    run_algorithm,
+)
+
+__all__ = [
+    "BroadcastValue",
+    "DEFAULT_MAX_ROUNDS",
+    "LocalAlgorithm",
+    "Network",
+    "NodeState",
+    "RoundTrace",
+    "SimulationResult",
+    "Simulator",
+    "line_graph_network",
+    "run_algorithm",
+    "square_graph_network",
+]

@@ -1,0 +1,125 @@
+"""The node-algorithm interface of the LOCAL model.
+
+A :class:`LocalAlgorithm` describes the behaviour of a single node in a
+synchronous message-passing network: in every round each node composes
+one (unbounded) message per neighbor, receives its neighbors' messages,
+and updates its local state.  The simulator instantiates one
+:class:`NodeState` per node and drives all of them in lock-step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class NodeState:
+    """The local view a node has of itself during a simulation.
+
+    Attributes
+    ----------
+    identifier:
+        The node's globally unique identifier.
+    neighbors:
+        Identifiers of the neighbors, in port order.  (The LOCAL model
+        permits nodes to see neighbor identifiers; algorithms that only
+        need port numbers can ignore the values.)
+    memory:
+        Free-form per-node storage for the algorithm.
+    input:
+        Problem-specific input handed to this node (may be ``None``).
+    output:
+        The node's final answer; assigned via :meth:`halt_with`.
+    """
+
+    __slots__ = ("identifier", "neighbors", "memory", "input", "output", "halted")
+
+    def __init__(
+        self,
+        identifier: Hashable,
+        neighbors: Tuple[Hashable, ...],
+        node_input: Any = None,
+    ) -> None:
+        self.identifier = identifier
+        self.neighbors = neighbors
+        self.memory: Dict[str, Any] = {}
+        self.input = node_input
+        self.output: Any = None
+        self.halted = False
+
+    @property
+    def degree(self) -> int:
+        """The node's degree."""
+        return len(self.neighbors)
+
+    def halt_with(self, output: Any) -> None:
+        """Record the final output and stop participating."""
+        if self.halted:
+            raise SimulationError(
+                f"node {self.identifier!r} attempted to halt twice"
+            )
+        self.output = output
+        self.halted = True
+
+
+class LocalAlgorithm:
+    """Behaviour of every node; subclass and override the three hooks.
+
+    The same algorithm object is shared by all nodes — it must keep no
+    per-node state of its own; everything node-local lives in
+    ``node.memory``.
+    """
+
+    def initialize(self, node: NodeState) -> None:
+        """Set up ``node.memory`` before round 1.  Default: nothing."""
+
+    def send(self, node: NodeState, round_number: int) -> Dict[Hashable, Any]:
+        """Compose this round's outgoing messages.
+
+        Returns a mapping from neighbor identifier to message.  Neighbors
+        omitted from the mapping receive ``None``.  Returning the same
+        object for every neighbor broadcasts it.
+        """
+        return {}
+
+    def receive(
+        self,
+        node: NodeState,
+        messages: Mapping[Hashable, Any],
+        round_number: int,
+    ) -> None:
+        """Process the messages received this round and update state.
+
+        ``messages`` maps each neighbor identifier to the message it sent
+        this round (``None`` if it sent nothing or has halted).  Call
+        ``node.halt_with(output)`` to finish.
+        """
+
+
+class BroadcastValue(LocalAlgorithm):
+    """Tiny built-in algorithm: flood-and-halt after ``rounds`` rounds.
+
+    Used by tests to validate the simulator's message delivery and round
+    accounting: after ``rounds`` rounds every node knows all identifiers
+    within distance ``rounds``.
+    """
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 1:
+            raise SimulationError("rounds must be at least 1")
+        self._rounds = rounds
+
+    def initialize(self, node: NodeState) -> None:
+        node.memory["known"] = {node.identifier}
+
+    def send(self, node: NodeState, round_number: int) -> Dict[Hashable, Any]:
+        payload = frozenset(node.memory["known"])
+        return {neighbor: payload for neighbor in node.neighbors}
+
+    def receive(self, node: NodeState, messages, round_number: int) -> None:
+        for payload in messages.values():
+            if payload:
+                node.memory["known"].update(payload)
+        if round_number >= self._rounds:
+            node.halt_with(frozenset(node.memory["known"]))

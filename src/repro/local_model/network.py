@@ -1,0 +1,135 @@
+"""Communication networks for the LOCAL model.
+
+A :class:`Network` wraps an undirected simple graph whose nodes carry
+unique comparable identifiers.  Each node's incident edges are numbered by
+*ports* (0-based, ordered by neighbor identifier), matching the standard
+port-numbering formalisation of the LOCAL model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+from repro.errors import SimulationError
+
+
+class Network:
+    """An immutable communication graph with port numberings."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise SimulationError("network must have at least one node")
+        if any(graph.has_edge(node, node) for node in graph.nodes()):
+            raise SimulationError("self-loops are not allowed")
+        self._graph = graph
+        self._neighbors: Dict[Hashable, Tuple[Hashable, ...]] = {}
+        for node in graph.nodes():
+            try:
+                ordered = tuple(sorted(graph.neighbors(node)))
+            except TypeError:
+                ordered = tuple(
+                    sorted(graph.neighbors(node), key=repr)
+                )
+            self._neighbors[node] = ordered
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying graph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """All node identifiers."""
+        return tuple(self._neighbors)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._neighbors)
+
+    @property
+    def max_degree(self) -> int:
+        """The maximum degree of the network."""
+        return max((len(n) for n in self._neighbors.values()), default=0)
+
+    def neighbors(self, node: Hashable) -> Tuple[Hashable, ...]:
+        """The neighbors of ``node``, in port order."""
+        try:
+            return self._neighbors[node]
+        except KeyError:
+            raise SimulationError(f"no node {node!r} in network") from None
+
+    def degree(self, node: Hashable) -> int:
+        """The degree of ``node``."""
+        return len(self.neighbors(node))
+
+    def port_of(self, node: Hashable, neighbor: Hashable) -> int:
+        """The port number of ``neighbor`` at ``node``."""
+        try:
+            return self.neighbors(node).index(neighbor)
+        except ValueError:
+            raise SimulationError(
+                f"{neighbor!r} is not adjacent to {node!r}"
+            ) from None
+
+    def identifier_space(self) -> int:
+        """An upper bound on numeric node identifiers, for Linial coloring.
+
+        Nodes must be non-negative integers for this to be meaningful;
+        other identifier types raise.
+        """
+        ids = self.nodes
+        if not all(isinstance(node, int) and node >= 0 for node in ids):
+            raise SimulationError(
+                "identifier_space requires non-negative integer node ids"
+            )
+        return max(ids) + 1
+
+
+def line_graph_network(network: Network) -> Tuple[Network, Dict]:
+    """The line graph of a network, plus the edge -> virtual-node map.
+
+    Virtual nodes are consecutive integers assigned in sorted edge order,
+    so the result supports :meth:`Network.identifier_space`.  Running a
+    LOCAL algorithm on the line graph costs a constant simulation factor
+    on the host graph (each virtual round is two host rounds); the
+    distributed fixers account for this explicitly.
+    """
+    base = network.graph
+    edges = sorted(
+        (min(u, v), max(u, v)) for u, v in base.edges()
+    )
+    index = {edge: i for i, edge in enumerate(edges)}
+    virtual = nx.Graph()
+    virtual.add_nodes_from(range(len(edges)))
+    for node in base.nodes():
+        incident = sorted(
+            (min(node, other), max(node, other)) for other in base.neighbors(node)
+        )
+        for i, first in enumerate(incident):
+            for second in incident[i + 1 :]:
+                virtual.add_edge(index[first], index[second])
+    return Network(virtual), index
+
+
+def square_graph_network(network: Network) -> Network:
+    """The square ``G^2``: nodes adjacent iff within distance two in ``G``.
+
+    A proper coloring of ``G^2`` is exactly a 2-hop coloring of ``G``
+    (footnote 4 of the paper).  Simulation factor on the host graph: two
+    host rounds per virtual round.
+    """
+    base = network.graph
+    square = nx.Graph()
+    square.add_nodes_from(base.nodes())
+    for node in base.nodes():
+        reach = set()
+        for neighbor in base.neighbors(node):
+            reach.add(neighbor)
+            reach.update(base.neighbors(neighbor))
+        reach.discard(node)
+        for other in reach:
+            square.add_edge(node, other)
+    return Network(square)

@@ -1,0 +1,201 @@
+"""The synchronous LOCAL-model simulator.
+
+Runs a :class:`repro.local_model.algorithm.LocalAlgorithm` on a
+:class:`repro.local_model.network.Network` in lock-step rounds.  One round
+is: every non-halted node composes messages (``send``), all messages are
+delivered simultaneously, every non-halted node processes its inbox
+(``receive``).  The round count — the paper's complexity measure — is the
+number of such rounds executed before every node has halted.
+
+Messages are unbounded, as in LOCAL; the simulator nevertheless tracks a
+total message count and the largest message ``repr`` length, which the
+benchmarks report as a sanity statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.errors import SimulationError
+from repro.local_model.algorithm import LocalAlgorithm, NodeState
+from repro.local_model.network import Network
+
+#: Default budget preventing non-terminating algorithms from spinning.
+DEFAULT_MAX_ROUNDS = 10_000
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """Per-round message statistics (collected with ``record_trace``)."""
+
+    #: 1-based round number.
+    round_number: int
+    #: Non-``None`` messages delivered this round.
+    messages: int
+    #: Nodes that sent at least one message this round.
+    active_senders: int
+    #: Total ``repr`` length of delivered payloads — a crude size proxy
+    #: (LOCAL allows unbounded messages; this tracks how much is used).
+    payload_chars: int
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running an algorithm to completion."""
+
+    #: Number of communication rounds executed.
+    rounds: int
+    #: Final output of every node.
+    outputs: Dict[Hashable, Any]
+    #: Total number of non-``None`` messages delivered.
+    messages_delivered: int
+    #: Per-round statistics; empty unless the simulator recorded traces.
+    trace: List["RoundTrace"] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.trace is None:
+            self.trace = []
+
+    def output_of(self, node: Hashable) -> Any:
+        """The output of one node."""
+        return self.outputs[node]
+
+
+class Simulator:
+    """Drives one algorithm over one network.
+
+    Parameters
+    ----------
+    network:
+        The communication graph.
+    algorithm:
+        The node behaviour (shared by all nodes).
+    inputs:
+        Optional per-node problem input, keyed by node identifier.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        algorithm: LocalAlgorithm,
+        inputs: Optional[Dict[Hashable, Any]] = None,
+        record_trace: bool = False,
+    ) -> None:
+        self._network = network
+        self._algorithm = algorithm
+        inputs = inputs or {}
+        self._states: Dict[Hashable, NodeState] = {
+            node: NodeState(node, network.neighbors(node), inputs.get(node))
+            for node in network.nodes
+        }
+        self._rounds = 0
+        self._messages_delivered = 0
+        self._record_trace = record_trace
+        self._trace: List[RoundTrace] = []
+        for state in self._states.values():
+            algorithm.initialize(state)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Rounds executed so far."""
+        return self._rounds
+
+    def state_of(self, node: Hashable) -> NodeState:
+        """Inspect one node's state (tests and composite algorithms)."""
+        return self._states[node]
+
+    @property
+    def all_halted(self) -> bool:
+        """Whether every node has halted."""
+        return all(state.halted for state in self._states.values())
+
+    def step(self) -> None:
+        """Execute one synchronous round."""
+        outboxes: Dict[Hashable, Dict[Hashable, Any]] = {}
+        round_number = self._rounds + 1
+        for node, state in self._states.items():
+            if state.halted:
+                continue
+            outbox = self._algorithm.send(state, round_number)
+            for neighbor in outbox:
+                if neighbor not in state.neighbors:
+                    raise SimulationError(
+                        f"node {node!r} addressed non-neighbor {neighbor!r}"
+                    )
+            outboxes[node] = outbox
+        inboxes: Dict[Hashable, Dict[Hashable, Any]] = {
+            node: {} for node in self._states
+        }
+        round_messages = 0
+        round_chars = 0
+        active_senders = 0
+        for sender, outbox in outboxes.items():
+            sent_any = False
+            for receiver, message in outbox.items():
+                inboxes[receiver][sender] = message
+                if message is not None:
+                    self._messages_delivered += 1
+                    round_messages += 1
+                    sent_any = True
+                    if self._record_trace:
+                        round_chars += len(repr(message))
+            if sent_any:
+                active_senders += 1
+        if self._record_trace:
+            self._trace.append(
+                RoundTrace(
+                    round_number=round_number,
+                    messages=round_messages,
+                    active_senders=active_senders,
+                    payload_chars=round_chars,
+                )
+            )
+        for node, state in self._states.items():
+            if state.halted:
+                continue
+            inbox = {
+                neighbor: inboxes[node].get(neighbor) for neighbor in state.neighbors
+            }
+            self._algorithm.receive(state, inbox, round_number)
+        self._rounds = round_number
+
+    def run(self, max_rounds: int = DEFAULT_MAX_ROUNDS) -> SimulationResult:
+        """Run until every node halts (or the budget is exhausted).
+
+        Raises
+        ------
+        SimulationError
+            If some node has not halted after ``max_rounds`` rounds.
+        """
+        while not self.all_halted:
+            if self._rounds >= max_rounds:
+                unfinished = [
+                    node for node, state in self._states.items() if not state.halted
+                ]
+                raise SimulationError(
+                    f"{len(unfinished)} nodes still running after "
+                    f"{max_rounds} rounds (e.g. {unfinished[:3]!r})"
+                )
+            self.step()
+        return SimulationResult(
+            rounds=self._rounds,
+            outputs={
+                node: state.output for node, state in self._states.items()
+            },
+            messages_delivered=self._messages_delivered,
+            trace=list(self._trace),
+        )
+
+
+def run_algorithm(
+    network: Network,
+    algorithm: LocalAlgorithm,
+    inputs: Optional[Dict[Hashable, Any]] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(network, algorithm, inputs).run(max_rounds)

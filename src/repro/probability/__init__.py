@@ -1,0 +1,21 @@
+"""Exact discrete probability engine (substrate S1).
+
+Independent finite random variables (:class:`DiscreteVariable`), partial
+assignments (:class:`PartialAssignment`), bad events with exact conditional
+probabilities (:class:`BadEvent`), and whole-space operations
+(:class:`ProductSpace`).
+"""
+
+from repro.probability.assignment import PartialAssignment
+from repro.probability.event import BadEvent, DEFAULT_ENUMERATION_LIMIT
+from repro.probability.space import DEFAULT_SPACE_LIMIT, ProductSpace
+from repro.probability.variable import DiscreteVariable
+
+__all__ = [
+    "BadEvent",
+    "DiscreteVariable",
+    "PartialAssignment",
+    "ProductSpace",
+    "DEFAULT_ENUMERATION_LIMIT",
+    "DEFAULT_SPACE_LIMIT",
+]

@@ -1,0 +1,258 @@
+"""Bad events over discrete random variables, with exact conditionals.
+
+A :class:`BadEvent` is a predicate over the values of a finite *scope* of
+independent discrete variables.  The central operation is
+:meth:`BadEvent.probability`: the exact probability that the event occurs
+conditioned on a partial assignment, computed by enumerating the product
+space of the still-unfixed scope variables.
+
+Exactness matters: the paper's algorithms compare conditional probability
+*ratios* (``Inc`` values) against geometric constraints with equality cases,
+so a Monte-Carlo estimate would make the invariant checks meaningless.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import EnumerationLimitError, UnknownVariableError
+from repro.probability.assignment import PartialAssignment
+from repro.probability.variable import DiscreteVariable
+
+#: Default cap on the number of outcomes enumerated per probability query.
+DEFAULT_ENUMERATION_LIMIT = 1 << 22
+
+
+class BadEvent:
+    """A bad event depending on a finite set of discrete variables.
+
+    Parameters
+    ----------
+    name:
+        Hashable identifier, unique within an LLL instance.  In the
+        distributed view this is the node of the dependency graph hosting
+        the event.
+    variables:
+        The scope: every variable the predicate may read.  The dependency
+        graph of an instance is derived from scope intersections, so the
+        scope should be tight.
+    predicate:
+        ``predicate(values)`` receives a dict mapping each scope variable's
+        name to a value and returns ``True`` iff the *bad* event occurs
+        under that outcome.
+    enumeration_limit:
+        Safety cap on exact enumeration size (see
+        :class:`repro.errors.EnumerationLimitError`).
+    """
+
+    __slots__ = (
+        "_name",
+        "_variables",
+        "_scope_names",
+        "_predicate",
+        "_enumeration_limit",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        name: Hashable,
+        variables: Sequence[DiscreteVariable],
+        predicate: Callable[[Mapping[Hashable, Hashable]], bool],
+        enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    ) -> None:
+        self._name = name
+        self._variables = tuple(variables)
+        self._scope_names = tuple(v.name for v in self._variables)
+        if len(set(self._scope_names)) != len(self._scope_names):
+            raise UnknownVariableError(
+                f"event {name!r} lists a variable twice in its scope"
+            )
+        self._predicate = predicate
+        self._enumeration_limit = int(enumeration_limit)
+        self._cache: Dict[Tuple[Tuple[Hashable, Hashable], ...], float] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> Hashable:
+        """The event's identifier."""
+        return self._name
+
+    @property
+    def variables(self) -> Tuple[DiscreteVariable, ...]:
+        """The scope variables, in construction order."""
+        return self._variables
+
+    @property
+    def scope_names(self) -> Tuple[Hashable, ...]:
+        """Names of the scope variables."""
+        return self._scope_names
+
+    def depends_on(self, variable_name: Hashable) -> bool:
+        """Whether ``variable_name`` is in the event's scope."""
+        return variable_name in self._scope_names
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def occurs(self, assignment: PartialAssignment) -> bool:
+        """Evaluate the predicate under a *complete* (for this scope) assignment.
+
+        Raises
+        ------
+        UnknownVariableError
+            If any scope variable is unfixed.
+        """
+        values = {}
+        for name in self._scope_names:
+            if not assignment.is_fixed(name):
+                raise UnknownVariableError(
+                    f"cannot evaluate event {self._name!r}: variable {name!r} "
+                    f"is not fixed"
+                )
+            values[name] = assignment.value_of(name)
+        return bool(self._predicate(values))
+
+    def probability(self, assignment: Optional[PartialAssignment] = None) -> float:
+        """Exact ``Pr[event | assignment]``.
+
+        Unfixed scope variables are enumerated over their full support;
+        fixed scope variables are pinned.  Variables outside the scope are
+        ignored (they are independent of the event).
+        """
+        if assignment is None:
+            assignment = _EMPTY_ASSIGNMENT
+        key = assignment.restriction_key(self._scope_names)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        fixed_values: Dict[Hashable, Hashable] = {}
+        free: list = []
+        for variable in self._variables:
+            if assignment.is_fixed(variable.name):
+                fixed_values[variable.name] = assignment.value_of(variable.name)
+            else:
+                free.append(variable)
+
+        outcome_count = 1
+        for variable in free:
+            outcome_count *= variable.num_values
+            if outcome_count > self._enumeration_limit:
+                raise EnumerationLimitError(
+                    f"event {self._name!r}: enumerating {len(free)} free "
+                    f"variables exceeds the limit of "
+                    f"{self._enumeration_limit} outcomes"
+                )
+
+        probability = self._enumerate(fixed_values, free)
+        self._cache[key] = probability
+        return probability
+
+    def _enumerate(
+        self,
+        fixed_values: Dict[Hashable, Hashable],
+        free: Sequence[DiscreteVariable],
+    ) -> float:
+        """Sum the probability mass of outcomes where the predicate holds."""
+        if not free:
+            return 1.0 if self._predicate(fixed_values) else 0.0
+        supports = [tuple(variable.support_items()) for variable in free]
+        names = [variable.name for variable in free]
+        terms = []
+        values = dict(fixed_values)
+        for combo in itertools.product(*supports):
+            mass = 1.0
+            for name, (value, prob) in zip(names, combo):
+                values[name] = value
+                mass *= prob
+            if self._predicate(values):
+                terms.append(mass)
+        return min(1.0, math.fsum(terms))
+
+    def conditional_increase(
+        self,
+        assignment: PartialAssignment,
+        variable: DiscreteVariable,
+        value: Hashable,
+    ) -> float:
+        """The ``Inc`` ratio of the paper for fixing ``variable = value``.
+
+        Returns ``Pr[event | assignment, variable=value] /
+        Pr[event | assignment]``, or ``0.0`` when the denominator is zero
+        (matching the convention below Definition 3.8 of the paper).
+        Fixing a variable outside the scope returns ``1.0``.
+        """
+        if not self.depends_on(variable.name):
+            return 1.0
+        before = self.probability(assignment)
+        if before == 0.0:
+            return 0.0
+        after = self.probability(assignment.fixed(variable, value))
+        return after / before
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop all memoised conditional probabilities."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoised conditional probabilities."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bad_outcomes(
+        cls,
+        name: Hashable,
+        variables: Sequence[DiscreteVariable],
+        bad_outcomes: Iterable[Tuple[Hashable, ...]],
+        enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    ) -> "BadEvent":
+        """Build an event from an explicit list of bad outcome tuples.
+
+        Each tuple lists one value per scope variable, aligned with
+        ``variables``.
+        """
+        order = tuple(v.name for v in variables)
+        bad = frozenset(tuple(outcome) for outcome in bad_outcomes)
+
+        def predicate(values: Mapping[Hashable, Hashable]) -> bool:
+            return tuple(values[n] for n in order) in bad
+
+        return cls(name, variables, predicate, enumeration_limit)
+
+    @classmethod
+    def all_equal(
+        cls,
+        name: Hashable,
+        variables: Sequence[DiscreteVariable],
+        target: Hashable,
+        enumeration_limit: int = DEFAULT_ENUMERATION_LIMIT,
+    ) -> "BadEvent":
+        """The event "every scope variable equals ``target``".
+
+        This is the shape of sinkless-orientation-style events: a node is
+        bad iff every incident edge variable points at it.
+        """
+        order = tuple(v.name for v in variables)
+
+        def predicate(values: Mapping[Hashable, Hashable]) -> bool:
+            return all(values[n] == target for n in order)
+
+        return cls(name, variables, predicate, enumeration_limit)
+
+    def __repr__(self) -> str:
+        return f"BadEvent(name={self._name!r}, scope={self._scope_names!r})"
+
+
+_EMPTY_ASSIGNMENT = PartialAssignment()

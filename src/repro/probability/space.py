@@ -1,0 +1,171 @@
+"""Product probability spaces over independent discrete variables.
+
+:class:`ProductSpace` groups the variables of an instance and offers
+whole-space operations: enumeration, sampling, expectations, and exact
+probabilities of joint predicates.  The per-event conditionals used by the
+fixing algorithms live on :class:`repro.probability.BadEvent`; the space is
+mainly used by tests, baselines and the exhaustive-search oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Dict, Hashable, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import EnumerationLimitError, UnknownVariableError
+from repro.probability.assignment import PartialAssignment
+from repro.probability.variable import DiscreteVariable
+
+#: Default cap on whole-space enumeration size.
+DEFAULT_SPACE_LIMIT = 1 << 24
+
+
+class ProductSpace:
+    """The product space of a finite family of independent variables."""
+
+    __slots__ = ("_variables", "_by_name", "_limit")
+
+    def __init__(
+        self,
+        variables: Sequence[DiscreteVariable],
+        enumeration_limit: int = DEFAULT_SPACE_LIMIT,
+    ) -> None:
+        self._variables = tuple(variables)
+        self._by_name: Dict[Hashable, DiscreteVariable] = {}
+        for variable in self._variables:
+            if variable.name in self._by_name:
+                raise UnknownVariableError(
+                    f"duplicate variable name {variable.name!r} in product space"
+                )
+            self._by_name[variable.name] = variable
+        self._limit = int(enumeration_limit)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def variables(self) -> Tuple[DiscreteVariable, ...]:
+        """The variables spanning the space."""
+        return self._variables
+
+    def variable(self, name: Hashable) -> DiscreteVariable:
+        """Look up a variable by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownVariableError(f"no variable named {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._variables)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._by_name
+
+    @property
+    def num_outcomes(self) -> int:
+        """Total number of outcomes in the product space."""
+        count = 1
+        for variable in self._variables:
+            count *= variable.num_values
+        return count
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def enumerate_assignments(
+        self, given: Optional[PartialAssignment] = None
+    ) -> Iterator[Tuple[PartialAssignment, float]]:
+        """Yield ``(assignment, probability)`` for every completion of ``given``.
+
+        The probability is the joint mass of the enumerated (free) part;
+        fixed variables contribute no factor, matching conditioning on them.
+        """
+        free = [
+            v
+            for v in self._variables
+            if given is None or not given.is_fixed(v.name)
+        ]
+        count = 1
+        for variable in free:
+            count *= variable.num_values
+            if count > self._limit:
+                raise EnumerationLimitError(
+                    f"enumerating {len(free)} variables exceeds the limit "
+                    f"of {self._limit} outcomes"
+                )
+        base = given.copy() if given is not None else PartialAssignment()
+        supports = [tuple(v.support_items()) for v in free]
+        for combo in itertools.product(*supports):
+            assignment = base.copy()
+            mass = 1.0
+            for variable, (value, prob) in zip(free, combo):
+                assignment.fix(variable, value)
+                mass *= prob
+            yield assignment, mass
+
+    def probability(
+        self,
+        predicate: Callable[[PartialAssignment], bool],
+        given: Optional[PartialAssignment] = None,
+    ) -> float:
+        """Exact probability that ``predicate`` holds, given a partial fix."""
+        terms = [
+            mass
+            for assignment, mass in self.enumerate_assignments(given)
+            if predicate(assignment)
+        ]
+        return min(1.0, math.fsum(terms))
+
+    def expectation(
+        self,
+        function: Callable[[PartialAssignment], float],
+        given: Optional[PartialAssignment] = None,
+    ) -> float:
+        """Exact expectation of ``function`` over completions of ``given``."""
+        return math.fsum(
+            mass * function(assignment)
+            for assignment, mass in self.enumerate_assignments(given)
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self, rng, given: Optional[PartialAssignment] = None
+    ) -> PartialAssignment:
+        """Sample a full assignment; fixed variables of ``given`` are kept."""
+        assignment = given.copy() if given is not None else PartialAssignment()
+        for variable in self._variables:
+            if not assignment.is_fixed(variable.name):
+                assignment.fix(variable, variable.sample(rng))
+        return assignment
+
+    def resample(
+        self,
+        rng,
+        assignment: PartialAssignment,
+        names: Iterable[Hashable],
+    ) -> PartialAssignment:
+        """Return a copy of ``assignment`` with ``names`` freshly resampled.
+
+        This is the elementary step of the Moser-Tardos framework.  The
+        variables are resampled in the space's construction order (not
+        the order of ``names``) so that runs are reproducible even when
+        ``names`` is a set — Python's string hashing varies per process,
+        and consuming the RNG in set order would leak that into results.
+        """
+        selected = set(names)
+        unknown = [name for name in selected if name not in self._by_name]
+        if unknown:
+            raise UnknownVariableError(
+                f"cannot resample unknown variables {unknown[:3]!r}"
+            )
+        fresh = assignment.as_dict()
+        for variable in self._variables:
+            if variable.name in selected:
+                fresh[variable.name] = variable.sample(rng)
+        return PartialAssignment(fresh)
+
+    def __repr__(self) -> str:
+        return f"ProductSpace({len(self._variables)} variables)"

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    random_regular_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_rank2_instance():
+    """A 12-node cycle, alphabet 3: p = 1/9 < 1/4 = 2^-d."""
+    return all_zero_edge_instance(cycle_graph(12), 3)
+
+
+@pytest.fixture
+def regular_rank2_instance():
+    """A 16-node 4-regular graph, alphabet 3: p = 3^-4 < 2^-4."""
+    return all_zero_edge_instance(random_regular_graph(16, 4, seed=7), 3)
+
+
+@pytest.fixture
+def small_rank3_instance():
+    """Cyclic triples on 9 nodes, alphabet 5: p = 5^-3 < 2^-4."""
+    return all_zero_triple_instance(9, cyclic_triples(9), 5)

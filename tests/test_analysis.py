@@ -1,0 +1,139 @@
+"""Unit tests for the analysis utilities."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import (
+    ExperimentRecord,
+    deterministic_lower_bound,
+    deterministic_rank2_bound,
+    deterministic_rank3_bound,
+    format_cell,
+    format_table,
+    growth_ratios,
+    iterated_log,
+    log_star,
+    moser_tardos_distributed_bound,
+    power_tower,
+    randomized_lower_bound,
+    rank2_schedule_bound,
+    rank3_schedule_bound,
+    records_to_table,
+    universal_lower_bound,
+)
+
+
+class TestLogStar:
+    def test_known_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2.0**65536 if False else 10**100) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            log_star(-1)
+
+    def test_monotone(self):
+        values = [log_star(n) for n in (1, 10, 10**3, 10**9, 10**30)]
+        assert values == sorted(values)
+
+    def test_iterated_log(self):
+        assert iterated_log(256, 1) == pytest.approx(8.0)
+        assert iterated_log(256, 2) == pytest.approx(3.0)
+        assert iterated_log(7, 0) == pytest.approx(7.0)
+        with pytest.raises(ReproError):
+            iterated_log(1, 2)  # log2(log2(1)) = log2(0)
+
+    def test_power_tower(self):
+        assert power_tower(2, 0) == 1.0
+        assert power_tower(2, 1) == 2.0
+        assert power_tower(2, 3) == 16.0
+        with pytest.raises(ReproError):
+            power_tower(2, -1)
+
+    def test_tower_inverts_log_star(self):
+        for height in range(1, 5):
+            tower = power_tower(2, height)
+            assert log_star(tower) == height
+
+
+class TestBounds:
+    def test_schedule_bounds(self):
+        assert rank2_schedule_bound(4) == 8
+        assert rank3_schedule_bound(4) == 17
+
+    def test_combined_bounds(self):
+        assert deterministic_rank2_bound(4, 2**16) == 4 + 4
+        assert deterministic_rank3_bound(3, 16) == 9 + 3
+
+    def test_baseline_shapes(self):
+        assert moser_tardos_distributed_bound(2**10) == pytest.approx(100.0)
+        assert randomized_lower_bound(2**16) == pytest.approx(4.0)
+        assert deterministic_lower_bound(2**10) == pytest.approx(10.0)
+        assert universal_lower_bound(65536) == 4.0
+
+    def test_separation_orders(self):
+        # For large n the paper's separation: log* n << log log n << log n.
+        n = 10**30
+        assert universal_lower_bound(n) < randomized_lower_bound(n)
+        assert randomized_lower_bound(n) < deterministic_lower_bound(n)
+        assert deterministic_lower_bound(n) < moser_tardos_distributed_bound(n)
+
+
+class TestRecords:
+    def test_record_flattening(self):
+        record = ExperimentRecord(
+            "T2", parameters={"n": 100}, metrics={"rounds": 7}
+        )
+        flat = record.as_dict()
+        assert flat == {"experiment": "T2", "n": 100, "rounds": 7}
+
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234567.0) == "1.235e+06"
+        assert format_cell(0.25) == "0.25"
+        assert format_cell("text") == "text"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_records_to_table(self):
+        records = [
+            ExperimentRecord("X", {"n": 1}, {"rounds": 2}),
+            ExperimentRecord("X", {"n": 2}, {"rounds": 2}),
+        ]
+        table = records_to_table(records)
+        assert "rounds" in table
+
+    def test_growth_ratios(self):
+        assert growth_ratios([1.0, 2.0, 4.0]) == [2.0, 2.0]
+        assert growth_ratios([0.0, 5.0]) == [float("inf")]
+        assert growth_ratios([0.0, 0.0]) == [1.0]
+        assert growth_ratios([3.0]) == []
+
+    def test_write_records_json(self, tmp_path):
+        from repro.analysis import write_records_json
+
+        records = [ExperimentRecord("X", {"n": 1}, {"ok": True})]
+        path = tmp_path / "records.json"
+        write_records_json(records, str(path))
+        import json
+
+        data = json.loads(path.read_text())
+        assert data == [{"experiment": "X", "n": 1, "ok": True}]

@@ -1,0 +1,86 @@
+"""Unit tests for the export utilities."""
+
+import csv
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import (
+    ExperimentRecord,
+    records_to_markdown,
+    render_surface_ascii,
+    surface_to_csv,
+)
+from repro.geometry import boundary_surface
+
+
+class TestSurfaceCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = tmp_path / "surface.csv"
+        count = surface_to_csv(str(path), resolution=8)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b", "f"]
+        assert len(rows) == count + 1
+
+    def test_values_match_surface(self, tmp_path):
+        path = tmp_path / "surface.csv"
+        surface_to_csv(str(path), resolution=4)
+        with open(path, newline="") as handle:
+            next(handle)
+            for line in csv.reader(handle):
+                a, b, f = map(float, line)
+                assert f == pytest.approx(boundary_surface(a, b), abs=1e-9)
+
+    def test_triangular_count(self, tmp_path):
+        path = tmp_path / "surface.csv"
+        count = surface_to_csv(str(path), resolution=10)
+        assert count == sum(11 - i for i in range(11))
+
+
+class TestAsciiRendering:
+    def test_shape(self):
+        art = render_surface_ascii(width=20, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 11  # 10 rows + legend
+        assert "apex" in lines[-1]
+
+    def test_apex_is_brightest(self):
+        art = render_surface_ascii(width=30, height=15)
+        lines = art.splitlines()[:-1]
+        # Bottom-left corner is (a, b) = (0, 0): f = 4 -> '@'.
+        assert lines[-1][0] == "@"
+        # Top row has only the (0, 4) corner: f = 0 -> faint or blank.
+        assert lines[0].strip() in ("", ".", ":")
+
+    def test_outside_triangle_is_blank(self):
+        art = render_surface_ascii(width=21, height=21)
+        lines = art.splitlines()[:-1]
+        # Top-right cell is (4, 4): far outside the domain.
+        assert len(lines[0].rstrip()) < 21
+
+    def test_size_validation(self):
+        with pytest.raises(ReproError):
+            render_surface_ascii(width=1, height=10)
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        records = [
+            ExperimentRecord("T", {"n": 1}, {"ok": True}),
+            ExperimentRecord("T", {"n": 2}, {"ok": False}),
+        ]
+        table = records_to_markdown(records)
+        lines = table.splitlines()
+        assert lines[0].startswith("| experiment |")
+        assert lines[1].startswith("|---")
+        assert "yes" in lines[2]
+        assert "no" in lines[3]
+
+    def test_empty(self):
+        assert records_to_markdown([]) == "(no rows)"
+
+    def test_explicit_headers(self):
+        records = [ExperimentRecord("T", {"n": 1}, {"ok": True})]
+        table = records_to_markdown(records, headers=["n", "ok"])
+        assert table.splitlines()[0] == "| n | ok |"

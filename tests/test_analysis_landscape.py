@@ -1,0 +1,64 @@
+"""Unit tests for the complexity-landscape survey data."""
+
+import pytest
+
+from repro.analysis import (
+    LandscapeEntry,
+    landscape_rows,
+    landscape_table,
+    lower_bound_table,
+)
+
+
+class TestLandscapeTables:
+    def test_paper_rows_present(self):
+        references = {entry.reference for entry in landscape_table()}
+        assert "this paper (Cor. 1.2)" in references
+        assert "this paper (Cor. 1.4)" in references
+
+    def test_paper_rows_are_deterministic(self):
+        paper_rows = [
+            entry
+            for entry in landscape_table()
+            if entry.reference.startswith("this paper")
+        ]
+        assert len(paper_rows) == 2
+        assert all(entry.deterministic for entry in paper_rows)
+        assert all("2^-d" in entry.criterion for entry in paper_rows)
+
+    def test_surveyed_references_cover_related_work(self):
+        references = {entry.reference for entry in landscape_table()}
+        for expected in ("MT10", "CPS17", "Gha16", "FG17", "GHK18"):
+            assert expected in references
+
+    def test_lower_bounds(self):
+        bounds = lower_bound_table()
+        runtimes = {entry.runtime for entry in bounds}
+        assert "Omega(log log n)" in runtimes
+        assert "Omega(log n)" in runtimes
+        assert "Omega(log* n)" in runtimes
+        # The deterministic lower bound is the Omega(log n) one.
+        deterministic = [e for e in bounds if e.deterministic]
+        assert len(deterministic) == 1
+        assert deterministic[0].runtime == "Omega(log n)"
+
+    def test_flattened_rows(self):
+        rows = landscape_rows()
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"upper bound", "lower bound"}
+        assert len(rows) == len(landscape_table()) + len(lower_bound_table())
+
+    def test_entries_frozen(self):
+        entry = landscape_table()[0]
+        with pytest.raises(AttributeError):
+            entry.runtime = "O(1)"
+
+
+class TestCliLandscape:
+    def test_info_landscape_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["info", "--landscape"]) == 0
+        out = capsys.readouterr().out
+        assert "complexity landscape" in out
+        assert "Cor. 1.4" in out

@@ -1,0 +1,84 @@
+"""Unit tests for the consolidated report generator."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import (
+    EXPERIMENT_TITLES,
+    load_results,
+    render_report,
+    report_summary,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    rows_t5 = [
+        {"experiment": "T5", "regime": "at threshold", "n": 4, "value": 0.5},
+        {"experiment": "T5", "regime": "below", "n": 16, "value": 35},
+    ]
+    rows_f1 = [{"experiment": "F1", "artifact": "grid", "points": 861}]
+    (tmp_path / "T5.json").write_text(json.dumps(rows_t5))
+    (tmp_path / "F1.json").write_text(json.dumps(rows_f1))
+    # A non-list JSON should be ignored, not crash.
+    (tmp_path / "junk.json").write_text(json.dumps({"not": "a list"}))
+    # Non-JSON files are skipped.
+    (tmp_path / "notes.txt").write_text("irrelevant")
+    return str(tmp_path)
+
+
+class TestLoadResults:
+    def test_loads_list_artifacts(self, results_dir):
+        artifacts = load_results(results_dir)
+        assert set(artifacts) == {"T5", "F1"}
+        assert len(artifacts["T5"]) == 2
+
+    def test_missing_directory(self):
+        with pytest.raises(ReproError):
+            load_results("/nonexistent/results")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_results(str(tmp_path))
+
+
+class TestRenderReport:
+    def test_orders_by_canonical_sequence(self, results_dir):
+        report = render_report(load_results(results_dir))
+        # F1 comes before T5 in the canonical order.
+        assert report.index("[F1]") < report.index("[T5]")
+        assert EXPERIMENT_TITLES["T5"] in report
+
+    def test_experiment_filter(self, results_dir):
+        report = render_report(load_results(results_dir), ["T5"])
+        assert "[T5]" in report
+        assert "[F1]" not in report
+
+    def test_unknown_experiment_rejected(self, results_dir):
+        with pytest.raises(ReproError):
+            render_report(load_results(results_dir), ["ZZ"])
+
+    def test_experiment_column_dropped(self, results_dir):
+        report = render_report(load_results(results_dir), ["T5"])
+        header_line = report.splitlines()[1]
+        assert "experiment" not in header_line
+
+    def test_summary_counts(self, results_dir):
+        summary = report_summary(load_results(results_dir))
+        assert summary == {"T5": 2, "F1": 1}
+
+
+class TestRealArtifacts:
+    def test_report_over_checked_in_results(self):
+        results = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "results"
+        )
+        if not os.path.isdir(results):
+            pytest.skip("benchmark artifacts not generated yet")
+        artifacts = load_results(results)
+        report = render_report(artifacts)
+        assert "[T5]" in report
+        assert "phase shift" in report

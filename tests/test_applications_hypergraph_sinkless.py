@@ -1,0 +1,102 @@
+"""Unit tests for the rank-3 hypergraph sinkless orientation application."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.applications import (
+    hypergraph_sinkless_instance,
+    orientations_from_assignment,
+)
+from repro.applications.hypergraph_sinkless import (
+    NUM_ORIENTATIONS,
+    satisfies_requirement,
+    sink_counts,
+)
+from repro.core import solve, solve_distributed
+from repro.generators import cyclic_triples, partition_rounds_triples
+from repro.lll import check_preconditions, verify_solution
+
+
+class TestInstanceConstruction:
+    def test_rank_is_three(self):
+        instance = hypergraph_sinkless_instance(9, cyclic_triples(9))
+        assert instance.rank == 3
+
+    def test_variable_support_is_27(self):
+        instance = hypergraph_sinkless_instance(9, cyclic_triples(9))
+        assert all(v.num_values == 27 for v in instance.variables)
+
+    def test_probability_formula(self):
+        # A node in t triples is a sink in a fixed orientation with
+        # probability 3^-t; "sink in >= 2 of 3" by inclusion-exclusion:
+        # 3 * 9^-t - 2 * 27^-t.
+        instance = hypergraph_sinkless_instance(9, cyclic_triples(9))
+        t = 3
+        expected = 3 * 9.0**-t - 2 * 27.0**-t
+        assert instance.max_event_probability == pytest.approx(expected)
+
+    def test_below_threshold(self):
+        instance = hypergraph_sinkless_instance(12, cyclic_triples(12))
+        report = check_preconditions(instance, max_rank=3)
+        assert report.p < report.threshold
+
+    def test_repeated_triple_rejected(self):
+        with pytest.raises(ReproError):
+            hypergraph_sinkless_instance(6, [(0, 1, 2), (2, 1, 0)])
+
+    def test_degenerate_triple_rejected(self):
+        with pytest.raises(ReproError):
+            hypergraph_sinkless_instance(6, [(0, 1, 1)])
+
+    def test_uncovered_node_rejected(self):
+        with pytest.raises(ReproError):
+            hypergraph_sinkless_instance(7, [(0, 1, 2), (3, 4, 5)])
+
+
+class TestSolving:
+    def test_deterministic_fixer_solves(self):
+        triples = cyclic_triples(12)
+        instance = hypergraph_sinkless_instance(12, triples)
+        result = solve(instance)
+        assert verify_solution(instance, result.assignment).ok
+        orientations = orientations_from_assignment(triples, result.assignment)
+        assert len(orientations) == NUM_ORIENTATIONS
+        assert satisfies_requirement(12, triples, orientations)
+
+    def test_distributed_solves(self):
+        triples = cyclic_triples(12)
+        instance = hypergraph_sinkless_instance(12, triples)
+        result = solve_distributed(instance)
+        orientations = orientations_from_assignment(triples, result.assignment)
+        assert satisfies_requirement(12, triples, orientations)
+
+    def test_partition_workload(self):
+        triples = partition_rounds_triples(18, 2, seed=4)
+        instance = hypergraph_sinkless_instance(18, triples)
+        result = solve(instance, require_criterion="local")
+        orientations = orientations_from_assignment(triples, result.assignment)
+        assert satisfies_requirement(18, triples, orientations)
+
+
+class TestDomainChecks:
+    def test_sink_counts_all_heads_to_one_node(self):
+        triples = [(0, 1, 2)]
+        orientations = [
+            {(0, 1, 2): 0},
+            {(0, 1, 2): 0},
+            {(0, 1, 2): 1},
+        ]
+        counts = sink_counts(3, triples, orientations)
+        assert counts[0] == 2  # sink in orientations 0 and 1
+        assert counts[1] == 1
+        assert counts[2] == 0
+        assert not satisfies_requirement(3, triples, orientations)
+
+    def test_requirement_satisfied_when_spread(self):
+        triples = [(0, 1, 2)]
+        orientations = [
+            {(0, 1, 2): 0},
+            {(0, 1, 2): 1},
+            {(0, 1, 2): 2},
+        ]
+        assert satisfies_requirement(3, triples, orientations)

@@ -1,0 +1,119 @@
+"""Unit tests for the Property B (hypergraph 2-coloring) application."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.applications import (
+    is_proper_two_coloring,
+    property_b_instance,
+    sparse_uniform_hypergraph,
+)
+from repro.applications.property_b import (
+    coloring_from_assignment,
+    monochromatic_edges,
+)
+from repro.core import solve, solve_distributed
+from repro.lll import check_preconditions, verify_solution
+
+
+class TestInstanceConstruction:
+    def test_probability_formula(self):
+        num_nodes, edges = sparse_uniform_hypergraph(
+            num_edges=8, uniformity=6, shared_per_edge=2, seed=0
+        )
+        instance = property_b_instance(num_nodes, edges)
+        assert instance.max_event_probability == pytest.approx(2.0**-5)
+
+    def test_rank_at_most_three(self):
+        num_nodes, edges = sparse_uniform_hypergraph(
+            num_edges=10, uniformity=6, shared_per_edge=2, seed=1
+        )
+        instance = property_b_instance(num_nodes, edges)
+        assert instance.rank <= 3
+
+    def test_below_threshold(self):
+        num_nodes, edges = sparse_uniform_hypergraph(
+            num_edges=10, uniformity=6, shared_per_edge=2, seed=2
+        )
+        report = check_preconditions(
+            property_b_instance(num_nodes, edges), max_rank=3
+        )
+        assert report.p < report.threshold
+
+    def test_degenerate_edges_rejected(self):
+        with pytest.raises(ReproError):
+            property_b_instance(3, [(0, 0, 1)])
+        with pytest.raises(ReproError):
+            property_b_instance(3, [(0,)])
+        with pytest.raises(ReproError):
+            property_b_instance(2, [(0, 5)])
+        with pytest.raises(ReproError):
+            property_b_instance(2, [])
+
+
+class TestGenerator:
+    def test_uniformity_validation(self):
+        with pytest.raises(ReproError):
+            sparse_uniform_hypergraph(
+                num_edges=5, uniformity=5, shared_per_edge=2, seed=0
+            )
+
+    def test_occurrence_bounded(self):
+        num_nodes, edges = sparse_uniform_hypergraph(
+            num_edges=12, uniformity=7, shared_per_edge=2, seed=3
+        )
+        occurrence = {}
+        for edge in edges:
+            assert len(edge) == 7
+            for node in edge:
+                occurrence[node] = occurrence.get(node, 0) + 1
+        assert max(occurrence.values()) <= 3
+
+    def test_seeded_determinism(self):
+        first = sparse_uniform_hypergraph(6, 6, 2, seed=4)
+        second = sparse_uniform_hypergraph(6, 6, 2, seed=4)
+        assert first == second
+
+
+class TestSolving:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_deterministic_two_coloring(self, seed):
+        num_nodes, edges = sparse_uniform_hypergraph(
+            num_edges=10, uniformity=6, shared_per_edge=2, seed=seed
+        )
+        instance = property_b_instance(num_nodes, edges)
+        result = solve(instance)
+        assert verify_solution(instance, result.assignment).ok
+        coloring = coloring_from_assignment(num_nodes, result.assignment)
+        assert is_proper_two_coloring(edges, coloring)
+
+    def test_distributed_two_coloring(self):
+        num_nodes, edges = sparse_uniform_hypergraph(
+            num_edges=8, uniformity=6, shared_per_edge=2, seed=5
+        )
+        instance = property_b_instance(num_nodes, edges)
+        result = solve_distributed(instance)
+        coloring = coloring_from_assignment(num_nodes, result.assignment)
+        assert is_proper_two_coloring(edges, coloring)
+
+    def test_wide_edges(self):
+        num_nodes, edges = sparse_uniform_hypergraph(
+            num_edges=6, uniformity=9, shared_per_edge=3, seed=6
+        )
+        instance = property_b_instance(num_nodes, edges)
+        result = solve(instance)
+        coloring = coloring_from_assignment(num_nodes, result.assignment)
+        assert is_proper_two_coloring(edges, coloring)
+
+
+class TestDomainChecks:
+    def test_monochromatic_detection(self):
+        edges = [(0, 1, 2), (2, 3, 4)]
+        coloring = {0: 1, 1: 1, 2: 1, 3: 0, 4: 0}
+        bad = monochromatic_edges(edges, coloring)
+        assert bad == [(0, 1, 2)]
+        assert not is_proper_two_coloring(edges, coloring)
+
+    def test_proper_detection(self):
+        edges = [(0, 1, 2)]
+        assert is_proper_two_coloring(edges, {0: 0, 1: 1, 2: 0})

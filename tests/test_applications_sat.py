@@ -1,0 +1,102 @@
+"""Unit tests for the bounded-occurrence SAT application."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.applications import (
+    CnfFormula,
+    assignment_to_values,
+    sat_instance,
+    sparse_shared_formula,
+)
+from repro.core import solve
+from repro.lll import check_preconditions, verify_solution
+
+
+class TestFormula:
+    def test_is_satisfied(self):
+        formula = CnfFormula(
+            num_variables=2,
+            clauses=(((0, True), (1, False)),),
+        )
+        assert formula.is_satisfied({0: True, 1: True})
+        assert formula.is_satisfied({0: False, 1: False})
+        assert not formula.is_satisfied({0: False, 1: True})
+
+    def test_max_occurrence(self):
+        formula = CnfFormula(
+            num_variables=2,
+            clauses=(((0, True),), ((0, False),), ((1, True),)),
+        )
+        assert formula.max_occurrence() == 2
+
+
+class TestInstanceConstruction:
+    def test_clause_probability(self):
+        formula = sparse_shared_formula(
+            num_clauses=6, width=5, shared_per_clause=2, seed=0
+        )
+        instance = sat_instance(formula)
+        assert instance.max_event_probability == pytest.approx(2.0**-5)
+
+    def test_rank_at_most_three(self):
+        formula = sparse_shared_formula(
+            num_clauses=10, width=5, shared_per_clause=2, seed=1
+        )
+        assert formula.max_occurrence() <= 3
+        assert sat_instance(formula).rank <= 3
+
+    def test_below_threshold(self):
+        formula = sparse_shared_formula(
+            num_clauses=9, width=5, shared_per_clause=2, seed=2
+        )
+        report = check_preconditions(sat_instance(formula), max_rank=3)
+        assert report.p < report.threshold
+
+    def test_repeated_variable_in_clause_rejected(self):
+        formula = CnfFormula(
+            num_variables=1, clauses=(((0, True), (0, False)),)
+        )
+        with pytest.raises(ReproError):
+            sat_instance(formula)
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(ReproError):
+            sat_instance(CnfFormula(num_variables=0, clauses=()))
+
+
+class TestGeneratorValidation:
+    def test_width_must_exceed_sharing(self):
+        with pytest.raises(ReproError):
+            sparse_shared_formula(
+                num_clauses=5, width=4, shared_per_clause=2, seed=0
+            )
+
+    def test_dependency_degree_bounded(self):
+        formula = sparse_shared_formula(
+            num_clauses=12, width=7, shared_per_clause=3, seed=3
+        )
+        instance = sat_instance(formula)
+        assert instance.max_dependency_degree <= 2 * 3
+
+
+class TestSolving:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fixer_satisfies_formula(self, seed):
+        formula = sparse_shared_formula(
+            num_clauses=10, width=5, shared_per_clause=2, seed=seed
+        )
+        instance = sat_instance(formula)
+        result = solve(instance)
+        assert verify_solution(instance, result.assignment).ok
+        values = assignment_to_values(formula, result.assignment)
+        assert formula.is_satisfied(values)
+
+    def test_wide_clause_instance(self):
+        formula = sparse_shared_formula(
+            num_clauses=6, width=9, shared_per_clause=3, seed=4
+        )
+        instance = sat_instance(formula)
+        result = solve(instance)
+        values = assignment_to_values(formula, result.assignment)
+        assert formula.is_satisfied(values)

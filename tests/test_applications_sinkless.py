@@ -1,0 +1,98 @@
+"""Unit tests for the sinkless-orientation application."""
+
+import pytest
+
+from repro.errors import CriterionViolationError, ReproError
+from repro.applications import (
+    is_sinkless,
+    orientation_from_assignment,
+    relaxed_sinkless_instance,
+    sinkless_orientation_instance,
+    sinks_of_orientation,
+)
+from repro.baselines import sequential_moser_tardos
+from repro.core import solve
+from repro.generators import cycle_graph, random_regular_graph, torus_graph
+from repro.lll import check_preconditions, verify_solution
+
+
+class TestInstanceConstruction:
+    def test_probability_is_exactly_threshold(self):
+        graph = random_regular_graph(12, 3, seed=0)
+        instance = sinkless_orientation_instance(graph)
+        assert instance.max_event_probability == pytest.approx(2.0**-3)
+        assert instance.max_dependency_degree == 3
+        assert instance.rank == 2
+
+    def test_dependency_graph_equals_input_graph(self):
+        graph = cycle_graph(8)
+        instance = sinkless_orientation_instance(graph)
+        dependency = instance.dependency_graph
+        assert set(dependency.edges()) == {
+            (min(u, v), max(u, v)) for u, v in graph.edges()
+        } or set(map(frozenset, dependency.edges())) == set(
+            map(frozenset, graph.edges())
+        )
+
+    def test_rejected_by_deterministic_fixer(self):
+        graph = random_regular_graph(12, 3, seed=1)
+        instance = sinkless_orientation_instance(graph)
+        with pytest.raises(CriterionViolationError):
+            solve(instance)
+
+    def test_isolated_node_rejected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(2)
+        with pytest.raises(ReproError):
+            sinkless_orientation_instance(graph)
+
+
+class TestDomainRoundTrip:
+    def test_solved_by_moser_tardos_and_sinkless(self):
+        graph = random_regular_graph(12, 3, seed=2)
+        instance = sinkless_orientation_instance(graph)
+        result = sequential_moser_tardos(instance, seed=3)
+        orientation = orientation_from_assignment(graph, result.assignment)
+        assert is_sinkless(graph, orientation)
+
+    def test_sinks_detected(self):
+        graph = cycle_graph(4)
+        # Point every edge at node 0's side deterministically.
+        orientation = {
+            (0, 1): 0,
+            (1, 2): 1,
+            (2, 3): 2,
+            (0, 3): 0,
+        }
+        sinks = sinks_of_orientation(graph, orientation)
+        assert 0 in sinks
+
+    def test_event_occurs_iff_sink(self):
+        graph = cycle_graph(5)
+        instance = sinkless_orientation_instance(graph)
+        result = sequential_moser_tardos(instance, seed=4)
+        orientation = orientation_from_assignment(graph, result.assignment)
+        assert sinks_of_orientation(graph, orientation) == ()
+
+
+class TestRelaxedVariant:
+    def test_below_threshold_and_solvable(self):
+        graph = random_regular_graph(12, 3, seed=5)
+        instance = relaxed_sinkless_instance(graph, labels=3)
+        report = check_preconditions(instance)
+        assert report.p < report.threshold
+        result = solve(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_labels_validation(self):
+        graph = cycle_graph(6)
+        with pytest.raises(ReproError):
+            relaxed_sinkless_instance(graph, labels=2)
+
+    def test_probability_formula(self):
+        graph = torus_graph(3, 3)  # 4-regular
+        instance = relaxed_sinkless_instance(graph, labels=3)
+        assert instance.max_event_probability == pytest.approx(3.0**-4)

@@ -1,0 +1,113 @@
+"""Unit tests for the relaxed weak-splitting application."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ReproError
+from repro.applications import (
+    coloring_from_assignment,
+    random_splitting_workload,
+    weak_splitting_instance,
+)
+from repro.applications.weak_splitting import (
+    colors_seen,
+    satisfies_requirement,
+)
+from repro.core import solve, solve_distributed
+from repro.lll import check_preconditions, verify_solution
+
+
+def _workload(seed=0):
+    return random_splitting_workload(num_v=10, num_u=15, v_degree=3, seed=seed)
+
+
+class TestInstanceConstruction:
+    def test_rank_at_most_three(self):
+        bipartite, v_nodes, _u_nodes = _workload()
+        instance = weak_splitting_instance(bipartite, v_nodes)
+        assert instance.rank <= 3
+
+    def test_probability_formula(self):
+        bipartite, v_nodes, _u_nodes = _workload()
+        instance = weak_splitting_instance(bipartite, v_nodes)
+        # All V-degrees are 3: Pr[all same color] = 16^-2.
+        assert instance.max_event_probability == pytest.approx(16.0**-2)
+
+    def test_below_threshold(self):
+        bipartite, v_nodes, _u_nodes = _workload()
+        instance = weak_splitting_instance(bipartite, v_nodes)
+        report = check_preconditions(instance, max_rank=3)
+        assert report.p < report.threshold
+
+    def test_u_degree_above_three_rejected(self):
+        graph = nx.Graph()
+        for v in range(4):
+            graph.add_edge(v, "u")
+        with pytest.raises(ReproError):
+            weak_splitting_instance(graph, [0, 1, 2, 3])
+
+    def test_non_bipartite_edge_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)  # V-V edge
+        graph.add_edge(0, "u")
+        with pytest.raises(ReproError):
+            weak_splitting_instance(graph, [0, 1])
+
+    def test_isolated_v_node_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, "u")
+        graph.add_node(1)
+        with pytest.raises(ReproError):
+            weak_splitting_instance(graph, [0, 1])
+
+
+class TestSolving:
+    def test_deterministic_fixer_solves(self):
+        bipartite, v_nodes, u_nodes = _workload(seed=1)
+        instance = weak_splitting_instance(bipartite, v_nodes)
+        result = solve(instance)
+        assert verify_solution(instance, result.assignment).ok
+        coloring = coloring_from_assignment(u_nodes, result.assignment)
+        assert satisfies_requirement(bipartite, v_nodes, coloring)
+
+    def test_distributed_solves(self):
+        bipartite, v_nodes, u_nodes = _workload(seed=2)
+        instance = weak_splitting_instance(bipartite, v_nodes)
+        result = solve_distributed(instance)
+        coloring = coloring_from_assignment(u_nodes, result.assignment)
+        assert satisfies_requirement(bipartite, v_nodes, coloring)
+
+    def test_smaller_palette_still_works(self):
+        # Even 9 colors suffice for degree-3 V-nodes: p = 9^-2 < 2^-6
+        # (8 colors would sit exactly at the threshold: 8^-2 = 2^-6).
+        bipartite, v_nodes, u_nodes = _workload(seed=3)
+        instance = weak_splitting_instance(bipartite, v_nodes, num_colors=9)
+        result = solve(instance)
+        coloring = coloring_from_assignment(u_nodes, result.assignment)
+        assert satisfies_requirement(bipartite, v_nodes, coloring)
+
+
+class TestDomainChecks:
+    def test_colors_seen(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, "a"), (0, "b"), (0, "c")])
+        coloring = {"a": 1, "b": 1, "c": 2}
+        assert colors_seen(graph, 0, coloring) == 2
+
+    def test_requirement_violated_by_monochromatic(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, "a"), (0, "b")])
+        assert not satisfies_requirement(graph, [0], {"a": 3, "b": 3})
+
+
+class TestWorkloadGenerator:
+    def test_degrees_respected(self):
+        bipartite, v_nodes, u_nodes = _workload(seed=4)
+        for v in v_nodes:
+            assert bipartite.degree(v) == 3
+        for u in u_nodes:
+            assert 1 <= bipartite.degree(u) <= 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ReproError):
+            random_splitting_workload(num_v=10, num_u=2, v_degree=3, seed=0)

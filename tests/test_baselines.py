@@ -1,0 +1,139 @@
+"""Unit tests for the baseline algorithms (Moser-Tardos, search, sampling)."""
+
+import pytest
+
+from repro.errors import AlgorithmFailedError
+from repro.baselines import (
+    avoidance_probability,
+    count_avoiding_assignments,
+    distributed_moser_tardos,
+    exhaustive_search,
+    rejection_sampling,
+    sequential_moser_tardos,
+)
+from repro.applications import sinkless_orientation_instance
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    random_regular_graph,
+)
+from repro.lll import LLLInstance, verify_solution
+from repro.probability import BadEvent, DiscreteVariable
+
+
+class TestSequentialMoserTardos:
+    def test_solves_below_threshold(self):
+        instance = all_zero_edge_instance(cycle_graph(10), 3)
+        result = sequential_moser_tardos(instance, seed=0)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_at_threshold(self):
+        # Sinkless orientation is beyond the deterministic fixers but
+        # squarely within Moser-Tardos territory (ep(d+1) regime is
+        # violated too, but the resampling still converges in practice
+        # on small cubic graphs).
+        instance = sinkless_orientation_instance(
+            random_regular_graph(12, 3, seed=1)
+        )
+        result = sequential_moser_tardos(instance, seed=2)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_deterministic_given_seed(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 3)
+        first = sequential_moser_tardos(instance, seed=5)
+        second = sequential_moser_tardos(instance, seed=5)
+        assert first.resamplings == second.resamplings
+        assert first.assignment.as_dict() == second.assignment.as_dict()
+
+    def test_budget_exhaustion_raises(self):
+        # An unavoidable event: both coin values are bad.
+        coin = DiscreteVariable.fair_coin("c")
+        event = BadEvent("E", [coin], lambda values: True)
+        instance = LLLInstance([event])
+        with pytest.raises(AlgorithmFailedError):
+            sequential_moser_tardos(instance, seed=0, max_resamplings=50)
+
+    def test_rounds_equal_resamplings(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 3)
+        result = sequential_moser_tardos(instance, seed=7)
+        assert result.rounds == result.resamplings
+
+
+class TestDistributedMoserTardos:
+    def test_solves_below_threshold(self):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        result = distributed_moser_tardos(instance, seed=0)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_at_threshold(self):
+        instance = sinkless_orientation_instance(
+            random_regular_graph(16, 3, seed=3)
+        )
+        result = distributed_moser_tardos(instance, seed=4)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_rounds_at_most_resamplings(self):
+        instance = all_zero_edge_instance(cycle_graph(12), 3)
+        result = distributed_moser_tardos(instance, seed=6)
+        assert result.rounds <= max(result.resamplings, 1)
+
+    def test_budget_exhaustion_raises(self):
+        coin = DiscreteVariable.fair_coin("c")
+        event = BadEvent("E", [coin], lambda values: True)
+        instance = LLLInstance([event])
+        with pytest.raises(AlgorithmFailedError):
+            distributed_moser_tardos(instance, seed=0, max_rounds=10)
+
+
+class TestExhaustiveSearch:
+    def test_finds_solution(self):
+        instance = all_zero_edge_instance(cycle_graph(5), 2)
+        solution = exhaustive_search(instance)
+        assert solution is not None
+        assert verify_solution(instance, solution).ok
+
+    def test_detects_unsatisfiable(self):
+        coin = DiscreteVariable.fair_coin("c")
+        event = BadEvent("E", [coin], lambda values: True)
+        instance = LLLInstance([event])
+        assert exhaustive_search(instance) is None
+
+    def test_count_avoiding(self):
+        # Single event "both coins are 1": 3 of 4 outcomes avoid it.
+        coins = [DiscreteVariable.fair_coin(f"c{i}") for i in range(2)]
+        event = BadEvent.all_equal("E", coins, target=1)
+        instance = LLLInstance([event])
+        assert count_avoiding_assignments(instance) == 3
+
+    def test_avoidance_probability(self):
+        coins = [DiscreteVariable.fair_coin(f"c{i}") for i in range(2)]
+        event = BadEvent.all_equal("E", coins, target=1)
+        instance = LLLInstance([event])
+        assert avoidance_probability(instance) == pytest.approx(0.75)
+
+    def test_avoidance_probability_positive_under_lll(self):
+        instance = all_zero_edge_instance(cycle_graph(6), 3)
+        assert avoidance_probability(instance) > 0
+
+
+class TestRejectionSampling:
+    def test_succeeds_on_easy_instance(self):
+        instance = all_zero_edge_instance(cycle_graph(6), 3)
+        result = rejection_sampling(instance, seed=0)
+        assert verify_solution(instance, result.assignment).ok
+        assert result.attempts >= 1
+
+    def test_fails_when_unsatisfiable(self):
+        coin = DiscreteVariable.fair_coin("c")
+        event = BadEvent("E", [coin], lambda values: True)
+        instance = LLLInstance([event])
+        with pytest.raises(AlgorithmFailedError):
+            rejection_sampling(instance, seed=0, max_attempts=20)
+
+    def test_deterministic_given_seed(self):
+        instance = all_zero_edge_instance(cycle_graph(6), 3)
+        first = rejection_sampling(instance, seed=9)
+        second = rejection_sampling(instance, seed=9)
+        assert first.attempts == second.attempts

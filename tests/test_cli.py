@@ -1,0 +1,127 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.family == "cycle"
+        assert args.n == 24
+        assert not args.distributed
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--family", "nope"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PODC 2019" in out
+        assert "solve_rank3" in out
+
+    def test_logstar(self, capsys):
+        assert main(["logstar", "65536"]) == 0
+        assert capsys.readouterr().out.strip() == "4"
+
+    def test_solve_sequential(self, capsys):
+        assert main(["solve", "--family", "cycle", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "all bad events avoided" in out
+
+    def test_solve_distributed(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--family",
+                    "triples",
+                    "--n",
+                    "9",
+                    "--alphabet",
+                    "5",
+                    "--distributed",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "LOCAL rounds" in out
+
+    def test_solve_protocol(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--family",
+                    "regular",
+                    "--n",
+                    "12",
+                    "--degree",
+                    "3",
+                    "--protocol",
+                ]
+            )
+            == 0
+        )
+        assert "LOCAL rounds" in capsys.readouterr().out
+
+    def test_solve_rejects_at_threshold(self, capsys):
+        code = main(
+            ["solve", "--family", "cycle", "--n", "12", "--alphabet", "2"]
+        )
+        assert code == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_threshold_demo(self, capsys):
+        assert main(["threshold", "--n", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "AT the threshold" in out
+        assert "BELOW the threshold" in out
+
+    def test_torus_family(self, capsys):
+        assert main(["solve", "--family", "torus", "--n", "16"]) == 0
+        assert "all bad events avoided" in capsys.readouterr().out
+
+    def test_surface_ascii(self, capsys):
+        assert main(["surface", "--width", "20", "--height", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "@" in out
+        assert "apex" in out
+
+    def test_surface_csv(self, tmp_path, capsys):
+        path = str(tmp_path / "surface.csv")
+        assert main(["surface", "--csv", path, "--resolution", "6"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        import csv
+
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b", "f"]
+
+    def test_report_command(self, capsys):
+        import os
+
+        results = os.path.join(
+            os.path.dirname(__file__), "..", "benchmarks", "results"
+        )
+        if not os.path.isdir(results):
+            import pytest as _pytest
+
+            _pytest.skip("benchmark artifacts not generated")
+        code = main(["report", "--results-dir", results,
+                     "--experiments", "T5"])
+        assert code == 0
+        assert "phase shift" in capsys.readouterr().out
+
+    def test_info_landscape(self, capsys):
+        assert main(["info", "--landscape"]) == 0
+        assert "landscape" in capsys.readouterr().out

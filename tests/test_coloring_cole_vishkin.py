@@ -1,0 +1,126 @@
+"""Unit tests for the Cole-Vishkin 3-coloring algorithm."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ColoringError
+from repro.coloring import (
+    ColeVishkinAlgorithm,
+    compute_cole_vishkin_coloring,
+    cv_reduce,
+    cv_rounds_needed,
+    cycle_parents,
+    is_proper_vertex_coloring,
+)
+from repro.generators import balanced_tree, cycle_graph
+from repro.local_model import Network
+
+
+class TestReduceStep:
+    def test_known_example(self):
+        # c = 0b1100, parent = 0b1010: lowest differing bit is position 1,
+        # bit_1(c) = 0 -> new color 2.
+        assert cv_reduce(0b1100, 0b1010) == 2
+
+    def test_child_parent_stay_distinct(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(2000):
+            child = rng.randrange(1 << 16)
+            parent = rng.randrange(1 << 16)
+            if child == parent:
+                continue
+            grandparent = rng.randrange(1 << 16)
+            if parent == grandparent:
+                continue
+            new_child = cv_reduce(child, parent)
+            new_parent = cv_reduce(parent, grandparent)
+            assert new_child != new_parent or child == parent
+
+    def test_equal_colors_rejected(self):
+        with pytest.raises(ColoringError):
+            cv_reduce(5, 5)
+
+
+class TestRoundsNeeded:
+    def test_small_spaces_need_nothing(self):
+        assert cv_rounds_needed(6) == 0
+        assert cv_rounds_needed(2) == 0
+
+    def test_log_star_growth(self):
+        rounds = [cv_rounds_needed(10**k) for k in (2, 4, 8, 16)]
+        assert rounds == sorted(rounds)
+        assert rounds[-1] - rounds[0] <= 2
+        assert rounds[-1] <= 7
+
+
+class TestOnCycles:
+    @pytest.mark.parametrize("n", [5, 11, 50, 101, 1024])
+    def test_proper_three_coloring(self, n):
+        graph = cycle_graph(n)
+        result = compute_cole_vishkin_coloring(
+            Network(graph), cycle_parents(n)
+        )
+        assert is_proper_vertex_coloring(graph, result["colors"])
+        assert max(result["colors"].values()) <= 2
+
+    def test_round_count_matches_advertised(self):
+        n = 256
+        algorithm = ColeVishkinAlgorithm(n)
+        result = compute_cole_vishkin_coloring(
+            Network(cycle_graph(n)), cycle_parents(n)
+        )
+        assert result["rounds"] == algorithm.rounds_needed
+
+    def test_rounds_flat_in_n(self):
+        small = compute_cole_vishkin_coloring(
+            Network(cycle_graph(100)), cycle_parents(100)
+        )
+        large = compute_cole_vishkin_coloring(
+            Network(cycle_graph(3200)), cycle_parents(3200)
+        )
+        assert large["rounds"] - small["rounds"] <= 1
+
+
+class TestOnTrees:
+    def test_rooted_binary_tree(self):
+        graph = balanced_tree(2, 5)
+        # Parent pointers from the BFS structure: node 0 is the root.
+        parents = {0: None}
+        for node in sorted(graph.nodes()):
+            for neighbor in graph.neighbors(node):
+                if neighbor > node:
+                    parents[neighbor] = node
+        result = compute_cole_vishkin_coloring(Network(graph), parents)
+        assert is_proper_vertex_coloring(graph, result["colors"])
+        assert max(result["colors"].values()) <= 2
+
+    def test_path_with_root(self):
+        graph = nx.path_graph(50)
+        parents = {i: i + 1 for i in range(49)}
+        parents[49] = None
+        result = compute_cole_vishkin_coloring(Network(graph), parents)
+        assert is_proper_vertex_coloring(graph, result["colors"])
+
+
+class TestValidation:
+    def test_missing_parent_entry(self):
+        graph = cycle_graph(5)
+        with pytest.raises(ColoringError):
+            compute_cole_vishkin_coloring(Network(graph), {0: 1})
+
+    def test_parent_must_be_neighbor(self):
+        graph = cycle_graph(5)
+        parents = cycle_parents(5)
+        parents[0] = 2  # not adjacent to 0
+        with pytest.raises(ColoringError):
+            compute_cole_vishkin_coloring(Network(graph), parents)
+
+    def test_cycle_parents_validation(self):
+        with pytest.raises(ColoringError):
+            cycle_parents(2)
+
+    def test_identifier_space_validation(self):
+        with pytest.raises(ColoringError):
+            ColeVishkinAlgorithm(0)

@@ -1,0 +1,130 @@
+"""Unit tests for the Linial color reduction."""
+
+import random
+
+import pytest
+
+from repro.errors import ColoringError
+from repro.coloring import (
+    LinialColoringAlgorithm,
+    fixpoint_palette,
+    is_proper_vertex_coloring,
+    reduce_color,
+    reduction_parameters,
+    reduction_schedule,
+)
+from repro.generators import cycle_graph, random_regular_graph
+from repro.local_model import Network, run_algorithm
+
+
+class TestParameters:
+    def test_no_progress_on_tiny_palette(self):
+        assert reduction_parameters(1, 3) is None
+        # For d = 3, the best achievable next palette is >= 49 (q >= 7),
+        # so m = 30 cannot shrink.
+        assert reduction_parameters(30, 3) is None
+
+    def test_progress_on_large_palette(self):
+        parameters = reduction_parameters(10**6, 4)
+        assert parameters is not None
+        q, k = parameters
+        assert q >= 4 * k + 1
+        assert q ** (k + 1) >= 10**6
+        assert q * q < 10**6
+
+    def test_fixpoint_is_poly_d(self):
+        for d in (2, 3, 4, 8, 16):
+            fixpoint = fixpoint_palette(10**9, d)
+            # O(d^2): the smallest usable prime is < 4d for d >= 2
+            # (Bertrand), so the fixpoint is below (4d)^2.
+            assert fixpoint <= (4 * d + 2) ** 2
+
+    def test_schedule_shrinks_monotonically(self):
+        schedule = reduction_schedule(10**12, 5)
+        palettes = [m for m, _q, _k in schedule]
+        assert palettes == sorted(palettes, reverse=True)
+        assert len(schedule) <= 6  # log*-ish, certainly tiny
+
+
+class TestReduceColor:
+    def test_new_color_in_range(self):
+        m, q, k = 10**4, 23, 2
+        color = 1234
+        neighbors = [17, 9999, 42]
+        new_color = reduce_color(color, neighbors, m, q, k)
+        assert 0 <= new_color < q * q
+
+    def test_distinguishes_neighbors_on_clique(self):
+        # On a clique every pair is adjacent, so a joint reduction step
+        # must keep all colors pairwise distinct.
+        m, d = 10**4, 4
+        q, k = reduction_parameters(m, d)
+        rng = random.Random(0)
+        for _trial in range(20):
+            colors = rng.sample(range(m), d + 1)
+            new_colors = [
+                reduce_color(c, [o for o in colors if o != c], m, q, k)
+                for c in colors
+            ]
+            assert len(set(new_colors)) == len(new_colors)
+
+    def test_color_out_of_palette_rejected(self):
+        with pytest.raises(ColoringError):
+            reduce_color(200, [1], 100, 11, 1)
+
+    def test_shared_color_rejected(self):
+        with pytest.raises(ColoringError):
+            reduce_color(5, [5], 100, 11, 1)
+
+
+class TestAlgorithmEndToEnd:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_cycle_coloring_proper(self, n):
+        graph = cycle_graph(n)
+        network = Network(graph)
+        algorithm = LinialColoringAlgorithm(n, 2)
+        result = run_algorithm(network, algorithm)
+        colors = result.outputs
+        assert is_proper_vertex_coloring(graph, colors)
+        assert max(colors.values()) < algorithm.final_palette or (
+            not algorithm.schedule
+        )
+
+    def test_regular_graph_coloring_proper(self):
+        graph = random_regular_graph(100, 4, seed=9)
+        network = Network(graph)
+        algorithm = LinialColoringAlgorithm(100, 4)
+        result = run_algorithm(network, algorithm)
+        assert is_proper_vertex_coloring(graph, result.outputs)
+
+    def test_rounds_equal_schedule_length(self):
+        graph = cycle_graph(1000)
+        network = Network(graph)
+        algorithm = LinialColoringAlgorithm(1000, 2)
+        result = run_algorithm(network, algorithm)
+        assert result.rounds == len(algorithm.schedule)
+
+    def test_log_star_growth(self):
+        # Schedule length grows extremely slowly with the id space.
+        lengths = [
+            len(LinialColoringAlgorithm(10**power, 2).schedule)
+            for power in (2, 4, 8, 16)
+        ]
+        assert lengths == sorted(lengths)
+        assert lengths[-1] <= 5
+
+    def test_initial_colors_via_inputs(self):
+        graph = cycle_graph(8)
+        network = Network(graph)
+        # A valid 4-coloring as input, id space 4.
+        inputs = {node: node % 4 for node in graph.nodes()}
+        algorithm = LinialColoringAlgorithm(4, 2)
+        result = run_algorithm(network, algorithm, inputs=inputs)
+        assert is_proper_vertex_coloring(graph, result.outputs)
+
+    def test_invalid_initial_color_rejected(self):
+        graph = cycle_graph(4)
+        network = Network(graph)
+        algorithm = LinialColoringAlgorithm(10**6, 2)
+        with pytest.raises(ColoringError):
+            run_algorithm(network, algorithm, inputs={0: -3})

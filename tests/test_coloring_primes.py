@@ -1,0 +1,56 @@
+"""Unit tests for repro.coloring.primes."""
+
+import pytest
+
+from repro.errors import ColoringError
+from repro.coloring import integer_nth_root_ceil, is_prime, smallest_prime_at_least
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+        for n in range(31):
+            assert is_prime(n) == (n in primes)
+
+    def test_larger_composite_and_prime(self):
+        assert is_prime(7919)  # the 1000th prime
+        assert not is_prime(7917)
+        assert not is_prime(7921)  # 89^2
+
+
+class TestSmallestPrimeAtLeast:
+    def test_exact_prime(self):
+        assert smallest_prime_at_least(13) == 13
+
+    def test_next_prime(self):
+        assert smallest_prime_at_least(14) == 17
+        assert smallest_prime_at_least(90) == 97
+
+    def test_below_two(self):
+        assert smallest_prime_at_least(-5) == 2
+        assert smallest_prime_at_least(0) == 2
+
+
+class TestIntegerNthRoot:
+    def test_perfect_powers(self):
+        assert integer_nth_root_ceil(8, 3) == 2
+        assert integer_nth_root_ceil(81, 4) == 3
+        assert integer_nth_root_ceil(1, 5) == 1
+
+    def test_rounding_up(self):
+        assert integer_nth_root_ceil(9, 3) == 3
+        assert integer_nth_root_ceil(10, 1) == 10
+        assert integer_nth_root_ceil(2, 10) == 2
+
+    def test_result_is_minimal(self):
+        for value in (7, 100, 12345, 10**9):
+            for n in (1, 2, 3, 5):
+                root = integer_nth_root_ceil(value, n)
+                assert root**n >= value
+                assert (root - 1) ** n < value
+
+    def test_validation(self):
+        with pytest.raises(ColoringError):
+            integer_nth_root_ceil(0, 2)
+        with pytest.raises(ColoringError):
+            integer_nth_root_ceil(8, 0)

@@ -1,0 +1,113 @@
+"""Unit tests for the greedy and Kuhn-Wattenhofer color reductions."""
+
+import pytest
+
+from repro.errors import ColoringError
+from repro.coloring import (
+    GreedyColorReductionAlgorithm,
+    KWColorReductionAlgorithm,
+    is_proper_vertex_coloring,
+    kw_phase_schedule,
+)
+from repro.generators import cycle_graph, random_regular_graph
+from repro.local_model import Network, run_algorithm
+
+
+def _identity_coloring(graph):
+    return {node: node for node in graph.nodes()}
+
+
+class TestGreedyReduction:
+    def test_reduces_to_target(self):
+        graph = cycle_graph(20)
+        algorithm = GreedyColorReductionAlgorithm(20, 3, 2)
+        result = run_algorithm(
+            Network(graph), algorithm, inputs=_identity_coloring(graph)
+        )
+        colors = result.outputs
+        assert is_proper_vertex_coloring(graph, colors)
+        assert max(colors.values()) < 3
+        assert result.rounds == 20 - 3
+
+    def test_target_must_exceed_degree(self):
+        with pytest.raises(ColoringError):
+            GreedyColorReductionAlgorithm(10, 2, 2)
+
+    def test_noop_when_palette_small(self):
+        graph = cycle_graph(4)
+        algorithm = GreedyColorReductionAlgorithm(4, 5, 2)
+        result = run_algorithm(
+            Network(graph), algorithm, inputs=_identity_coloring(graph)
+        )
+        assert result.rounds == 0
+
+    def test_invalid_input_color_rejected(self):
+        graph = cycle_graph(4)
+        algorithm = GreedyColorReductionAlgorithm(4, 3, 2)
+        with pytest.raises(ColoringError):
+            run_algorithm(Network(graph), algorithm, inputs={0: 7})
+
+
+class TestKWSchedule:
+    def test_phases_halve_palette(self):
+        schedule = kw_phase_schedule(100, 5)
+        palettes = [m for m, _s in schedule]
+        assert palettes[0] == 100
+        assert all(
+            later <= (earlier + 1) // 2 + 5
+            for earlier, later in zip(palettes, palettes[1:])
+        )
+
+    def test_empty_when_already_small(self):
+        assert kw_phase_schedule(5, 5) == []
+        assert kw_phase_schedule(3, 5) == []
+
+    def test_round_count_logarithmic(self):
+        target = 9
+        rounds_1k = KWColorReductionAlgorithm(1000, target, 8).rounds_needed
+        rounds_1m = KWColorReductionAlgorithm(10**6, target, 8).rounds_needed
+        # Doubling the exponent should roughly double the rounds, far from
+        # the linear cost of the greedy reduction.
+        assert rounds_1m < 3 * rounds_1k
+        assert rounds_1m < 400
+
+
+class TestKWReduction:
+    @pytest.mark.parametrize("n", [20, 50, 128])
+    def test_reduces_cycle(self, n):
+        graph = cycle_graph(n)
+        algorithm = KWColorReductionAlgorithm(n, 3, 2)
+        result = run_algorithm(
+            Network(graph), algorithm, inputs=_identity_coloring(graph)
+        )
+        colors = result.outputs
+        assert is_proper_vertex_coloring(graph, colors)
+        assert max(colors.values()) < 3
+
+    def test_reduces_regular_graph(self):
+        graph = random_regular_graph(60, 4, seed=2)
+        algorithm = KWColorReductionAlgorithm(60, 5, 4)
+        result = run_algorithm(
+            Network(graph), algorithm, inputs=_identity_coloring(graph)
+        )
+        colors = result.outputs
+        assert is_proper_vertex_coloring(graph, colors)
+        assert max(colors.values()) < 5
+
+    def test_faster_than_greedy(self):
+        graph = cycle_graph(200)
+        kw = KWColorReductionAlgorithm(200, 3, 2)
+        greedy = GreedyColorReductionAlgorithm(200, 3, 2)
+        assert kw.rounds_needed < greedy.rounds_needed
+
+    def test_target_must_exceed_degree(self):
+        with pytest.raises(ColoringError):
+            KWColorReductionAlgorithm(10, 2, 2)
+
+    def test_matches_advertised_rounds(self):
+        graph = cycle_graph(50)
+        algorithm = KWColorReductionAlgorithm(50, 3, 2)
+        result = run_algorithm(
+            Network(graph), algorithm, inputs=_identity_coloring(graph)
+        )
+        assert result.rounds == algorithm.rounds_needed

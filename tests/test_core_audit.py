@@ -1,0 +1,167 @@
+"""Unit tests for the independent trace auditor."""
+
+import pytest
+
+from repro.core import audit_trace, solve, solve_distributed_local
+from repro.core.results import FixingResult, StepRecord
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+)
+from repro.probability import PartialAssignment
+
+
+def _rank3_pair():
+    """A fresh instance plus an identical twin (auditors get their own)."""
+    return (
+        all_zero_triple_instance(12, cyclic_triples(12), 5),
+        all_zero_triple_instance(12, cyclic_triples(12), 5),
+    )
+
+
+class TestValidTraces:
+    def test_rank3_trace_passes(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        report = audit_trace(twin, result)
+        assert report.ok
+        assert report.steps == 12
+        assert report.problems == ()
+
+    def test_rank2_trace_passes(self):
+        instance = all_zero_edge_instance(cycle_graph(10), 3)
+        twin = all_zero_edge_instance(cycle_graph(10), 3)
+        result = solve(instance)
+        assert audit_trace(twin, result).ok
+
+    def test_protocol_trace_passes(self):
+        instance, twin = _rank3_pair()
+        result = solve_distributed_local(instance)
+        assert audit_trace(twin, result.fixing).ok
+
+    def test_report_is_truthy(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        assert bool(audit_trace(twin, result))
+
+
+class TestForgedTraces:
+    def test_detects_flipped_value(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        # Forge: flip one step's value to a different support element.
+        forged_steps = list(result.steps)
+        original = forged_steps[0]
+        other_value = next(
+            v
+            for v in instance.variable(original.variable).values
+            if v != original.value
+        )
+        forged_steps[0] = StepRecord(
+            variable=original.variable,
+            value=other_value,
+            events=original.events,
+            increases=original.increases,
+            slack=original.slack,
+            num_good_values=original.num_good_values,
+            num_values=original.num_values,
+        )
+        forged = FixingResult(
+            assignment=result.assignment,
+            steps=tuple(forged_steps),
+            certified_bounds=result.certified_bounds,
+        )
+        report = audit_trace(twin, forged)
+        assert not report.ok
+
+    def test_detects_missing_steps(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        truncated = FixingResult(
+            assignment=result.assignment,
+            steps=result.steps[:-2],
+            certified_bounds=result.certified_bounds,
+        )
+        report = audit_trace(twin, truncated)
+        assert not report.ok
+        assert any("unfixed" in problem for problem in report.problems)
+
+    def test_detects_duplicate_steps(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        doubled = FixingResult(
+            assignment=result.assignment,
+            steps=result.steps + result.steps[:1],
+            certified_bounds=result.certified_bounds,
+        )
+        report = audit_trace(twin, doubled)
+        assert not report.ok
+        assert any("twice" in problem for problem in report.problems)
+
+    def test_detects_fabricated_increases(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        original = result.steps[0]
+        forged_steps = (
+            StepRecord(
+                variable=original.variable,
+                value=original.value,
+                events=original.events,
+                increases=tuple(0.5 for _ in original.increases),
+                slack=original.slack,
+                num_good_values=original.num_good_values,
+                num_values=original.num_values,
+            ),
+        ) + result.steps[1:]
+        forged = FixingResult(
+            assignment=result.assignment,
+            steps=forged_steps,
+            certified_bounds=result.certified_bounds,
+        )
+        report = audit_trace(twin, forged)
+        assert not report.ok
+        assert any("differs" in problem for problem in report.problems)
+
+    def test_detects_mismatched_final_assignment(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        tampered_assignment = PartialAssignment(result.assignment.as_dict())
+        name = instance.variables[0].name
+        values = instance.variable(name).values
+        current = tampered_assignment.value_of(name)
+        tampered = PartialAssignment(
+            {
+                **result.assignment.as_dict(),
+                name: next(v for v in values if v != current),
+            }
+        )
+        forged = FixingResult(
+            assignment=tampered,
+            steps=result.steps,
+            certified_bounds=result.certified_bounds,
+        )
+        report = audit_trace(twin, forged)
+        assert not report.ok
+        assert any("mismatch" in problem for problem in report.problems)
+
+    def test_detects_unknown_variable(self):
+        instance, twin = _rank3_pair()
+        result = solve(instance)
+        ghost = StepRecord(
+            variable="ghost",
+            value=0,
+            events=("nope",),
+            increases=(1.0,),
+            slack=0.0,
+            num_good_values=1,
+            num_values=1,
+        )
+        forged = FixingResult(
+            assignment=result.assignment,
+            steps=result.steps + (ghost,),
+            certified_bounds=result.certified_bounds,
+        )
+        report = audit_trace(twin, forged)
+        assert not report.ok

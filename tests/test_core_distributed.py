@@ -1,0 +1,132 @@
+"""Unit tests for the distributed algorithms (Corollaries 1.2 and 1.4)."""
+
+import pytest
+
+from repro.analysis import log_star, rank2_schedule_bound, rank3_schedule_bound
+from repro.core import (
+    solve_distributed,
+    solve_distributed_rank2,
+    solve_distributed_rank3,
+)
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    partition_rounds_triples,
+    random_regular_graph,
+    torus_graph,
+)
+from repro.lll import verify_solution
+
+
+class TestRank2Distributed:
+    def test_solves_cycle(self):
+        instance = all_zero_edge_instance(cycle_graph(16), 3)
+        result = solve_distributed_rank2(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_regular(self):
+        instance = all_zero_edge_instance(
+            random_regular_graph(24, 3, seed=5), 3
+        )
+        result = solve_distributed_rank2(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_schedule_rounds_bounded_by_palette(self):
+        instance = all_zero_edge_instance(cycle_graph(16), 3)
+        result = solve_distributed_rank2(instance)
+        # No rank-1 variables here: schedule rounds = palette size.
+        assert result.schedule_rounds == result.palette
+        d = instance.max_dependency_degree
+        assert result.palette <= rank2_schedule_bound(d)
+
+    def test_rounds_flat_in_n(self):
+        totals = []
+        for n in (32, 128, 512):
+            instance = all_zero_edge_instance(cycle_graph(n), 3)
+            result = solve_distributed_rank2(instance)
+            assert verify_solution(instance, result.assignment).ok
+            totals.append(result.total_rounds)
+        # log* n is constant over this range, so rounds must plateau.
+        assert totals[-1] == totals[-2]
+
+    def test_invariant_validation_mode(self):
+        instance = all_zero_edge_instance(cycle_graph(10), 3)
+        result = solve_distributed_rank2(instance, validate_invariant=True)
+        assert verify_solution(instance, result.assignment).ok
+
+
+class TestRank3Distributed:
+    def test_solves_cyclic_triples(self):
+        instance = all_zero_triple_instance(12, cyclic_triples(12), 5)
+        result = solve_distributed_rank3(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_partition_rounds(self):
+        triples = partition_rounds_triples(18, 2, seed=1)
+        instance = all_zero_triple_instance(18, triples, 5)
+        result = solve_distributed_rank3(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_schedule_bounded_by_d_squared(self):
+        instance = all_zero_triple_instance(12, cyclic_triples(12), 5)
+        result = solve_distributed_rank3(instance)
+        d = instance.max_dependency_degree
+        assert result.schedule_rounds <= rank3_schedule_bound(d)
+
+    def test_rounds_flat_in_n(self):
+        # The plateau starts once the identifier space exceeds the Linial
+        # fixpoint of G^2 (~289 for d = 4): doubling n beyond that point
+        # leaves the round count unchanged.
+        totals = []
+        for n in (324, 648):
+            instance = all_zero_triple_instance(n, cyclic_triples(n), 5)
+            result = solve_distributed_rank3(instance)
+            assert verify_solution(instance, result.assignment).ok
+            totals.append(result.total_rounds)
+        assert totals[0] == totals[1]
+
+    def test_invariant_validation_mode(self):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        result = solve_distributed_rank3(instance, validate_invariant=True)
+        assert verify_solution(instance, result.assignment).ok
+
+
+class TestDispatch:
+    def test_rank2_dispatch(self):
+        instance = all_zero_edge_instance(torus_graph(3, 4), 3)
+        result = solve_distributed(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_rank3_dispatch(self):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        result = solve_distributed(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_total_rounds_sums_phases(self):
+        instance = all_zero_edge_instance(cycle_graph(12), 3)
+        result = solve_distributed(instance)
+        assert result.total_rounds == (
+            result.coloring_rounds + result.schedule_rounds
+        )
+
+
+class TestRank1Handling:
+    def test_rank1_variables_get_one_round(self):
+        from repro.lll import LLLInstance
+        from repro.probability import BadEvent, DiscreteVariable
+
+        # Two independent events, each with private coins: all variables
+        # are rank 1, so the schedule is a single round and no coloring.
+        events = []
+        for label in ("A", "B"):
+            coins = [
+                DiscreteVariable.fair_coin(f"{label}{i}") for i in range(3)
+            ]
+            events.append(BadEvent.all_equal(label, coins, target=1))
+        instance = LLLInstance(events)
+        result = solve_distributed_rank2(instance)
+        assert verify_solution(instance, result.assignment).ok
+        assert result.coloring_rounds == 0
+        assert result.schedule_rounds == 1

@@ -1,0 +1,124 @@
+"""Unit tests for the message-level LOCAL fixing protocol."""
+
+import pytest
+
+from repro.errors import CriterionViolationError, SimulationError
+from repro.core import (
+    LocalFixingProtocol,
+    solve_distributed,
+    solve_distributed_local,
+)
+from repro.applications import (
+    hypergraph_sinkless_instance,
+    orientations_from_assignment,
+    sinkless_orientation_instance,
+)
+from repro.applications.hypergraph_sinkless import satisfies_requirement
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    partition_rounds_triples,
+    random_regular_graph,
+)
+from repro.lll import verify_solution
+
+
+class TestProtocolSolves:
+    def test_rank3_cyclic(self):
+        instance = all_zero_triple_instance(15, cyclic_triples(15), 5)
+        result = solve_distributed_local(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_rank3_partition(self):
+        triples = partition_rounds_triples(18, 2, seed=3)
+        instance = all_zero_triple_instance(18, triples, 5)
+        result = solve_distributed_local(instance, require_criterion="local")
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_rank2_regular(self):
+        instance = all_zero_edge_instance(
+            random_regular_graph(20, 4, seed=1), 3
+        )
+        result = solve_distributed_local(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_rank2_cycle(self):
+        instance = all_zero_edge_instance(cycle_graph(16), 3)
+        result = solve_distributed_local(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_application_end_to_end(self):
+        triples = cyclic_triples(12)
+        instance = hypergraph_sinkless_instance(12, triples)
+        result = solve_distributed_local(instance)
+        orientations = orientations_from_assignment(
+            triples, result.assignment
+        )
+        assert satisfies_requirement(12, triples, orientations)
+
+    def test_rejects_at_threshold(self):
+        instance = sinkless_orientation_instance(
+            random_regular_graph(12, 3, seed=2)
+        )
+        with pytest.raises(CriterionViolationError):
+            solve_distributed_local(instance)
+
+
+class TestRoundAccounting:
+    def test_two_rounds_per_class(self):
+        instance = all_zero_triple_instance(12, cyclic_triples(12), 5)
+        result = solve_distributed_local(instance)
+        assert result.schedule_rounds == 2 * result.palette
+
+    def test_rounds_needed_property(self):
+        protocol = LocalFixingProtocol(palette=7)
+        assert protocol.rounds_needed == 14
+
+    def test_palette_validation(self):
+        with pytest.raises(SimulationError):
+            LocalFixingProtocol(palette=0)
+
+    def test_extra_preround_charged(self):
+        instance = all_zero_edge_instance(cycle_graph(12), 3)
+        high_level = solve_distributed(instance)
+        protocol = solve_distributed_local(instance)
+        # The protocol charges the 1-hop pre-exchange on top of coloring.
+        # (high-level uses edge coloring for rank 2, so only compare the
+        # fact that both report positive coloring phases.)
+        assert protocol.coloring_rounds >= 1
+        assert high_level.coloring_rounds >= 1
+
+
+class TestConsistencyWithScheduler:
+    def test_both_produce_valid_solutions(self):
+        triples = cyclic_triples(12)
+        scheduler_instance = all_zero_triple_instance(12, triples, 5)
+        protocol_instance = all_zero_triple_instance(12, triples, 5)
+        scheduler = solve_distributed(scheduler_instance)
+        protocol = solve_distributed_local(protocol_instance)
+        assert verify_solution(scheduler_instance, scheduler.assignment).ok
+        assert verify_solution(protocol_instance, protocol.assignment).ok
+
+    def test_certified_bounds_valid(self):
+        instance = all_zero_triple_instance(12, cyclic_triples(12), 5)
+        result = solve_distributed_local(instance)
+        assert result.fixing.max_certified_bound < 1.0
+        # The ledger-derived bound really dominates the conditional
+        # probability of every event under the final assignment (= 0).
+        for event in instance.events:
+            assert event.probability(result.assignment) == 0.0
+
+    def test_step_records_cover_all_variables(self):
+        instance = all_zero_triple_instance(12, cyclic_triples(12), 5)
+        result = solve_distributed_local(instance)
+        fixed_variables = {step.variable for step in result.fixing.steps}
+        assert fixed_variables == {v.name for v in instance.variables}
+
+    def test_all_steps_respect_budget(self):
+        instance = all_zero_triple_instance(15, cyclic_triples(15), 5)
+        result = solve_distributed_local(instance)
+        for step in result.fixing.steps:
+            assert step.slack >= -1e-9
+            assert step.num_good_values >= 1

@@ -1,0 +1,65 @@
+"""Unit tests for the one-round distributed verification protocol."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.core import solve, solve_distributed_local, verify_distributed
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+)
+from repro.probability import PartialAssignment
+
+
+class TestVerifyDistributed:
+    def test_accepts_valid_solution(self):
+        instance = all_zero_triple_instance(12, cyclic_triples(12), 5)
+        result = solve(instance)
+        ok, rounds, verdicts = verify_distributed(instance, result.assignment)
+        assert ok
+        assert rounds == 1
+        assert len(verdicts) == instance.num_events
+        assert all(verdicts.values())
+
+    def test_rejects_bad_assignment_and_localises_blame(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 3)
+        bad = PartialAssignment()
+        for variable in instance.variables:
+            bad.fix(variable, 0)  # every event occurs
+        ok, rounds, verdicts = verify_distributed(instance, bad)
+        assert not ok
+        assert rounds == 1
+        assert not any(verdicts.values())
+
+    def test_partial_violation_blames_only_violators(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 3)
+        # Make exactly node 0 bad: its two incident edges are 0, all
+        # other edges 1.
+        assignment = PartialAssignment()
+        for variable in instance.variables:
+            _tag, u, v = variable.name
+            value = 0 if 0 in (u, v) else 1
+            assignment.fix(variable, value)
+        ok, _rounds, verdicts = verify_distributed(instance, assignment)
+        assert not ok
+        assert verdicts[0] is False
+        # Nodes not adjacent to 0 are happy.
+        assert verdicts[3] is True
+        assert verdicts[4] is True
+
+    def test_agrees_with_protocol_solver(self):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        result = solve_distributed_local(instance)
+        ok, _rounds, _verdicts = verify_distributed(
+            instance, result.assignment
+        )
+        assert ok
+
+    def test_incomplete_assignment_raises(self):
+        from repro.errors import InvalidAssignmentError
+
+        instance = all_zero_edge_instance(cycle_graph(6), 3)
+        with pytest.raises(InvalidAssignmentError):
+            verify_distributed(instance, PartialAssignment())

@@ -1,0 +1,146 @@
+"""Unit tests for the naive rank-r fixer (the paper's §1 generalisation)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import CriterionViolationError, PStarViolationError
+from repro.core import (
+    NaiveRankRFixer,
+    check_naive_criterion,
+    naive_threshold,
+    solve_naive,
+)
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+)
+from repro.lll import LLLInstance, verify_solution
+from repro.probability import BadEvent, DiscreteVariable
+
+
+def _rank4_instance(alphabet: int, groups: int = 3) -> LLLInstance:
+    """Rank-4 instance: disjoint groups of 4 events sharing one variable.
+
+    Event probability per group: ``1/alphabet`` (bad iff the shared
+    variable is 0); each event sits in exactly one hyperedge, so the
+    naive criterion needs ``1/alphabet < 4^-1``.
+    """
+    events = []
+    for group in range(groups):
+        shared = DiscreteVariable(("g", group), tuple(range(alphabet)))
+        for position in range(4):
+            events.append(
+                BadEvent.all_equal((group, position), [shared], target=0)
+            )
+    return LLLInstance(events)
+
+
+def _rank4_chain_instance(alphabet: int, length: int = 6) -> LLLInstance:
+    """Overlapping rank-4 hyperedges: variable i touches events i..i+3."""
+    variables = [
+        DiscreteVariable(("v", i), tuple(range(alphabet)))
+        for i in range(length)
+    ]
+    num_events = length + 3
+    scopes = [[] for _ in range(num_events)]
+    for i, variable in enumerate(variables):
+        for offset in range(4):
+            scopes[i + offset].append(variable)
+
+    events = []
+    for index, scope in enumerate(scopes):
+        names = tuple(v.name for v in scope)
+
+        def predicate(values, _names=names):
+            return all(values[name] == 0 for name in _names)
+
+        events.append(BadEvent(index, scope, predicate))
+    return LLLInstance(events)
+
+
+class TestCriterion:
+    def test_threshold_formula(self):
+        assert naive_threshold(3, 2) == pytest.approx(1 / 9)
+        assert naive_threshold(4, 1) == pytest.approx(0.25)
+        # Rank < 2 clamps to 2 (the rank-2 budget).
+        assert naive_threshold(1, 3) == pytest.approx(0.125)
+
+    def test_accepts_easy_rank4(self):
+        check_naive_criterion(_rank4_instance(alphabet=5))
+
+    def test_rejects_at_naive_threshold(self):
+        # p = 1/4 = 4^-1 exactly.
+        with pytest.raises(CriterionViolationError):
+            check_naive_criterion(_rank4_instance(alphabet=4))
+
+    def test_rejects_what_rank3_fixer_accepts(self):
+        # The paper's point: the naive criterion is far stronger than
+        # p < 2^-d.  Cyclic triples with alphabet 5: each node has 3
+        # hyperedges, so naive needs p < 3^-3 = 1/27, but p = 5^-3 =
+        # 1/125 < 1/27 — too easy.  Alphabet 3 gives p = 1/27 = 3^-3
+        # exactly: naive rejects while p < 2^-d still holds.
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 3)
+        assert instance.max_event_probability < 2.0**-4  # below the paper
+        with pytest.raises(CriterionViolationError):
+            check_naive_criterion(instance)
+
+
+class TestFixing:
+    def test_solves_disjoint_rank4(self):
+        instance = _rank4_instance(alphabet=5)
+        result = solve_naive(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_overlapping_rank4_chain(self):
+        # Each event is in <= 4 hyperedges; p = alphabet^-scope. With
+        # alphabet 5 every event satisfies p_v < 4^-H_v by a margin.
+        instance = _rank4_chain_instance(alphabet=5)
+        fixer = NaiveRankRFixer(instance)
+        result = fixer.run()
+        fixer.check_invariant()
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_rank2_instances_too(self):
+        instance = all_zero_edge_instance(cycle_graph(10), 5)
+        result = solve_naive(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_random_orders(self):
+        rng = random.Random(0)
+        for _ in range(5):
+            instance = _rank4_chain_instance(alphabet=6)
+            order = [v.name for v in instance.variables]
+            rng.shuffle(order)
+            result = solve_naive(instance, order=order)
+            assert verify_solution(instance, result.assignment).ok
+
+    def test_certified_bounds_below_one(self):
+        instance = _rank4_chain_instance(alphabet=5)
+        result = solve_naive(instance)
+        assert result.max_certified_bound < 1.0
+
+    def test_double_fix_rejected(self):
+        instance = _rank4_instance(alphabet=5)
+        fixer = NaiveRankRFixer(instance)
+        name = instance.variables[0].name
+        fixer.fix_variable(name)
+        with pytest.raises(PStarViolationError):
+            fixer.fix_variable(name)
+
+    def test_weighted_budget_shrinks(self):
+        instance = _rank4_chain_instance(alphabet=5)
+        fixer = NaiveRankRFixer(instance)
+        result = fixer.run()
+        # Every step's weighted total was at most the (shrinking) budget.
+        for step in result.steps:
+            assert step.slack >= -1e-9
+
+    def test_step_records_cover_all_ranks(self):
+        instance = _rank4_chain_instance(alphabet=5)
+        result = solve_naive(instance)
+        arities = {len(step.events) for step in result.steps}
+        assert 4 in arities

@@ -1,0 +1,166 @@
+"""Unit tests for the rank-2 fixer (Theorem 1.1)."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CriterionViolationError,
+    NoGoodValueError,
+    PStarViolationError,
+    RankViolationError,
+)
+from repro.core import Rank2Fixer, solve_rank2
+from repro.generators import (
+    all_zero_edge_instance,
+    cycle_graph,
+    grid_graph,
+    random_regular_graph,
+    random_tree,
+    threshold_count_edge_instance,
+)
+from repro.lll import verify_solution
+
+
+class TestPreconditions:
+    def test_rejects_rank3(self, small_rank3_instance):
+        with pytest.raises(RankViolationError):
+            Rank2Fixer(small_rank3_instance)
+
+    def test_rejects_at_threshold(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 2)
+        with pytest.raises(CriterionViolationError):
+            Rank2Fixer(instance)
+
+    def test_threshold_check_can_be_disabled(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 2)
+        Rank2Fixer(instance, require_criterion=False)
+
+
+class TestFixing:
+    def test_solves_cycle(self, small_rank2_instance):
+        result = solve_rank2(small_rank2_instance)
+        assert verify_solution(small_rank2_instance, result.assignment).ok
+
+    def test_solves_regular_graph(self, regular_rank2_instance):
+        result = solve_rank2(regular_rank2_instance)
+        assert verify_solution(regular_rank2_instance, result.assignment).ok
+
+    def test_solves_tree_under_local_criterion(self):
+        # Trees are irregular: leaves have p = 1/4 > 2^-d globally, but
+        # every event satisfies its local bound p_v < 2^-deg(v).
+        instance = all_zero_edge_instance(random_tree(20, seed=3), 4)
+        result = solve_rank2(instance, require_criterion="local")
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_tree_violates_global_but_not_local(self):
+        from repro.lll import check_local_criterion, check_preconditions
+
+        instance = all_zero_edge_instance(random_tree(20, seed=3), 4)
+        with pytest.raises(CriterionViolationError):
+            check_preconditions(instance)
+        check_local_criterion(instance)  # must not raise
+
+    def test_solves_grid_under_local_criterion(self):
+        # Grid corners have degree 2 < d = 4, so only the local criterion
+        # applies with alphabet 3.
+        instance = all_zero_edge_instance(grid_graph(4, 4), 3)
+        result = solve_rank2(instance, require_criterion="local")
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_torus(self):
+        from repro.generators import torus_graph
+
+        instance = all_zero_edge_instance(torus_graph(3, 4), 3)
+        result = solve_rank2(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_softer_events(self):
+        # Bad iff at least deg incident variables are zero (= all of them)
+        # on a degree-3 regular graph with alphabet 4.
+        graph = random_regular_graph(12, 3, seed=11)
+        instance = threshold_count_edge_instance(graph, 4, min_zeros=3)
+        result = solve_rank2(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_every_order_succeeds(self, small_rank2_instance):
+        names = [v.name for v in small_rank2_instance.variables]
+        rng = random.Random(0)
+        for _ in range(10):
+            rng.shuffle(names)
+            instance = all_zero_edge_instance(cycle_graph(12), 3)
+            result = solve_rank2(instance, order=list(names))
+            assert verify_solution(instance, result.assignment).ok
+
+    def test_double_fix_rejected(self, small_rank2_instance):
+        fixer = Rank2Fixer(small_rank2_instance)
+        name = small_rank2_instance.variables[0].name
+        fixer.fix_variable(name)
+        with pytest.raises(PStarViolationError):
+            fixer.fix_variable(name)
+
+    def test_run_completes_partial_order(self, small_rank2_instance):
+        names = [v.name for v in small_rank2_instance.variables]
+        result = solve_rank2(small_rank2_instance, order=names[:3])
+        assert verify_solution(small_rank2_instance, result.assignment).ok
+
+
+class TestInvariants:
+    def test_invariant_maintained_throughout(self):
+        instance = all_zero_edge_instance(cycle_graph(10), 3)
+        fixer = Rank2Fixer(instance, validate_invariant=True)
+        result = fixer.run()
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_step_slack_nonnegative(self, regular_rank2_instance):
+        result = solve_rank2(regular_rank2_instance)
+        assert result.min_slack >= -1e-9
+
+    def test_increase_budget_theorem(self, regular_rank2_instance):
+        # Theorem 1.1's accounting: the weighted increases on each edge
+        # never exceed 2, hence every certified bound is < 1.
+        result = solve_rank2(regular_rank2_instance)
+        assert result.max_certified_bound < 1.0
+
+    def test_certified_bound_below_p_times_2d(self, regular_rank2_instance):
+        result = solve_rank2(regular_rank2_instance)
+        p = 3.0**-4
+        d = 4
+        for bound in result.certified_bounds.values():
+            assert bound <= p * 2**d + 1e-9
+
+    def test_step_records_shape(self, small_rank2_instance):
+        result = solve_rank2(small_rank2_instance)
+        assert result.num_steps == small_rank2_instance.num_variables
+        for step in result.steps:
+            assert len(step.events) in (1, 2)
+            assert len(step.increases) == len(step.events)
+            assert 1 <= step.num_good_values <= step.num_values
+
+    def test_final_probabilities_are_zero(self, small_rank2_instance):
+        result = solve_rank2(small_rank2_instance)
+        for event in small_rank2_instance.events:
+            assert event.probability(result.assignment) == 0.0
+
+
+class TestRank1Variables:
+    def test_single_event_instance(self):
+        from repro.lll import LLLInstance
+        from repro.probability import BadEvent, DiscreteVariable
+
+        coins = [DiscreteVariable.fair_coin(f"c{i}") for i in range(4)]
+        event = BadEvent.all_equal("E", coins, target=1)
+        instance = LLLInstance([event])
+        result = solve_rank2(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_rank1_steps_never_increase(self):
+        from repro.lll import LLLInstance
+        from repro.probability import BadEvent, DiscreteVariable
+
+        coins = [DiscreteVariable.fair_coin(f"c{i}") for i in range(5)]
+        event = BadEvent.all_equal("E", coins, target=0)
+        instance = LLLInstance([event])
+        result = solve_rank2(instance)
+        for step in result.steps:
+            assert step.increases[0] <= 1.0 + 1e-9

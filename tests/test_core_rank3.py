@@ -1,0 +1,139 @@
+"""Unit tests for the rank-3 fixer (Theorem 1.3 / Lemma 3.2)."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CriterionViolationError,
+    PStarViolationError,
+    RankViolationError,
+)
+from repro.core import Rank3Fixer, solve_rank3
+from repro.generators import (
+    all_zero_triple_instance,
+    cyclic_triples,
+    mixed_rank_instance,
+    grid_graph,
+    partition_rounds_triples,
+    random_triples,
+)
+from repro.lll import verify_solution
+
+
+class TestPreconditions:
+    def test_rejects_rank4(self):
+        from repro.lll import LLLInstance
+        from repro.probability import BadEvent, DiscreteVariable
+
+        shared = DiscreteVariable("s", tuple(range(64)))
+        events = [
+            BadEvent.all_equal(f"E{i}", [shared], target=0) for i in range(4)
+        ]
+        instance = LLLInstance(events)
+        with pytest.raises(RankViolationError):
+            Rank3Fixer(instance)
+
+    def test_rejects_at_threshold(self):
+        # Disjoint triples: every node in exactly one, d = 2, and with
+        # alphabet 4 each event has p = 1/4 = 2^-d exactly.
+        triples = [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+        instance = all_zero_triple_instance(9, triples, 4)
+        with pytest.raises(CriterionViolationError):
+            Rank3Fixer(instance)
+
+    def test_threshold_check_can_be_disabled(self):
+        triples = [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+        instance = all_zero_triple_instance(9, triples, 4)
+        Rank3Fixer(instance, require_criterion=False)
+
+
+class TestFixing:
+    def test_solves_cyclic_triples(self, small_rank3_instance):
+        result = solve_rank3(small_rank3_instance)
+        assert verify_solution(small_rank3_instance, result.assignment).ok
+
+    def test_solves_partition_rounds(self):
+        triples = partition_rounds_triples(18, 2, seed=0)
+        instance = all_zero_triple_instance(18, triples, 5)
+        result = solve_rank3(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_random_triples(self):
+        triples = random_triples(15, num_triples=10, max_per_node=3, seed=2)
+        # Irregular triple counts: a node in t triples has p = 7^-t and
+        # dependency degree at most 2t, satisfying the *local* criterion.
+        instance = all_zero_triple_instance(15, triples, 7)
+        result = solve_rank3(instance, require_criterion="local")
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_solves_mixed_ranks(self):
+        triples = [(0, 1, 2), (3, 4, 5), (6, 7, 8), (0, 4, 8)]
+        instance = mixed_rank_instance(grid_graph(3, 3), triples, 4, 5)
+        result = solve_rank3(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_every_order_succeeds(self):
+        rng = random.Random(0)
+        for trial in range(8):
+            instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+            names = [v.name for v in instance.variables]
+            rng.shuffle(names)
+            result = solve_rank3(instance, order=list(names))
+            assert verify_solution(instance, result.assignment).ok
+
+    def test_biased_distributions(self):
+        # Non-uniform triple variables: zero-probability 0.1 per variable;
+        # p = 0.1^3 = 1e-3 < 2^-4.
+        probabilities = (0.1, 0.45, 0.45)
+        instance = all_zero_triple_instance(
+            9, cyclic_triples(9), 3, probabilities=probabilities
+        )
+        result = solve_rank3(instance)
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_double_fix_rejected(self, small_rank3_instance):
+        fixer = Rank3Fixer(small_rank3_instance)
+        name = small_rank3_instance.variables[0].name
+        fixer.fix_variable(name)
+        with pytest.raises(PStarViolationError):
+            fixer.fix_variable(name)
+
+
+class TestPStarMaintenance:
+    def test_pstar_holds_after_every_step(self):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        fixer = Rank3Fixer(instance, validate_invariant=True)
+        result = fixer.run()
+        assert verify_solution(instance, result.assignment).ok
+
+    def test_final_bounds_below_one(self, small_rank3_instance):
+        result = solve_rank3(small_rank3_instance)
+        assert result.max_certified_bound < 1.0
+
+    def test_non_evil_value_always_exists(self, small_rank3_instance):
+        # Lemma 3.2: at least one candidate value is non-evil at every step.
+        result = solve_rank3(small_rank3_instance)
+        for step in result.steps:
+            assert step.num_good_values >= 1
+
+    def test_final_probabilities_are_zero(self, small_rank3_instance):
+        result = solve_rank3(small_rank3_instance)
+        for event in small_rank3_instance.events:
+            assert event.probability(result.assignment) == 0.0
+
+    def test_edge_values_stay_in_range(self):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        fixer = Rank3Fixer(instance)
+        for variable in instance.variables:
+            fixer.fix_variable(variable.name)
+            for (edge_key, side), value in fixer.pstar.snapshot().items():
+                assert -1e-9 <= value <= 2.0 + 1e-9
+
+    def test_step_records_have_three_events_for_triples(
+        self, small_rank3_instance
+    ):
+        result = solve_rank3(small_rank3_instance)
+        for step in result.steps:
+            assert len(step.events) == 3
+            assert len(step.increases) == 3

@@ -1,0 +1,77 @@
+"""Unit tests for the result record types."""
+
+import math
+
+import pytest
+
+from repro.core.results import FixingResult, StepRecord
+from repro.probability import PartialAssignment
+
+
+def _step(variable, slack=0.5, good=2, total=3):
+    return StepRecord(
+        variable=variable,
+        value=0,
+        events=("E",),
+        increases=(1.0,),
+        slack=slack,
+        num_good_values=good,
+        num_values=total,
+    )
+
+
+class TestFixingResult:
+    def test_num_steps(self):
+        result = FixingResult(
+            assignment=PartialAssignment(),
+            steps=(_step("a"), _step("b")),
+            certified_bounds={"E": 0.5},
+        )
+        assert result.num_steps == 2
+
+    def test_min_slack(self):
+        result = FixingResult(
+            assignment=PartialAssignment(),
+            steps=(_step("a", slack=0.7), _step("b", slack=0.1)),
+            certified_bounds={},
+        )
+        assert result.min_slack == pytest.approx(0.1)
+
+    def test_min_slack_empty(self):
+        result = FixingResult(
+            assignment=PartialAssignment(), steps=(), certified_bounds={}
+        )
+        assert result.min_slack == math.inf
+
+    def test_max_certified_bound(self):
+        result = FixingResult(
+            assignment=PartialAssignment(),
+            steps=(),
+            certified_bounds={"E": 0.25, "F": 0.75},
+        )
+        assert result.max_certified_bound == 0.75
+
+    def test_max_certified_bound_empty(self):
+        result = FixingResult(
+            assignment=PartialAssignment(), steps=(), certified_bounds={}
+        )
+        assert result.max_certified_bound == 0.0
+
+    def test_good_value_fraction(self):
+        result = FixingResult(
+            assignment=PartialAssignment(),
+            steps=(_step("a", good=3, total=3), _step("b", good=1, total=2)),
+            certified_bounds={},
+        )
+        assert result.good_value_fraction == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_good_value_fraction_empty(self):
+        result = FixingResult(
+            assignment=PartialAssignment(), steps=(), certified_bounds={}
+        )
+        assert result.good_value_fraction == 1.0
+
+    def test_step_record_is_frozen(self):
+        step = _step("a")
+        with pytest.raises(AttributeError):
+            step.slack = 1.0

@@ -1,0 +1,36 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        subclasses = [
+            errors.InvalidDistributionError,
+            errors.UnknownVariableError,
+            errors.InvalidAssignmentError,
+            errors.EnumerationLimitError,
+            errors.CriterionViolationError,
+            errors.RankViolationError,
+            errors.NoGoodValueError,
+            errors.NotRepresentableError,
+            errors.PStarViolationError,
+            errors.AlgorithmFailedError,
+            errors.SimulationError,
+            errors.ColoringError,
+        ]
+        for subclass in subclasses:
+            assert issubclass(subclass, errors.ReproError)
+
+    def test_catching_the_base_catches_library_failures(self):
+        from repro.generators import all_zero_edge_instance, cycle_graph
+        from repro.core import solve
+
+        with pytest.raises(errors.ReproError):
+            solve(all_zero_edge_instance(cycle_graph(6), 2))  # at threshold
+
+    def test_base_does_not_swallow_programming_errors(self):
+        assert not issubclass(TypeError, errors.ReproError)
+        assert not issubclass(errors.ReproError, TypeError)

@@ -1,0 +1,215 @@
+"""Unit tests for repro.geometry.representable (Def. 3.3/3.4, Lemma 3.7)."""
+
+import random
+
+import pytest
+
+from repro.errors import NotRepresentableError
+from repro.geometry import (
+    boundary_surface,
+    decompose_triple,
+    is_representable_pair,
+    is_representable_triple,
+    representability_margin,
+    segment_points_inside,
+    violates_incurvedness,
+)
+
+
+class TestPairs:
+    def test_basic_membership(self):
+        assert is_representable_pair(1.0, 1.0)
+        assert is_representable_pair(0.0, 2.0)
+        assert not is_representable_pair(1.5, 0.6)
+        assert not is_representable_pair(-0.1, 0.5, tolerance=1e-12)
+
+    def test_boundary(self):
+        assert is_representable_pair(0.7, 1.3)
+
+
+class TestTripleMembership:
+    def test_initial_triple(self):
+        # All phi = 1 at the start of the algorithm: (1, 1, 1).
+        assert is_representable_triple(1.0, 1.0, 1.0)
+
+    def test_figure2_triple(self):
+        assert is_representable_triple(0.25, 1.5, 0.1)
+
+    def test_extremes(self):
+        assert is_representable_triple(0.0, 0.0, 4.0)
+        assert is_representable_triple(4.0, 0.0, 0.0)
+        assert not is_representable_triple(4.0, 0.1, 0.0, tolerance=1e-12)
+        assert not is_representable_triple(2.0, 2.0, 0.1, tolerance=1e-12)
+
+    def test_negative_coordinates_rejected(self):
+        assert not is_representable_triple(-0.5, 1.0, 1.0, tolerance=1e-12)
+
+    def test_characterisation_matches_boundary(self):
+        rng = random.Random(0)
+        for _ in range(300):
+            a = rng.uniform(0, 4)
+            b = rng.uniform(0, 4 - a)
+            limit = boundary_surface(a, b)
+            assert is_representable_triple(a, b, limit)
+            if limit > 1e-6:
+                assert is_representable_triple(a, b, limit - 1e-7)
+            assert not is_representable_triple(
+                a, b, limit + 1e-6, tolerance=1e-9
+            )
+
+    def test_permutation_symmetry(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            point = (
+                rng.uniform(0, 4.5),
+                rng.uniform(0, 4.5),
+                rng.uniform(0, 4.5),
+            )
+            results = {
+                is_representable_triple(*perm, tolerance=1e-7)
+                for perm in (
+                    point,
+                    (point[1], point[2], point[0]),
+                    (point[2], point[0], point[1]),
+                    (point[0], point[2], point[1]),
+                )
+            }
+            assert len(results) == 1
+
+    def test_downward_closed(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            a = rng.uniform(0, 4)
+            b = rng.uniform(0, 4 - a)
+            c = rng.uniform(0, boundary_surface(a, b))
+            shrink = rng.uniform(0, 1)
+            assert is_representable_triple(a * shrink, b, c)
+            assert is_representable_triple(a, b * shrink, c)
+            assert is_representable_triple(a, b, c * shrink)
+
+
+class TestMargin:
+    def test_positive_inside(self):
+        assert representability_margin(1.0, 1.0, 0.5) > 0
+
+    def test_negative_outside(self):
+        assert representability_margin(2.0, 2.0, 1.0) < 0
+        assert representability_margin(5.0, 0.0, 0.0) < 0
+
+    def test_zero_component_is_boundary(self):
+        assert representability_margin(0.0, 1.0, 1.0) == 0.0
+
+    def test_consistent_with_membership(self):
+        rng = random.Random(3)
+        for _ in range(500):
+            point = (
+                rng.uniform(0, 4.5),
+                rng.uniform(0, 4.5),
+                rng.uniform(0, 4.5),
+            )
+            margin = representability_margin(*point)
+            member = is_representable_triple(*point, tolerance=1e-9)
+            if margin > 1e-9:
+                assert member
+            if margin < -1e-9:
+                assert not member
+
+
+class TestDecomposition:
+    def _check(self, a, b, c):
+        decomposition = decompose_triple(a, b, c)
+        assert decomposition.max_violation(a, b, c) < 1e-7
+
+    def test_figure2(self):
+        self._check(0.25, 1.5, 0.1)
+
+    def test_initial_state(self):
+        self._check(1.0, 1.0, 1.0)
+
+    def test_axis_cases(self):
+        self._check(0.0, 0.0, 4.0)
+        self._check(0.0, 2.0, 2.0)
+        self._check(2.0, 0.0, 1.0)
+        self._check(0.0, 0.0, 0.0)
+
+    def test_diagonal(self):
+        self._check(1.5, 1.5, 0.25)
+        self._check(2.0, 2.0, 0.0)
+
+    def test_boundary_surface_points(self):
+        rng = random.Random(4)
+        for _ in range(200):
+            a = rng.uniform(0, 4)
+            b = rng.uniform(0, 4 - a)
+            self._check(a, b, boundary_surface(a, b))
+
+    def test_random_interior(self):
+        rng = random.Random(5)
+        for _ in range(500):
+            a = rng.uniform(0, 4)
+            b = rng.uniform(0, 4 - a)
+            c = rng.uniform(0, boundary_surface(a, b))
+            self._check(a, b, c)
+
+    def test_rejects_outside(self):
+        with pytest.raises(NotRepresentableError):
+            decompose_triple(2.0, 2.0, 0.5)
+        with pytest.raises(NotRepresentableError):
+            decompose_triple(5.0, 0.0, 0.0)
+
+    def test_edge_sums_within_budget(self):
+        decomposition = decompose_triple(0.8, 1.1, 0.6)
+        for total in decomposition.edge_sums():
+            assert total <= 2.0 + 1e-9
+
+    def test_products_match_exactly_on_surface(self):
+        a, b = 1.0, 2.0
+        c = boundary_surface(a, b)
+        decomposition = decompose_triple(a, b, c)
+        pa, pb, pc = decomposition.products()
+        assert pa == pytest.approx(a, abs=1e-9)
+        assert pb == pytest.approx(b, abs=1e-9)
+        assert pc == pytest.approx(c, abs=1e-9)
+
+
+class TestIncurvedness:
+    """Lemma 3.7: no segment between two outside points enters S_rep."""
+
+    def _random_outside(self, rng):
+        while True:
+            point = (
+                rng.uniform(0, 4.5),
+                rng.uniform(0, 4.5),
+                rng.uniform(0, 4.5),
+            )
+            if not is_representable_triple(*point, tolerance=1e-9):
+                return point
+
+    def test_no_violations_on_random_segments(self):
+        rng = random.Random(6)
+        for _ in range(400):
+            s = self._random_outside(rng)
+            s_prime = self._random_outside(rng)
+            assert not violates_incurvedness(s, s_prime)
+
+    def test_segment_points_inside_for_inside_endpoint(self):
+        inside = (1.0, 1.0, 0.5)
+        outside = (2.0, 2.0, 1.0)
+        weights = segment_points_inside(outside, inside)
+        assert 0.0 in weights  # q = 0 is the inside endpoint
+        assert 1.0 not in weights
+
+    def test_violation_detection_sanity(self):
+        # A hand-made *convex-like* set check: using the real S_rep the
+        # detector must never fire even for boundary-hugging segments.
+        rng = random.Random(7)
+        for _ in range(100):
+            a = rng.uniform(0.2, 3.8)
+            b = rng.uniform(0.1, 4 - a)
+            c = boundary_surface(a, b) + 1e-4
+            s = (a, b, c)
+            a2 = rng.uniform(0.2, 3.8)
+            b2 = rng.uniform(0.1, 4 - a2)
+            c2 = boundary_surface(a2, b2) + 1e-4
+            s_prime = (a2, b2, c2)
+            assert not violates_incurvedness(s, s_prime, num_samples=201)

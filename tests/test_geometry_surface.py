@@ -1,0 +1,178 @@
+"""Unit tests for repro.geometry.surface (Lemmas 3.5 and 3.6)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.geometry import (
+    boundary_surface,
+    gradient,
+    hessian,
+    hessian_minors,
+    in_domain,
+    is_convex_at,
+    numerical_gradient,
+    surface_alternative_form,
+    surface_grid,
+)
+
+
+class TestBoundaryValues:
+    def test_corner_values(self):
+        assert boundary_surface(0, 0) == pytest.approx(4.0)
+        assert boundary_surface(4, 0) == pytest.approx(0.0)
+        assert boundary_surface(0, 4) == pytest.approx(0.0)
+
+    def test_axis_formula(self):
+        # f(0, b) = 4 - b (from the proof of Lemma 3.5).
+        for b in (0.5, 1.0, 2.5, 3.9):
+            assert boundary_surface(0, b) == pytest.approx(4.0 - b)
+            assert boundary_surface(b, 0) == pytest.approx(4.0 - b)
+
+    def test_diagonal_formula(self):
+        # f(a, a) = (2 - a)^2 (from the proof of Lemma 3.5).
+        for a in (0.1, 0.7, 1.0, 1.5, 2.0):
+            assert boundary_surface(a, a) == pytest.approx((2.0 - a) ** 2)
+
+    def test_zero_on_boundary_line(self):
+        # f vanishes on a + b = 4.
+        for a in (0.5, 1.0, 2.0, 3.5):
+            assert boundary_surface(a, 4.0 - a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_figure2_compatible_value(self):
+        # The Figure 2 triple (1/4, 3/2, 1/10) requires f(1/4, 3/2) >= 1/10.
+        assert boundary_surface(0.25, 1.5) >= 0.1
+
+    def test_range(self):
+        rng = random.Random(0)
+        for _ in range(500):
+            a = rng.uniform(0, 4)
+            b = rng.uniform(0, 4 - a)
+            value = boundary_surface(a, b)
+            assert 0.0 <= value <= 4.0
+
+    def test_symmetry(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            a = rng.uniform(0, 4)
+            b = rng.uniform(0, 4 - a)
+            assert boundary_surface(a, b) == pytest.approx(
+                boundary_surface(b, a)
+            )
+
+    def test_monotone_decreasing(self):
+        # Larger coordinates leave less room for c.
+        assert boundary_surface(1, 1) > boundary_surface(1.5, 1)
+        assert boundary_surface(1, 1) > boundary_surface(1, 1.5)
+
+    def test_domain_violation_raises(self):
+        with pytest.raises(ReproError):
+            boundary_surface(3, 3)
+        with pytest.raises(ReproError):
+            boundary_surface(-1, 0)
+
+    def test_tiny_excursions_clamped(self):
+        assert boundary_surface(-1e-12, 1.0) == pytest.approx(3.0)
+        assert boundary_surface(2.0 + 5e-10, 2.0) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestAlternativeForm:
+    def test_forms_agree(self):
+        rng = random.Random(2)
+        for _ in range(500):
+            a = rng.uniform(0, 4)
+            b = rng.uniform(0, 4 - a)
+            assert boundary_surface(a, b) == pytest.approx(
+                surface_alternative_form(a, b), abs=1e-12
+            )
+
+
+class TestDerivatives:
+    def test_gradient_matches_numeric(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            a = rng.uniform(0.2, 3.0)
+            b = rng.uniform(0.2, min(3.0, 3.8 - a))
+            closed = gradient(a, b)
+            numeric = numerical_gradient(a, b)
+            assert closed[0] == pytest.approx(numeric[0], abs=1e-4)
+            assert closed[1] == pytest.approx(numeric[1], abs=1e-4)
+
+    def test_gradient_boundary_raises(self):
+        with pytest.raises(ReproError):
+            gradient(0, 1)
+
+    def test_hessian_is_symmetric(self):
+        ((faa, fab), (fba, fbb)) = hessian(1.0, 0.5)
+        assert fab == fba
+
+    def test_hessian_matches_numeric(self):
+        a, b = 1.2, 0.8
+        step = 1e-5
+        ((faa, fab), (_, fbb)) = hessian(a, b)
+        numeric_faa = (
+            boundary_surface(a + step, b)
+            - 2 * boundary_surface(a, b)
+            + boundary_surface(a - step, b)
+        ) / step**2
+        assert faa == pytest.approx(numeric_faa, rel=1e-3)
+        numeric_fab = (
+            boundary_surface(a + step, b + step)
+            - boundary_surface(a + step, b - step)
+            - boundary_surface(a - step, b + step)
+            + boundary_surface(a - step, b - step)
+        ) / (4 * step**2)
+        assert fab == pytest.approx(numeric_fab, rel=1e-3)
+
+
+class TestConvexity:
+    """Lemma 3.6: both leading principal minors are positive on the
+    open domain, so f is convex."""
+
+    def test_minors_positive_random_sample(self):
+        rng = random.Random(4)
+        for _ in range(1000):
+            a = rng.uniform(1e-3, 3.99)
+            b = rng.uniform(1e-3, 3.999 - a)
+            first, second = hessian_minors(a, b)
+            assert first > 0
+            assert second > 0
+
+    def test_is_convex_at(self):
+        assert is_convex_at(1.0, 1.0)
+        assert is_convex_at(0.01, 3.9)
+
+    def test_midpoint_convexity_on_segments(self):
+        rng = random.Random(5)
+        for _ in range(300):
+            a1 = rng.uniform(0, 4)
+            b1 = rng.uniform(0, 4 - a1)
+            a2 = rng.uniform(0, 4)
+            b2 = rng.uniform(0, 4 - a2)
+            mid = boundary_surface((a1 + a2) / 2, (b1 + b2) / 2)
+            average = (boundary_surface(a1, b1) + boundary_surface(a2, b2)) / 2
+            assert mid <= average + 1e-9
+
+
+class TestGrid:
+    def test_grid_covers_triangle(self):
+        a_values, b_values, f_values = surface_grid(8)
+        assert len(a_values) == len(b_values) == len(f_values)
+        # Triangular count: sum_{i=0..8} (9 - i).
+        assert len(a_values) == sum(9 - i for i in range(9))
+        assert max(f_values) == pytest.approx(4.0)
+        assert min(f_values) == pytest.approx(0.0, abs=1e-9)
+
+    def test_grid_resolution_validation(self):
+        with pytest.raises(ReproError):
+            surface_grid(0)
+
+
+class TestDomain:
+    def test_in_domain(self):
+        assert in_domain(1, 1)
+        assert in_domain(0, 4)
+        assert not in_domain(2.5, 2.5)
+        assert not in_domain(-0.1, 1)

@@ -1,0 +1,153 @@
+"""Unit tests for the asymmetric LLL certificate finder."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lll import (
+    LLLInstance,
+    asymmetric_criterion_holds,
+    certificate_is_valid,
+    expected_moser_tardos_resamplings,
+    find_asymmetric_certificate,
+)
+from repro.applications import sinkless_orientation_instance
+from repro.generators import (
+    all_zero_edge_instance,
+    cycle_graph,
+    random_regular_graph,
+)
+from repro.probability import BadEvent, DiscreteVariable
+
+
+class TestCertificateSearch:
+    def test_finds_certificate_below_threshold(self):
+        instance = all_zero_edge_instance(cycle_graph(10), 3)
+        certificate = find_asymmetric_certificate(instance)
+        assert certificate is not None
+        assert certificate_is_valid(instance, certificate)
+        assert all(0 < x < 1 for x in certificate.values())
+
+    def test_certificate_is_least_fixed_point(self):
+        # The least certificate dominates the raw probabilities.
+        instance = all_zero_edge_instance(cycle_graph(8), 4)
+        certificate = find_asymmetric_certificate(instance)
+        for event in instance.events:
+            assert certificate[event.name] >= event.probability() - 1e-12
+
+    def test_sinkless_orientation_has_no_certificate(self):
+        # p = 2^-3 with d = 3: even the general LLL condition fails
+        # (max of x(1-x)^3 is 27/256 < 1/8).
+        instance = sinkless_orientation_instance(
+            random_regular_graph(12, 3, seed=0)
+        )
+        assert not asymmetric_criterion_holds(instance)
+
+    def test_certain_event_has_no_certificate(self):
+        coin = DiscreteVariable.fair_coin("c")
+        certain = BadEvent("E", [coin], lambda values: True)
+        assert find_asymmetric_certificate(LLLInstance([certain])) is None
+
+    def test_independent_events_always_certify(self):
+        # Disconnected dependency graph: condition is just p_v < 1.
+        events = []
+        for i in range(4):
+            coins = [
+                DiscreteVariable.fair_coin((i, j)) for j in range(2)
+            ]
+            events.append(BadEvent.all_equal(i, coins, target=1))
+        instance = LLLInstance(events)
+        certificate = find_asymmetric_certificate(instance)
+        assert certificate is not None
+        for x in certificate.values():
+            assert x == pytest.approx(0.25, abs=1e-6)
+
+    def test_asymmetric_weaker_than_exponential(self):
+        # Sinkless orientation with degree 4 has p = 1/16, d = 4: the
+        # exponential criterion fails (p = 2^-d) but x(1-x)^4 at x = 1/5
+        # is 0.08192 > 1/16 — the general condition HOLDS.
+        instance = sinkless_orientation_instance(
+            random_regular_graph(10, 4, seed=1)
+        )
+        assert asymmetric_criterion_holds(instance)
+
+
+class TestCertificateValidation:
+    def test_rejects_out_of_range(self):
+        instance = all_zero_edge_instance(cycle_graph(6), 3)
+        bad = {event.name: 1.5 for event in instance.events}
+        assert not certificate_is_valid(instance, bad)
+
+    def test_rejects_missing_entries(self):
+        instance = all_zero_edge_instance(cycle_graph(6), 3)
+        assert not certificate_is_valid(instance, {})
+
+    def test_rejects_too_small_values(self):
+        instance = all_zero_edge_instance(cycle_graph(6), 3)
+        tiny = {event.name: 1e-9 for event in instance.events}
+        assert not certificate_is_valid(instance, tiny)
+
+    def test_accepts_generous_certificate(self):
+        instance = all_zero_edge_instance(cycle_graph(6), 4)
+        # p = 1/16; x = 0.2 gives 0.2 * 0.8^2 = 0.128 >= 1/16.
+        generous = {event.name: 0.2 for event in instance.events}
+        assert certificate_is_valid(instance, generous)
+
+
+class TestMoserTardosBound:
+    def test_bound_formula(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 3)
+        certificate = {event.name: 0.25 for event in instance.events}
+        assert certificate_is_valid(instance, certificate)
+        bound = expected_moser_tardos_resamplings(instance, certificate)
+        assert bound == pytest.approx(8 * 0.25 / 0.75)
+
+    def test_bound_with_least_certificate(self):
+        instance = all_zero_edge_instance(cycle_graph(8), 3)
+        bound = expected_moser_tardos_resamplings(instance)
+        assert 0 < bound < 8  # small for this easy instance
+
+    def test_bound_rejects_uncertifiable(self):
+        instance = sinkless_orientation_instance(
+            random_regular_graph(12, 3, seed=2)
+        )
+        with pytest.raises(ReproError):
+            expected_moser_tardos_resamplings(instance)
+
+    def test_bound_predicts_observed_work(self):
+        # The MT bound must upper-bound the measured mean resamplings.
+        import statistics
+
+        from repro.baselines import sequential_moser_tardos
+
+        instance = all_zero_edge_instance(cycle_graph(10), 3)
+        bound = expected_moser_tardos_resamplings(instance)
+        observed = statistics.mean(
+            sequential_moser_tardos(
+                all_zero_edge_instance(cycle_graph(10), 3), seed=seed
+            ).resamplings
+            for seed in range(10)
+        )
+        assert observed <= bound + 1.0
+
+
+class TestSimulatorTrace:
+    def test_trace_recording(self):
+        from repro.local_model import BroadcastValue, Network, Simulator
+
+        network = Network(cycle_graph(6))
+        simulator = Simulator(network, BroadcastValue(2), record_trace=True)
+        result = simulator.run()
+        assert len(result.trace) == 2
+        assert result.trace[0].round_number == 1
+        assert result.trace[0].messages == 12  # 6 nodes x 2 neighbors
+        assert result.trace[0].active_senders == 6
+        assert result.trace[0].payload_chars > 0
+
+    def test_trace_off_by_default(self):
+        from repro.local_model import BroadcastValue, Network, run_algorithm
+
+        network = Network(cycle_graph(6))
+        result = run_algorithm(network, BroadcastValue(1))
+        assert result.trace == []

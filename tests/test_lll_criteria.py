@@ -1,0 +1,97 @@
+"""Unit tests for repro.lll.criteria."""
+
+import math
+
+import pytest
+
+from repro.errors import CriterionViolationError
+from repro.lll import (
+    ExponentialCriterion,
+    GHKCriterion,
+    NaiveRankCriterion,
+    PolynomialCriterion,
+    SymmetricLLLCriterion,
+    criterion_report,
+)
+
+
+class TestExponentialCriterion:
+    def test_threshold(self):
+        criterion = ExponentialCriterion()
+        assert criterion.threshold(0) == 1.0
+        assert criterion.threshold(3) == pytest.approx(0.125)
+
+    def test_strictness_at_threshold(self):
+        criterion = ExponentialCriterion()
+        # Exactly p = 2^-d does NOT satisfy the strict criterion.
+        assert not criterion.is_satisfied(0.125, 3)
+        assert criterion.is_satisfied(0.1249, 3)
+
+    def test_require_raises_with_context(self):
+        criterion = ExponentialCriterion()
+        with pytest.raises(CriterionViolationError, match="sinkless"):
+            criterion.require(0.5, 2, context="sinkless test")
+
+    def test_margin(self):
+        criterion = ExponentialCriterion()
+        assert criterion.margin(0.0625, 3) == pytest.approx(2.0)
+        assert criterion.margin(0.0, 3) == math.inf
+
+
+class TestSymmetricCriterion:
+    def test_matches_formula(self):
+        criterion = SymmetricLLLCriterion()
+        assert criterion.threshold(3) == pytest.approx(1 / (math.e * 4))
+
+    def test_weaker_than_exponential_for_large_d(self):
+        exponential = ExponentialCriterion()
+        symmetric = SymmetricLLLCriterion()
+        for d in range(4, 20):
+            assert symmetric.threshold(d) > exponential.threshold(d)
+
+
+class TestPolynomialCriterion:
+    def test_threshold(self):
+        criterion = PolynomialCriterion()
+        assert criterion.threshold(2) == pytest.approx(1 / (math.e * 4))
+        assert criterion.threshold(0) == 1.0
+
+
+class TestGHKCriterion:
+    def test_threshold_scales_with_constant(self):
+        assert GHKCriterion(2.0).threshold(2) == pytest.approx(2.0 / 256)
+
+    def test_formula_mentions_constant(self):
+        assert "0.5" in GHKCriterion(0.5).formula
+
+
+class TestNaiveRankCriterion:
+    def test_rank3_is_much_stronger_than_exponential(self):
+        naive = NaiveRankCriterion(3)
+        exponential = ExponentialCriterion()
+        # p < 3^-C(d,2) decays much faster than 2^-d: the paper's point.
+        for d in range(4, 12):
+            assert naive.threshold(d) < exponential.threshold(d)
+
+    def test_rank2_requires_r_at_least_2(self):
+        with pytest.raises(CriterionViolationError):
+            NaiveRankCriterion(1)
+
+    def test_binomial_exponent(self):
+        naive = NaiveRankCriterion(3)
+        # C(4, 2) = 6, so threshold = 3^-6.
+        assert naive.threshold(4) == pytest.approx(3.0**-6)
+
+
+class TestReport:
+    def test_report_structure(self):
+        report = criterion_report(0.01, 4)
+        assert "p < 2^-d" in report
+        entry = report["p < 2^-d"]
+        assert entry["satisfied"] is True
+        assert entry["threshold"] == pytest.approx(0.0625)
+        assert entry["margin"] == pytest.approx(6.25)
+
+    def test_report_at_threshold(self):
+        report = criterion_report(0.25, 2)
+        assert report["p < 2^-d"]["satisfied"] is False

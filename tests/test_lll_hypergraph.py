@@ -1,0 +1,83 @@
+"""Unit tests for repro.lll.hypergraph."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lll import Hyperedge, Hypergraph
+
+
+class TestHyperedge:
+    def test_nodes_are_frozen(self):
+        edge = Hyperedge("e", [1, 2, 3])
+        assert edge.nodes == frozenset({1, 2, 3})
+        assert edge.cardinality == 3
+
+    def test_duplicates_collapse(self):
+        edge = Hyperedge("e", [1, 1, 2])
+        assert edge.cardinality == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            Hyperedge("e", [])
+
+    def test_contains_and_iter(self):
+        edge = Hyperedge("e", [1, 2])
+        assert 1 in edge
+        assert 3 not in edge
+        assert set(edge) == {1, 2}
+
+
+class TestHypergraph:
+    @pytest.fixture
+    def hypergraph(self):
+        h = Hypergraph()
+        h.add_edge("e1", [1, 2, 3])
+        h.add_edge("e2", [3, 4])
+        h.add_edge("e3", [4])
+        h.add_node(5)
+        return h
+
+    def test_counts(self, hypergraph):
+        assert hypergraph.num_nodes == 5
+        assert hypergraph.num_edges == 3
+
+    def test_rank(self, hypergraph):
+        assert hypergraph.rank == 3
+
+    def test_degree(self, hypergraph):
+        assert hypergraph.degree(3) == 2
+        assert hypergraph.degree(5) == 0
+
+    def test_max_degree(self, hypergraph):
+        assert hypergraph.max_degree == 2
+
+    def test_incident_edges(self, hypergraph):
+        names = {edge.name for edge in hypergraph.incident_edges(4)}
+        assert names == {"e2", "e3"}
+
+    def test_neighbors(self, hypergraph):
+        assert hypergraph.neighbors(3) == frozenset({1, 2, 4})
+        assert hypergraph.neighbors(5) == frozenset()
+
+    def test_edge_lookup(self, hypergraph):
+        assert hypergraph.edge("e1").cardinality == 3
+        with pytest.raises(ReproError):
+            hypergraph.edge("missing")
+
+    def test_duplicate_edge_name_rejected(self, hypergraph):
+        with pytest.raises(ReproError):
+            hypergraph.add_edge("e1", [1, 2])
+
+    def test_unknown_node_raises(self, hypergraph):
+        with pytest.raises(ReproError):
+            hypergraph.incident_edges(99)
+
+    def test_add_node_idempotent(self, hypergraph):
+        hypergraph.add_node(5)
+        assert hypergraph.num_nodes == 5
+
+    def test_empty_hypergraph(self):
+        h = Hypergraph()
+        assert h.rank == 0
+        assert h.max_degree == 0
+        assert h.nodes == ()

@@ -1,0 +1,165 @@
+"""Unit tests for the LOCAL-model simulator substrate."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import SimulationError
+from repro.local_model import (
+    BroadcastValue,
+    LocalAlgorithm,
+    Network,
+    Simulator,
+    line_graph_network,
+    run_algorithm,
+    square_graph_network,
+)
+from repro.generators import cycle_graph, random_regular_graph
+
+
+class TestNetwork:
+    def test_basic_properties(self):
+        network = Network(cycle_graph(5))
+        assert network.num_nodes == 5
+        assert network.max_degree == 2
+        assert network.degree(0) == 2
+
+    def test_neighbors_sorted(self):
+        network = Network(cycle_graph(5))
+        assert network.neighbors(0) == (1, 4)
+
+    def test_port_of(self):
+        network = Network(cycle_graph(5))
+        assert network.port_of(0, 1) == 0
+        assert network.port_of(0, 4) == 1
+        with pytest.raises(SimulationError):
+            network.port_of(0, 2)
+
+    def test_identifier_space(self):
+        network = Network(cycle_graph(7))
+        assert network.identifier_space() == 7
+
+    def test_identifier_space_requires_ints(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        network = Network(graph)
+        with pytest.raises(SimulationError):
+            network.identifier_space()
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(SimulationError):
+            Network(nx.Graph())
+
+    def test_rejects_self_loops(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(SimulationError):
+            Network(graph)
+
+
+class TestVirtualGraphs:
+    def test_line_graph_of_triangle(self):
+        network = Network(nx.cycle_graph(3))
+        virtual, index = line_graph_network(network)
+        assert virtual.num_nodes == 3
+        # All three edges of a triangle pairwise share endpoints.
+        assert virtual.graph.number_of_edges() == 3
+        assert set(index.keys()) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_line_graph_degree_bound(self):
+        graph = random_regular_graph(20, 4, seed=0)
+        virtual, _index = line_graph_network(Network(graph))
+        assert virtual.max_degree <= 2 * 4 - 2
+
+    def test_square_graph_of_path(self):
+        network = Network(nx.path_graph(4))
+        square = square_graph_network(network)
+        assert square.graph.has_edge(0, 2)
+        assert square.graph.has_edge(1, 3)
+        assert not square.graph.has_edge(0, 3)
+
+    def test_square_graph_degree_bound(self):
+        graph = random_regular_graph(20, 3, seed=1)
+        square = square_graph_network(Network(graph))
+        assert square.max_degree <= 3 * 3
+
+
+class TestSimulator:
+    def test_broadcast_learns_k_hop_neighborhood(self):
+        network = Network(cycle_graph(8))
+        result = run_algorithm(network, BroadcastValue(2))
+        assert result.rounds == 2
+        assert result.output_of(0) == frozenset({6, 7, 0, 1, 2})
+
+    def test_message_counting(self):
+        network = Network(cycle_graph(4))
+        result = run_algorithm(network, BroadcastValue(1))
+        # 4 nodes x 2 neighbors x 1 round.
+        assert result.messages_delivered == 8
+
+    def test_round_budget_enforced(self):
+        class NeverHalts(LocalAlgorithm):
+            def receive(self, node, messages, round_number):
+                pass
+
+        network = Network(cycle_graph(4))
+        with pytest.raises(SimulationError):
+            run_algorithm(network, NeverHalts(), max_rounds=5)
+
+    def test_double_halt_rejected(self):
+        class DoubleHalt(LocalAlgorithm):
+            def receive(self, node, messages, round_number):
+                node.halt_with(1)
+                node.halt_with(2)
+
+        network = Network(cycle_graph(4))
+        with pytest.raises(SimulationError):
+            run_algorithm(network, DoubleHalt())
+
+    def test_messaging_non_neighbor_rejected(self):
+        class BadSender(LocalAlgorithm):
+            def send(self, node, round_number):
+                return {(node.identifier + 2) % 4: "hi"}
+
+        network = Network(cycle_graph(4))
+        with pytest.raises(SimulationError):
+            run_algorithm(network, BadSender())
+
+    def test_inputs_are_delivered(self):
+        class EchoInput(LocalAlgorithm):
+            def receive(self, node, messages, round_number):
+                node.halt_with(node.input)
+
+        network = Network(cycle_graph(3))
+        result = run_algorithm(
+            network, EchoInput(), inputs={0: "a", 1: "b", 2: "c"}
+        )
+        assert result.outputs == {0: "a", 1: "b", 2: "c"}
+
+    def test_halted_nodes_stop_sending(self):
+        class HaltEarly(LocalAlgorithm):
+            def initialize(self, node):
+                node.memory["received"] = 0
+
+            def send(self, node, round_number):
+                return {n: "ping" for n in node.neighbors}
+
+            def receive(self, node, messages, round_number):
+                node.memory["received"] += sum(
+                    1 for m in messages.values() if m is not None
+                )
+                if node.identifier == 0 or round_number == 2:
+                    node.halt_with(node.memory["received"])
+
+        network = Network(cycle_graph(4))
+        result = run_algorithm(network, HaltEarly())
+        # Node 1 is adjacent to node 0, which halts after round 1, so in
+        # round 2 node 1 receives from only one neighbor.
+        assert result.output_of(1) == 2 + 1
+
+    def test_state_inspection(self):
+        network = Network(cycle_graph(3))
+        simulator = Simulator(network, BroadcastValue(1))
+        simulator.step()
+        assert simulator.rounds == 1
+        assert simulator.all_halted
+        assert simulator.state_of(0).halted

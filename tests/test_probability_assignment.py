@@ -1,0 +1,109 @@
+"""Unit tests for repro.probability.assignment."""
+
+import pytest
+
+from repro.errors import InvalidAssignmentError
+from repro.probability import DiscreteVariable, PartialAssignment
+
+
+@pytest.fixture
+def x():
+    return DiscreteVariable("x", (0, 1, 2))
+
+
+@pytest.fixture
+def y():
+    return DiscreteVariable("y", ("a", "b"))
+
+
+class TestFixing:
+    def test_fix_and_read(self, x):
+        assignment = PartialAssignment()
+        assignment.fix(x, 1)
+        assert assignment.is_fixed("x")
+        assert assignment.value_of("x") == 1
+
+    def test_fix_returns_self_for_chaining(self, x, y):
+        assignment = PartialAssignment().fix(x, 0).fix(y, "a")
+        assert len(assignment) == 2
+
+    def test_fix_out_of_support_raises(self, x):
+        with pytest.raises(InvalidAssignmentError):
+            PartialAssignment().fix(x, 99)
+
+    def test_refix_same_value_is_idempotent(self, x):
+        assignment = PartialAssignment().fix(x, 1)
+        assignment.fix(x, 1)
+        assert assignment.value_of("x") == 1
+
+    def test_refix_different_value_raises(self, x):
+        assignment = PartialAssignment().fix(x, 1)
+        with pytest.raises(InvalidAssignmentError):
+            assignment.fix(x, 2)
+
+    def test_fixed_returns_independent_copy(self, x, y):
+        base = PartialAssignment().fix(x, 0)
+        extended = base.fixed(y, "b")
+        assert not base.is_fixed("y")
+        assert extended.is_fixed("y")
+        assert extended.value_of("x") == 0
+
+    def test_none_is_a_valid_value(self):
+        variable = DiscreteVariable("n", (None, 1))
+        assignment = PartialAssignment().fix(variable, None)
+        assert assignment.is_fixed("n")
+        assert assignment.value_of("n") is None
+
+
+class TestQueries:
+    def test_value_of_unfixed_raises(self):
+        with pytest.raises(InvalidAssignmentError):
+            PartialAssignment().value_of("x")
+
+    def test_get_with_default(self, x):
+        assignment = PartialAssignment().fix(x, 2)
+        assert assignment.get("x") == 2
+        assert assignment.get("missing", "fallback") == "fallback"
+
+    def test_contains_and_iter(self, x, y):
+        assignment = PartialAssignment().fix(x, 0).fix(y, "a")
+        assert "x" in assignment
+        assert set(iter(assignment)) == {"x", "y"}
+
+    def test_items_and_as_dict(self, x):
+        assignment = PartialAssignment().fix(x, 1)
+        assert dict(assignment.items()) == {"x": 1}
+        copy = assignment.as_dict()
+        copy["x"] = 99
+        assert assignment.value_of("x") == 1
+
+
+class TestRestrictionKey:
+    def test_key_ignores_out_of_scope(self, x, y):
+        assignment = PartialAssignment().fix(x, 0).fix(y, "a")
+        assert assignment.restriction_key(["x"]) == (("x", 0),)
+
+    def test_key_ignores_unfixed_scope(self, x):
+        assignment = PartialAssignment().fix(x, 0)
+        assert assignment.restriction_key(["x", "z"]) == (("x", 0),)
+
+    def test_keys_equal_iff_scope_agrees(self, x, y):
+        first = PartialAssignment().fix(x, 0).fix(y, "a")
+        second = PartialAssignment().fix(x, 0).fix(y, "b")
+        assert first.restriction_key(["x"]) == second.restriction_key(["x"])
+        assert first.restriction_key(["x", "y"]) != second.restriction_key(
+            ["x", "y"]
+        )
+
+    def test_key_order_is_canonical(self, x, y):
+        assignment = PartialAssignment().fix(y, "a").fix(x, 0)
+        key = assignment.restriction_key(["y", "x"])
+        assert key == assignment.restriction_key(["x", "y"])
+
+
+class TestCopy:
+    def test_copy_is_independent(self, x, y):
+        base = PartialAssignment().fix(x, 0)
+        clone = base.copy()
+        clone.fix(y, "a")
+        assert not base.is_fixed("y")

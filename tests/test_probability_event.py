@@ -1,0 +1,135 @@
+"""Unit tests for repro.probability.event: exact conditional probabilities."""
+
+import math
+
+import pytest
+
+from repro.errors import EnumerationLimitError, UnknownVariableError
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+
+@pytest.fixture
+def coins():
+    return [DiscreteVariable.fair_coin(f"c{i}") for i in range(3)]
+
+
+@pytest.fixture
+def all_ones(coins):
+    """Event: all three fair coins equal 1 (probability 1/8)."""
+    return BadEvent.all_equal("E", coins, target=1)
+
+
+class TestUnconditionalProbability:
+    def test_all_ones(self, all_ones):
+        assert all_ones.probability() == pytest.approx(1 / 8)
+
+    def test_from_bad_outcomes(self, coins):
+        event = BadEvent.from_bad_outcomes(
+            "E", coins, [(0, 0, 0), (1, 1, 1)]
+        )
+        assert event.probability() == pytest.approx(2 / 8)
+
+    def test_biased_variables(self):
+        biased = [DiscreteVariable.bernoulli(f"b{i}", 0.1) for i in range(2)]
+        event = BadEvent.all_equal("E", biased, target=1)
+        assert event.probability() == pytest.approx(0.01)
+
+    def test_impossible_event(self, coins):
+        event = BadEvent("E", coins, lambda values: False)
+        assert event.probability() == 0.0
+
+    def test_certain_event(self, coins):
+        event = BadEvent("E", coins, lambda values: True)
+        assert event.probability() == 1.0
+
+
+class TestConditionalProbability:
+    def test_conditioning_on_scope_variable(self, all_ones, coins):
+        partial = PartialAssignment().fix(coins[0], 1)
+        assert all_ones.probability(partial) == pytest.approx(1 / 4)
+
+    def test_conditioning_to_zero(self, all_ones, coins):
+        partial = PartialAssignment().fix(coins[0], 0)
+        assert all_ones.probability(partial) == 0.0
+
+    def test_conditioning_out_of_scope_is_ignored(self, all_ones):
+        other = DiscreteVariable.fair_coin("unrelated")
+        partial = PartialAssignment().fix(other, 1)
+        assert all_ones.probability(partial) == pytest.approx(1 / 8)
+
+    def test_fully_conditioned(self, all_ones, coins):
+        partial = PartialAssignment()
+        for coin in coins:
+            partial.fix(coin, 1)
+        assert all_ones.probability(partial) == 1.0
+
+    def test_occurs_requires_full_scope(self, all_ones, coins):
+        partial = PartialAssignment().fix(coins[0], 1)
+        with pytest.raises(UnknownVariableError):
+            all_ones.occurs(partial)
+
+    def test_occurs(self, all_ones, coins):
+        partial = PartialAssignment()
+        for coin in coins:
+            partial.fix(coin, 1)
+        assert all_ones.occurs(partial)
+
+
+class TestConditionalIncrease:
+    def test_increase_doubles_for_fair_coin(self, all_ones, coins):
+        empty = PartialAssignment()
+        inc = all_ones.conditional_increase(empty, coins[0], 1)
+        assert inc == pytest.approx(2.0)
+
+    def test_increase_zero_when_avoided(self, all_ones, coins):
+        empty = PartialAssignment()
+        assert all_ones.conditional_increase(empty, coins[0], 0) == 0.0
+
+    def test_increase_one_out_of_scope(self, all_ones):
+        other = DiscreteVariable.fair_coin("other")
+        inc = all_ones.conditional_increase(PartialAssignment(), other, 1)
+        assert inc == 1.0
+
+    def test_increase_zero_probability_convention(self, coins):
+        event = BadEvent("E", coins, lambda values: False)
+        inc = event.conditional_increase(PartialAssignment(), coins[0], 1)
+        assert inc == 0.0
+
+    def test_expected_increase_is_one(self, all_ones, coins):
+        empty = PartialAssignment()
+        total = sum(
+            prob * all_ones.conditional_increase(empty, coins[0], value)
+            for value, prob in coins[0].support_items()
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestCaching:
+    def test_cache_grows_and_clears(self, all_ones, coins):
+        all_ones.probability()
+        partial = PartialAssignment().fix(coins[1], 0)
+        all_ones.probability(partial)
+        assert all_ones.cache_size == 2
+        all_ones.clear_cache()
+        assert all_ones.cache_size == 0
+
+    def test_cache_hits_are_consistent(self, all_ones, coins):
+        partial = PartialAssignment().fix(coins[2], 1)
+        first = all_ones.probability(partial)
+        second = all_ones.probability(partial)
+        assert first == second
+
+
+class TestValidation:
+    def test_duplicate_scope_rejected(self, coins):
+        with pytest.raises(UnknownVariableError):
+            BadEvent("E", [coins[0], coins[0]], lambda values: True)
+
+    def test_enumeration_limit(self):
+        many = [DiscreteVariable.fair_coin(f"m{i}") for i in range(30)]
+        event = BadEvent("E", many, lambda values: True, enumeration_limit=1024)
+        with pytest.raises(EnumerationLimitError):
+            event.probability()
+
+    def test_repr_mentions_name(self, all_ones):
+        assert "E" in repr(all_ones)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.probability.space."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import EnumerationLimitError, UnknownVariableError
+from repro.probability import (
+    DiscreteVariable,
+    PartialAssignment,
+    ProductSpace,
+)
+
+
+@pytest.fixture
+def space():
+    return ProductSpace(
+        [
+            DiscreteVariable.fair_coin("a"),
+            DiscreteVariable.fair_coin("b"),
+            DiscreteVariable("c", (0, 1, 2)),
+        ]
+    )
+
+
+class TestBasics:
+    def test_len_and_contains(self, space):
+        assert len(space) == 3
+        assert "a" in space
+        assert "z" not in space
+
+    def test_variable_lookup(self, space):
+        assert space.variable("c").num_values == 3
+        with pytest.raises(UnknownVariableError):
+            space.variable("z")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(UnknownVariableError):
+            ProductSpace(
+                [DiscreteVariable.fair_coin("a"), DiscreteVariable.fair_coin("a")]
+            )
+
+    def test_num_outcomes(self, space):
+        assert space.num_outcomes == 2 * 2 * 3
+
+
+class TestEnumeration:
+    def test_total_mass_is_one(self, space):
+        total = math.fsum(mass for _a, mass in space.enumerate_assignments())
+        assert total == pytest.approx(1.0)
+
+    def test_enumeration_respects_given(self, space):
+        given = PartialAssignment().fix(space.variable("a"), 1)
+        outcomes = list(space.enumerate_assignments(given))
+        assert len(outcomes) == 6
+        assert all(a.value_of("a") == 1 for a, _m in outcomes)
+
+    def test_enumeration_limit(self):
+        variables = [DiscreteVariable.fair_coin(f"v{i}") for i in range(30)]
+        space = ProductSpace(variables, enumeration_limit=100)
+        with pytest.raises(EnumerationLimitError):
+            list(space.enumerate_assignments())
+
+
+class TestProbabilityAndExpectation:
+    def test_probability_of_simple_predicate(self, space):
+        probability = space.probability(
+            lambda a: a.value_of("a") == 1 and a.value_of("c") == 0
+        )
+        assert probability == pytest.approx(0.5 * (1 / 3))
+
+    def test_conditional_probability(self, space):
+        given = PartialAssignment().fix(space.variable("b"), 0)
+        probability = space.probability(
+            lambda a: a.value_of("b") == 0, given=given
+        )
+        assert probability == 1.0
+
+    def test_expectation(self, space):
+        expectation = space.expectation(
+            lambda a: float(a.value_of("c"))
+        )
+        assert expectation == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sample_is_complete(self, space):
+        rng = random.Random(0)
+        sample = space.sample(rng)
+        assert all(sample.is_fixed(name) for name in ("a", "b", "c"))
+
+    def test_sample_keeps_given(self, space):
+        rng = random.Random(0)
+        given = PartialAssignment().fix(space.variable("c"), 2)
+        sample = space.sample(rng, given)
+        assert sample.value_of("c") == 2
+
+    def test_resample_changes_only_named(self, space):
+        rng = random.Random(1)
+        original = space.sample(rng)
+        resampled = space.resample(rng, original, ["a"])
+        assert resampled.value_of("b") == original.value_of("b")
+        assert resampled.value_of("c") == original.value_of("c")
+        # The original is untouched.
+        assert original.is_fixed("a")

@@ -1,0 +1,122 @@
+"""Unit tests for repro.probability.variable."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import InvalidAssignmentError, InvalidDistributionError
+from repro.probability import DiscreteVariable
+
+
+class TestConstruction:
+    def test_uniform_default(self):
+        variable = DiscreteVariable("x", (0, 1, 2))
+        assert variable.probabilities == pytest.approx((1 / 3, 1 / 3, 1 / 3))
+
+    def test_explicit_probabilities(self):
+        variable = DiscreteVariable("x", ("a", "b"), (0.25, 0.75))
+        assert variable.probability_of("a") == 0.25
+        assert variable.probability_of("b") == 0.75
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteVariable("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteVariable("x", (0, 0, 1))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteVariable("x", (0, 1), (1.0,))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteVariable("x", (0, 1), (-0.5, 1.5))
+
+    def test_wrong_sum_rejected(self):
+        with pytest.raises(InvalidDistributionError):
+            DiscreteVariable("x", (0, 1), (0.4, 0.4))
+
+    def test_tolerates_tiny_sum_error(self):
+        probs = (0.1,) * 10
+        DiscreteVariable("x", tuple(range(10)), probs)
+
+    def test_zero_probability_values_allowed(self):
+        variable = DiscreteVariable("x", (0, 1, 2), (0.5, 0.5, 0.0))
+        assert variable.probability_of(2) == 0.0
+
+
+class TestAccessors:
+    def test_num_values(self):
+        assert DiscreteVariable("x", (0, 1, 2)).num_values == 3
+
+    def test_contains(self):
+        variable = DiscreteVariable("x", (0, 1))
+        assert 0 in variable
+        assert 5 not in variable
+
+    def test_probability_of_unknown_value_raises(self):
+        variable = DiscreteVariable("x", (0, 1))
+        with pytest.raises(InvalidAssignmentError):
+            variable.probability_of(7)
+
+    def test_support_items_skips_zero_mass(self):
+        variable = DiscreteVariable("x", (0, 1, 2), (0.5, 0.0, 0.5))
+        assert [value for value, _p in variable.support_items()] == [0, 2]
+
+    def test_is_uniform(self):
+        assert DiscreteVariable("x", (0, 1, 2)).is_uniform
+        assert not DiscreteVariable("x", (0, 1), (0.3, 0.7)).is_uniform
+
+
+class TestSampling:
+    def test_sample_in_support(self):
+        rng = random.Random(0)
+        variable = DiscreteVariable("x", (0, 1, 2), (0.2, 0.5, 0.3))
+        for _ in range(100):
+            assert variable.sample(rng) in variable
+
+    def test_sample_respects_zero_mass(self):
+        rng = random.Random(1)
+        variable = DiscreteVariable("x", (0, 1), (0.0, 1.0))
+        assert all(variable.sample(rng) == 1 for _ in range(50))
+
+    def test_sample_frequency_roughly_matches(self):
+        rng = random.Random(2)
+        variable = DiscreteVariable("x", (0, 1), (0.25, 0.75))
+        ones = sum(variable.sample(rng) for _ in range(4000))
+        assert 0.70 < ones / 4000 < 0.80
+
+
+class TestFactories:
+    def test_fair_coin(self):
+        coin = DiscreteVariable.fair_coin("c")
+        assert coin.values == (0, 1)
+        assert coin.is_uniform
+
+    def test_bernoulli(self):
+        variable = DiscreteVariable.bernoulli("b", 0.9)
+        assert variable.probability_of(1) == pytest.approx(0.9)
+        assert variable.probability_of(0) == pytest.approx(0.1)
+
+    def test_uniform_factory(self):
+        variable = DiscreteVariable.uniform("u", ("x", "y", "z", "w"))
+        assert variable.probability_of("z") == pytest.approx(0.25)
+
+
+class TestIdentity:
+    def test_hash_by_name(self):
+        a = DiscreteVariable("x", (0, 1))
+        b = DiscreteVariable("x", (0, 1))
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_equality_requires_same_distribution(self):
+        a = DiscreteVariable("x", (0, 1))
+        b = DiscreteVariable("x", (0, 1), (0.3, 0.7))
+        assert a != b
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(DiscreteVariable("x", (0, 1)))

@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the mathematical backbone of the reproduction on
+adversarially generated inputs:
+
+* the surface ``f`` and the ``S_rep`` characterisation (Lemma 3.5/3.6),
+* the constructive triple decomposition (Definition 3.3),
+* incurvedness of ``S_rep`` (Lemma 3.7),
+* the exact probability engine's laws (total probability, conditioning),
+* the fixers' end-to-end guarantee on randomly generated instances.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import solve
+from repro.geometry import (
+    boundary_surface,
+    decompose_triple,
+    is_representable_triple,
+    representability_margin,
+    surface_alternative_form,
+    violates_incurvedness,
+)
+from repro.lll import LLLInstance, verify_solution
+from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def domain_points():
+    """Points of f's domain {a, b >= 0, a + b <= 4}."""
+    return st.tuples(
+        st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ).map(lambda pair: (pair[0], (4.0 - pair[0]) * pair[1]))
+
+
+def representable_triples():
+    """Triples drawn from inside S_rep via the characterisation."""
+    return st.tuples(
+        domain_points(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ).map(
+        lambda pair: (
+            pair[0][0],
+            pair[0][1],
+            boundary_surface(pair[0][0], pair[0][1]) * pair[1],
+        )
+    )
+
+
+def outside_triples():
+    """Triples strictly outside S_rep."""
+    return st.tuples(
+        st.floats(min_value=0.0, max_value=4.5, allow_nan=False),
+        st.floats(min_value=0.0, max_value=4.5, allow_nan=False),
+        st.floats(min_value=0.0, max_value=4.5, allow_nan=False),
+    ).filter(lambda t: representability_margin(*t) < -1e-6)
+
+
+# ----------------------------------------------------------------------
+# Geometry properties
+# ----------------------------------------------------------------------
+class TestSurfaceProperties:
+    @given(domain_points())
+    def test_surface_in_range(self, point):
+        a, b = point
+        value = boundary_surface(a, b)
+        assert 0.0 <= value <= 4.0
+
+    @given(domain_points())
+    def test_two_forms_agree(self, point):
+        a, b = point
+        assert boundary_surface(a, b) == pytest.approx(
+            surface_alternative_form(a, b), abs=1e-10
+        )
+
+    @given(domain_points())
+    def test_symmetry(self, point):
+        a, b = point
+        assert boundary_surface(a, b) == pytest.approx(
+            boundary_surface(b, a), abs=1e-10
+        )
+
+    @given(domain_points(), domain_points(), st.floats(0.0, 1.0))
+    def test_convexity_along_segments(self, p1, p2, q):
+        a = q * p1[0] + (1 - q) * p2[0]
+        b = q * p1[1] + (1 - q) * p2[1]
+        midpoint_value = boundary_surface(a, b)
+        chord_value = q * boundary_surface(*p1) + (1 - q) * boundary_surface(
+            *p2
+        )
+        assert midpoint_value <= chord_value + 1e-9
+
+
+class TestRepresentableProperties:
+    @given(representable_triples())
+    def test_characterisation_members_decompose(self, triple):
+        decomposition = decompose_triple(*triple)
+        assert decomposition.max_violation(*triple) < 1e-7
+
+    @given(representable_triples(), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_downward_closure(self, triple, shrink_a, shrink_c):
+        a, b, c = triple
+        assert is_representable_triple(a * shrink_a, b, c * shrink_c)
+
+    @given(representable_triples())
+    def test_margin_sign_agrees_with_membership(self, triple):
+        margin = representability_margin(*triple)
+        assert margin >= -1e-9
+
+    @given(outside_triples(), outside_triples())
+    @settings(max_examples=200)
+    def test_incurvedness(self, s, s_prime):
+        # Lemma 3.7: segments between outside points stay outside.
+        assert not violates_incurvedness(s, s_prime, num_samples=33)
+
+    @given(representable_triples())
+    def test_decomposition_respects_budgets(self, triple):
+        decomposition = decompose_triple(*triple)
+        for value in (
+            decomposition.a1,
+            decomposition.a2,
+            decomposition.b1,
+            decomposition.b3,
+            decomposition.c2,
+            decomposition.c3,
+        ):
+            assert -1e-12 <= value <= 2.0 + 1e-12
+        for total in decomposition.edge_sums():
+            assert total <= 2.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Probability engine properties
+# ----------------------------------------------------------------------
+def small_distributions():
+    return st.lists(
+        st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=4
+    ).map(lambda ws: tuple(w / math.fsum(ws) for w in ws))
+
+
+class TestProbabilityLaws:
+    @given(small_distributions(), st.integers(0, 1000))
+    def test_law_of_total_probability(self, distribution, outcome_seed):
+        variables = [
+            DiscreteVariable(f"v{i}", tuple(range(len(distribution))), distribution)
+            for i in range(3)
+        ]
+        bad = outcome_seed % len(distribution)
+        event = BadEvent.all_equal("E", variables, target=bad)
+        empty = PartialAssignment()
+        total = math.fsum(
+            prob * event.probability(empty.fixed(variables[0], value))
+            for value, prob in variables[0].support_items()
+        )
+        assert total == pytest.approx(event.probability(), abs=1e-12)
+
+    @given(small_distributions())
+    def test_expected_increase_is_one(self, distribution):
+        variables = [
+            DiscreteVariable(f"v{i}", tuple(range(len(distribution))), distribution)
+            for i in range(2)
+        ]
+        event = BadEvent.all_equal("E", variables, target=0)
+        empty = PartialAssignment()
+        expectation = math.fsum(
+            prob * event.conditional_increase(empty, variables[0], value)
+            for value, prob in variables[0].support_items()
+        )
+        if event.probability() > 0:
+            assert expectation == pytest.approx(1.0, abs=1e-12)
+
+    @given(st.integers(2, 5), st.integers(1, 4))
+    def test_all_equal_probability_formula(self, alphabet, arity):
+        variables = [
+            DiscreteVariable(f"v{i}", tuple(range(alphabet)))
+            for i in range(arity)
+        ]
+        event = BadEvent.all_equal("E", variables, target=0)
+        assert event.probability() == pytest.approx(
+            float(alphabet) ** -arity
+        )
+
+
+# ----------------------------------------------------------------------
+# End-to-end fixer property
+# ----------------------------------------------------------------------
+class TestFixerProperties:
+    @given(st.integers(5, 12), st.integers(3, 5), st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_rank2_solves_random_cycles(self, n, alphabet, seed):
+        import random
+
+        from repro.generators import all_zero_edge_instance, cycle_graph
+
+        instance = all_zero_edge_instance(cycle_graph(n), alphabet)
+        order = [v.name for v in instance.variables]
+        random.Random(seed).shuffle(order)
+        result = solve(instance, order=order)
+        assert verify_solution(instance, result.assignment).ok
+
+    @given(st.integers(5, 9), st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_rank3_solves_random_orders(self, n, seed):
+        import random
+
+        from repro.generators import all_zero_triple_instance, cyclic_triples
+
+        instance = all_zero_triple_instance(n, cyclic_triples(n), 5)
+        order = [v.name for v in instance.variables]
+        random.Random(seed).shuffle(order)
+        result = solve(instance, order=order)
+        assert verify_solution(instance, result.assignment).ok
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_rank3_biased_distributions(self, seed):
+        import random
+
+        from repro.generators import all_zero_triple_instance, cyclic_triples
+
+        rng = random.Random(seed)
+        p_zero = rng.uniform(0.02, 0.12)
+        rest = (1.0 - p_zero) / 2.0
+        instance = all_zero_triple_instance(
+            9, cyclic_triples(9), 3, probabilities=(p_zero, rest, rest)
+        )
+        # p = p_zero^3 must be < 2^-4 = 0.0625: true for p_zero <= 0.39.
+        result = solve(instance)
+        assert verify_solution(instance, result.assignment).ok

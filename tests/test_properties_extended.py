@@ -1,0 +1,128 @@
+"""Extended property-based tests: auditing, serialisation, naive fixer.
+
+These push randomised inputs through whole pipelines: every solved trace
+must audit cleanly, every instance must survive a serialisation round
+trip with identical semantics, and the naive fixer must honour its
+budget on arbitrary-rank chains.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import audit_trace, solve, solve_naive
+from repro.lll import (
+    LLLInstance,
+    instance_from_dict,
+    instance_to_dict,
+    verify_solution,
+)
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    parity_edge_instance,
+    random_regular_graph,
+)
+from repro.probability import BadEvent, DiscreteVariable
+
+
+class TestAuditProperties:
+    @given(st.integers(0, 10**6), st.integers(6, 12))
+    @settings(max_examples=15, deadline=None)
+    def test_every_rank2_trace_audits(self, seed, n):
+        instance = all_zero_edge_instance(cycle_graph(n), 3)
+        order = [v.name for v in instance.variables]
+        random.Random(seed).shuffle(order)
+        result = solve(instance, order=order)
+        twin = all_zero_edge_instance(cycle_graph(n), 3)
+        assert audit_trace(twin, result).ok
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_every_rank3_trace_audits(self, seed):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        order = [v.name for v in instance.variables]
+        random.Random(seed).shuffle(order)
+        result = solve(instance, order=order)
+        twin = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        assert audit_trace(twin, result).ok
+
+    @given(st.floats(min_value=0.02, max_value=0.13))
+    @settings(max_examples=10, deadline=None)
+    def test_parity_traces_audit(self, bias):
+        instance = parity_edge_instance(cycle_graph(8), bias)
+        result = solve(instance)
+        twin = parity_edge_instance(cycle_graph(8), bias)
+        assert audit_trace(twin, result).ok
+
+
+class TestSerialisationProperties:
+    @given(st.integers(0, 10**6), st.integers(3, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip_preserves_probabilities(self, seed, alphabet):
+        graph = random_regular_graph(10, 3, seed=seed % 1000)
+        instance = all_zero_edge_instance(graph, alphabet)
+        blob = json.dumps(instance_to_dict(instance))
+        restored = instance_from_dict(json.loads(blob))
+        original = instance.event_probabilities()
+        for name, probability in restored.event_probabilities().items():
+            assert probability == pytest.approx(original[name], abs=1e-12)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_preserves_solvability(self, seed):
+        instance = all_zero_triple_instance(9, cyclic_triples(9), 5)
+        restored = instance_from_dict(instance_to_dict(instance))
+        order = [v.name for v in restored.variables]
+        random.Random(seed).shuffle(order)
+        result = solve(restored, order=order)
+        assert verify_solution(restored, result.assignment).ok
+
+
+def _rank_r_chain(rank: int, alphabet: int, length: int) -> LLLInstance:
+    """Overlapping rank-``rank`` hyperedges along a chain of events."""
+    variables = [
+        DiscreteVariable(("v", i), tuple(range(alphabet)))
+        for i in range(length)
+    ]
+    num_events = length + rank - 1
+    scopes = [[] for _ in range(num_events)]
+    for i, variable in enumerate(variables):
+        for offset in range(rank):
+            scopes[i + offset].append(variable)
+    events = []
+    for index, scope in enumerate(scopes):
+        names = tuple(v.name for v in scope)
+
+        def predicate(values, _names=names):
+            return all(values[name] == 0 for name in _names)
+
+        events.append(BadEvent(index, scope, predicate))
+    return LLLInstance(events)
+
+
+class TestNaiveFixerProperties:
+    @given(st.integers(4, 6), st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_arbitrary_rank_chains(self, rank, seed):
+        # Alphabet chosen so the naive per-event criterion holds:
+        # p_v = alphabet^-scope vs rank^-H_v with H_v <= rank hyperedges.
+        alphabet = rank * 2
+        instance = _rank_r_chain(rank, alphabet, length=5)
+        order = [v.name for v in instance.variables]
+        random.Random(seed).shuffle(order)
+        result = solve_naive(instance, order=order)
+        assert verify_solution(instance, result.assignment).ok
+
+    @given(st.integers(4, 6))
+    @settings(max_examples=5, deadline=None)
+    def test_budget_never_exceeded(self, rank):
+        instance = _rank_r_chain(rank, rank * 2, length=5)
+        result = solve_naive(instance)
+        for step in result.steps:
+            assert step.slack >= -1e-9
+        assert result.max_certified_bound < 1.0

@@ -1,0 +1,70 @@
+"""Moderate-scale stress tests: the library at a few hundred events.
+
+These guard against accidental quadratic blow-ups in the hot paths
+(probability caching, dependency-graph construction, the simulator) by
+running end-to-end at sizes an experimenter would actually use.
+"""
+
+import time
+
+import pytest
+
+from repro.core import (
+    solve,
+    solve_distributed,
+    solve_distributed_local,
+)
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    random_regular_graph,
+)
+from repro.lll import verify_solution
+
+
+class TestSequentialScale:
+    def test_rank2_300_events(self):
+        instance = all_zero_edge_instance(
+            random_regular_graph(300, 4, seed=0), 3
+        )
+        start = time.monotonic()
+        result = solve(instance)
+        elapsed = time.monotonic() - start
+        assert verify_solution(instance, result.assignment).ok
+        assert elapsed < 30.0
+
+    def test_rank3_200_events(self):
+        instance = all_zero_triple_instance(200, cyclic_triples(200), 5)
+        start = time.monotonic()
+        result = solve(instance)
+        elapsed = time.monotonic() - start
+        assert verify_solution(instance, result.assignment).ok
+        assert elapsed < 30.0
+
+
+class TestDistributedScale:
+    def test_scheduled_rank2_cycle_1000(self):
+        instance = all_zero_edge_instance(cycle_graph(1000), 3)
+        result = solve_distributed(instance)
+        assert verify_solution(instance, result.assignment).ok
+        # Flat-in-n: far fewer rounds than nodes.
+        assert result.total_rounds < 100
+
+    def test_protocol_rank3_150(self):
+        instance = all_zero_triple_instance(150, cyclic_triples(150), 5)
+        result = solve_distributed_local(instance)
+        assert verify_solution(instance, result.assignment).ok
+        assert result.schedule_rounds == 2 * result.palette
+
+
+class TestCacheBehaviour:
+    def test_probability_caches_stay_bounded(self):
+        # Each event's cache is keyed by scope restrictions; over one
+        # fixing run the number of distinct restrictions per event is
+        # small (scope size is bounded), independent of n.
+        instance = all_zero_edge_instance(cycle_graph(200), 3)
+        solve(instance)
+        for event in instance.events:
+            assert event.cache_size <= 64
