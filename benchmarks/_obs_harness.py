@@ -1,0 +1,144 @@
+"""Shared result-writing harness for the benchmark suite.
+
+Every bench module reproduces one experiment row of DESIGN.md and used to
+hand-roll the same three steps: build ``ExperimentRecord`` objects from
+row dictionaries, print the ASCII table, and dump JSON under
+``benchmarks/results/``.  This module centralizes that plumbing and adds
+the observability layer on top:
+
+* :func:`rows_to_records` — the row-dict -> record conversion every bench
+  copy-pasted;
+* :func:`write_experiment` — print + persist ``<ID>.json`` exactly as
+  before, and additionally stamp a ``<ID>.meta.json`` side-car with
+  wall-clock, environment metadata and (when a recorder is active) the
+  per-span breakdown of the run.  The side-car is a JSON *object*, which
+  ``repro.analysis.report.load_results`` skips by design, so report
+  rendering is unaffected;
+* :func:`timed` — a perf_counter wall-clock wrapper for the benches that
+  report their own run time.
+
+The ``--obs-trace PATH`` pytest option (see ``conftest.py``) installs a
+session-wide recorder, so any bench run can dump its full JSONL event
+trace for ``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import ExperimentRecord, records_to_table, write_records_json
+from repro.obs import active as obs_active
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def environment_metadata() -> Dict[str, Any]:
+    """The environment stamp attached to every persisted experiment."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "argv": sys.argv[:1],
+    }
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def rows_to_records(
+    experiment: str,
+    rows: Sequence[Dict[str, Any]],
+    parameter_keys: Sequence[str] = (),
+) -> List[ExperimentRecord]:
+    """Convert row dictionaries to records.
+
+    ``parameter_keys`` name the entries that identify the configuration
+    (workload, n, d, ...); everything else lands in ``metrics``.
+    """
+    records = []
+    for row in rows:
+        parameters = {key: row[key] for key in parameter_keys if key in row}
+        metrics = {
+            key: value
+            for key, value in row.items()
+            if key not in parameter_keys
+        }
+        records.append(ExperimentRecord(experiment, parameters, metrics))
+    return records
+
+
+def _span_breakdown() -> Optional[List[Dict[str, Any]]]:
+    """Per-span stats of the active recorder, if observability is on."""
+    recorder = obs_active()
+    if recorder is None:
+        return None
+    breakdown = []
+    for (component, name), durations in sorted(
+        recorder.span_durations.items()
+    ):
+        breakdown.append(
+            {
+                "component": component,
+                "span": name,
+                "count": len(durations),
+                "total_ns": sum(durations),
+            }
+        )
+    return breakdown
+
+
+def write_experiment(
+    experiment: str,
+    records: Sequence[ExperimentRecord],
+    title: str,
+    results_dir: str = RESULTS_DIR,
+    wall_seconds: Optional[float] = None,
+) -> str:
+    """Print the experiment table and persist both artifacts.
+
+    ``<ID>.json`` keeps the exact record-list format the report reader
+    consumes; ``<ID>.meta.json`` carries the observability stamp.
+    Returns the path of the records artifact.
+    """
+    os.makedirs(results_dir, exist_ok=True)
+    table = records_to_table(records, title=f"[{experiment}] {title}")
+    print("\n" + table)
+    records_path = os.path.join(results_dir, f"{experiment}.json")
+    write_records_json(records, records_path)
+    meta: Dict[str, Any] = {
+        "experiment": experiment,
+        "title": title,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "records": len(records),
+        "environment": environment_metadata(),
+    }
+    if wall_seconds is not None:
+        meta["wall_seconds"] = wall_seconds
+    recorder = obs_active()
+    if recorder is not None:
+        meta["obs_run_id"] = recorder.run_id
+        spans = _span_breakdown()
+        if spans:
+            meta["span_breakdown"] = spans
+        if recorder.counters:
+            meta["counters"] = {
+                f"{component}/{name}": value
+                for (component, name), value in sorted(
+                    recorder.counters.items(), key=repr
+                )
+            }
+    meta_path = os.path.join(results_dir, f"{experiment}.meta.json")
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, default=str)
+    return records_path

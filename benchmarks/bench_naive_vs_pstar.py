@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 
-from repro.analysis import ExperimentRecord
+import _obs_harness
 from repro.core import check_naive_criterion, solve_naive, solve_rank3
 from repro.errors import CriterionViolationError
 from repro.generators import all_zero_triple_instance, cyclic_triples
@@ -83,24 +83,32 @@ def run_naive_on_easy():
 
 
 def test_naive_vs_pstar(benchmark, emit):
-    rows = benchmark.pedantic(
-        lambda: run_threshold_gap() + run_wedge_instances(),
-        rounds=1,
-        iterations=1,
-    )
-    naive_easy_ok = run_naive_on_easy()
-    records = [
-        ExperimentRecord("X2", {"kind": row["kind"], "d": row["d"]}, row)
-        for row in rows
-    ]
-    records.append(
-        ExperimentRecord(
-            "X2",
-            {"kind": "naive on its own turf", "d": 4},
-            {"naive_solves": naive_easy_ok},
+    rows, wall = _obs_harness.timed(
+        lambda: benchmark.pedantic(
+            lambda: run_threshold_gap() + run_wedge_instances(),
+            rounds=1,
+            iterations=1,
         )
     )
-    emit("X2", records, "Criterion gap: naive rank-r vs the paper's p < 2^-d")
+    naive_easy_ok = run_naive_on_easy()
+    records = _obs_harness.rows_to_records("X2", rows, ("kind", "d"))
+    records += _obs_harness.rows_to_records(
+        "X2",
+        [
+            {
+                "kind": "naive on its own turf",
+                "d": 4,
+                "naive_solves": naive_easy_ok,
+            }
+        ],
+        ("kind", "d"),
+    )
+    emit(
+        "X2",
+        records,
+        "Criterion gap: naive rank-r vs the paper's p < 2^-d",
+        wall_seconds=wall,
+    )
 
     # The gap grows super-exponentially with d.
     gaps = [row["gap_factor"] for row in rows if row["kind"] == "threshold"]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis import ExperimentRecord
+import _obs_harness
 from repro.core import (
     Rank2Fixer,
     max_pressure_chooser,
@@ -85,12 +85,16 @@ def run_all():
 
 
 def test_thm11_rank2(benchmark, emit):
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    records = [
-        ExperimentRecord("T1", {"workload": row["workload"]}, row)
-        for row in rows
-    ]
-    emit("T1", records, "Theorem 1.1: rank-2 fixer success across workloads")
+    rows, wall = _obs_harness.timed(
+        lambda: benchmark.pedantic(run_all, rounds=1, iterations=1)
+    )
+    records = _obs_harness.rows_to_records("T1", rows, ("workload",))
+    emit(
+        "T1",
+        records,
+        "Theorem 1.1: rank-2 fixer success across workloads",
+        wall_seconds=wall,
+    )
 
     for row in rows:
         assert row["successes"] == row["runs"]  # 100% success

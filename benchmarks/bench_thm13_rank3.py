@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis import ExperimentRecord
+import _obs_harness
 from repro.applications import hypergraph_sinkless_instance
 from repro.core import (
     Rank3Fixer,
@@ -107,12 +107,16 @@ def run_all():
 
 
 def test_thm13_rank3(benchmark, emit):
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    records = [
-        ExperimentRecord("T3", {"workload": row["workload"]}, row)
-        for row in rows
-    ]
-    emit("T3", records, "Theorem 1.3: rank-3 fixer success across workloads")
+    rows, wall = _obs_harness.timed(
+        lambda: benchmark.pedantic(run_all, rounds=1, iterations=1)
+    )
+    records = _obs_harness.rows_to_records("T3", rows, ("workload",))
+    emit(
+        "T3",
+        records,
+        "Theorem 1.3: rank-3 fixer success across workloads",
+        wall_seconds=wall,
+    )
 
     for row in rows:
         assert row["successes"] == row["runs"]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import statistics
 
-from repro.analysis import ExperimentRecord
+import _obs_harness
 from repro.applications import (
     relaxed_sinkless_instance,
     sinkless_orientation_instance,
@@ -137,7 +137,9 @@ def test_threshold_phase_shift(benchmark, emit):
             + run_deterministic_below()
         )
 
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows, wall = _obs_harness.timed(
+        lambda: benchmark.pedantic(run_all, rounds=1, iterations=1)
+    )
     rejected = run_rejection_at_threshold()
     rows.append(
         {
@@ -156,13 +158,13 @@ def test_threshold_phase_shift(benchmark, emit):
             "value": failures,
         }
     )
-    records = [
-        ExperimentRecord(
-            "T5", {"regime": row["regime"], "metric": row["metric"]}, row
-        )
-        for row in rows
-    ]
-    emit("T5", records, "The sharp threshold phase shift at p = 2^-d")
+    records = _obs_harness.rows_to_records("T5", rows, ("regime", "metric"))
+    emit(
+        "T5",
+        records,
+        "The sharp threshold phase shift at p = 2^-d",
+        wall_seconds=wall,
+    )
 
     assert rejected
     # The hardness is real: the unchecked process fails on some graphs,

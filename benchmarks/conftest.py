@@ -3,19 +3,54 @@
 Every bench module reproduces one experiment row of DESIGN.md.  The
 ``emit`` fixture prints the experiment's table (the "rows the paper
 reports") and persists the records as JSON under ``benchmarks/results/``
-so EXPERIMENTS.md can be regenerated from artifacts.
+so EXPERIMENTS.md can be regenerated from artifacts; the result-writing
+itself lives in ``_obs_harness.py``, which also stamps every artifact
+with wall-clock and environment metadata.
+
+Passing ``--obs-trace PATH`` installs a session-wide
+:class:`repro.obs.Recorder` writing structured JSONL events, so any
+benchmark's instrumented runs (fixing steps, LOCAL rounds, coloring
+phases...) can be inspected afterwards with ``python -m repro stats``.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Sequence
+from typing import Optional, Sequence
 
 import pytest
 
-from repro.analysis import ExperimentRecord, records_to_table, write_records_json
+import _obs_harness
+from repro.analysis import ExperimentRecord
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_DIR = _obs_harness.RESULTS_DIR
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-trace",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="record a structured JSONL observability trace of the "
+        "benchmark session to PATH (inspect with `python -m repro stats`)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_session(request):
+    """Session-wide recorder when ``--obs-trace`` is given (else a no-op)."""
+    path = request.config.getoption("--obs-trace")
+    if not path:
+        yield None
+        return
+    from repro.obs import JsonlSink, Recorder, install, uninstall
+
+    recorder = install(Recorder(sinks=[JsonlSink(path)]))
+    try:
+        yield recorder
+    finally:
+        uninstall()
+        recorder.close()
 
 
 @pytest.fixture
@@ -23,13 +58,13 @@ def emit():
     """Return a callable that prints and persists experiment records."""
 
     def _emit(
-        experiment: str, records: Sequence[ExperimentRecord], title: str
+        experiment: str,
+        records: Sequence[ExperimentRecord],
+        title: str,
+        wall_seconds: Optional[float] = None,
     ) -> None:
-        os.makedirs(RESULTS_DIR, exist_ok=True)
-        table = records_to_table(records, title=f"[{experiment}] {title}")
-        print("\n" + table)
-        write_records_json(
-            records, os.path.join(RESULTS_DIR, f"{experiment}.json")
+        _obs_harness.write_experiment(
+            experiment, records, title, wall_seconds=wall_seconds
         )
 
     return _emit

@@ -5,6 +5,9 @@ Usage (also via ``python -m repro``)::
     python -m repro info                      # paper + library summary
     python -m repro solve --family cycle --n 24 --alphabet 3
     python -m repro solve --family triples --n 18 --alphabet 5 --distributed
+    python -m repro solve --family triples --n 18 --obs-trace run.jsonl
+    python -m repro stats run.jsonl           # span/counter/histogram summary
+    python -m repro trace run.jsonl --component fixer.rank3
     python -m repro threshold --n 32          # the phase-shift demo
     python -m repro logstar 1000000           # evaluate log*
 
@@ -93,6 +96,17 @@ def _command_info(args) -> int:
 
 
 def _command_solve(args) -> int:
+    if getattr(args, "obs_trace", None):
+        from repro.obs import recording
+
+        with recording(path=args.obs_trace):
+            code = _solve_impl(args)
+        print(f"observability trace written to {args.obs_trace}")
+        return code
+    return _solve_impl(args)
+
+
+def _solve_impl(args) -> int:
     instance = _build_instance(args)
     summary = instance.summary()
     print(
@@ -127,6 +141,17 @@ def _command_solve(args) -> int:
 
 
 def _command_threshold(args) -> int:
+    if getattr(args, "obs_trace", None):
+        from repro.obs import recording
+
+        with recording(path=args.obs_trace):
+            code = _threshold_impl(args)
+        print(f"observability trace written to {args.obs_trace}")
+        return code
+    return _threshold_impl(args)
+
+
+def _threshold_impl(args) -> int:
     from repro.applications import (
         relaxed_sinkless_instance,
         sinkless_orientation_instance,
@@ -160,6 +185,33 @@ def _command_report(args) -> int:
 
     artifacts = load_results(args.results_dir)
     print(render_report(artifacts, args.experiments or None))
+    return 0
+
+
+def _command_stats(args) -> int:
+    from repro.obs import read_trace, render_summary, summarize_trace
+
+    events = read_trace(args.trace, validate=not args.no_validate)
+    print(render_summary(summarize_trace(events)))
+    return 0
+
+
+def _command_trace(args) -> int:
+    from repro.obs import check_events, read_trace, render_trace
+
+    events = read_trace(args.trace)
+    if args.check:
+        count = check_events(events)
+        print(f"schema OK: {count} events")
+        return 0
+    print(
+        render_trace(
+            events,
+            component=args.component,
+            kind=args.event,
+            limit=args.limit,
+        )
+    )
     return 0
 
 
@@ -217,12 +269,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--protocol", action="store_true",
         help="run the message-level LOCAL protocol",
     )
+    solve_parser.add_argument(
+        "--obs-trace", metavar="PATH",
+        help="record a structured JSONL observability trace to PATH",
+    )
 
     threshold_parser = commands.add_parser(
         "threshold", help="demonstrate the phase shift"
     )
     threshold_parser.add_argument("--n", type=int, default=24)
     threshold_parser.add_argument("--seed", type=int, default=0)
+    threshold_parser.add_argument(
+        "--obs-trace", metavar="PATH",
+        help="record a structured JSONL observability trace to PATH",
+    )
+
+    stats_parser = commands.add_parser(
+        "stats", help="summarize a JSONL observability trace"
+    )
+    stats_parser.add_argument("trace", help="path to a .jsonl trace file")
+    stats_parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation before summarizing",
+    )
+
+    trace_parser = commands.add_parser(
+        "trace", help="list the events of a JSONL observability trace"
+    )
+    trace_parser.add_argument("trace", help="path to a .jsonl trace file")
+    trace_parser.add_argument(
+        "--component", help="only events of this component"
+    )
+    trace_parser.add_argument("--event", help="only events of this kind")
+    trace_parser.add_argument(
+        "--limit", type=int, help="show only the last N matching events"
+    )
+    trace_parser.add_argument(
+        "--check", action="store_true",
+        help="validate the schema and print a verdict instead of events",
+    )
 
     logstar_parser = commands.add_parser(
         "logstar", help="evaluate log*(value)"
@@ -265,6 +350,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "logstar": _command_logstar,
         "report": _command_report,
         "surface": _command_surface,
+        "stats": _command_stats,
+        "trace": _command_trace,
     }
     try:
         return handlers[args.command](args)

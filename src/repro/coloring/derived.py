@@ -27,6 +27,7 @@ from repro.local_model.network import (
     line_graph_network,
     square_graph_network,
 )
+from repro.obs.recorder import active as _obs_active, span as _obs_span
 
 #: Host rounds needed to emulate one round on the line graph or on G^2.
 VIRTUAL_ROUND_FACTOR = 2
@@ -55,10 +56,21 @@ def compute_edge_coloring(
     virtual, index = line_graph_network(network)
     if target is None:
         target = max(virtual.max_degree + 1, 1)
-    result = compute_vertex_coloring(virtual, target=target)
+    with _obs_span("coloring", "edge_coloring"):
+        result = compute_vertex_coloring(virtual, target=target)
     edge_colors = {
         edge: result.colors[virtual_node] for edge, virtual_node in index.items()
     }
+    recorder = _obs_active()
+    if recorder is not None:
+        recorder.event(
+            "coloring",
+            "phase",
+            phase="edge_coloring",
+            host_rounds=VIRTUAL_ROUND_FACTOR * result.total_rounds,
+            virtual_rounds=result.total_rounds,
+            palette=result.palette,
+        )
     return EdgeColoringResult(
         colors=edge_colors,
         palette=result.palette,
@@ -88,7 +100,18 @@ def compute_two_hop_coloring(
     square = square_graph_network(network)
     if target is None:
         target = max(square.max_degree + 1, 1)
-    result = compute_vertex_coloring(square, target=target)
+    with _obs_span("coloring", "two_hop_coloring"):
+        result = compute_vertex_coloring(square, target=target)
+    recorder = _obs_active()
+    if recorder is not None:
+        recorder.event(
+            "coloring",
+            "phase",
+            phase="two_hop_coloring",
+            host_rounds=VIRTUAL_ROUND_FACTOR * result.total_rounds,
+            virtual_rounds=result.total_rounds,
+            palette=result.palette,
+        )
     return TwoHopColoringResult(
         colors=dict(result.colors),
         palette=result.palette,

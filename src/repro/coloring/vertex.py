@@ -19,6 +19,7 @@ from repro.coloring.reduction import (
 )
 from repro.local_model.network import Network
 from repro.local_model.simulator import Simulator
+from repro.obs.recorder import active as _obs_active, span as _obs_span
 
 
 @dataclass
@@ -84,11 +85,23 @@ def compute_vertex_coloring(
             f"{network.max_degree}"
         )
 
+    recorder = _obs_active()
     linial = LinialColoringAlgorithm(identifier_space, degree)
     simulator = Simulator(network, linial)
-    linial_result = simulator.run(max_rounds)
+    with _obs_span("coloring", "linial"):
+        linial_result = simulator.run(max_rounds)
     palette = linial.final_palette or identifier_space
     colors = dict(linial_result.outputs)
+    if recorder is not None:
+        recorder.count("coloring", "linial_rounds", linial_result.rounds)
+        recorder.event(
+            "coloring",
+            "phase",
+            phase="linial",
+            rounds=linial_result.rounds,
+            palette=palette,
+            nodes=len(colors),
+        )
 
     reduction_rounds = 0
     if palette > target:
@@ -100,12 +113,23 @@ def compute_vertex_coloring(
             reducer = GreedyColorReductionAlgorithm(
                 palette, target, network.max_degree
             )
-        reduction_result = Simulator(network, reducer, inputs=colors).run(
-            max_rounds
-        )
+        with _obs_span("coloring", "reduction", strategy=reduction):
+            reduction_result = Simulator(network, reducer, inputs=colors).run(
+                max_rounds
+            )
         colors = dict(reduction_result.outputs)
         palette = target
         reduction_rounds = reduction_result.rounds
+        if recorder is not None:
+            recorder.count("coloring", "reduction_rounds", reduction_rounds)
+            recorder.event(
+                "coloring",
+                "phase",
+                phase="reduction",
+                strategy=reduction,
+                rounds=reduction_rounds,
+                palette=palette,
+            )
 
     return ColoringResult(
         colors=colors,

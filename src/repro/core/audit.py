@@ -19,12 +19,14 @@ bookkeeping bug in either one surfaces as a discrepancy.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Hashable, List, Tuple
 
 from repro.errors import NotRepresentableError, PStarViolationError
 from repro.geometry import decompose_triple, representability_margin
 from repro.lll.instance import LLLInstance
+from repro.obs.recorder import active as _obs_active
 from repro.core.pstar import PStarState
 from repro.core.results import FixingResult
 from repro.probability import PartialAssignment
@@ -54,6 +56,8 @@ def audit_trace(instance: LLLInstance, result: FixingResult) -> AuditReport:
     Supports instances of rank at most 3 (the paper's regime).  The
     audit is read-only with respect to its inputs.
     """
+    recorder = _obs_active()
+    start = time.perf_counter_ns() if recorder is not None else 0
     problems: List[str] = []
     assignment = PartialAssignment()
     pstar = PStarState(instance)
@@ -172,6 +176,20 @@ def audit_trace(instance: LLLInstance, result: FixingResult) -> AuditReport:
                 f"{len(occurring)} bad events occur under the replayed "
                 f"assignment"
             )
+    if recorder is not None:
+        recorder.record_span(
+            "audit", "replay", time.perf_counter_ns() - start
+        )
+        for problem in problems:
+            recorder.count("audit", "discrepancies")
+            recorder.event("audit", "discrepancy", detail=problem)
+        recorder.event(
+            "audit",
+            "report",
+            ok=not problems,
+            steps=len(result.steps),
+            problems=len(problems),
+        )
     return AuditReport(
         ok=not problems, steps=len(result.steps), problems=tuple(problems)
     )

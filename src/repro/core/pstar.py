@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Hashable, Mapping, Tuple
 
 from repro.errors import PStarViolationError
 from repro.lll.instance import LLLInstance
+from repro.obs.recorder import PHI_BUCKETS, active as _obs_active
 from repro.probability import PartialAssignment
 
 #: Tolerance for edge-sum and probability-bound checks.
@@ -121,6 +122,12 @@ class PStarState:
                 value_v -= excess
         self._phi[key][u] = value_u
         self._phi[key][v] = value_v
+        recorder = _obs_active()
+        if recorder is not None:
+            recorder.count("pstar", "edge_updates")
+            recorder.observe(
+                "pstar", "edge_phi_sum", value_u + value_v, bounds=PHI_BUCKETS
+            )
 
     # ------------------------------------------------------------------
     # Validation

@@ -15,9 +15,11 @@ with positive survival probability means no bad event occurs.
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from repro.errors import NoGoodValueError, PStarViolationError
+from repro.obs.recorder import active as _obs_active
 from repro.lll.instance import LLLInstance
 from repro.lll.verify import check_preconditions
 from repro.core.results import FixingResult, StepRecord
@@ -99,6 +101,8 @@ class Rank2Fixer:
             raise PStarViolationError(
                 f"variable {variable_name!r} is already fixed"
             )
+        recorder = _obs_active()
+        start = time.perf_counter_ns() if recorder is not None else 0
         variable = self._instance.variable(variable_name)
         events = self._instance.events_of_variable(variable_name)
         if len(events) == 1:
@@ -106,6 +110,24 @@ class Rank2Fixer:
         else:
             record = self._fix_rank2(variable, events[0], events[1])
         self._steps.append(record)
+        if recorder is not None:
+            rank = len(record.events)
+            recorder.record_span(
+                "fixer.rank2", "fix", time.perf_counter_ns() - start
+            )
+            recorder.count("fixer.rank2", f"rank{rank}_fixes")
+            recorder.observe("fixer.rank2", "step_slack", record.slack)
+            recorder.event(
+                "fixer.rank2",
+                "fix",
+                step=len(self._steps) - 1,
+                variable=record.variable,
+                value=record.value,
+                rank=rank,
+                slack=record.slack,
+                num_good_values=record.num_good_values,
+                num_values=record.num_values,
+            )
         if self._validate:
             self.check_invariant()
         return record
@@ -197,11 +219,21 @@ class Rank2Fixer:
         ]
         for name in remaining:
             self.fix_variable(name)
-        return FixingResult(
+        result = FixingResult(
             assignment=self._assignment,
             steps=tuple(self._steps),
             certified_bounds=self.certified_bounds(),
         )
+        recorder = _obs_active()
+        if recorder is not None:
+            recorder.event(
+                "fixer.rank2",
+                "run_complete",
+                steps=result.num_steps,
+                max_certified_bound=result.max_certified_bound,
+                min_slack=result.min_slack,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Invariants

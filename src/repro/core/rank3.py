@@ -25,9 +25,11 @@ without inflating the dependency graph.
 
 from __future__ import annotations
 
+import time
 from typing import Hashable, Iterable, List, Optional, Tuple
 
 from repro.errors import PStarViolationError
+from repro.obs.recorder import MARGIN_BUCKETS, active as _obs_active
 from repro.lll.instance import LLLInstance
 from repro.lll.verify import check_preconditions
 from repro.core.pstar import PStarState
@@ -108,6 +110,8 @@ class Rank3Fixer:
             raise PStarViolationError(
                 f"variable {variable_name!r} is already fixed"
             )
+        recorder = _obs_active()
+        start = time.perf_counter_ns() if recorder is not None else 0
         variable = self._instance.variable(variable_name)
         events = self._instance.events_of_variable(variable_name)
         if len(events) == 1:
@@ -117,6 +121,30 @@ class Rank3Fixer:
         else:
             record = self._fix_rank3(variable, events)
         self._steps.append(record)
+        if recorder is not None:
+            rank = len(record.events)
+            recorder.record_span(
+                "fixer.rank3", "fix", time.perf_counter_ns() - start
+            )
+            recorder.count("fixer.rank3", f"rank{rank}_fixes")
+            if rank == 3:
+                recorder.observe(
+                    "fixer.rank3",
+                    "representability_margin",
+                    record.slack,
+                    bounds=MARGIN_BUCKETS,
+                )
+            recorder.event(
+                "fixer.rank3",
+                "fix",
+                step=len(self._steps) - 1,
+                variable=record.variable,
+                value=record.value,
+                rank=rank,
+                slack=record.slack,
+                num_good_values=record.num_good_values,
+                num_values=record.num_values,
+            )
         if self._validate:
             self._pstar.check(self._assignment)
         return record
@@ -198,11 +226,21 @@ class Rank3Fixer:
         ]
         for name in remaining:
             self.fix_variable(name)
-        return FixingResult(
+        result = FixingResult(
             assignment=self._assignment,
             steps=tuple(self._steps),
             certified_bounds=self._pstar.certified_bounds(),
         )
+        recorder = _obs_active()
+        if recorder is not None:
+            recorder.event(
+                "fixer.rank3",
+                "run_complete",
+                steps=result.num_steps,
+                max_certified_bound=result.max_certified_bound,
+                min_slack=result.min_slack,
+            )
+        return result
 
 
 def solve_rank3(

@@ -14,6 +14,7 @@ from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import RankViolationError
 from repro.lll.instance import LLLInstance
+from repro.obs.recorder import active as _obs_active, span as _obs_span
 from repro.core.rank2 import Rank2Fixer
 from repro.core.rank3 import Rank3Fixer
 from repro.core.results import FixingResult
@@ -163,9 +164,30 @@ def solve(
             f"instance has rank {rank}; the paper's fixers support rank <= 3 "
             f"(Conjecture 1.5 covers larger ranks)"
         )
-    if chooser is not None:
-        return run_with_adversary(fixer, chooser)
-    return fixer.run(order)
+    recorder = _obs_active()
+    if recorder is not None:
+        recorder.event(
+            "fixer",
+            "solve_start",
+            rank=rank,
+            num_variables=len(instance.variables),
+            num_events=len(instance.events),
+            adaptive=chooser is not None,
+        )
+    with _obs_span("fixer", "solve"):
+        if chooser is not None:
+            result = run_with_adversary(fixer, chooser)
+        else:
+            result = fixer.run(order)
+    if recorder is not None:
+        recorder.event(
+            "fixer",
+            "solve_end",
+            rank=rank,
+            steps=result.num_steps,
+            max_certified_bound=result.max_certified_bound,
+        )
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -74,3 +74,12 @@ class SimulationError(ReproError):
 
 class ColoringError(ReproError):
     """A coloring routine produced or received an invalid coloring."""
+
+
+class ObsError(ReproError):
+    """An observability record or trace is malformed.
+
+    Raised by the :mod:`repro.obs` schema checker when an emitted event is
+    missing required fields or has fields of the wrong type, and by the
+    trace reader when a JSONL line cannot be parsed.
+    """

@@ -14,12 +14,13 @@ benchmarks report as a sanity statistic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional
 
 from repro.errors import SimulationError
 from repro.local_model.algorithm import LocalAlgorithm, NodeState
 from repro.local_model.network import Network
+from repro.obs.recorder import active as _obs_active
 
 #: Default budget preventing non-terminating algorithms from spinning.
 DEFAULT_MAX_ROUNDS = 10_000
@@ -51,11 +52,7 @@ class SimulationResult:
     #: Total number of non-``None`` messages delivered.
     messages_delivered: int
     #: Per-round statistics; empty unless the simulator recorded traces.
-    trace: List["RoundTrace"] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.trace is None:
-            self.trace = []
+    trace: List["RoundTrace"] = field(default_factory=list)
 
     def output_of(self, node: Hashable) -> Any:
         """The output of one node."""
@@ -115,6 +112,8 @@ class Simulator:
 
     def step(self) -> None:
         """Execute one synchronous round."""
+        recorder = _obs_active()
+        collect = self._record_trace or recorder is not None
         outboxes: Dict[Hashable, Dict[Hashable, Any]] = {}
         round_number = self._rounds + 1
         for node, state in self._states.items():
@@ -141,19 +140,30 @@ class Simulator:
                     self._messages_delivered += 1
                     round_messages += 1
                     sent_any = True
-                    if self._record_trace:
+                    if collect:
                         round_chars += len(repr(message))
             if sent_any:
                 active_senders += 1
-        if self._record_trace:
-            self._trace.append(
-                RoundTrace(
-                    round_number=round_number,
-                    messages=round_messages,
-                    active_senders=active_senders,
-                    payload_chars=round_chars,
-                )
+        if collect:
+            stats = RoundTrace(
+                round_number=round_number,
+                messages=round_messages,
+                active_senders=active_senders,
+                payload_chars=round_chars,
             )
+            if self._record_trace:
+                self._trace.append(stats)
+            if recorder is not None:
+                recorder.event(
+                    "simulator",
+                    "round",
+                    round=round_number,
+                    messages=stats.messages,
+                    active_senders=stats.active_senders,
+                    payload_chars=stats.payload_chars,
+                )
+                recorder.count("simulator", "rounds")
+                recorder.count("simulator", "messages", round_messages)
         for node, state in self._states.items():
             if state.halted:
                 continue
@@ -181,6 +191,16 @@ class Simulator:
                     f"{max_rounds} rounds (e.g. {unfinished[:3]!r})"
                 )
             self.step()
+        recorder = _obs_active()
+        if recorder is not None:
+            recorder.event(
+                "simulator",
+                "run_complete",
+                rounds=self._rounds,
+                messages_delivered=self._messages_delivered,
+                nodes=len(self._states),
+                algorithm=type(self._algorithm).__name__,
+            )
         return SimulationResult(
             rounds=self._rounds,
             outputs={

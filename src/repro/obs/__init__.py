@@ -1,0 +1,88 @@
+"""repro.obs — structured tracing and metrics across the library (S14).
+
+One process-wide :class:`Recorder` collects:
+
+* **spans** — context-manager timers (``time.perf_counter_ns``) with
+  nesting depth,
+* **counters** — monotonic integer metrics,
+* **histograms** — fixed-bucket distributions (e.g. the rank-3 fixer's
+  representability margins),
+* **events** — structured records with a stable JSONL schema
+  (``run_id``/``seq``/``ts_ns``/``component``/``event``/``step``/
+  ``round``/``payload``).
+
+Observability is **off by default**: instrumented hot paths pay one
+``active() is None`` check and nothing else.  Enable it around any code::
+
+    from repro import obs
+
+    with obs.recording(path="trace.jsonl"):
+        solve(instance)
+
+then inspect the trace with ``python -m repro stats trace.jsonl`` or
+``python -m repro trace trace.jsonl``.  See docs/observability.md.
+"""
+
+from repro.obs.events import (
+    META_EVENTS,
+    OPTIONAL_INT_FIELDS,
+    REQUIRED_FIELDS,
+    ObsEvent,
+    check_events,
+    validate_event,
+)
+from repro.obs.recorder import (
+    DEFAULT_BUCKETS,
+    MARGIN_BUCKETS,
+    PHI_BUCKETS,
+    Histogram,
+    Recorder,
+    Span,
+    active,
+    install,
+    recording,
+    span,
+    uninstall,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, read_trace
+from repro.obs.summary import (
+    SpanStats,
+    TraceSummary,
+    percentile,
+    render_histogram,
+    render_summary,
+    render_trace,
+    summarize_trace,
+    summarize_trace_file,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MARGIN_BUCKETS",
+    "META_EVENTS",
+    "OPTIONAL_INT_FIELDS",
+    "PHI_BUCKETS",
+    "REQUIRED_FIELDS",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "ObsEvent",
+    "Recorder",
+    "Span",
+    "SpanStats",
+    "TraceSummary",
+    "active",
+    "check_events",
+    "install",
+    "percentile",
+    "read_trace",
+    "recording",
+    "render_histogram",
+    "render_summary",
+    "render_trace",
+    "span",
+    "summarize_trace",
+    "summarize_trace_file",
+    "uninstall",
+    "validate_event",
+]

@@ -1,0 +1,138 @@
+"""The structured event schema of the observability layer.
+
+Every record the :class:`repro.obs.Recorder` emits — user events, span
+completions and the counter/histogram summaries written at close — is an
+:class:`ObsEvent` with one stable envelope:
+
+``run_id``
+    Identifier shared by every event of one recorder (one "run").
+``seq``
+    Monotonically increasing sequence number within the run; sinks may
+    interleave runs in one file, so ``(run_id, seq)`` is the total order.
+``ts_ns``
+    Nanoseconds since the recorder was created (``time.perf_counter_ns``
+    deltas — monotonic, unaffected by wall-clock adjustments).
+``component``
+    The subsystem that emitted the event (``fixer.rank3``, ``simulator``,
+    ``coloring``, ``audit``, ``obs`` for meta events).
+``event``
+    The event kind within the component (``fix``, ``round``, ``span``,
+    ``counter``, ``histogram``...).
+``step`` / ``round``
+    Optional integer positions: a fixing-step index, a LOCAL round number.
+``payload``
+    Free-form event details; values must be JSON-representable (sinks
+    fall back to ``repr`` for anything else).
+
+:func:`validate_event` is the schema checker used by the tests, the
+benchmark harness and ``repro trace --check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.errors import ObsError
+
+#: Fields every serialized event must carry, with their required types.
+REQUIRED_FIELDS = {
+    "run_id": str,
+    "seq": int,
+    "ts_ns": int,
+    "component": str,
+    "event": str,
+    "payload": dict,
+}
+
+#: Optional integer position fields (``None`` or absent when not meaningful).
+OPTIONAL_INT_FIELDS = ("step", "round")
+
+#: Event kinds reserved for the recorder itself (component ``obs``).
+META_EVENTS = ("run_start", "run_end", "counter", "histogram")
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One structured observability event."""
+
+    run_id: str
+    seq: int
+    ts_ns: int
+    component: str
+    event: str
+    step: Optional[int] = None
+    round: Optional[int] = None
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten to the stable JSON envelope (omitting unset positions)."""
+        record: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "seq": self.seq,
+            "ts_ns": self.ts_ns,
+            "component": self.component,
+            "event": self.event,
+        }
+        if self.step is not None:
+            record["step"] = self.step
+        if self.round is not None:
+            record["round"] = self.round
+        record["payload"] = dict(self.payload)
+        return record
+
+
+def validate_event(record: Mapping[str, Any]) -> List[str]:
+    """Check one serialized event against the schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    record conforms.  ``bool`` is rejected where ``int`` is required.
+    """
+    problems: List[str] = []
+    if not isinstance(record, Mapping):
+        return [f"event is not a mapping: {record!r}"]
+    for name, expected in REQUIRED_FIELDS.items():
+        if name not in record:
+            problems.append(f"missing required field {name!r}")
+            continue
+        value = record[name]
+        if not isinstance(value, expected) or isinstance(value, bool):
+            problems.append(
+                f"field {name!r} must be {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    for name in ("component", "event"):
+        if isinstance(record.get(name), str) and not record[name]:
+            problems.append(f"field {name!r} must be non-empty")
+    for name in OPTIONAL_INT_FIELDS:
+        value = record.get(name)
+        if value is not None and (
+            not isinstance(value, int) or isinstance(value, bool)
+        ):
+            problems.append(f"field {name!r} must be an int or absent")
+    if isinstance(record.get("seq"), int) and record["seq"] < 0:
+        problems.append("field 'seq' must be non-negative")
+    if isinstance(record.get("ts_ns"), int) and record["ts_ns"] < 0:
+        problems.append("field 'ts_ns' must be non-negative")
+    return problems
+
+
+def check_events(records: Any) -> int:
+    """Validate a sequence of serialized events, raising on any problem.
+
+    Returns the number of records checked.  Raises :class:`ObsError`
+    listing every offending record (capped for readability).
+    """
+    all_problems: List[str] = []
+    count = 0
+    for index, record in enumerate(records):
+        count += 1
+        for problem in validate_event(record):
+            all_problems.append(f"event {index}: {problem}")
+    if all_problems:
+        shown = "; ".join(all_problems[:10])
+        more = len(all_problems) - 10
+        if more > 0:
+            shown += f"; ... and {more} more"
+        raise ObsError(f"trace fails schema validation: {shown}")
+    return count

@@ -1,0 +1,399 @@
+"""The process-wide :class:`Recorder`: spans, counters, histograms, events.
+
+Design constraints (see docs/observability.md):
+
+* **Disabled is the default and costs one check.**  Instrumented hot
+  paths do ``rec = active()`` / ``if rec is None: ...`` — a module-global
+  load plus a ``None`` comparison, nothing else.  No recorder objects,
+  context managers or string formatting exist on the disabled path.
+* **Spans are monotonic wall-time.**  ``time.perf_counter_ns`` at enter
+  and exit; nesting is tracked with an explicit stack so consumers can
+  reconstruct the call tree from ``depth``.
+* **Counters are monotonic, histograms are fixed-bucket.**  Both live as
+  in-memory aggregates on the recorder and are flushed to the sinks as
+  summary events by :meth:`Recorder.close`, so a JSONL trace is
+  self-contained.
+
+The usual way to record a run::
+
+    from repro.obs import recording
+
+    with recording(path="run.jsonl") as rec:
+        solve(instance)          # instrumented library code
+    # run.jsonl now holds the structured trace
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+from repro.obs.events import ObsEvent
+from repro.obs.sinks import JsonlSink, MemorySink
+
+#: Default histogram buckets: log-ish spacing covering ratios/margins.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0,
+)
+
+#: Buckets for the representability margin (0 <= margin <= 4 in S_rep).
+MARGIN_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0,
+)
+
+#: Buckets for per-edge phi sums (property P* keeps them in [0, 2]).
+PHI_BUCKETS: Tuple[float, ...] = (
+    0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0,
+)
+
+#: Key type for counters, histograms and span aggregates.
+MetricKey = Tuple[str, str]
+
+
+class Histogram:
+    """A fixed-bucket histogram with min/max/total side statistics.
+
+    ``bounds`` are the upper-inclusive bucket boundaries; an extra
+    overflow bucket catches values above the last boundary, so
+    ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObsError(f"histogram bounds must be sorted: {bounds!r}")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (the payload of ``histogram`` events)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Span:
+    """Context-manager timer; created via :meth:`Recorder.span`."""
+
+    __slots__ = ("_recorder", "component", "name", "payload", "_start", "depth")
+
+    def __init__(self, recorder: "Recorder", component: str, name: str,
+                 payload: Dict[str, Any]) -> None:
+        self._recorder = recorder
+        self.component = component
+        self.name = name
+        self.payload = payload
+        self._start = 0
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        self.depth = len(self._recorder._span_stack)
+        self._recorder._span_stack.append(self)
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter_ns() - self._start
+        stack = self._recorder._span_stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._recorder.record_span(
+            self.component, self.name, duration, depth=self.depth,
+            **self.payload,
+        )
+
+
+class _NullSpan:
+    """Reentrant no-op context manager, shared by every disabled call site."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Process-wide metrics and event collector.
+
+    Parameters
+    ----------
+    sinks:
+        Event sinks (:class:`JsonlSink`, :class:`MemorySink`, or anything
+        with ``emit(event)`` / ``close()``).  With none given, a
+        :class:`MemorySink` is created and exposed as ``recorder.memory``.
+    run_id:
+        Identifier stamped on every event; a fresh UUID hex by default.
+    """
+
+    def __init__(
+        self,
+        sinks: Optional[Sequence[Any]] = None,
+        run_id: Optional[str] = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.memory: Optional[MemorySink] = None
+        if sinks is None:
+            self.memory = MemorySink()
+            sinks = [self.memory]
+        else:
+            for sink in sinks:
+                if isinstance(sink, MemorySink):
+                    self.memory = sink
+                    break
+        self._sinks: List[Any] = list(sinks)
+        self._seq = 0
+        self._t0 = time.perf_counter_ns()
+        self._span_stack: List[Span] = []
+        self.counters: Dict[MetricKey, int] = {}
+        self.histograms: Dict[MetricKey, Histogram] = {}
+        #: Per-(component, name) span durations in ns, in completion order.
+        self.span_durations: Dict[MetricKey, List[int]] = {}
+        self._closed = False
+        self.event("obs", "run_start", wall_time=time.time())
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        component: str,
+        event: str,
+        step: Optional[int] = None,
+        round: Optional[int] = None,
+        **payload: Any,
+    ) -> ObsEvent:
+        """Emit one structured event to every sink."""
+        if self._closed:
+            raise ObsError("recorder is closed")
+        record = ObsEvent(
+            run_id=self.run_id,
+            seq=self._seq,
+            ts_ns=time.perf_counter_ns() - self._t0,
+            component=component,
+            event=event,
+            step=step,
+            round=round,
+            payload=payload,
+        )
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span(self, component: str, name: str, **payload: Any) -> Span:
+        """A context-manager timer; emits a ``span`` event on exit."""
+        return Span(self, component, name, payload)
+
+    def record_span(
+        self,
+        component: str,
+        name: str,
+        duration_ns: int,
+        depth: Optional[int] = None,
+        **payload: Any,
+    ) -> None:
+        """Record one completed span (hot paths time manually and call this)."""
+        if depth is None:
+            depth = len(self._span_stack)
+        self.span_durations.setdefault((component, name), []).append(
+            duration_ns
+        )
+        self.event(
+            component, "span", name=name, duration_ns=duration_ns,
+            depth=depth, **payload,
+        )
+
+    # ------------------------------------------------------------------
+    # Counters and histograms
+    # ------------------------------------------------------------------
+    def count(self, component: str, name: str, delta: int = 1) -> int:
+        """Increment a monotonic counter; returns the new value."""
+        if delta < 0:
+            raise ObsError(
+                f"counter {component}/{name}: negative delta {delta}"
+            )
+        key = (component, name)
+        value = self.counters.get(key, 0) + delta
+        self.counters[key] = value
+        return value
+
+    def counter_value(self, component: str, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get((component, name), 0)
+
+    def observe(
+        self,
+        component: str,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record one sample into a fixed-bucket histogram.
+
+        ``bounds`` only takes effect on the first observation of a given
+        ``(component, name)``; later calls reuse the existing buckets.
+        """
+        key = (component, name)
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = self.histograms[key] = Histogram(bounds)
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Flush counter/histogram summaries, end the run, close sinks."""
+        if self._closed:
+            return
+        for (component, name), value in sorted(
+            self.counters.items(), key=repr
+        ):
+            self.event("obs", "counter", metric_component=component,
+                       name=name, value=value)
+        for (component, name), histogram in sorted(
+            self.histograms.items(), key=repr
+        ):
+            self.event("obs", "histogram", metric_component=component,
+                       name=name, **histogram.as_dict())
+        self.event("obs", "run_end", events=self._seq + 1,
+                   wall_time=time.time())
+        self._closed = True
+        for sink in self._sinks:
+            sink.close()
+
+
+# ----------------------------------------------------------------------
+# The process-wide active recorder
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Recorder] = None
+
+
+def active() -> Optional[Recorder]:
+    """The installed recorder, or ``None`` when observability is off.
+
+    This is the single check instrumented hot paths perform.
+    """
+    return _ACTIVE
+
+
+def install(recorder: Recorder) -> Recorder:
+    """Make ``recorder`` the process-wide active recorder."""
+    global _ACTIVE
+    _ACTIVE = recorder
+    return recorder
+
+
+def uninstall() -> Optional[Recorder]:
+    """Deactivate observability; returns the previously active recorder."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    return previous
+
+
+def span(component: str, name: str, **payload: Any):
+    """A span on the active recorder, or a shared no-op when disabled.
+
+    For warm (not ultra-hot) call sites::
+
+        with obs.span("coloring", "linial"):
+            ...
+    """
+    recorder = _ACTIVE
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(component, name, **payload)
+
+
+class recording:
+    """Context manager: install a fresh recorder for the ``with`` body.
+
+    Parameters
+    ----------
+    path:
+        Optional JSONL trace destination (``append=True`` to accumulate
+        multiple runs in one file).
+    sink:
+        Optional extra sink object.
+    run_id:
+        Optional explicit run identifier.
+
+    With neither ``path`` nor ``sink``, events go to an in-memory sink
+    available as ``recorder.memory.events``.  The previously active
+    recorder (if any) is restored on exit, so recordings may nest.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        sink: Optional[Any] = None,
+        run_id: Optional[str] = None,
+        append: bool = False,
+    ) -> None:
+        sinks: Optional[List[Any]] = []
+        if path is not None:
+            sinks.append(JsonlSink(path, append=append))
+        if sink is not None:
+            sinks.append(sink)
+        if not sinks:
+            sinks = None
+        self._recorder = Recorder(sinks=sinks, run_id=run_id)
+        self._previous: Optional[Recorder] = None
+
+    def __enter__(self) -> Recorder:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._recorder
+        return self._recorder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        self._recorder.close()

@@ -1,0 +1,101 @@
+"""Event sinks: where emitted :class:`~repro.obs.events.ObsEvent`\\ s go.
+
+Two sinks cover the library's needs: :class:`JsonlSink` appends one JSON
+object per line to a file (the interchange format read by ``repro stats``
+and ``repro trace``), and :class:`MemorySink` keeps the serialized events
+in a list (tests and in-process consumers).  Payload values that are not
+JSON-representable are serialized via ``repr`` rather than rejected, so
+instrumented code may pass arbitrary variable names and values.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional
+
+from repro.errors import ObsError
+from repro.obs.events import ObsEvent
+
+
+class MemorySink:
+    """Collects serialized events in memory (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: ObsEvent) -> None:
+        self.events.append(event.as_dict())
+
+    def close(self) -> None:
+        """Nothing to release; kept for sink-interface symmetry."""
+
+
+class JsonlSink:
+    """Writes one JSON object per line to ``path``.
+
+    Parameters
+    ----------
+    path:
+        Destination file.
+    append:
+        Open in append mode, so several runs (distinct ``run_id``\\ s) can
+        share one trace file — the benchmark harness uses this.
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        self.path = path
+        try:
+            self._handle: Optional[IO[str]] = open(
+                path, "a" if append else "w", encoding="utf-8"
+            )
+        except OSError as error:
+            raise ObsError(
+                f"cannot open trace {path} for writing: {error}"
+            ) from None
+
+    def emit(self, event: ObsEvent) -> None:
+        if self._handle is None:
+            raise ObsError(f"JSONL sink for {self.path!r} is closed")
+        json.dump(event.as_dict(), self._handle, default=repr)
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_trace(path: str, validate: bool = False) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into a list of event dictionaries.
+
+    Blank lines are skipped.  With ``validate=True`` every record is also
+    checked against the event schema.
+
+    Raises
+    ------
+    ObsError
+        On unreadable files, unparseable lines, or (with ``validate``)
+        schema violations.
+    """
+    from repro.obs.events import check_events
+
+    events: List[Dict[str, Any]] = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as error:
+        raise ObsError(f"cannot read trace {path}: {error}") from None
+    with handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ObsError(
+                    f"{path}:{line_number}: not valid JSON ({error})"
+                ) from None
+            events.append(record)
+    if validate:
+        check_events(events)
+    return events

@@ -1,0 +1,292 @@
+"""Trace summarization: what ``repro stats`` and ``repro trace`` print.
+
+A JSONL trace (see :mod:`repro.obs.events` for the schema) is reduced to:
+
+* per-``(component, span-name)`` latency statistics (count, p50, p95,
+  total) from the ``span`` events,
+* final counter values and histograms from the summary events the
+  recorder flushes at close,
+* LOCAL-round and message totals from the simulator's ``round`` events,
+
+rendered as the same aligned ASCII tables the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.records import format_table
+from repro.obs.sinks import read_trace
+
+MetricKey = Tuple[str, str]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * (q / 100.0)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+@dataclass
+class SpanStats:
+    """Latency statistics for one ``(component, name)`` span family."""
+
+    count: int
+    p50_ns: float
+    p95_ns: float
+    total_ns: int
+    max_depth: int
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro stats`` reports about one trace file."""
+
+    run_ids: List[str]
+    num_events: int
+    duration_ns: int
+    components: Dict[str, int]
+    spans: Dict[MetricKey, SpanStats]
+    counters: Dict[MetricKey, int]
+    histograms: Dict[MetricKey, Dict[str, Any]]
+    rounds: int = 0
+    messages: int = 0
+    fix_steps: int = 0
+    events_by_kind: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+def summarize_trace(events: Sequence[Mapping[str, Any]]) -> TraceSummary:
+    """Aggregate a list of event dictionaries into a :class:`TraceSummary`."""
+    run_ids: List[str] = []
+    components: Dict[str, int] = {}
+    durations: Dict[MetricKey, List[int]] = {}
+    depths: Dict[MetricKey, int] = {}
+    counters: Dict[MetricKey, int] = {}
+    histograms: Dict[MetricKey, Dict[str, Any]] = {}
+    events_by_kind: Dict[Tuple[str, str], int] = {}
+    rounds = 0
+    messages = 0
+    fix_steps = 0
+    max_ts = 0
+    for record in events:
+        run_id = record.get("run_id")
+        if isinstance(run_id, str) and run_id not in run_ids:
+            run_ids.append(run_id)
+        component = str(record.get("component", "?"))
+        kind = str(record.get("event", "?"))
+        components[component] = components.get(component, 0) + 1
+        events_by_kind[(component, kind)] = (
+            events_by_kind.get((component, kind), 0) + 1
+        )
+        ts = record.get("ts_ns")
+        if isinstance(ts, int) and ts > max_ts:
+            max_ts = ts
+        payload = record.get("payload") or {}
+        if kind == "span":
+            key = (component, str(payload.get("name", "?")))
+            durations.setdefault(key, []).append(
+                int(payload.get("duration_ns", 0))
+            )
+            depth = payload.get("depth", 0)
+            if isinstance(depth, int) and depth > depths.get(key, 0):
+                depths[key] = depth
+        elif kind == "counter" and component == "obs":
+            key = (
+                str(payload.get("metric_component", "?")),
+                str(payload.get("name", "?")),
+            )
+            counters[key] = counters.get(key, 0) + int(payload.get("value", 0))
+        elif kind == "histogram" and component == "obs":
+            key = (
+                str(payload.get("metric_component", "?")),
+                str(payload.get("name", "?")),
+            )
+            if key in histograms and histograms[key].get("bounds") == payload.get(
+                "bounds"
+            ):
+                merged = histograms[key]
+                merged["counts"] = [
+                    a + b
+                    for a, b in zip(merged["counts"], payload.get("counts", []))
+                ]
+                merged["count"] += int(payload.get("count", 0))
+                merged["total"] += float(payload.get("total", 0.0))
+                for side, pick in (("min", min), ("max", max)):
+                    values = [
+                        v
+                        for v in (merged.get(side), payload.get(side))
+                        if v is not None
+                    ]
+                    merged[side] = pick(values) if values else None
+            else:
+                histograms[key] = {
+                    k: v
+                    for k, v in payload.items()
+                    if k not in ("metric_component", "name")
+                }
+        elif component == "simulator" and kind == "round":
+            rounds += 1
+            messages += int(payload.get("messages", 0))
+        elif kind == "fix":
+            fix_steps += 1
+    spans = {
+        key: SpanStats(
+            count=len(values),
+            p50_ns=percentile(values, 50),
+            p95_ns=percentile(values, 95),
+            total_ns=sum(values),
+            max_depth=depths.get(key, 0),
+        )
+        for key, values in durations.items()
+    }
+    return TraceSummary(
+        run_ids=run_ids,
+        num_events=len(events),
+        duration_ns=max_ts,
+        components=components,
+        spans=spans,
+        counters=counters,
+        histograms=histograms,
+        rounds=rounds,
+        messages=messages,
+        fix_steps=fix_steps,
+        events_by_kind=events_by_kind,
+    )
+
+
+def _format_ns(ns: float) -> str:
+    """Render nanoseconds with a readable unit."""
+    if ns != ns:  # NaN
+        return "-"
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f} us"
+    return f"{ns:.0f} ns"
+
+
+def render_histogram(
+    data: Mapping[str, Any], width: int = 30
+) -> str:
+    """ASCII bar rendering of one histogram summary payload."""
+    bounds = data.get("bounds") or []
+    counts = data.get("counts") or []
+    total = max(int(data.get("count", 0)), 1)
+    peak = max(counts) if counts else 0
+    lines = []
+    labels = [f"<= {bound:g}" for bound in bounds] + [
+        f"> {bounds[-1]:g}" if bounds else "all"
+    ]
+    label_width = max(len(label) for label in labels)
+    for label, count in zip(labels, counts):
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        share = 100.0 * count / total
+        lines.append(f"  {label.rjust(label_width)}  {bar} {count} ({share:.1f}%)")
+    extras = []
+    if data.get("min") is not None:
+        extras.append(f"min {data['min']:.4g}")
+        extras.append(f"max {data['max']:.4g}")
+    if data.get("count"):
+        extras.append(f"mean {float(data.get('total', 0.0)) / total:.4g}")
+    if extras:
+        lines.append("  " + ", ".join(extras))
+    return "\n".join(lines)
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The full ``repro stats`` report for one trace."""
+    sections: List[str] = []
+    runs = ", ".join(summary.run_ids) if summary.run_ids else "(none)"
+    sections.append(
+        f"trace: {summary.num_events} events, {len(summary.run_ids)} run(s) "
+        f"[{runs}], span {_format_ns(summary.duration_ns)}"
+    )
+
+    if summary.spans:
+        rows = [
+            {
+                "component": component,
+                "span": name,
+                "count": stats.count,
+                "p50": _format_ns(stats.p50_ns),
+                "p95": _format_ns(stats.p95_ns),
+                "total": _format_ns(stats.total_ns),
+                "max_depth": stats.max_depth,
+            }
+            for (component, name), stats in sorted(summary.spans.items())
+        ]
+        sections.append(format_table(rows, title="spans"))
+
+    if summary.counters:
+        rows = [
+            {"component": component, "counter": name, "value": value}
+            for (component, name), value in sorted(summary.counters.items())
+        ]
+        sections.append(format_table(rows, title="counters"))
+
+    activity = []
+    if summary.rounds:
+        activity.append(f"LOCAL rounds: {summary.rounds}")
+    if summary.messages:
+        activity.append(f"messages delivered: {summary.messages}")
+    if summary.fix_steps:
+        activity.append(f"fixing steps: {summary.fix_steps}")
+    if activity:
+        sections.append("\n".join(activity))
+
+    for (component, name), data in sorted(summary.histograms.items()):
+        sections.append(
+            f"histogram {component}/{name}:\n" + render_histogram(data)
+        )
+
+    return "\n\n".join(sections)
+
+
+def render_trace(
+    events: Sequence[Mapping[str, Any]],
+    component: Optional[str] = None,
+    kind: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Human-readable event listing for ``repro trace``."""
+    selected = [
+        record
+        for record in events
+        if (component is None or record.get("component") == component)
+        and (kind is None or record.get("event") == kind)
+    ]
+    shown = selected if limit is None else selected[-limit:]
+    lines = []
+    for record in shown:
+        position = ""
+        if record.get("step") is not None:
+            position = f" step={record['step']}"
+        elif record.get("round") is not None:
+            position = f" round={record['round']}"
+        payload = record.get("payload") or {}
+        detail = " ".join(f"{k}={v!r}" for k, v in payload.items())
+        lines.append(
+            f"[{_format_ns(record.get('ts_ns', 0)).rjust(10)}] "
+            f"{record.get('component')}/{record.get('event')}{position} {detail}"
+        )
+    header = (
+        f"{len(selected)} matching events"
+        + (f" (showing last {len(shown)})" if len(shown) < len(selected) else "")
+    )
+    return "\n".join([header] + lines)
+
+
+def summarize_trace_file(path: str, validate: bool = False) -> TraceSummary:
+    """Read and summarize a JSONL trace in one call."""
+    return summarize_trace(read_trace(path, validate=validate))

@@ -1,0 +1,363 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    JsonlSink,
+    MemorySink,
+    ObsEvent,
+    Recorder,
+    active,
+    check_events,
+    install,
+    percentile,
+    read_trace,
+    recording,
+    render_summary,
+    render_trace,
+    span,
+    summarize_trace,
+    uninstall,
+    validate_event,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_recorder():
+    """Every test starts and ends with observability disabled."""
+    uninstall()
+    yield
+    uninstall()
+
+
+class TestRecorderEvents:
+    def test_events_reach_memory_sink_with_sequential_seq(self):
+        recorder = Recorder()
+        recorder.event("demo", "first", step=0, answer=42)
+        recorder.event("demo", "second", round=3)
+        events = recorder.memory.events
+        # run_start + the two user events.
+        assert [e["event"] for e in events] == ["run_start", "first", "second"]
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert events[1]["step"] == 0 and "round" not in events[1]
+        assert events[2]["round"] == 3 and "step" not in events[2]
+        assert events[1]["payload"] == {"answer": 42}
+        assert all(e["run_id"] == recorder.run_id for e in events)
+
+    def test_timestamps_are_monotonic(self):
+        recorder = Recorder()
+        for index in range(5):
+            recorder.event("demo", f"e{index}")
+        stamps = [e["ts_ns"] for e in recorder.memory.events]
+        assert stamps == sorted(stamps)
+        assert all(ts >= 0 for ts in stamps)
+
+    def test_closed_recorder_rejects_events(self):
+        recorder = Recorder()
+        recorder.close()
+        with pytest.raises(ObsError):
+            recorder.event("demo", "late")
+
+    def test_close_is_idempotent(self):
+        recorder = Recorder()
+        recorder.count("demo", "things")
+        recorder.close()
+        count = len(recorder.memory.events)
+        recorder.close()
+        assert len(recorder.memory.events) == count
+
+
+class TestSpans:
+    def test_span_records_positive_duration(self):
+        recorder = Recorder()
+        with recorder.span("demo", "work"):
+            time.sleep(0.001)
+        (duration,) = recorder.span_durations[("demo", "work")]
+        assert duration >= 1_000_000  # at least the 1ms sleep
+
+    def test_nested_spans_track_depth_and_nest_durations(self):
+        recorder = Recorder()
+        with recorder.span("demo", "outer"):
+            with recorder.span("demo", "inner"):
+                time.sleep(0.001)
+        span_events = [
+            e for e in recorder.memory.events if e["event"] == "span"
+        ]
+        by_name = {e["payload"]["name"]: e["payload"] for e in span_events}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        # The parent strictly contains the child.
+        assert by_name["outer"]["duration_ns"] >= by_name["inner"]["duration_ns"]
+        # Inner completes (and is emitted) before outer.
+        assert [e["payload"]["name"] for e in span_events] == ["inner", "outer"]
+
+    def test_span_survives_exceptions(self):
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            with recorder.span("demo", "failing"):
+                raise ValueError("boom")
+        assert ("demo", "failing") in recorder.span_durations
+        assert recorder._span_stack == []
+
+    def test_record_span_aggregates(self):
+        recorder = Recorder()
+        recorder.record_span("demo", "manual", 500)
+        recorder.record_span("demo", "manual", 1500)
+        assert recorder.span_durations[("demo", "manual")] == [500, 1500]
+
+
+class TestCountersAndHistograms:
+    def test_counter_accumulates(self):
+        recorder = Recorder()
+        assert recorder.count("demo", "steps") == 1
+        assert recorder.count("demo", "steps", 4) == 5
+        assert recorder.counter_value("demo", "steps") == 5
+        assert recorder.counter_value("demo", "missing") == 0
+
+    def test_counter_rejects_negative_delta(self):
+        recorder = Recorder()
+        with pytest.raises(ObsError):
+            recorder.count("demo", "steps", -1)
+
+    def test_histogram_bucket_placement(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        # <=1: {0.5, 1.0}; <=2: {1.5}; <=4: {3.0}; overflow: {100.0}
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+        assert histogram.total == pytest.approx(106.0)
+        assert histogram.mean == pytest.approx(106.0 / 5)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ObsError):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_observe_reuses_first_buckets(self):
+        recorder = Recorder()
+        recorder.observe("demo", "margin", 0.5, bounds=(1.0, 2.0))
+        recorder.observe("demo", "margin", 1.5, bounds=(10.0,))
+        histogram = recorder.histograms[("demo", "margin")]
+        assert histogram.bounds == (1.0, 2.0)
+        assert histogram.counts == [1, 1, 0]
+
+    def test_close_flushes_summary_events(self):
+        recorder = Recorder()
+        recorder.count("demo", "steps", 7)
+        recorder.observe("demo", "margin", 0.5)
+        recorder.close()
+        events = recorder.memory.events
+        counters = [e for e in events if e["event"] == "counter"]
+        histograms = [e for e in events if e["event"] == "histogram"]
+        assert len(counters) == 1
+        assert counters[0]["payload"]["metric_component"] == "demo"
+        assert counters[0]["payload"]["name"] == "steps"
+        assert counters[0]["payload"]["value"] == 7
+        assert len(histograms) == 1
+        assert histograms[0]["payload"]["count"] == 1
+        assert events[-1]["event"] == "run_end"
+
+
+class TestDisabledPath:
+    def test_active_is_none_by_default(self):
+        assert active() is None
+
+    def test_module_span_is_noop_when_disabled(self):
+        noop = span("demo", "anything")
+        with noop:
+            pass
+        with noop:  # reentrant and reusable
+            pass
+        assert active() is None
+
+    def test_install_uninstall_roundtrip(self):
+        recorder = Recorder()
+        assert install(recorder) is recorder
+        assert active() is recorder
+        assert uninstall() is recorder
+        assert active() is None
+
+    def test_instrumented_code_emits_nothing_when_disabled(self):
+        from repro.core import solve_rank2
+        from repro.generators import all_zero_edge_instance, cycle_graph
+
+        result = solve_rank2(all_zero_edge_instance(cycle_graph(6), 3))
+        assert result.num_steps == 6
+        assert active() is None
+
+    def test_recording_restores_previous_recorder(self):
+        outer = install(Recorder())
+        with recording() as inner:
+            assert active() is inner
+        assert active() is outer
+
+
+class TestSchema:
+    def _valid(self):
+        return ObsEvent(
+            run_id="abc", seq=0, ts_ns=1, component="demo", event="x",
+        ).as_dict()
+
+    def test_valid_event_passes(self):
+        assert validate_event(self._valid()) == []
+
+    def test_missing_field_flagged(self):
+        record = self._valid()
+        del record["run_id"]
+        assert any("run_id" in p for p in validate_event(record))
+
+    def test_wrong_types_flagged(self):
+        record = self._valid()
+        record["seq"] = "zero"
+        record["component"] = 7
+        problems = validate_event(record)
+        assert any("seq" in p for p in problems)
+        assert any("component" in p for p in problems)
+
+    def test_bool_not_accepted_as_int(self):
+        record = self._valid()
+        record["seq"] = True
+        assert any("seq" in p for p in validate_event(record))
+
+    def test_optional_positions_checked(self):
+        record = self._valid()
+        record["step"] = "three"
+        assert any("step" in p for p in validate_event(record))
+        record["step"] = 3
+        assert validate_event(record) == []
+
+    def test_check_events_raises_with_details(self):
+        records = [self._valid(), {"nonsense": 1}]
+        with pytest.raises(ObsError, match="event 1"):
+            check_events(records)
+        assert check_events([self._valid()]) == 1
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_events(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with recording(path=path) as recorder:
+            recorder.event("demo", "fix", step=0, variable="x", value=1)
+            recorder.count("demo", "steps")
+            with recorder.span("demo", "work"):
+                pass
+        events = read_trace(path, validate=True)
+        kinds = [(e["component"], e["event"]) for e in events]
+        assert ("demo", "fix") in kinds
+        assert ("demo", "span") in kinds
+        assert ("obs", "counter") in kinds
+        assert kinds[0] == ("obs", "run_start")
+        assert kinds[-1] == ("obs", "run_end")
+        fix = next(e for e in events if e["event"] == "fix")
+        assert fix["payload"] == {"variable": "x", "value": 1}
+
+    def test_non_json_payloads_fall_back_to_repr(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with recording(path=path) as recorder:
+            recorder.event("demo", "fix", variable=("tri", 1, 2), data={1, 2})
+        events = read_trace(path, validate=True)
+        payload = next(e for e in events if e["event"] == "fix")["payload"]
+        # Tuples are JSON-native (serialized as arrays); sets are not and
+        # fall back to repr.
+        assert payload["variable"] == ["tri", 1, 2]
+        assert payload["data"] in (repr({1, 2}), repr({2, 1}))
+
+    def test_append_mode_accumulates_runs(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with recording(path=path, run_id="one"):
+            pass
+        with recording(path=path, append=True, run_id="two"):
+            pass
+        events = read_trace(path, validate=True)
+        assert {e["run_id"] for e in events} == {"one", "two"}
+
+    def test_unparseable_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"run_id": "x"}\nnot json\n')
+        with pytest.raises(ObsError, match="not valid JSON"):
+            read_trace(str(path))
+
+    def test_closed_jsonl_sink_rejects_emit(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        with pytest.raises(ObsError):
+            sink.emit(ObsEvent("r", 0, 0, "c", "e"))
+
+
+class TestSummary:
+    def test_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == pytest.approx(2.5)
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile([7.0], 95) == 7.0
+        assert percentile([], 50) != percentile([], 50)  # NaN
+
+    def test_summarize_counts_spans_counters_and_rounds(self):
+        with recording() as recorder:
+            with recorder.span("fixer.rank3", "fix"):
+                pass
+            with recorder.span("fixer.rank3", "fix"):
+                pass
+            recorder.count("simulator", "messages", 10)
+            recorder.event("simulator", "round", round=1, messages=4)
+            recorder.event("simulator", "round", round=2, messages=6)
+            recorder.observe("fixer.rank3", "margin", 0.5)
+        summary = summarize_trace(recorder.memory.events)
+        stats = summary.spans[("fixer.rank3", "fix")]
+        assert stats.count == 2
+        assert stats.total_ns >= stats.p50_ns
+        assert summary.counters[("simulator", "messages")] == 10
+        assert summary.rounds == 2
+        assert summary.messages == 10
+        assert ("fixer.rank3", "margin") in summary.histograms
+        assert summary.run_ids == [recorder.run_id]
+
+    def test_render_summary_and_trace_are_printable(self):
+        with recording() as recorder:
+            with recorder.span("demo", "work"):
+                pass
+            recorder.count("demo", "steps", 2)
+            recorder.observe("demo", "margin", 0.3)
+            recorder.event("demo", "fix", step=0, variable="x")
+        events = recorder.memory.events
+        report = render_summary(summarize_trace(events))
+        assert "spans" in report
+        assert "counters" in report
+        assert "histogram demo/margin" in report
+        listing = render_trace(events, component="demo", kind="fix")
+        assert "1 matching events" in listing
+        assert "variable='x'" in listing
+
+    def test_render_trace_limit(self):
+        with recording() as recorder:
+            for index in range(5):
+                recorder.event("demo", "tick", step=index)
+        listing = render_trace(
+            recorder.memory.events, kind="tick", limit=2
+        )
+        assert "5 matching events (showing last 2)" in listing
+        assert "step=3" in listing and "step=4" in listing
+        assert "step=0" not in listing
+
+    def test_multi_run_histogram_merge(self):
+        sink = MemorySink()
+        with recording(sink=sink, run_id="one") as recorder:
+            recorder.observe("demo", "margin", 0.5, bounds=(1.0, 2.0))
+        with recording(sink=sink, run_id="two") as recorder:
+            recorder.observe("demo", "margin", 1.5, bounds=(1.0, 2.0))
+        summary = summarize_trace(sink.events)
+        merged = summary.histograms[("demo", "margin")]
+        assert merged["count"] == 2
+        assert merged["counts"] == [1, 1, 0]
+        assert summary.run_ids == ["one", "two"]
