@@ -33,8 +33,23 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import ExperimentRecord, records_to_table, write_records_json
 from repro.obs import active as obs_active
+from repro.probability import engine as probability_engine
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def reset_engine(instances: Sequence[Any] = ()) -> None:
+    """Reset probability-engine state between solve runs.
+
+    Clears the per-event conditional-probability caches of the given
+    instances and zeroes the engine counters, so that each benchmarked
+    run starts cold and the counters published into the meta side-car
+    describe exactly one run.
+    """
+    for instance in instances:
+        for event in instance.events:
+            event.clear_cache()
+    probability_engine.reset_stats()
 
 
 def environment_metadata() -> Dict[str, Any]:
@@ -127,6 +142,10 @@ def write_experiment(
         meta["wall_seconds"] = wall_seconds
     recorder = obs_active()
     if recorder is not None:
+        # Flush engine counter deltas (kernel compiles/queries, cache
+        # hit/miss/evictions) accrued since the last publish, so they
+        # appear in the counters dump below.
+        probability_engine.publish_stats(recorder)
         meta["obs_run_id"] = recorder.run_id
         spans = _span_breakdown()
         if spans:

@@ -1,0 +1,171 @@
+"""[E1] Compiled event kernels vs naive enumeration on T1/T3 workloads.
+
+Runs the same deterministic fixing workloads under both probability
+engines (``REPRO_ENGINE=naive|compiled``), asserts the resulting
+assignments are identical (the engines are bit-compatible, so this is an
+equality check, not a tolerance check), and reports two wall-clock
+speedups per workload:
+
+* **cold** — fresh instance per run, so the compiled engine is charged
+  its one-time kernel compilation (one full-product predicate
+  enumeration per event, the same work the naive engine spends on a
+  single unconditioned probability query);
+* **warm** — the instance (and its compiled kernels) is reused across
+  runs while the per-event conditional-probability caches are cleared
+  between runs.  This is the sweep regime the ROADMAP targets: solving
+  one instance under many orders/adversaries amortises compilation, and
+  every probability query runs against the table.
+
+The acceptance bar is on the warm T3 rank-3 workload: compiled must be
+at least 3x faster than naive.  Quick mode (``ENGINE_BENCH_QUICK=1``,
+used by the CI perf-smoke job) shrinks the instances and requires
+compiled to beat naive, so the job stays fast while still catching a
+regression that makes the kernel path slower than the oracle it
+replaces.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import _obs_harness
+from repro.core import solve_rank2, solve_rank3
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+)
+from repro.lll import verify_solution
+from repro.probability import engine_stats, using_engine
+
+QUICK = os.environ.get("ENGINE_BENCH_QUICK") == "1"
+
+#: Timing repetitions per engine and temperature; the fastest is kept.
+REPEATS = 2 if QUICK else 3
+
+#: Required compiled-over-naive speedup on the warm T3 workload.
+T3_SPEEDUP_FLOOR = 1.0 if QUICK else 3.0
+
+WORKLOADS = [
+    (
+        "T1 rank-2 cycle" + (" (quick)" if QUICK else ""),
+        lambda: all_zero_edge_instance(cycle_graph(24 if QUICK else 60), 3),
+        solve_rank2,
+        1.0,
+    ),
+    (
+        "T3 rank-3 cyclic triples" + (" (quick)" if QUICK else ""),
+        lambda: all_zero_triple_instance(
+            15 if QUICK else 30,
+            cyclic_triples(15 if QUICK else 30),
+            8,
+        ),
+        solve_rank3,
+        T3_SPEEDUP_FLOOR,
+    ),
+]
+
+
+def _best_of(run):
+    """Fastest wall time (and last result) of ``REPEATS`` calls."""
+    best_seconds = None
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return result, best_seconds
+
+
+def _cold_solve(factory, solver, mode):
+    """Each repeat rebuilds the instance: kernel compilation is charged."""
+    with using_engine(mode):
+
+        def run():
+            instance = factory()
+            _obs_harness.reset_engine()
+            result = solver(instance)
+            assert verify_solution(instance, result.assignment).ok
+            return result
+
+        return _best_of(run)
+
+
+def _warm_solve(factory, solver, mode):
+    """One instance reused: kernels persist, per-run caches are cleared."""
+    with using_engine(mode):
+        instance = factory()
+        solver(instance)  # warm-up: compiles kernels under `compiled`
+
+        def run():
+            _obs_harness.reset_engine([instance])
+            result = solver(instance)
+            assert verify_solution(instance, result.assignment).ok
+            return result
+
+        return _best_of(run)
+
+
+def run_workload(name, factory, solver, speedup_floor):
+    naive_cold, naive_cold_s = _cold_solve(factory, solver, "naive")
+    compiled_cold, compiled_cold_s = _cold_solve(factory, solver, "compiled")
+    # Counters describe the last cold compiled run (reset per repeat).
+    kernel_stats = engine_stats()
+    _, naive_warm_s = _warm_solve(factory, solver, "naive")
+    _, compiled_warm_s = _warm_solve(factory, solver, "compiled")
+
+    # Differential check: the engines produce the same float stream, so
+    # the two runs must choose identical values everywhere.
+    assert (
+        naive_cold.assignment.as_dict() == compiled_cold.assignment.as_dict()
+    ), f"{name}: engines disagree on the solution"
+    assert naive_cold.certified_bounds == compiled_cold.certified_bounds
+
+    return {
+        "workload": name,
+        "naive_cold_s": round(naive_cold_s, 6),
+        "compiled_cold_s": round(compiled_cold_s, 6),
+        "cold_speedup": round(naive_cold_s / compiled_cold_s, 3),
+        "naive_warm_s": round(naive_warm_s, 6),
+        "compiled_warm_s": round(compiled_warm_s, 6),
+        "warm_speedup": round(naive_warm_s / compiled_warm_s, 3),
+        "speedup_floor": speedup_floor,
+        "kernel_compiles": kernel_stats["kernel_compiles"],
+        "kernel_batch_queries": kernel_stats["kernel_batch_queries"],
+    }
+
+
+def run_all():
+    return [
+        run_workload(name, factory, solver, floor)
+        for name, factory, solver, floor in WORKLOADS
+    ]
+
+
+def test_engine_kernels(emit):
+    rows, wall = _obs_harness.timed(run_all)
+    records = _obs_harness.rows_to_records("E1", rows, ("workload",))
+    emit(
+        "E1",
+        records,
+        "Compiled kernels vs naive enumeration (identical solutions)",
+        wall_seconds=wall,
+    )
+
+    for row in rows:
+        assert row["warm_speedup"] >= row["speedup_floor"], (
+            f"{row['workload']}: compiled engine warm speedup "
+            f"{row['warm_speedup']}x is below the floor "
+            f"{row['speedup_floor']}x"
+        )
+        # Cold starts include kernel compilation and must still win.
+        assert row["cold_speedup"] > 1.0, (
+            f"{row['workload']}: compiled engine is slower than naive "
+            f"even including compilation ({row['cold_speedup']}x)"
+        )
+        assert row["kernel_compiles"] > 0
+        assert row["kernel_batch_queries"] > 0

@@ -56,8 +56,15 @@ def sequential_moser_tardos(
         max_resamplings = 1000 * instance.num_events
     assignment = instance.space.sample(rng)
     resamplings = 0
+    # Occurring set maintained incrementally: a resampling can only
+    # change the status of events sharing one of the resampled
+    # variables, so only those are re-evaluated each iteration (each
+    # re-evaluation is an O(1) truth-table membership test under the
+    # compiled engine).
+    occurring = {
+        event.name for event in instance.occurring_events(assignment)
+    }
     while True:
-        occurring = instance.occurring_events(assignment)
         if not occurring:
             return MoserTardosResult(
                 assignment=assignment, resamplings=resamplings, rounds=resamplings
@@ -67,9 +74,20 @@ def sequential_moser_tardos(
                 f"sequential Moser-Tardos exceeded {max_resamplings} "
                 f"resamplings ({len(occurring)} events still occurring)"
             )
-        event = min(occurring, key=lambda e: repr(e.name))
-        assignment = instance.space.resample(rng, assignment, event.scope_names)
+        name = min(occurring, key=repr)
+        scope = instance.event(name).scope_names
+        assignment = instance.space.resample(rng, assignment, scope)
         resamplings += 1
+        affected = {
+            event.name
+            for variable_name in scope
+            for event in instance.events_of_variable(variable_name)
+        }
+        for affected_name in affected:
+            if instance.event(affected_name).occurs(assignment):
+                occurring.add(affected_name)
+            else:
+                occurring.discard(affected_name)
 
 
 def distributed_moser_tardos(
@@ -99,8 +117,12 @@ def distributed_moser_tardos(
     assignment = instance.space.sample(rng)
     resamplings = 0
     rounds = 0
+    # Incremental occurring set, as in the sequential variant: after a
+    # round, only events sharing a resampled variable can change status.
+    occurring = {
+        event.name for event in instance.occurring_events(assignment)
+    }
     while True:
-        occurring = {event.name for event in instance.occurring_events(assignment)}
         if not occurring:
             return MoserTardosResult(
                 assignment=assignment, resamplings=resamplings, rounds=rounds
@@ -127,3 +149,13 @@ def distributed_moser_tardos(
         assignment = instance.space.resample(rng, assignment, to_resample)
         resamplings += len(selected)
         rounds += 1
+        affected = {
+            event.name
+            for variable_name in to_resample
+            for event in instance.events_of_variable(variable_name)
+        }
+        for affected_name in affected:
+            if instance.event(affected_name).occurs(assignment):
+                occurring.add(affected_name)
+            else:
+                occurring.discard(affected_name)

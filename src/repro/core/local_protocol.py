@@ -130,14 +130,23 @@ class LocalFixingProtocol(LocalAlgorithm):
     # Local fixing
     # ------------------------------------------------------------------
     def _commit(self, node: NodeState) -> Dict[str, Dict]:
-        """Fix all owned unfixed variables using only local state."""
+        """Fix all owned unfixed variables using only local state.
+
+        The selection rules answer each decision with one batch ``Inc``
+        query per affected event (see :mod:`repro.core.selection`), so a
+        commit round costs one table pass per (variable, event) pair
+        under the compiled engine.  The local view is materialised as a
+        :class:`PartialAssignment` once per commit and extended in place
+        after each owned variable is fixed, instead of being rebuilt from
+        the memory dict per variable.
+        """
         new_fixed: Dict[Hashable, Hashable] = {}
         new_phi: Dict[PhiKey, PhiEntry] = {}
         events_by_index = node.input["events_by_index"]
+        assignment = PartialAssignment(node.memory["fixed"])
         for variable, indices in node.input["owned"]:
             if variable.name in node.memory["fixed"]:
                 continue
-            assignment = PartialAssignment(node.memory["fixed"])
             events = [events_by_index[index] for index in indices]
             if len(indices) == 1:
                 choice = select_rank1(variable, events[0], assignment)
@@ -201,6 +210,7 @@ class LocalFixingProtocol(LocalAlgorithm):
                 )
             node.memory["fixed"][variable.name] = choice.value
             new_fixed[variable.name] = choice.value
+            assignment.fix(variable, choice.value)
             self.records.append(record)
         return {"fixed": new_fixed, "phi": new_phi}
 

@@ -151,11 +151,15 @@ class NaiveRankRFixer:
         best_total = math.inf
         best_incs: Tuple[float, ...] = ()
         good = 0
+        # One batch Inc query per affected event instead of one probability
+        # enumeration per (event, value) pair; support order is preserved
+        # so tie-breaking is unchanged.
+        incs_by_event = [
+            event.conditional_increases(self._assignment, variable)
+            for event in events
+        ]
         for value, _prob in variable.support_items():
-            incs = tuple(
-                event.conditional_increase(self._assignment, variable, value)
-                for event in events
-            )
+            incs = tuple(by_event[value] for by_event in incs_by_event)
             total = sum(
                 weights[event.name] * inc for event, inc in zip(events, incs)
             )

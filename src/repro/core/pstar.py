@@ -139,11 +139,19 @@ class PStarState:
         sums to at most 2, and every event's conditional probability is
         at most its certified bound.
 
+        The per-event conditional probabilities are served by the active
+        probability engine (compiled kernels by default), so a full P*
+        audit costs one table query per event rather than one predicate
+        enumeration — the check stays exact either way.
+
         Raises
         ------
         PStarViolationError
             If either subproperty fails beyond :data:`PSTAR_TOLERANCE`.
         """
+        recorder = _obs_active()
+        if recorder is not None:
+            recorder.count("pstar", "invariant_checks")
         for key, sides in self._phi.items():
             total = sum(sides.values())
             if total > 2.0 + PSTAR_TOLERANCE:

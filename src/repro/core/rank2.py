@@ -133,12 +133,18 @@ class Rank2Fixer:
         return record
 
     def _fix_rank1(self, variable: DiscreteVariable, event) -> StepRecord:
-        """A variable affecting one event: pick the value with ``Inc <= 1``."""
+        """A variable affecting one event: pick the value with ``Inc <= 1``.
+
+        All candidate ``Inc`` ratios come from one batch query per event
+        (a single table pass under the compiled engine); candidates are
+        scanned in support order so tie-breaking is unchanged.
+        """
         best_value = None
         best_inc = math.inf
         good = 0
+        incs = event.conditional_increases(self._assignment, variable)
         for value, _prob in variable.support_items():
-            inc = event.conditional_increase(self._assignment, variable, value)
+            inc = incs[value]
             if inc <= 1.0 + CONSTRAINT_TOLERANCE:
                 good += 1
             if inc < best_inc:
@@ -173,9 +179,11 @@ class Rank2Fixer:
         best_total = math.inf
         best_incs: Tuple[float, float] = (math.inf, math.inf)
         good = 0
+        incs_u = event_u.conditional_increases(self._assignment, variable)
+        incs_v = event_v.conditional_increases(self._assignment, variable)
         for value, _prob in variable.support_items():
-            inc_u = event_u.conditional_increase(self._assignment, variable, value)
-            inc_v = event_v.conditional_increase(self._assignment, variable, value)
+            inc_u = incs_u[value]
+            inc_v = incs_v[value]
             total = weight_u * inc_u + weight_v * inc_v
             if total <= 2.0 + CONSTRAINT_TOLERANCE:
                 good += 1

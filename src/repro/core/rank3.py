@@ -21,6 +21,12 @@ there is a value with ``s*Inc_u + t*Inc_v <= 2``, and the edge is updated
 to ``(s*Inc_u, t*Inc_v)``.  Rank-1 variables take any value with
 ``Inc <= 1``.  This realises the paper's virtual-third-event reduction
 without inflating the dependency graph.
+
+The ``Inc`` ratios come from the batch
+:meth:`~repro.probability.BadEvent.conditional_increases` API via
+:mod:`repro.core.selection` — one query per affected event per step, a
+single truth-table pass each under the compiled engine (see
+``docs/engine.md``).
 """
 
 from __future__ import annotations

@@ -68,10 +68,17 @@ def select_rank1(
     event: BadEvent,
     assignment: PartialAssignment,
 ) -> Rank1Choice:
-    """Pick a value with ``Inc <= 1`` (exists by averaging)."""
+    """Pick a value with ``Inc <= 1`` (exists by averaging).
+
+    The ``Inc`` ratios of all candidate values come from one batch
+    :meth:`~repro.probability.BadEvent.conditional_increases` query (a
+    single table pass under the compiled engine); candidates are still
+    scanned in support order, so ties break exactly as before.
+    """
     best_value, best_inc, good = None, math.inf, 0
+    incs = event.conditional_increases(assignment, variable)
     for value, _prob in variable.support_items():
-        inc = event.conditional_increase(assignment, variable, value)
+        inc = incs[value]
         if inc <= 1.0 + MEMBERSHIP_TOLERANCE:
             good += 1
         if inc < best_inc:
@@ -100,9 +107,11 @@ def select_rank2(
     best_value, best_total = None, math.inf
     best_incs: Tuple[float, float] = (math.inf, math.inf)
     good = 0
+    incs_u = event_u.conditional_increases(assignment, variable)
+    incs_v = event_v.conditional_increases(assignment, variable)
     for value, _prob in variable.support_items():
-        inc_u = event_u.conditional_increase(assignment, variable, value)
-        inc_v = event_v.conditional_increase(assignment, variable, value)
+        inc_u = incs_u[value]
+        inc_v = incs_v[value]
         total = weight_u * inc_u + weight_v * inc_v
         if total <= 2.0 + MEMBERSHIP_TOLERANCE:
             good += 1
@@ -142,10 +151,13 @@ def select_rank3(
     best_triple: Tuple[float, float, float] = (math.inf,) * 3
     best_incs: Tuple[float, float, float] = (math.inf,) * 3
     good = 0
+    incs_u = event_u.conditional_increases(assignment, variable)
+    incs_v = event_v.conditional_increases(assignment, variable)
+    incs_w = event_w.conditional_increases(assignment, variable)
     for value, _prob in variable.support_items():
-        inc_u = event_u.conditional_increase(assignment, variable, value)
-        inc_v = event_v.conditional_increase(assignment, variable, value)
-        inc_w = event_w.conditional_increase(assignment, variable, value)
+        inc_u = incs_u[value]
+        inc_v = incs_v[value]
+        inc_w = incs_w[value]
         candidate = (inc_u * a, inc_v * b, inc_w * c)
         margin = representability_margin(*candidate)
         if margin >= -MEMBERSHIP_TOLERANCE:

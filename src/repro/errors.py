@@ -28,6 +28,15 @@ class InvalidAssignmentError(ReproError):
     """A variable was assigned a value outside its support."""
 
 
+class ProbabilityMassError(ReproError):
+    """Enumerated probability mass exceeded 1 beyond tolerance.
+
+    Valid distributions cannot sum to more than one; mass above
+    ``1 + eps`` indicates inconsistent supports or weights, so the
+    engines raise instead of silently clamping the result.
+    """
+
+
 class EnumerationLimitError(ReproError):
     """An exact probability computation would enumerate too many outcomes.
 

@@ -3,9 +3,13 @@
 Events are defined by arbitrary Python predicates, which cannot be
 serialised directly; instead, each event's scope is exhaustively
 tabulated into its set of *bad outcomes* (feasible in the paper's
-bounded-degree regime, where scopes are small).  The round trip
-preserves semantics exactly: the reloaded instance has identical event
-probabilities, dependency graph and solutions.
+bounded-degree regime, where scopes are small).  Tabulation goes through
+:meth:`repro.probability.BadEvent.bad_outcomes`, which reuses the
+compiled truth table when the engine has one, and reloaded events carry
+their outcome set as a precomputed table, so a save/load round trip
+never re-enumerates a predicate under the compiled engine.  The round
+trip preserves semantics exactly: the reloaded instance has identical
+event probabilities, dependency graph and solutions.
 
 Names of variables and events may be strings, integers, or (possibly
 nested) lists/tuples thereof; tuples are canonicalised to lists in JSON
@@ -14,7 +18,6 @@ and restored as tuples on load.
 
 from __future__ import annotations
 
-import itertools
 import json
 from typing import Any, Dict, Hashable, List
 
@@ -71,12 +74,10 @@ def instance_to_dict(
                 f"event {event.name!r}: tabulating {outcome_count} outcomes "
                 f"exceeds the limit {tabulation_limit}"
             )
-        bad_outcomes = []
-        names = [variable.name for variable in scope]
-        for combo in itertools.product(*(v.values for v in scope)):
-            values = dict(zip(names, combo))
-            if event._predicate(values):  # noqa: SLF001 - same package
-                bad_outcomes.append([_encode_name(value) for value in combo])
+        bad_outcomes = [
+            [_encode_name(value) for value in combo]
+            for combo in event.bad_outcomes(limit=tabulation_limit)
+        ]
         events.append(
             {
                 "name": _encode_name(event.name),

@@ -123,6 +123,26 @@ class PartialAssignment:
         pairs.sort(key=lambda pair: repr(pair[0]))
         return tuple(pairs)
 
+    def restriction_key_with(
+        self,
+        scope_names: Iterable[Hashable],
+        extra_name: Hashable,
+        extra_value: Hashable,
+    ) -> Tuple[Tuple[Hashable, Hashable], ...]:
+        """The :meth:`restriction_key` of ``self`` plus one extra binding.
+
+        Equivalent to ``self.fixed(var, value).restriction_key(scope)``
+        but without copying the assignment; the batch ``Inc`` query uses
+        it to pre-populate an event's probability cache with every
+        hypothetical one-value extension it just computed.
+        """
+        pairs = [
+            (name, self._values[name]) for name in scope_names if name in self._values
+        ]
+        pairs.append((extra_name, extra_value))
+        pairs.sort(key=lambda pair: repr(pair[0]))
+        return tuple(pairs)
+
     def __repr__(self) -> str:
         return f"PartialAssignment({self._values!r})"
 

@@ -1,0 +1,486 @@
+"""Compiled event kernels: the table-driven exact-probability engine.
+
+The naive substrate re-enumerates an event's predicate over the Cartesian
+product of its free supports on *every* probability query.  This module
+compiles each predicate **once** into a tabulated kernel indexed by
+mixed-radix outcome codes:
+
+* each scope variable gets a *stride* (the mixed-radix place value of its
+  position) and a *weight vector* (its probability tuple);
+* the full outcome table is enumerated a single time, and the outcomes
+  where the predicate holds are kept as rows of value indices (plus their
+  codes, for O(1) ``occurs`` membership);
+* ``probability(assignment)`` becomes a strided sum over the table rows
+  consistent with the pins of the fixed scope variables — no predicate
+  calls, no per-outcome dict building;
+* ``conditional_increases`` computes the ``Inc`` ratios of Definition 3.8
+  for *every* candidate value of a variable in one table pass, by
+  bucketing row masses on the target variable's index.
+
+Numerical contract: the kernel multiplies the same probability floats in
+the same (scope-position) order as the naive enumerator and sums with
+``math.fsum``, so the two engines agree bit-for-bit wherever both are
+defined — the differential Hypothesis suite in
+``tests/test_probability_engine.py`` holds them to 1e-12.
+
+The engine is selected process-wide via the ``REPRO_ENGINE`` environment
+variable (``compiled`` by default; ``naive`` retains the enumerating path
+as a differential oracle) and can be toggled at runtime with
+:func:`set_engine_mode` / :class:`using_engine`.  Events whose full scope
+product exceeds :func:`compile_limit` are never compiled and always take
+the naive path, so oversized scopes keep their existing
+:class:`~repro.errors.EnumerationLimitError` behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ProbabilityMassError, ReproError
+
+#: Probability mass above ``1 + tolerance`` indicates a support/weight bug.
+PROBABILITY_MASS_TOLERANCE = 1e-9
+
+#: Default cap on the full-scope outcome count a kernel may tabulate.
+DEFAULT_COMPILE_LIMIT = 1 << 16
+
+#: Environment variable selecting the engine ("naive" or "compiled").
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: Environment variable overriding the kernel compile limit.
+COMPILE_LIMIT_ENV = "REPRO_ENGINE_COMPILE_LIMIT"
+
+_VALID_MODES = ("naive", "compiled")
+
+
+def _mode_from_env() -> str:
+    mode = os.environ.get(ENGINE_ENV, "compiled").strip().lower()
+    if mode not in _VALID_MODES:
+        raise ReproError(
+            f"{ENGINE_ENV}={mode!r} is not a valid engine mode; "
+            f"expected one of {_VALID_MODES}"
+        )
+    return mode
+
+
+def _compile_limit_from_env() -> int:
+    raw = os.environ.get(COMPILE_LIMIT_ENV)
+    if raw is None:
+        return DEFAULT_COMPILE_LIMIT
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise ReproError(
+            f"{COMPILE_LIMIT_ENV}={raw!r} is not an integer"
+        ) from None
+    if limit < 1:
+        raise ReproError(f"{COMPILE_LIMIT_ENV} must be positive, got {limit}")
+    return limit
+
+
+# Environment values are validated lazily, on first use: raising at
+# import time would crash ``import repro`` itself with a raw traceback
+# before any CLI error handling can catch the ReproError.
+_MODE: Optional[str] = None
+_COMPILE_LIMIT: Optional[int] = None
+
+
+def engine_mode() -> str:
+    """The active engine mode: ``"naive"`` or ``"compiled"``."""
+    global _MODE
+    if _MODE is None:
+        _MODE = _mode_from_env()
+    return _MODE
+
+
+def compiled_enabled() -> bool:
+    """Whether the compiled kernel path is active."""
+    return engine_mode() == "compiled"
+
+
+def compile_limit() -> int:
+    """Maximum full-scope outcome count a kernel may tabulate."""
+    global _COMPILE_LIMIT
+    if _COMPILE_LIMIT is None:
+        _COMPILE_LIMIT = _compile_limit_from_env()
+    return _COMPILE_LIMIT
+
+
+def set_engine_mode(mode: str) -> str:
+    """Select the engine process-wide; returns the previous mode."""
+    global _MODE
+    if mode not in _VALID_MODES:
+        raise ReproError(
+            f"invalid engine mode {mode!r}; expected one of {_VALID_MODES}"
+        )
+    previous = engine_mode()
+    _MODE = mode
+    return previous
+
+
+class using_engine:
+    """Context manager: run the body under a specific engine mode.
+
+    The differential oracle pattern used by the parity tests and the
+    engine benchmark::
+
+        with using_engine("naive"):
+            reference = solve(instance_a)
+        with using_engine("compiled"):
+            candidate = solve(instance_b)
+    """
+
+    def __init__(self, mode: str) -> None:
+        self._mode = mode
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> str:
+        self._previous = set_engine_mode(self._mode)
+        return self._mode
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._previous is not None:
+            set_engine_mode(self._previous)
+
+
+# ----------------------------------------------------------------------
+# Engine statistics (aggregated across all events; see repro.obs)
+# ----------------------------------------------------------------------
+_STAT_NAMES = (
+    "kernel_compiles",
+    "kernel_compile_outcomes",
+    "kernel_queries",
+    "kernel_batch_queries",
+    "kernel_occurs_queries",
+    "naive_queries",
+    "naive_batch_queries",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+)
+
+
+class EngineStats:
+    """Plain-integer counters; incremented inline on the hot path."""
+
+    __slots__ = _STAT_NAMES
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in _STAT_NAMES:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in _STAT_NAMES}
+
+
+#: The process-wide counters every event increments.
+STATS = EngineStats()
+
+#: Snapshot of the last values pushed to a recorder, per stat name.
+_PUBLISHED: Dict[str, int] = {name: 0 for name in _STAT_NAMES}
+
+
+def reset_stats() -> None:
+    """Zero the engine counters (and the published snapshot)."""
+    STATS.reset()
+    for name in _STAT_NAMES:
+        _PUBLISHED[name] = 0
+
+
+def stats() -> Dict[str, int]:
+    """Current values of all engine counters."""
+    return STATS.as_dict()
+
+
+def publish_stats(recorder) -> Dict[str, int]:
+    """Push counter *deltas* since the last publish into ``recorder``.
+
+    Counters on a :class:`repro.obs.Recorder` are monotonic, so repeated
+    publishes must only add what accrued in between.  Returns the deltas.
+    """
+    deltas: Dict[str, int] = {}
+    for name in _STAT_NAMES:
+        value = getattr(STATS, name)
+        delta = value - _PUBLISHED[name]
+        if delta > 0:
+            recorder.count("engine", name, delta)
+            _PUBLISHED[name] = value
+            deltas[name] = delta
+    return deltas
+
+
+# ----------------------------------------------------------------------
+# Mass checking (satellite: no silent clamping)
+# ----------------------------------------------------------------------
+def checked_mass_sum(terms: Iterable[float], context: str) -> float:
+    """``fsum`` the probability terms, rejecting mass beyond ``1 + eps``.
+
+    A total above ``1 + PROBABILITY_MASS_TOLERANCE`` cannot arise from
+    valid distributions; it indicates a support/weight bug, so it raises
+    :class:`~repro.errors.ProbabilityMassError` instead of being clamped
+    silently.  Float dust within tolerance is still clamped to 1.0 so the
+    invariant checks downstream can rely on probabilities ``<= 1``.
+    """
+    total = math.fsum(terms)
+    if total > 1.0 + PROBABILITY_MASS_TOLERANCE:
+        raise ProbabilityMassError(
+            f"{context}: probability mass sums to {total!r} > 1; "
+            f"the supports or weights are inconsistent"
+        )
+    return min(total, 1.0)
+
+
+# ----------------------------------------------------------------------
+# The compiled kernel
+# ----------------------------------------------------------------------
+class EventKernel:
+    """A predicate compiled into a mixed-radix outcome table.
+
+    Rows are the *bad* outcomes, stored as tuples of per-variable value
+    indices (scope order); ``codes`` are their mixed-radix encodings
+    ``sum(index[i] * stride[i])`` for O(1) ``occurs`` membership.
+
+    Queries take *pins*: a list with one entry per scope position, the
+    pinned value index for fixed variables and ``-1`` for free ones.
+    """
+
+    __slots__ = (
+        "_values",
+        "_probs",
+        "_index_maps",
+        "_num_values",
+        "_strides",
+        "_rows",
+        "_codes",
+        "num_outcomes",
+    )
+
+    def __init__(
+        self,
+        variables: Sequence,
+        rows: Iterable[Tuple[int, ...]],
+    ) -> None:
+        self._values: Tuple[Tuple[Hashable, ...], ...] = tuple(
+            variable.values for variable in variables
+        )
+        self._probs: Tuple[Tuple[float, ...], ...] = tuple(
+            variable.probabilities for variable in variables
+        )
+        self._index_maps: Tuple[Dict[Hashable, int], ...] = tuple(
+            {value: index for index, value in enumerate(variable.values)}
+            for variable in variables
+        )
+        self._num_values: Tuple[int, ...] = tuple(
+            variable.num_values for variable in variables
+        )
+        strides = [1] * len(self._num_values)
+        for position in range(len(strides) - 2, -1, -1):
+            strides[position] = (
+                strides[position + 1] * self._num_values[position + 1]
+            )
+        self._strides: Tuple[int, ...] = tuple(strides)
+        self.num_outcomes = 1
+        for count in self._num_values:
+            self.num_outcomes *= count
+        # Sort rows by code: deterministic, and identical to the
+        # lexicographic order itertools.product produces.
+        self._rows: Tuple[Tuple[int, ...], ...] = tuple(
+            sorted(set(tuple(row) for row in rows))
+        )
+        self._codes: frozenset = frozenset(
+            self.encode(row) for row in self._rows
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(cls, variables: Sequence, predicate) -> "EventKernel":
+        """Enumerate the full outcome table once and keep the bad rows.
+
+        The enumeration is depth-first over scope positions so that each
+        step rebinds a *single* entry of the values dict (product-style
+        iteration would rewrite every entry per outcome); with the last
+        position varying fastest this amortises to ~1 dict write per
+        predicate call, which matters because compilation is the only
+        O(num_outcomes) work the compiled engine ever does per event.
+        """
+        names = [variable.name for variable in variables]
+        value_lists = [variable.values for variable in variables]
+        rows: List[Tuple[int, ...]] = []
+        width = len(names)
+        if width == 0:
+            if predicate({}):
+                rows.append(())
+            return cls(variables, rows)
+        values: Dict[Hashable, Hashable] = {}
+        combo = [0] * width
+        last = width - 1
+        last_name = names[last]
+        last_values = value_lists[last]
+
+        def descend(position: int) -> None:
+            if position == last:
+                for index, value in enumerate(last_values):
+                    values[last_name] = value
+                    if predicate(values):
+                        combo[last] = index
+                        rows.append(tuple(combo))
+                return
+            name = names[position]
+            for index, value in enumerate(value_lists[position]):
+                values[name] = value
+                combo[position] = index
+                descend(position + 1)
+
+        descend(0)
+        return cls(variables, rows)
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        variables: Sequence,
+        bad_outcomes: Iterable[Tuple[Hashable, ...]],
+    ) -> "EventKernel":
+        """Build a kernel directly from tabulated bad value tuples.
+
+        Used for events constructed via
+        :meth:`repro.probability.BadEvent.from_bad_outcomes`: the bad set
+        *is* the truth table, so no predicate enumeration is needed.
+        Outcomes mentioning values outside a variable's support can never
+        occur and are dropped.
+        """
+        index_maps = [
+            {value: index for index, value in enumerate(variable.values)}
+            for variable in variables
+        ]
+        width = len(index_maps)
+        rows: List[Tuple[int, ...]] = []
+        for outcome in bad_outcomes:
+            outcome = tuple(outcome)
+            if len(outcome) != width:
+                continue
+            row: List[int] = []
+            for position, value in enumerate(outcome):
+                index = index_maps[position].get(value)
+                if index is None:
+                    break
+                row.append(index)
+            else:
+                rows.append(tuple(row))
+        return cls(variables, rows)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_bad(self) -> int:
+        """Number of bad outcomes in the table."""
+        return len(self._rows)
+
+    @property
+    def strides(self) -> Tuple[int, ...]:
+        """The mixed-radix place value of each scope position."""
+        return self._strides
+
+    def encode(self, row: Sequence[int]) -> int:
+        """The mixed-radix code of a row of value indices."""
+        code = 0
+        for index, stride in zip(row, self._strides):
+            code += index * stride
+        return code
+
+    def value_index(self, position: int, value: Hashable) -> Optional[int]:
+        """Index of ``value`` in the scope variable at ``position``."""
+        return self._index_maps[position].get(value)
+
+    def bad_value_tuples(self) -> List[Tuple[Hashable, ...]]:
+        """The bad outcomes as value tuples, in code (lexicographic) order.
+
+        This is exactly the tabulation
+        :func:`repro.lll.io.instance_to_dict` needs, so serialisation can
+        reuse the compiled table instead of re-enumerating the predicate.
+        """
+        values = self._values
+        return [
+            tuple(values[position][index] for position, index in enumerate(row))
+            for row in self._rows
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def occurs(self, row: Sequence[int]) -> bool:
+        """Whether the fully-indexed outcome is bad (one set lookup)."""
+        STATS.kernel_occurs_queries += 1
+        return self.encode(row) in self._codes
+
+    def probability(self, pins: Sequence[int], context: str) -> float:
+        """Strided sum over the table slice selected by ``pins``.
+
+        Rows disagreeing with a pinned index contribute nothing; free
+        positions contribute their weight-vector entry.  Multiplication
+        runs in scope-position order — the same float sequence the naive
+        enumerator produces — and the terms are ``fsum``-ed, so the result
+        is bit-identical to naive enumeration.
+        """
+        STATS.kernel_queries += 1
+        probs = self._probs
+        terms: List[float] = []
+        for row in self._rows:
+            mass = 1.0
+            for position, index in enumerate(row):
+                pin = pins[position]
+                if pin >= 0:
+                    if pin != index:
+                        mass = -1.0
+                        break
+                else:
+                    mass *= probs[position][index]
+            if mass >= 0.0:
+                terms.append(mass)
+        return checked_mass_sum(terms, context)
+
+    def conditional_masses(
+        self,
+        pins: Sequence[int],
+        target: int,
+        context: str,
+    ) -> List[float]:
+        """``Pr[event | pins, target=index]`` for every index, in one pass.
+
+        The batch leg of the ``Inc`` computation: row masses are bucketed
+        by the target position's value index, skipping the target's own
+        weight factor (conditioning pins it).  Entry ``i`` of the result
+        equals ``probability(pins with target pinned to i)`` exactly.
+        """
+        STATS.kernel_batch_queries += 1
+        probs = self._probs
+        buckets: List[List[float]] = [
+            [] for _ in range(self._num_values[target])
+        ]
+        for row in self._rows:
+            mass = 1.0
+            for position, index in enumerate(row):
+                if position == target:
+                    continue
+                pin = pins[position]
+                if pin >= 0:
+                    if pin != index:
+                        mass = -1.0
+                        break
+                else:
+                    mass *= probs[position][index]
+            if mass >= 0.0:
+                buckets[row[target]].append(mass)
+        return [checked_mass_sum(terms, context) for terms in buckets]
+
+    def __repr__(self) -> str:
+        return (
+            f"EventKernel(outcomes={self.num_outcomes}, bad={self.num_bad})"
+        )

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Hashable, Iterable, Iterator, Optional, Seque
 
 from repro.errors import EnumerationLimitError, UnknownVariableError
 from repro.probability.assignment import PartialAssignment
+from repro.probability.engine import checked_mass_sum
 from repro.probability.variable import DiscreteVariable
 
 #: Default cap on whole-space enumeration size.
@@ -115,7 +116,7 @@ class ProductSpace:
             for assignment, mass in self.enumerate_assignments(given)
             if predicate(assignment)
         ]
-        return min(1.0, math.fsum(terms))
+        return checked_mass_sum(terms, "ProductSpace.probability")
 
     def expectation(
         self,

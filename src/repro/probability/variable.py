@@ -119,6 +119,15 @@ class DiscreteVariable:
     def __contains__(self, value: Hashable) -> bool:
         return value in self._index
 
+    def index_of(self, value: Hashable) -> Optional[int]:
+        """Position of ``value`` in :attr:`values`, or ``None`` if absent.
+
+        The compiled probability engine uses value indices as mixed-radix
+        digits; a ``None`` signals an out-of-support value that must take
+        the uncompiled path.
+        """
+        return self._index.get(value)
+
     def support_items(self) -> Iterable[Tuple[Hashable, float]]:
         """Yield ``(value, probability)`` pairs with positive probability."""
         for value, prob in zip(self._values, self._probabilities):
