@@ -16,6 +16,7 @@ from repro.analysis import ExperimentRecord
 from repro.core import solve_distributed, solve_distributed_local
 from repro.generators import all_zero_triple_instance, cyclic_triples
 from repro.lll import verify_solution
+from repro.obs import active as obs_active
 
 N_SWEEP = (36, 108, 324, 648)
 
@@ -35,6 +36,25 @@ def run_comparison():
             protocol_instance, protocol.assignment
         ).ok
 
+        messages_total = sum(protocol.round_messages)
+        messages_peak_round = max(protocol.round_messages, default=0)
+        payload_chars_total = sum(protocol.round_payload_chars)
+        recorder = obs_active()
+        if recorder is not None:
+            recorder.event(
+                "bench",
+                "protocol_messages",
+                n=n,
+                rounds=protocol.schedule_rounds,
+                messages_total=messages_total,
+                messages_peak_round=messages_peak_round,
+                payload_chars_total=payload_chars_total,
+            )
+            recorder.count("bench", "protocol_messages", messages_total)
+            recorder.count(
+                "bench", "protocol_payload_chars", payload_chars_total
+            )
+
         rows.append(
             {
                 "n": n,
@@ -44,7 +64,9 @@ def run_comparison():
                 "scheduler_schedule_rounds": scheduler.schedule_rounds,
                 "protocol_schedule_rounds": protocol.schedule_rounds,
                 "protocol_total_rounds": protocol.total_rounds,
-                "messages_flat": True,
+                "messages_total": messages_total,
+                "messages_peak_round": messages_peak_round,
+                "payload_chars_total": payload_chars_total,
             }
         )
     return rows
@@ -60,6 +82,10 @@ def test_local_protocol(benchmark, emit):
         assert row["protocol_ok"]
         # Two real rounds per color class, exactly.
         assert row["protocol_schedule_rounds"] == 2 * row["palette"]
+        # Real messages flowed, and no round exceeded the total.
+        assert row["messages_total"] > 0
+        assert 0 < row["messages_peak_round"] <= row["messages_total"]
+        assert row["payload_chars_total"] > 0
 
     totals = [row["protocol_total_rounds"] for row in rows]
     # Flat tail in n (the log* regime), same as the scheduler.

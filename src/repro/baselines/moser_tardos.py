@@ -19,6 +19,7 @@ from typing import Hashable, List, Optional, Set, Tuple
 from repro.errors import AlgorithmFailedError
 from repro.lll.instance import LLLInstance
 from repro.probability import PartialAssignment
+from repro.runtime.plan import build_resampling_round
 
 
 @dataclass
@@ -113,7 +114,6 @@ def distributed_moser_tardos(
     rng = random.Random(seed)
     if max_rounds is None:
         max_rounds = 100 * instance.num_events + 1000
-    graph = instance.dependency_graph
     assignment = instance.space.sample(rng)
     resamplings = 0
     rounds = 0
@@ -132,22 +132,17 @@ def distributed_moser_tardos(
                 f"distributed Moser-Tardos exceeded {max_rounds} rounds "
                 f"({len(occurring)} events still occurring)"
             )
-        # Local-minimum selection: an occurring event resamples iff its
-        # name is smaller than all occurring dependency neighbors'.
-        selected = [
-            name
-            for name in occurring
-            if all(
-                repr(name) < repr(neighbor)
-                for neighbor in graph.neighbors(name)
-                if neighbor in occurring
-            )
-        ]
-        to_resample: Set[Hashable] = set()
-        for name in selected:
-            to_resample.update(instance.event(name).scope_names)
+        # Local-minimum selection, expressed as a one-class fix plan:
+        # each cell is a selected event, its ops the scope variables to
+        # resample.  Scope disjointness across cells is what makes the
+        # round parallel; resampling in the space's construction order
+        # keeps seeded runs independent of the plan's cell order.
+        round_class = build_resampling_round(instance, occurring)
+        to_resample: Set[Hashable] = {
+            op.variable for cell in round_class.cells for op in cell.ops
+        }
         assignment = instance.space.resample(rng, assignment, to_resample)
-        resamplings += len(selected)
+        resamplings += len(round_class.cells)
         rounds += 1
         affected = {
             event.name

@@ -5,7 +5,9 @@ Usage (also via ``python -m repro``)::
     python -m repro info                      # paper + library summary
     python -m repro solve --family cycle --n 24 --alphabet 3
     python -m repro solve --family triples --n 18 --alphabet 5 --distributed
+    python -m repro solve --family triples --n 18 --scheduler batch
     python -m repro solve --family triples --n 18 --obs-trace run.jsonl
+    python -m repro plan --family triples --n 18  # inspect the fix plan
     python -m repro stats run.jsonl           # span/counter/histogram summary
     python -m repro trace run.jsonl --component fixer.rank3
     python -m repro threshold --n 32          # the phase-shift demo
@@ -35,6 +37,7 @@ from repro.generators import (
     torus_graph,
 )
 from repro.lll import verify_solution
+from repro.runtime.schedulers import SCHEDULER_NAMES
 
 FAMILIES = ("cycle", "regular", "torus", "triples")
 
@@ -106,6 +109,15 @@ def _command_solve(args) -> int:
     return _solve_impl(args)
 
 
+def _make_scheduler(args):
+    name = getattr(args, "scheduler", None)
+    if name is None:
+        return None
+    from repro.runtime import make_scheduler
+
+    return make_scheduler(name)
+
+
 def _solve_impl(args) -> int:
     instance = _build_instance(args)
     summary = instance.summary()
@@ -115,13 +127,19 @@ def _solve_impl(args) -> int:
         f"p = {summary['p']:.6g}, d = {summary['d']}, "
         f"p*2^d = {summary['p_times_2^d']:.4g}"
     )
+    scheduler = _make_scheduler(args)
+    if scheduler is not None and args.protocol:
+        raise ReproError(
+            "--scheduler applies to the scheduled paths; the message-level "
+            "protocol (--protocol) executes its own schedule"
+        )
     try:
         if args.protocol:
             result = solve_distributed_local(instance)
         elif args.distributed:
-            result = solve_distributed(instance)
+            result = solve_distributed(instance, scheduler=scheduler)
         else:
-            result = solve(instance)
+            result = solve(instance, scheduler=scheduler)
     except CriterionViolationError as error:
         print(f"REJECTED: {error}")
         return 1
@@ -138,6 +156,34 @@ def _solve_impl(args) -> int:
     ok = verify_solution(instance, assignment).ok
     print(f"verification: {'all bad events avoided' if ok else 'FAILED'}")
     return 0 if ok else 2
+
+
+def _command_plan(args) -> int:
+    from repro.runtime import plan_for_instance
+
+    instance = _build_instance(args)
+    plan = plan_for_instance(instance)
+    plan.validate()
+    print(
+        f"plan: kind={plan.kind}, palette={plan.palette}, "
+        f"coloring_rounds={plan.coloring_rounds}"
+    )
+    print(
+        f"classes: {plan.num_classes} "
+        f"({plan.num_cells} cells, {plan.num_ops} ops)"
+    )
+    rows = [
+        {
+            "class": color_class.color,
+            "cells": len(color_class.cells),
+            "ops": color_class.num_ops,
+            "span": color_class.span,
+        }
+        for color_class in plan.classes
+    ]
+    print(format_table(rows, title="color classes"))
+    print(f"critical path: {plan.critical_path} fixings")
+    return 0
 
 
 def _command_threshold(args) -> int:
@@ -246,21 +292,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the complexity-landscape survey",
     )
 
+    def add_instance_arguments(subparser) -> None:
+        subparser.add_argument(
+            "--family", choices=FAMILIES, default="cycle",
+            help="workload family",
+        )
+        subparser.add_argument("--n", type=int, default=24, help="size")
+        subparser.add_argument(
+            "--alphabet", type=int, default=3, help="values per variable"
+        )
+        subparser.add_argument(
+            "--degree", type=int, default=4, help="degree (regular family)"
+        )
+        subparser.add_argument("--seed", type=int, default=0)
+
     solve_parser = commands.add_parser(
         "solve", help="solve a generated workload"
     )
-    solve_parser.add_argument(
-        "--family", choices=FAMILIES, default="cycle",
-        help="workload family",
-    )
-    solve_parser.add_argument("--n", type=int, default=24, help="size")
-    solve_parser.add_argument(
-        "--alphabet", type=int, default=3, help="values per variable"
-    )
-    solve_parser.add_argument(
-        "--degree", type=int, default=4, help="degree (regular family)"
-    )
-    solve_parser.add_argument("--seed", type=int, default=0)
+    add_instance_arguments(solve_parser)
     solve_parser.add_argument(
         "--distributed", action="store_true",
         help="run the scheduled distributed algorithm",
@@ -270,9 +319,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the message-level LOCAL protocol",
     )
     solve_parser.add_argument(
+        "--scheduler", choices=SCHEDULER_NAMES, default=None,
+        help="execution-plane backend for the fix plan "
+        "(default: plain serial execution)",
+    )
+    solve_parser.add_argument(
         "--obs-trace", metavar="PATH",
         help="record a structured JSONL observability trace to PATH",
     )
+
+    plan_parser = commands.add_parser(
+        "plan",
+        help="print the color-class fix plan of a generated workload",
+    )
+    add_instance_arguments(plan_parser)
 
     threshold_parser = commands.add_parser(
         "threshold", help="demonstrate the phase shift"
@@ -346,6 +406,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "info": _command_info,
         "solve": _command_solve,
+        "plan": _command_plan,
         "threshold": _command_threshold,
         "logstar": _command_logstar,
         "report": _command_report,

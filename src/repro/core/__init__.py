@@ -19,6 +19,7 @@ from repro.core.distributed import (
     solve_distributed_rank3,
 )
 from repro.core.audit import AuditReport, audit_trace
+from repro.core.indexing import indexed_dependency_network
 from repro.core.local_protocol import (
     LocalFixingProtocol,
     solve_distributed_local,
@@ -38,9 +39,11 @@ from repro.core.selection import (
     Rank1Choice,
     Rank2Choice,
     Rank3Choice,
+    RankRChoice,
     select_rank1,
     select_rank2,
     select_rank3,
+    select_rankr,
 )
 from repro.core.rank2 import Rank2Fixer, solve_rank2
 from repro.core.rank3 import Rank3Fixer, solve_rank3
@@ -71,10 +74,13 @@ __all__ = [
     "Rank2Choice",
     "Rank3Choice",
     "check_naive_criterion",
+    "indexed_dependency_network",
     "naive_threshold",
+    "RankRChoice",
     "select_rank1",
     "select_rank2",
     "select_rank3",
+    "select_rankr",
     "solve_distributed_local",
     "solve_naive",
     "PSTAR_TOLERANCE",

@@ -25,22 +25,18 @@ the disjointness that makes this faithful.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
-
-import networkx as nx
+from typing import Hashable, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
-from repro.coloring import (
-    compute_edge_coloring,
-    compute_two_hop_coloring,
-    require_proper_edge_coloring,
-    require_two_hop_coloring,
-)
+from repro.core.indexing import indexed_dependency_network
 from repro.core.rank2 import Rank2Fixer
 from repro.core.rank3 import Rank3Fixer
 from repro.core.results import FixingResult
 from repro.lll.instance import LLLInstance
-from repro.local_model.network import Network
+
+#: Backward-compatible alias; the helper is public now (see
+#: :mod:`repro.core.indexing`).
+_indexed_dependency_network = indexed_dependency_network
 
 
 @dataclass
@@ -55,6 +51,13 @@ class DistributedResult:
     schedule_rounds: int
     #: Size of the coloring palette (= number of schedule rounds budgeted).
     palette: int
+    #: Messages delivered per simulator round (message-level protocol
+    #: runs only; empty for scheduler-level simulations, which exchange
+    #: no real messages).
+    round_messages: Tuple[int, ...] = ()
+    #: Payload ``repr`` length delivered per simulator round (same
+    #: provenance as :attr:`round_messages`).
+    round_payload_chars: Tuple[int, ...] = ()
 
     @property
     def total_rounds(self) -> int:
@@ -65,22 +68,6 @@ class DistributedResult:
     def assignment(self):
         """The computed variable assignment."""
         return self.fixing.assignment
-
-
-def _indexed_dependency_network(
-    instance: LLLInstance,
-) -> Tuple[Network, Dict[Hashable, int], Dict[int, Hashable]]:
-    """The dependency graph as a network with integer identifiers.
-
-    Event names may be arbitrary hashables; LOCAL identifiers must be
-    integers, so events are indexed in sorted-repr order.
-    """
-    graph = instance.dependency_graph
-    ordered = sorted(graph.nodes(), key=repr)
-    to_index = {name: i for i, name in enumerate(ordered)}
-    from_index = {i: name for name, i in to_index.items()}
-    relabeled = nx.relabel_nodes(graph, to_index, copy=True)
-    return Network(relabeled), to_index, from_index
 
 
 def _assert_round_disjoint(
@@ -99,165 +86,76 @@ def _assert_round_disjoint(
         touched.update(events)
 
 
+def _execute_plan(fixer, plan, instance, scheduler) -> DistributedResult:
+    """Run a plan through a scheduler and close out the fixing result."""
+    from repro.runtime.schedulers import SerialScheduler
+
+    if scheduler is None:
+        scheduler = SerialScheduler()
+    scheduler.execute(fixer, plan, instance)
+    result = fixer.run(order=())
+    return DistributedResult(
+        fixing=result,
+        coloring_rounds=plan.coloring_rounds,
+        schedule_rounds=plan.num_classes,
+        palette=plan.palette,
+    )
+
+
 def solve_distributed_rank2(
     instance: LLLInstance,
     require_criterion: bool = True,
     validate_invariant: bool = False,
+    scheduler=None,
 ) -> DistributedResult:
     """Corollary 1.2: the ``O(d + log* n)``-schedule distributed algorithm.
 
-    Edge-colors the dependency graph, then fixes one edge color class per
-    round (rank-1 variables go in one initial round, since variables of
-    distinct events cannot conflict).
+    Edge-colors the dependency graph, builds the color-class
+    :class:`~repro.runtime.plan.FixPlan` (rank-1 variables go in one
+    initial class, since variables of distinct events cannot conflict)
+    and executes it through ``scheduler`` (default:
+    :class:`~repro.runtime.schedulers.SerialScheduler`).
     """
+    from repro.runtime.plan import build_plan_rank2
+
     fixer = Rank2Fixer(
         instance,
         require_criterion=require_criterion,
         validate_invariant=validate_invariant,
     )
-    network, to_index, _from_index = _indexed_dependency_network(instance)
-
-    # Group variables: singles by host event, pairs by dependency edge.
-    singles: List[Hashable] = []
-    by_edge: Dict[Tuple[int, int], List[Hashable]] = {}
-    for variable in instance.variables:
-        events = instance.events_of_variable(variable.name)
-        if len(events) == 1:
-            singles.append(variable.name)
-        else:
-            u = to_index[events[0].name]
-            v = to_index[events[1].name]
-            key = (min(u, v), max(u, v))
-            by_edge.setdefault(key, []).append(variable.name)
-
-    if network.graph.number_of_edges() > 0:
-        coloring = compute_edge_coloring(network)
-        require_proper_edge_coloring(network.graph, coloring.colors)
-        palette = coloring.palette
-        coloring_rounds = coloring.host_rounds
-    else:
-        palette = 0
-        coloring_rounds = 0
-        coloring = None
-
-    schedule_rounds = 0
-    if singles:
-        # One round: every event's host node fixes its private variables.
-        schedule_rounds += 1
-        for name in sorted(singles, key=repr):
-            fixer.fix_variable(name)
-    for color in range(palette):
-        schedule_rounds += 1
-        round_variables: List[Hashable] = []
-        for edge_key, names in sorted(by_edge.items()):
-            if coloring.colors.get(edge_key) == color:
-                round_variables.extend(sorted(names, key=repr))
-        # Variables of the same edge are fixed sequentially by the edge's
-        # endpoints within the round; disjointness must hold across edges.
-        distinct_edges: List[Hashable] = []
-        for edge_key, names in sorted(by_edge.items()):
-            if coloring.colors.get(edge_key) == color and names:
-                distinct_edges.append(names[0])
-        _assert_round_disjoint(instance, distinct_edges)
-        for name in round_variables:
-            fixer.fix_variable(name)
-
-    result = fixer.run(order=())
-    return DistributedResult(
-        fixing=result,
-        coloring_rounds=coloring_rounds,
-        schedule_rounds=schedule_rounds,
-        palette=palette,
-    )
+    plan = build_plan_rank2(instance)
+    return _execute_plan(fixer, plan, instance, scheduler)
 
 
 def solve_distributed_rank3(
     instance: LLLInstance,
     require_criterion: bool = True,
     validate_invariant: bool = False,
+    scheduler=None,
 ) -> DistributedResult:
     """Corollary 1.4: the ``O(d^2 + log* n)``-schedule distributed algorithm.
 
     Computes a 2-hop coloring of the dependency graph with ``d^2 + 1``
-    colors, then iterates the color classes; each active node fixes all
-    its still-unfixed variables in its class's round.
+    colors, builds the color-class plan (each active node's cell fixes
+    all its still-unclaimed variables) and executes it through
+    ``scheduler`` (default serial).
     """
+    from repro.runtime.plan import build_plan_rank3
+
     fixer = Rank3Fixer(
         instance,
         require_criterion=require_criterion,
         validate_invariant=validate_invariant,
     )
-    network, to_index, from_index = _indexed_dependency_network(instance)
-
-    if network.graph.number_of_edges() > 0:
-        coloring = compute_two_hop_coloring(network)
-        require_two_hop_coloring(network.graph, coloring.colors)
-        palette = coloring.palette
-        coloring_rounds = coloring.host_rounds
-        colors = coloring.colors
-    else:
-        palette = 1
-        coloring_rounds = 0
-        colors = {index: 0 for index in from_index}
-
-    # Variables owned by each event node, in deterministic order.
-    variables_of_node: Dict[Hashable, List[Hashable]] = {
-        event.name: [] for event in instance.events
-    }
-    for variable in instance.variables:
-        for event in instance.events_of_variable(variable.name):
-            variables_of_node[event.name].append(variable.name)
-
-    schedule_rounds = 0
-    for color in range(palette):
-        schedule_rounds += 1
-        active_nodes = sorted(
-            (index for index, c in colors.items() if c == color)
-        )
-        batches: List[List[Hashable]] = []
-        for index in active_nodes:
-            event_name = from_index[index]
-            node_batch = [
-                name
-                for name in sorted(variables_of_node[event_name], key=repr)
-                if not fixer.is_fixed(name)
-                and all(name not in batch for batch in batches)
-            ]
-            if node_batch:
-                batches.append(node_batch)
-        # Two active nodes are at distance >= 3, so their batches touch
-        # disjoint event sets; verify rather than trust the coloring.
-        touched: Set[Hashable] = set()
-        for batch in batches:
-            batch_events: Set[Hashable] = set()
-            for name in batch:
-                batch_events.update(
-                    event.name for event in instance.events_of_variable(name)
-                )
-            overlap = touched & batch_events
-            if overlap:
-                raise SimulationError(
-                    f"schedule conflict in color class {color}: events "
-                    f"{sorted(map(repr, overlap))} touched by two nodes"
-                )
-            touched.update(batch_events)
-        for batch in batches:
-            for name in batch:
-                fixer.fix_variable(name)
-
-    result = fixer.run(order=())
-    return DistributedResult(
-        fixing=result,
-        coloring_rounds=coloring_rounds,
-        schedule_rounds=schedule_rounds,
-        palette=palette,
-    )
+    plan = build_plan_rank3(instance)
+    return _execute_plan(fixer, plan, instance, scheduler)
 
 
 def solve_distributed(
     instance: LLLInstance,
     require_criterion: bool = True,
     validate_invariant: bool = False,
+    scheduler=None,
 ) -> DistributedResult:
     """Dispatch to the rank-2 or rank-3 distributed algorithm by rank."""
     if instance.rank <= 2:
@@ -265,9 +163,11 @@ def solve_distributed(
             instance,
             require_criterion=require_criterion,
             validate_invariant=validate_invariant,
+            scheduler=scheduler,
         )
     return solve_distributed_rank3(
         instance,
         require_criterion=require_criterion,
         validate_invariant=validate_invariant,
+        scheduler=scheduler,
     )

@@ -1,0 +1,38 @@
+"""Shared instance-to-network indexing used by every distributed layer.
+
+The LOCAL machinery identifies nodes by integers, while LLL instances
+name events with arbitrary hashables.  Every distributed entry point —
+the scheduled solvers of :mod:`repro.core.distributed`, the
+message-level protocol of :mod:`repro.core.local_protocol`, the
+verification protocol of :mod:`repro.core.local_verify`, and the plan
+builders of :mod:`repro.runtime` — needs the same translation, so it
+lives here as a public, importable module instead of a private helper
+buried in one of its consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import networkx as nx
+
+from repro.lll.instance import LLLInstance
+from repro.local_model.network import Network
+
+
+def indexed_dependency_network(
+    instance: LLLInstance,
+) -> Tuple[Network, Dict[Hashable, int], Dict[int, Hashable]]:
+    """The dependency graph as a network with integer identifiers.
+
+    Event names may be arbitrary hashables; LOCAL identifiers must be
+    integers, so events are indexed in sorted-repr order.  Returns the
+    relabeled network plus both direction of the mapping
+    (``name -> index`` and ``index -> name``).
+    """
+    graph = instance.dependency_graph
+    ordered = sorted(graph.nodes(), key=repr)
+    to_index = {name: i for i, name in enumerate(ordered)}
+    from_index = {i: name for name, i in to_index.items()}
+    relabeled = nx.relabel_nodes(graph, to_index, copy=True)
+    return Network(relabeled), to_index, from_index

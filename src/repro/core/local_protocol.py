@@ -36,7 +36,8 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.coloring import compute_two_hop_coloring, require_two_hop_coloring
-from repro.core.distributed import DistributedResult, _indexed_dependency_network
+from repro.core.distributed import DistributedResult
+from repro.core.indexing import indexed_dependency_network
 from repro.core.results import FixingResult, StepRecord
 from repro.core.selection import select_rank1, select_rank2, select_rank3
 from repro.lll.instance import LLLInstance
@@ -289,7 +290,7 @@ def solve_distributed_local(
     check_preconditions(
         instance, max_rank=3, require_criterion=require_criterion
     )
-    network, to_index, from_index = _indexed_dependency_network(instance)
+    network, to_index, from_index = indexed_dependency_network(instance)
 
     if network.graph.number_of_edges() > 0:
         coloring = compute_two_hop_coloring(network)
@@ -303,21 +304,28 @@ def solve_distributed_local(
         coloring_rounds = 0
 
     # Assemble per-node inputs (the 1-hop knowledge a real execution
-    # would gather in one pre-round, charged below).
+    # would gather in one pre-round, charged below).  Ownership comes
+    # from the execution plane: the fix plan's cells for this coloring
+    # say which node commits which variables in which class, so the
+    # protocol and the scheduler backends execute the same schedule.
+    from repro.runtime.plan import plan_from_two_hop_coloring
+
+    plan = plan_from_two_hop_coloring(
+        instance, from_index, colors, palette, coloring_rounds
+    )
     events_by_index = {
         to_index[event.name]: event for event in instance.events
     }
     owned: Dict[int, List] = {index: [] for index in from_index}
-    for variable in instance.variables:
-        indices = tuple(
-            sorted(
-                to_index[event.name]
-                for event in instance.events_of_variable(variable.name)
-            )
-        )
-        owned[indices[0]].append((variable, indices))
-    for batch in owned.values():
-        batch.sort(key=lambda item: repr(item[0].name))
+    for color_class in plan.classes:
+        for cell in color_class.cells:
+            owned[to_index[cell.owner]] = [
+                (
+                    instance.variable(op.variable),
+                    tuple(sorted(to_index[name] for name in op.events)),
+                )
+                for op in cell.ops
+            ]
 
     inputs = {}
     for index in from_index:
@@ -383,4 +391,6 @@ def solve_distributed_local(
         coloring_rounds=coloring_rounds + 1,  # +1: the 1-hop pre-exchange
         schedule_rounds=result.rounds,
         palette=palette,
+        round_messages=result.round_messages,
+        round_payload_chars=result.round_payload_chars,
     )

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Tuple
 
 from repro.errors import SimulationError
-from repro.core.distributed import _indexed_dependency_network
+from repro.core.indexing import indexed_dependency_network
 from repro.lll.instance import LLLInstance
 from repro.local_model.algorithm import LocalAlgorithm, NodeState
 from repro.local_model.simulator import Simulator
@@ -74,7 +74,7 @@ def verify_distributed(
     would hold after a distributed solve) and learns its neighbors'
     values in a single round.  Returns ``(all_ok, rounds, verdicts)``.
     """
-    network, to_index, from_index = _indexed_dependency_network(instance)
+    network, to_index, from_index = indexed_dependency_network(instance)
     inputs = {}
     for event in instance.events:
         values = {

@@ -34,12 +34,21 @@ per-event criterion ``p_v < r^-H_v`` (implied by the paper's global
 
 from __future__ import annotations
 
-import math
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import CriterionViolationError, NoGoodValueError, PStarViolationError
 from repro.lll.instance import LLLInstance
 from repro.core.results import FixingResult, StepRecord
+from repro.core.selection import Decision, select_rankr
 from repro.probability import DiscreteVariable, PartialAssignment
 
 #: Slack below which a chosen value counts as violating the budget.
@@ -133,61 +142,55 @@ class NaiveRankRFixer:
     # ------------------------------------------------------------------
     # Fixing
     # ------------------------------------------------------------------
-    def fix_variable(self, variable_name: Hashable) -> StepRecord:
-        """Fix one variable by weighted-average value selection."""
+    def local_weights(self, events: Sequence) -> Tuple[float, ...]:
+        """The hyperedge weight vector a decision on ``events`` reads."""
+        key = frozenset(event.name for event in events)
+        weights = self._weights.setdefault(
+            key, {event.name: 1.0 for event in events}
+        )
+        return tuple(weights[event.name] for event in events)
+
+    def decide(self, variable_name: Hashable) -> Decision:
+        """Compute (without committing) the weighted-average decision."""
         if self._assignment.is_fixed(variable_name):
             raise PStarViolationError(
                 f"variable {variable_name!r} is already fixed"
             )
         variable = self._instance.variable(variable_name)
         events = self._instance.events_of_variable(variable_name)
-        key = frozenset(event.name for event in events)
-        weights = self._weights.setdefault(
-            key, {event.name: 1.0 for event in events}
+        choice = select_rankr(
+            variable, events, self.local_weights(events), self._assignment
         )
-        budget = sum(weights.values())
+        return Decision(
+            variable=variable, events=tuple(events), choice=choice
+        )
 
-        best_value = None
-        best_total = math.inf
-        best_incs: Tuple[float, ...] = ()
-        good = 0
-        # One batch Inc query per affected event instead of one probability
-        # enumeration per (event, value) pair; support order is preserved
-        # so tie-breaking is unchanged.
-        incs_by_event = [
-            event.conditional_increases(self._assignment, variable)
-            for event in events
+    def commit(self, decision: Decision) -> StepRecord:
+        """Apply a decision: update the weights, assignment and trace."""
+        variable = decision.variable
+        events = decision.events
+        choice = decision.choice
+        weights = self._weights[
+            frozenset(event.name for event in events)
         ]
-        for value, _prob in variable.support_items():
-            incs = tuple(by_event[value] for by_event in incs_by_event)
-            total = sum(
-                weights[event.name] * inc for event, inc in zip(events, incs)
-            )
-            if total <= budget + CONSTRAINT_TOLERANCE:
-                good += 1
-            if total < best_total:
-                best_total = total
-                best_value = value
-                best_incs = incs
-        if best_total > budget + CONSTRAINT_TOLERANCE:
-            raise NoGoodValueError(
-                f"variable {variable_name!r}: minimum weighted increase "
-                f"{best_total} exceeds the budget {budget}"
-            )
-        for event, inc in zip(events, best_incs):
-            weights[event.name] *= inc
-        self._assignment.fix(variable, best_value)
+        for event, new_weight in zip(events, choice.new_weights):
+            weights[event.name] = new_weight
+        self._assignment.fix(variable, choice.value)
         record = StepRecord(
             variable=variable.name,
-            value=best_value,
+            value=choice.value,
             events=tuple(event.name for event in events),
-            increases=best_incs,
-            slack=budget - best_total,
-            num_good_values=good,
+            increases=choice.increases,
+            slack=choice.slack,
+            num_good_values=choice.num_good_values,
             num_values=variable.num_values,
         )
         self._steps.append(record)
         return record
+
+    def fix_variable(self, variable_name: Hashable) -> StepRecord:
+        """Fix one variable by weighted-average value selection."""
+        return self.commit(self.decide(variable_name))
 
     def run(self, order: Optional[Iterable[Hashable]] = None) -> FixingResult:
         """Fix every variable (in ``order`` if given) and return the result."""

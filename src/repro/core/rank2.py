@@ -14,15 +14,29 @@ with positive survival probability means no bad event occurs.
 
 from __future__ import annotations
 
-import math
 import time
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import NoGoodValueError, PStarViolationError
 from repro.obs.recorder import active as _obs_active
 from repro.lll.instance import LLLInstance
 from repro.lll.verify import check_preconditions
 from repro.core.results import FixingResult, StepRecord
+from repro.core.selection import (
+    Decision,
+    Rank1Choice,
+    select_rank1,
+    select_rank2,
+)
 from repro.probability import DiscreteVariable, PartialAssignment
 
 #: Slack below which a chosen value is treated as violating the invariant.
@@ -89,31 +103,87 @@ class Rank2Fixer:
     # ------------------------------------------------------------------
     # Fixing
     # ------------------------------------------------------------------
-    def fix_variable(self, variable_name: Hashable) -> StepRecord:
-        """Fix one variable, preserving the bookkeeping invariant.
+    def local_weights(self, events: Sequence) -> Tuple[float, ...]:
+        """The bookkeeping weights a decision on ``events`` reads.
 
-        Returns the step record.  Raises :class:`NoGoodValueError` if no
-        value keeps the weighted increase within budget — impossible under
-        ``p < 2^-d`` by Theorem 1.1, so on checked instances this would
-        indicate a numerical problem.
+        ``()`` for a rank-1 variable, the pair of cumulative edge weights
+        for a rank-2 variable.  Together with the events' conditional
+        masses this is the *entire* state a decision depends on, which is
+        what makes the batch scheduler's decision memoization sound.
+        """
+        if len(events) < 2:
+            return ()
+        event_u, event_v = events
+        weights = self._edge_weights.setdefault(
+            frozenset((event_u.name, event_v.name)),
+            {event_u.name: 1.0, event_v.name: 1.0},
+        )
+        return (weights[event_u.name], weights[event_v.name])
+
+    def decide(self, variable_name: Hashable) -> Decision:
+        """Compute (without committing) the fixing decision for a variable.
+
+        Pure with respect to the bookkeeping: repeated calls return the
+        same decision until a :meth:`commit` changes the state.  Raises
+        :class:`NoGoodValueError` if no value keeps the weighted increase
+        within budget — impossible under ``p < 2^-d`` by Theorem 1.1, so
+        on checked instances this would indicate a numerical problem.
         """
         if self._assignment.is_fixed(variable_name):
             raise PStarViolationError(
                 f"variable {variable_name!r} is already fixed"
             )
-        recorder = _obs_active()
-        start = time.perf_counter_ns() if recorder is not None else 0
         variable = self._instance.variable(variable_name)
         events = self._instance.events_of_variable(variable_name)
         if len(events) == 1:
-            record = self._fix_rank1(variable, events[0])
+            choice = select_rank1(variable, events[0], self._assignment)
         else:
-            record = self._fix_rank2(variable, events[0], events[1])
+            choice = select_rank2(
+                variable, events, self.local_weights(events), self._assignment
+            )
+        return Decision(
+            variable=variable, events=tuple(events), choice=choice
+        )
+
+    def commit(self, decision: Decision) -> StepRecord:
+        """Apply a decision: update the ledger, assignment and trace."""
+        recorder = _obs_active()
+        start = time.perf_counter_ns() if recorder is not None else 0
+        variable = decision.variable
+        events = decision.events
+        choice = decision.choice
+        if isinstance(choice, Rank1Choice):
+            record = StepRecord(
+                variable=variable.name,
+                value=choice.value,
+                events=(events[0].name,),
+                increases=(choice.increase,),
+                slack=choice.slack,
+                num_good_values=choice.num_good_values,
+                num_values=variable.num_values,
+            )
+        else:
+            event_u, event_v = events
+            weights = self._edge_weights[
+                frozenset((event_u.name, event_v.name))
+            ]
+            weights[event_u.name] = choice.new_weights[0]
+            weights[event_v.name] = choice.new_weights[1]
+            record = StepRecord(
+                variable=variable.name,
+                value=choice.value,
+                events=(event_u.name, event_v.name),
+                increases=choice.increases,
+                slack=choice.slack,
+                num_good_values=choice.num_good_values,
+                num_values=variable.num_values,
+            )
+        self._assignment.fix(variable, choice.value)
         self._steps.append(record)
         if recorder is not None:
             rank = len(record.events)
             recorder.record_span(
-                "fixer.rank2", "fix", time.perf_counter_ns() - start
+                "fixer.rank2", "commit", time.perf_counter_ns() - start
             )
             recorder.count("fixer.rank2", f"rank{rank}_fixes")
             recorder.observe("fixer.rank2", "step_slack", record.slack)
@@ -132,83 +202,20 @@ class Rank2Fixer:
             self.check_invariant()
         return record
 
-    def _fix_rank1(self, variable: DiscreteVariable, event) -> StepRecord:
-        """A variable affecting one event: pick the value with ``Inc <= 1``.
+    def fix_variable(self, variable_name: Hashable) -> StepRecord:
+        """Fix one variable, preserving the bookkeeping invariant.
 
-        All candidate ``Inc`` ratios come from one batch query per event
-        (a single table pass under the compiled engine); candidates are
-        scanned in support order so tie-breaking is unchanged.
+        Equivalent to ``commit(decide(variable_name))``; kept as the
+        single-call entry point the serial paths use.
         """
-        best_value = None
-        best_inc = math.inf
-        good = 0
-        incs = event.conditional_increases(self._assignment, variable)
-        for value, _prob in variable.support_items():
-            inc = incs[value]
-            if inc <= 1.0 + CONSTRAINT_TOLERANCE:
-                good += 1
-            if inc < best_inc:
-                best_inc = inc
-                best_value = value
-        if best_inc > 1.0 + CONSTRAINT_TOLERANCE:
-            raise NoGoodValueError(
-                f"rank-1 variable {variable.name!r}: every value increases "
-                f"the event probability (min Inc = {best_inc})"
+        recorder = _obs_active()
+        start = time.perf_counter_ns() if recorder is not None else 0
+        record = self.commit(self.decide(variable_name))
+        if recorder is not None:
+            recorder.record_span(
+                "fixer.rank2", "fix", time.perf_counter_ns() - start
             )
-        self._assignment.fix(variable, best_value)
-        return StepRecord(
-            variable=variable.name,
-            value=best_value,
-            events=(event.name,),
-            increases=(best_inc,),
-            slack=1.0 - best_inc,
-            num_good_values=good,
-            num_values=variable.num_values,
-        )
-
-    def _fix_rank2(self, variable: DiscreteVariable, event_u, event_v) -> StepRecord:
-        """A variable on edge ``{u, v}``: minimise the weighted increase sum."""
-        edge = frozenset((event_u.name, event_v.name))
-        weights = self._edge_weights.setdefault(
-            edge, {event_u.name: 1.0, event_v.name: 1.0}
-        )
-        weight_u = weights[event_u.name]
-        weight_v = weights[event_v.name]
-
-        best_value = None
-        best_total = math.inf
-        best_incs: Tuple[float, float] = (math.inf, math.inf)
-        good = 0
-        incs_u = event_u.conditional_increases(self._assignment, variable)
-        incs_v = event_v.conditional_increases(self._assignment, variable)
-        for value, _prob in variable.support_items():
-            inc_u = incs_u[value]
-            inc_v = incs_v[value]
-            total = weight_u * inc_u + weight_v * inc_v
-            if total <= 2.0 + CONSTRAINT_TOLERANCE:
-                good += 1
-            if total < best_total:
-                best_total = total
-                best_value = value
-                best_incs = (inc_u, inc_v)
-        if best_total > 2.0 + CONSTRAINT_TOLERANCE:
-            raise NoGoodValueError(
-                f"rank-2 variable {variable.name!r} on edge "
-                f"{{{event_u.name!r}, {event_v.name!r}}}: minimum weighted "
-                f"increase {best_total} exceeds 2"
-            )
-        weights[event_u.name] = weight_u * best_incs[0]
-        weights[event_v.name] = weight_v * best_incs[1]
-        self._assignment.fix(variable, best_value)
-        return StepRecord(
-            variable=variable.name,
-            value=best_value,
-            events=(event_u.name, event_v.name),
-            increases=best_incs,
-            slack=2.0 - best_total,
-            num_good_values=good,
-            num_values=variable.num_values,
-        )
+        return record
 
     def run(self, order: Optional[Iterable[Hashable]] = None) -> FixingResult:
         """Fix every variable (in ``order`` if given) and return the result.

@@ -32,7 +32,7 @@ single truth-table pass each under the compiled engine (see
 from __future__ import annotations
 
 import time
-from typing import Hashable, Iterable, List, Optional, Tuple
+from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import PStarViolationError
 from repro.obs.recorder import MARGIN_BUCKETS, active as _obs_active
@@ -42,6 +42,9 @@ from repro.core.pstar import PStarState
 from repro.core.results import FixingResult, StepRecord
 from repro.core.selection import (
     MEMBERSHIP_TOLERANCE,
+    Decision,
+    Rank1Choice,
+    Rank2Choice,
     select_rank1,
     select_rank2,
     select_rank3,
@@ -105,10 +108,31 @@ class Rank3Fixer:
     # ------------------------------------------------------------------
     # Fixing
     # ------------------------------------------------------------------
-    def fix_variable(self, variable_name: Hashable) -> StepRecord:
-        """Fix one variable while preserving property P*.
+    def local_weights(self, events: Sequence) -> Tuple[float, ...]:
+        """The phi-ledger values a decision on ``events`` reads.
 
-        Dispatches on the variable's rank.  Raises
+        ``()`` for rank 1, the edge pair ``(phi_e^u, phi_e^v)`` for rank
+        2, the representable triple ``(a, b, c)`` for rank 3.  A decision
+        depends on nothing else, which is what makes batched decision
+        memoization sound.
+        """
+        if len(events) == 1:
+            return ()
+        if len(events) == 2:
+            u, v = events[0].name, events[1].name
+            return (self._pstar.value(u, v, u), self._pstar.value(u, v, v))
+        u, v, w = (event.name for event in events)
+        return (
+            self._pstar.value(u, v, u) * self._pstar.value(u, w, u),
+            self._pstar.value(u, v, v) * self._pstar.value(v, w, v),
+            self._pstar.value(u, w, w) * self._pstar.value(v, w, w),
+        )
+
+    def decide(self, variable_name: Hashable) -> Decision:
+        """Compute (without committing) the fixing decision for a variable.
+
+        Pure with respect to the phi ledger: repeated calls return the
+        same decision until a :meth:`commit` changes the state.  Raises
         :class:`NoGoodValueError` when every value is evil — which
         Lemma 3.2 proves impossible while P* holds.
         """
@@ -116,21 +140,73 @@ class Rank3Fixer:
             raise PStarViolationError(
                 f"variable {variable_name!r} is already fixed"
             )
-        recorder = _obs_active()
-        start = time.perf_counter_ns() if recorder is not None else 0
         variable = self._instance.variable(variable_name)
         events = self._instance.events_of_variable(variable_name)
+        weights = self.local_weights(events)
         if len(events) == 1:
-            record = self._fix_rank1(variable, events)
+            choice = select_rank1(variable, events[0], self._assignment)
         elif len(events) == 2:
-            record = self._fix_rank2(variable, events)
+            choice = select_rank2(
+                variable, events, weights, self._assignment
+            )
         else:
-            record = self._fix_rank3(variable, events)
+            choice = select_rank3(
+                variable, events, weights, self._assignment
+            )
+        return Decision(
+            variable=variable, events=tuple(events), choice=choice
+        )
+
+    def commit(self, decision: Decision) -> StepRecord:
+        """Apply a decision: update the phi ledger, assignment and trace."""
+        recorder = _obs_active()
+        start = time.perf_counter_ns() if recorder is not None else 0
+        variable = decision.variable
+        events = decision.events
+        choice = decision.choice
+        if isinstance(choice, Rank1Choice):
+            record = StepRecord(
+                variable=variable.name,
+                value=choice.value,
+                events=(events[0].name,),
+                increases=(choice.increase,),
+                slack=choice.slack,
+                num_good_values=choice.num_good_values,
+                num_values=variable.num_values,
+            )
+        elif isinstance(choice, Rank2Choice):
+            u, v = events[0].name, events[1].name
+            self._pstar.set_edge(u, v, *choice.new_weights)
+            record = StepRecord(
+                variable=variable.name,
+                value=choice.value,
+                events=(u, v),
+                increases=choice.increases,
+                slack=choice.slack,
+                num_good_values=choice.num_good_values,
+                num_values=variable.num_values,
+            )
+        else:
+            u, v, w = (event.name for event in events)
+            decomposition = choice.decomposition
+            self._pstar.set_edge(u, v, decomposition.a1, decomposition.b1)
+            self._pstar.set_edge(u, w, decomposition.a2, decomposition.c2)
+            self._pstar.set_edge(v, w, decomposition.b3, decomposition.c3)
+            record = StepRecord(
+                variable=variable.name,
+                value=choice.value,
+                events=(u, v, w),
+                increases=choice.increases,
+                slack=max(choice.margin, 0.0),
+                num_good_values=choice.num_good_values,
+                num_values=variable.num_values,
+            )
+        self._assignment.fix(variable, choice.value)
         self._steps.append(record)
         if recorder is not None:
             rank = len(record.events)
             recorder.record_span(
-                "fixer.rank3", "fix", time.perf_counter_ns() - start
+                "fixer.rank3", "commit", time.perf_counter_ns() - start
             )
             recorder.count("fixer.rank3", f"rank{rank}_fixes")
             if rank == 3:
@@ -155,69 +231,20 @@ class Rank3Fixer:
             self._pstar.check(self._assignment)
         return record
 
-    def _fix_rank1(self, variable: DiscreteVariable, events) -> StepRecord:
-        """Rank 1: any value with ``Inc <= 1`` exists by averaging."""
-        event = events[0]
-        choice = select_rank1(variable, event, self._assignment)
-        self._assignment.fix(variable, choice.value)
-        return StepRecord(
-            variable=variable.name,
-            value=choice.value,
-            events=(event.name,),
-            increases=(choice.increase,),
-            slack=choice.slack,
-            num_good_values=choice.num_good_values,
-            num_values=variable.num_values,
-        )
+    def fix_variable(self, variable_name: Hashable) -> StepRecord:
+        """Fix one variable while preserving property P*.
 
-    def _fix_rank2(self, variable: DiscreteVariable, events) -> StepRecord:
-        """Rank 2 inside the P* framework: the weighted pair rule.
-
-        Only the edge ``{u, v}`` changes; property P* is preserved because
-        the new values ``(s*Inc_u, t*Inc_v)`` absorb exactly the realised
-        increases and still sum to at most 2 for the chosen value.
+        Equivalent to ``commit(decide(variable_name))``; kept as the
+        single-call entry point the serial paths use.
         """
-        event_u, event_v = events
-        u, v = event_u.name, event_v.name
-        weights = (self._pstar.value(u, v, u), self._pstar.value(u, v, v))
-        choice = select_rank2(variable, events, weights, self._assignment)
-        self._pstar.set_edge(u, v, *choice.new_weights)
-        self._assignment.fix(variable, choice.value)
-        return StepRecord(
-            variable=variable.name,
-            value=choice.value,
-            events=(u, v),
-            increases=choice.increases,
-            slack=choice.slack,
-            num_good_values=choice.num_good_values,
-            num_values=variable.num_values,
-        )
-
-    def _fix_rank3(self, variable: DiscreteVariable, events) -> StepRecord:
-        """Rank 3: the Variable Fixing Lemma (Lemma 3.2) made executable."""
-        event_u, event_v, event_w = events
-        u, v, w = event_u.name, event_v.name, event_w.name
-        # Current representable triple: the products of the phi values on
-        # the sides of u, v and w within the triangle {u, v, w}.
-        a = self._pstar.value(u, v, u) * self._pstar.value(u, w, u)
-        b = self._pstar.value(u, v, v) * self._pstar.value(v, w, v)
-        c = self._pstar.value(u, w, w) * self._pstar.value(v, w, w)
-
-        choice = select_rank3(variable, events, (a, b, c), self._assignment)
-        decomposition = choice.decomposition
-        self._pstar.set_edge(u, v, decomposition.a1, decomposition.b1)
-        self._pstar.set_edge(u, w, decomposition.a2, decomposition.c2)
-        self._pstar.set_edge(v, w, decomposition.b3, decomposition.c3)
-        self._assignment.fix(variable, choice.value)
-        return StepRecord(
-            variable=variable.name,
-            value=choice.value,
-            events=(u, v, w),
-            increases=choice.increases,
-            slack=max(choice.margin, 0.0),
-            num_good_values=choice.num_good_values,
-            num_values=variable.num_values,
-        )
+        recorder = _obs_active()
+        start = time.perf_counter_ns() if recorder is not None else 0
+        record = self.commit(self.decide(variable_name))
+        if recorder is not None:
+            recorder.record_span(
+                "fixer.rank3", "fix", time.perf_counter_ns() - start
+            )
+        return record
 
     def run(self, order: Optional[Iterable[Hashable]] = None) -> FixingResult:
         """Fix every variable (in ``order`` if given) and return the result."""

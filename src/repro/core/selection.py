@@ -29,6 +29,27 @@ MEMBERSHIP_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
+class Decision:
+    """A fully-resolved fixing decision, not yet committed.
+
+    The fixers' ``decide``/``commit`` split (see
+    :mod:`repro.runtime.schedulers`): ``decide`` computes one of these
+    against the current bookkeeping without mutating anything, and
+    ``commit`` applies it.  Scheduler backends may compute decisions out
+    of band (memoized, or in a worker process) and commit them in a
+    deterministic merge order.
+    """
+
+    #: The variable being fixed.
+    variable: DiscreteVariable
+    #: The affected events, in bookkeeping order.
+    events: Tuple[BadEvent, ...]
+    #: The selection outcome (:class:`Rank1Choice` / :class:`Rank2Choice`
+    #: / :class:`Rank3Choice`, or a fixer-specific record).
+    choice: object
+
+
+@dataclass(frozen=True)
 class Rank1Choice:
     """Outcome of selecting a value for a rank-1 variable."""
 
@@ -46,6 +67,18 @@ class Rank2Choice:
     increases: Tuple[float, float]
     #: The updated pair of edge weights (w_u * Inc_u, w_v * Inc_v).
     new_weights: Tuple[float, float]
+    slack: float
+    num_good_values: int
+
+
+@dataclass(frozen=True)
+class RankRChoice:
+    """Outcome of selecting a value for an arbitrary-rank variable."""
+
+    value: Hashable
+    increases: Tuple[float, ...]
+    #: The updated per-event hyperedge weights (w_v * Inc_v for each v).
+    new_weights: Tuple[float, ...]
     slack: float
     num_good_values: int
 
@@ -128,6 +161,49 @@ def select_rank2(
         increases=best_incs,
         new_weights=(weight_u * best_incs[0], weight_v * best_incs[1]),
         slack=2.0 - best_total,
+        num_good_values=good,
+    )
+
+
+def select_rankr(
+    variable: DiscreteVariable,
+    events: Sequence[BadEvent],
+    weights: Tuple[float, ...],
+    assignment: PartialAssignment,
+) -> RankRChoice:
+    """The naive weighted-budget rule: minimise ``sum_v w_v * Inc_v``.
+
+    The budget is ``sum_v w_v`` (at most the rank by the averaging
+    argument); a value within budget exists whenever the naive criterion
+    held at the start.
+    """
+    budget = sum(weights)
+    best_value, best_total = None, math.inf
+    best_incs: Tuple[float, ...] = ()
+    good = 0
+    incs_by_event = [
+        event.conditional_increases(assignment, variable) for event in events
+    ]
+    for value, _prob in variable.support_items():
+        incs = tuple(by_event[value] for by_event in incs_by_event)
+        total = sum(weight * inc for weight, inc in zip(weights, incs))
+        if total <= budget + MEMBERSHIP_TOLERANCE:
+            good += 1
+        if total < best_total:
+            best_total, best_value = total, value
+            best_incs = incs
+    if best_total > budget + MEMBERSHIP_TOLERANCE:
+        raise NoGoodValueError(
+            f"variable {variable.name!r}: minimum weighted increase "
+            f"{best_total} exceeds the budget {budget}"
+        )
+    return RankRChoice(
+        value=best_value,
+        increases=best_incs,
+        new_weights=tuple(
+            weight * inc for weight, inc in zip(weights, best_incs)
+        ),
+        slack=budget - best_total,
         num_good_values=good,
     )
 

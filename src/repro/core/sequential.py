@@ -130,6 +130,7 @@ def solve(
     chooser: Optional[Chooser] = None,
     require_criterion: bool = True,
     validate_invariant: bool = False,
+    scheduler=None,
 ) -> FixingResult:
     """Solve an LLL instance with the appropriate deterministic fixer.
 
@@ -137,6 +138,13 @@ def solve(
     instances use :class:`Rank3Fixer` (Theorem 1.3).  Exactly one of
     ``order`` (a static permutation) and ``chooser`` (an adaptive
     adversary) may be given; with neither, construction order is used.
+
+    ``scheduler`` (a :class:`repro.runtime.Scheduler`) routes the static
+    path through the execution plane: the order becomes a serial
+    :class:`~repro.runtime.plan.FixPlan` (or, with no explicit order,
+    the instance's color-class plan) executed by the given backend.
+    Incompatible with ``chooser`` — an adaptive adversary is inherently
+    one-at-a-time.
 
     Raises
     ------
@@ -146,6 +154,8 @@ def solve(
     """
     if order is not None and chooser is not None:
         raise ValueError("pass either a static order or a chooser, not both")
+    if scheduler is not None and chooser is not None:
+        raise ValueError("a scheduler cannot execute an adaptive chooser")
     rank = instance.rank
     if rank <= 2:
         fixer: Fixer = Rank2Fixer(
@@ -177,6 +187,15 @@ def solve(
     with _obs_span("fixer", "solve"):
         if chooser is not None:
             result = run_with_adversary(fixer, chooser)
+        elif scheduler is not None:
+            from repro.runtime.plan import build_serial_plan, plan_for_instance
+
+            if order is not None:
+                plan = build_serial_plan(instance, list(order))
+            else:
+                plan = plan_for_instance(instance)
+            scheduler.execute(fixer, plan, instance)
+            result = fixer.run(order=())
         else:
             result = fixer.run(order)
     if recorder is not None:

@@ -15,7 +15,7 @@ benchmarks report as a sanity statistic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.local_model.algorithm import LocalAlgorithm, NodeState
@@ -51,8 +51,25 @@ class SimulationResult:
     outputs: Dict[Hashable, Any]
     #: Total number of non-``None`` messages delivered.
     messages_delivered: int
+    #: Messages delivered in each round (always populated; index 0 is
+    #: round 1).
+    round_messages: Tuple[int, ...] = ()
+    #: Total ``repr`` length of payloads delivered in each round — the
+    #: LOCAL model allows unbounded messages, so this tracks how much
+    #: bandwidth each round actually used.
+    round_payload_chars: Tuple[int, ...] = ()
     #: Per-round statistics; empty unless the simulator recorded traces.
     trace: List["RoundTrace"] = field(default_factory=list)
+
+    @property
+    def max_round_messages(self) -> int:
+        """The busiest round's message count (0 for zero-round runs)."""
+        return max(self.round_messages, default=0)
+
+    @property
+    def total_payload_chars(self) -> int:
+        """Total payload ``repr`` length across all rounds."""
+        return sum(self.round_payload_chars)
 
     def output_of(self, node: Hashable) -> Any:
         """The output of one node."""
@@ -90,6 +107,8 @@ class Simulator:
         self._messages_delivered = 0
         self._record_trace = record_trace
         self._trace: List[RoundTrace] = []
+        self._round_messages: List[int] = []
+        self._round_payload_chars: List[int] = []
         for state in self._states.values():
             algorithm.initialize(state)
 
@@ -113,7 +132,6 @@ class Simulator:
     def step(self) -> None:
         """Execute one synchronous round."""
         recorder = _obs_active()
-        collect = self._record_trace or recorder is not None
         outboxes: Dict[Hashable, Dict[Hashable, Any]] = {}
         round_number = self._rounds + 1
         for node, state in self._states.items():
@@ -140,30 +158,31 @@ class Simulator:
                     self._messages_delivered += 1
                     round_messages += 1
                     sent_any = True
-                    if collect:
-                        round_chars += len(repr(message))
+                    round_chars += len(repr(message))
             if sent_any:
                 active_senders += 1
-        if collect:
-            stats = RoundTrace(
-                round_number=round_number,
+        self._round_messages.append(round_messages)
+        self._round_payload_chars.append(round_chars)
+        if self._record_trace:
+            self._trace.append(
+                RoundTrace(
+                    round_number=round_number,
+                    messages=round_messages,
+                    active_senders=active_senders,
+                    payload_chars=round_chars,
+                )
+            )
+        if recorder is not None:
+            recorder.event(
+                "simulator",
+                "round",
+                round=round_number,
                 messages=round_messages,
                 active_senders=active_senders,
                 payload_chars=round_chars,
             )
-            if self._record_trace:
-                self._trace.append(stats)
-            if recorder is not None:
-                recorder.event(
-                    "simulator",
-                    "round",
-                    round=round_number,
-                    messages=stats.messages,
-                    active_senders=stats.active_senders,
-                    payload_chars=stats.payload_chars,
-                )
-                recorder.count("simulator", "rounds")
-                recorder.count("simulator", "messages", round_messages)
+            recorder.count("simulator", "rounds")
+            recorder.count("simulator", "messages", round_messages)
         for node, state in self._states.items():
             if state.halted:
                 continue
@@ -207,6 +226,8 @@ class Simulator:
                 node: state.output for node, state in self._states.items()
             },
             messages_delivered=self._messages_delivered,
+            round_messages=tuple(self._round_messages),
+            round_payload_chars=tuple(self._round_payload_chars),
             trace=list(self._trace),
         )
 

@@ -238,6 +238,10 @@ def checked_mass_sum(terms: Iterable[float], context: str) -> float:
 # ----------------------------------------------------------------------
 # The compiled kernel
 # ----------------------------------------------------------------------
+#: Intern table mapping kernel structures to small fingerprint ids.
+_FINGERPRINTS: Dict[Tuple, int] = {}
+
+
 class EventKernel:
     """A predicate compiled into a mixed-radix outcome table.
 
@@ -257,6 +261,7 @@ class EventKernel:
         "_strides",
         "_rows",
         "_codes",
+        "_fingerprint",
         "num_outcomes",
     )
 
@@ -295,6 +300,7 @@ class EventKernel:
         self._codes: frozenset = frozenset(
             self.encode(row) for row in self._rows
         )
+        self._fingerprint: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -411,6 +417,24 @@ class EventKernel:
             tuple(values[position][index] for position, index in enumerate(row))
             for row in self._rows
         ]
+
+    def fingerprint(self) -> int:
+        """A small interned id identifying the kernel's numeric structure.
+
+        Two kernels share a fingerprint iff they have the same weight
+        vectors and the same bad-row table — exactly the inputs that
+        determine every numeric query answer (``probability`` and
+        ``conditional_masses`` operate on indices, never on value
+        labels).  The scheduler decision cache keys on this, so
+        structurally identical events across an instance collapse to one
+        engine pass per distinct local situation.
+        """
+        if self._fingerprint is None:
+            structure = (self._probs, self._rows)
+            self._fingerprint = _FINGERPRINTS.setdefault(
+                structure, len(_FINGERPRINTS)
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Queries

@@ -205,6 +205,25 @@ class BadEvent:
         """Whether a compiled kernel is attached to this event."""
         return isinstance(self._kernel, EventKernel)
 
+    def compiled_kernel(self) -> Optional[EventKernel]:
+        """The event's compiled kernel, compiling lazily if possible.
+
+        Returns ``None`` when the engine runs in naive mode or the scope
+        product exceeds the compile limit — callers (the batch and
+        process schedulers) must fall back to the regular event API.
+        """
+        return self._acquire_kernel()
+
+    def scope_pins(self, assignment: PartialAssignment) -> Optional[List[int]]:
+        """Pinned value indices per scope position (``-1`` = free).
+
+        ``None`` when no kernel is available or a fixed value lies
+        outside its variable's support; see :meth:`compiled_kernel`.
+        """
+        if self._acquire_kernel() is None:
+            return None
+        return self._pins(assignment)
+
     def _pins(self, assignment: PartialAssignment) -> Optional[List[int]]:
         """Pinned value indices per scope position (``-1`` = free).
 

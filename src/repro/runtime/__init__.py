@@ -1,0 +1,58 @@
+"""The execution plane: color-class fix plans and pluggable schedulers.
+
+The distributed algorithms of the paper (Corollaries 1.2 and 1.4) reduce
+fixing to a *schedule*: a sequence of color classes, each a set of
+independent cells whose fixings touch pairwise-disjoint event sets.
+This package makes that schedule an explicit, inspectable object
+(:class:`FixPlan`) and executes it through interchangeable backends:
+
+* :class:`SerialScheduler` — one op at a time in plan order; the
+  differential oracle every other backend must match bit-for-bit;
+* :class:`BatchScheduler` — same order, but decisions are memoized on
+  the (kernel fingerprint, pins, weights) local situation, collapsing
+  structurally identical fixings across a class to one engine pass;
+* :class:`ProcessScheduler` — cells of a class are dispatched to worker
+  processes and their decisions committed in deterministic plan order.
+
+The equivalence of all three is exactly the paper's independence
+argument: within a class, a variable appears only in the scopes of its
+own cell's events, so cross-cell decisions commute.
+"""
+
+from repro.runtime.plan import (
+    ColorClass,
+    FixCell,
+    FixOp,
+    FixPlan,
+    build_plan_rank2,
+    build_plan_rank3,
+    build_resampling_round,
+    build_serial_plan,
+    plan_for_instance,
+    plan_from_two_hop_coloring,
+)
+from repro.runtime.schedulers import (
+    BatchScheduler,
+    ProcessScheduler,
+    Scheduler,
+    SerialScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "ColorClass",
+    "FixCell",
+    "FixOp",
+    "FixPlan",
+    "build_plan_rank2",
+    "build_plan_rank3",
+    "build_resampling_round",
+    "build_serial_plan",
+    "plan_for_instance",
+    "plan_from_two_hop_coloring",
+    "BatchScheduler",
+    "ProcessScheduler",
+    "Scheduler",
+    "SerialScheduler",
+    "make_scheduler",
+]

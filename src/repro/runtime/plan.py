@@ -1,0 +1,428 @@
+"""Fix plans: the schedule of a distributed LLL run as a data structure.
+
+A :class:`FixPlan` is an ordered sequence of :class:`ColorClass`\\ es;
+each class holds :class:`FixCell`\\ s — one per scheduling unit (a
+dependency edge in the rank-2 algorithm, an event node in the rank-3
+algorithm) — and each cell an ordered tuple of :class:`FixOp`\\ s, the
+individual variable fixings with their 1-hop read sets.
+
+The structural invariant that makes parallel execution sound: within a
+class, distinct cells have disjoint read sets (``read_events``).  A
+variable only appears in the scopes of its own events, which are exactly
+its op's read set, so decisions in different cells of one class read and
+write disjoint state and commute.  :meth:`FixPlan.validate` asserts this
+instead of trusting the coloring.
+
+The builders replicate the exact scheduling of
+:func:`repro.core.distributed.solve_distributed_rank2` /
+``solve_distributed_rank3``: same classes, same cell order, same op
+order within a cell, so a serial traversal of the plan is the same
+fixing sequence those functions used to perform inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import SimulationError
+from repro.coloring import (
+    compute_edge_coloring,
+    compute_two_hop_coloring,
+    require_proper_edge_coloring,
+    require_two_hop_coloring,
+)
+from repro.core.indexing import indexed_dependency_network
+from repro.lll.instance import LLLInstance
+
+
+@dataclass(frozen=True)
+class FixOp:
+    """One variable fixing, with its 1-hop read set.
+
+    The read set of an op is exactly the set of its affected events: a
+    decision reads those events' conditional probabilities and the
+    bookkeeping on their shared edges, and writes the same — nothing
+    else.
+    """
+
+    #: Name of the variable to fix.
+    variable: Hashable
+    #: Names of the affected events, in bookkeeping order.
+    events: Tuple[Hashable, ...]
+
+    @property
+    def rank(self) -> int:
+        """Number of events the fixing touches."""
+        return len(self.events)
+
+
+@dataclass(frozen=True)
+class FixCell:
+    """A sequential run of ops owned by one scheduling unit.
+
+    In the rank-2 plan a cell is a dependency edge (or an event node for
+    the rank-1 round); in the rank-3 plan a cell is an event node of the
+    active color.  Ops within a cell may share events and therefore
+    execute strictly in order; ops of *different* cells in the same
+    class never share an event.
+    """
+
+    #: The scheduling unit: an edge key ``(u_index, v_index)`` or an
+    #: event name.
+    owner: Hashable
+    #: The fixings, in commit order.
+    ops: Tuple[FixOp, ...]
+
+    @property
+    def read_events(self) -> FrozenSet[Hashable]:
+        """Union of the ops' event names — the cell's 1-hop read set."""
+        names: Set[Hashable] = set()
+        for op in self.ops:
+            names.update(op.events)
+        return frozenset(names)
+
+
+@dataclass(frozen=True)
+class ColorClass:
+    """One round of the schedule: independent cells of a single color."""
+
+    #: The color index (``-1`` for the rank-1 pre-round of the rank-2
+    #: algorithm, which precedes the edge coloring).
+    color: int
+    #: The cells, in deterministic merge order.
+    cells: Tuple[FixCell, ...]
+
+    @property
+    def num_ops(self) -> int:
+        """Total fixings in the class."""
+        return sum(len(cell.ops) for cell in self.cells)
+
+    @property
+    def span(self) -> int:
+        """Length of the longest cell — the class's critical path."""
+        return max((len(cell.ops) for cell in self.cells), default=0)
+
+    def validate_disjoint(self) -> None:
+        """Raise unless the cells' read sets are pairwise disjoint."""
+        touched: Set[Hashable] = set()
+        for cell in self.cells:
+            reads = cell.read_events
+            overlap = touched & reads
+            if overlap:
+                raise SimulationError(
+                    f"schedule conflict in color class {self.color}: "
+                    f"events {sorted(map(repr, overlap))} read by two cells"
+                )
+            touched.update(reads)
+
+
+@dataclass(frozen=True)
+class FixPlan:
+    """The full schedule: ordered color classes plus round accounting."""
+
+    #: ``"edge-coloring"`` (rank 2), ``"two-hop-coloring"`` (rank 3) or
+    #: ``"serial"`` (an explicit order with no parallel structure).
+    kind: str
+    #: The classes, in execution order.
+    classes: Tuple[ColorClass, ...]
+    #: Size of the coloring palette that produced the classes.
+    palette: int
+    #: LOCAL rounds the coloring phase cost (host-graph rounds).
+    coloring_rounds: int = 0
+
+    @property
+    def num_classes(self) -> int:
+        """Number of schedule rounds (color classes)."""
+        return len(self.classes)
+
+    @property
+    def num_cells(self) -> int:
+        """Total scheduling units across all classes."""
+        return sum(len(cls.cells) for cls in self.classes)
+
+    @property
+    def num_ops(self) -> int:
+        """Total variable fixings in the plan."""
+        return sum(cls.num_ops for cls in self.classes)
+
+    @property
+    def class_sizes(self) -> Tuple[int, ...]:
+        """Op count of each class, in execution order."""
+        return tuple(cls.num_ops for cls in self.classes)
+
+    @property
+    def critical_path(self) -> int:
+        """Fixings on the longest dependency chain: ``sum of class spans``.
+
+        With unboundedly many workers, a class completes after its
+        longest cell; the plan's wall-clock lower bound (in op units) is
+        the sum of those spans.
+        """
+        return sum(cls.span for cls in self.classes)
+
+    def variables(self) -> Iterator[Hashable]:
+        """Every scheduled variable, in serial plan order."""
+        for cls in self.classes:
+            for cell in cls.cells:
+                for op in cell.ops:
+                    yield op.variable
+
+    def validate(self) -> None:
+        """Assert the cross-cell disjointness invariant of every class."""
+        for cls in self.classes:
+            cls.validate_disjoint()
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def _op_for(instance: LLLInstance, variable_name: Hashable) -> FixOp:
+    return FixOp(
+        variable=variable_name,
+        events=tuple(
+            event.name
+            for event in instance.events_of_variable(variable_name)
+        ),
+    )
+
+
+def build_plan_rank2(instance: LLLInstance) -> FixPlan:
+    """The Corollary 1.2 schedule: edge color classes.
+
+    Rank-1 variables form one leading class (color ``-1``) with a cell
+    per host event; rank-2 variables form one cell per dependency edge,
+    assigned to the edge's color class.  Cell and op orders match the
+    fixing order :func:`repro.core.distributed.solve_distributed_rank2`
+    has always used, up to commuting cross-cell fixings in the rank-1
+    round.
+    """
+    network, to_index, _from_index = indexed_dependency_network(instance)
+
+    singles_by_event: Dict[Hashable, List[Hashable]] = {}
+    by_edge: Dict[Tuple[int, int], List[Hashable]] = {}
+    for variable in instance.variables:
+        events = instance.events_of_variable(variable.name)
+        if len(events) == 1:
+            singles_by_event.setdefault(events[0].name, []).append(
+                variable.name
+            )
+        else:
+            u = to_index[events[0].name]
+            v = to_index[events[1].name]
+            key = (min(u, v), max(u, v))
+            by_edge.setdefault(key, []).append(variable.name)
+
+    if network.graph.number_of_edges() > 0:
+        coloring = compute_edge_coloring(network)
+        require_proper_edge_coloring(network.graph, coloring.colors)
+        palette = coloring.palette
+        coloring_rounds = coloring.host_rounds
+        colors = coloring.colors
+    else:
+        palette = 0
+        coloring_rounds = 0
+        colors = {}
+
+    classes: List[ColorClass] = []
+    if singles_by_event:
+        cells = tuple(
+            FixCell(
+                owner=event_name,
+                ops=tuple(
+                    _op_for(instance, name)
+                    for name in sorted(names, key=repr)
+                ),
+            )
+            for event_name, names in sorted(
+                singles_by_event.items(), key=lambda item: repr(item[0])
+            )
+        )
+        classes.append(ColorClass(color=-1, cells=cells))
+    for color in range(palette):
+        cells: List[FixCell] = []
+        for edge_key, names in sorted(by_edge.items()):
+            if colors.get(edge_key) == color and names:
+                cells.append(
+                    FixCell(
+                        owner=edge_key,
+                        ops=tuple(
+                            _op_for(instance, name)
+                            for name in sorted(names, key=repr)
+                        ),
+                    )
+                )
+        classes.append(ColorClass(color=color, cells=tuple(cells)))
+
+    return FixPlan(
+        kind="edge-coloring",
+        classes=tuple(classes),
+        palette=palette,
+        coloring_rounds=coloring_rounds,
+    )
+
+
+def build_plan_rank3(instance: LLLInstance) -> FixPlan:
+    """The Corollary 1.4 schedule: 2-hop color classes.
+
+    For each color, the active event nodes (sorted by index) each own a
+    cell fixing all their variables not claimed by an earlier cell or
+    class — statically replicating the lazy ``is_fixed`` bookkeeping of
+    :func:`repro.core.distributed.solve_distributed_rank3`, so the serial
+    traversal is that function's exact historical fixing order.
+    """
+    network, _to_index, from_index = indexed_dependency_network(instance)
+
+    if network.graph.number_of_edges() > 0:
+        coloring = compute_two_hop_coloring(network)
+        require_two_hop_coloring(network.graph, coloring.colors)
+        palette = coloring.palette
+        coloring_rounds = coloring.host_rounds
+        colors = coloring.colors
+    else:
+        palette = 1
+        coloring_rounds = 0
+        colors = {index: 0 for index in from_index}
+    return plan_from_two_hop_coloring(
+        instance, from_index, colors, palette, coloring_rounds
+    )
+
+
+def plan_from_two_hop_coloring(
+    instance: LLLInstance,
+    from_index: Dict[int, Hashable],
+    colors: Dict[int, int],
+    palette: int,
+    coloring_rounds: int = 0,
+) -> FixPlan:
+    """Build the 2-hop-class plan from an already-computed coloring.
+
+    Used by :func:`repro.core.local_protocol.solve_distributed_local`,
+    which computes the coloring as an honest LOCAL simulation and then
+    derives the protocol's per-node ownership from the plan's cells.
+    """
+    variables_of_node: Dict[Hashable, List[Hashable]] = {
+        event.name: [] for event in instance.events
+    }
+    for variable in instance.variables:
+        for event in instance.events_of_variable(variable.name):
+            variables_of_node[event.name].append(variable.name)
+
+    assigned: Set[Hashable] = set()
+    classes: List[ColorClass] = []
+    for color in range(palette):
+        active_nodes = sorted(
+            index for index, c in colors.items() if c == color
+        )
+        cells: List[FixCell] = []
+        for index in active_nodes:
+            event_name = from_index[index]
+            node_batch = [
+                name
+                for name in sorted(variables_of_node[event_name], key=repr)
+                if name not in assigned
+            ]
+            if node_batch:
+                assigned.update(node_batch)
+                cells.append(
+                    FixCell(
+                        owner=event_name,
+                        ops=tuple(
+                            _op_for(instance, name) for name in node_batch
+                        ),
+                    )
+                )
+        classes.append(ColorClass(color=color, cells=tuple(cells)))
+
+    return FixPlan(
+        kind="two-hop-coloring",
+        classes=tuple(classes),
+        palette=palette,
+        coloring_rounds=coloring_rounds,
+    )
+
+
+def build_serial_plan(
+    instance: LLLInstance,
+    order: Optional[Sequence[Hashable]] = None,
+) -> FixPlan:
+    """A degenerate plan: one class per op, in the given (or declaration)
+    order.
+
+    No parallel structure is claimed — each class holds a single
+    one-op cell, so every scheduler backend degenerates to the same
+    serial execution.  Used by the static-order sequential solver.
+    """
+    if order is None:
+        order = [variable.name for variable in instance.variables]
+    classes = tuple(
+        ColorClass(
+            color=position,
+            cells=(
+                FixCell(owner=name, ops=(_op_for(instance, name),)),
+            ),
+        )
+        for position, name in enumerate(order)
+    )
+    return FixPlan(
+        kind="serial",
+        classes=classes,
+        palette=len(classes),
+        coloring_rounds=0,
+    )
+
+
+def build_resampling_round(
+    instance: LLLInstance, occurring: Set[Hashable]
+) -> ColorClass:
+    """One parallel round of distributed Moser–Tardos as a color class.
+
+    The cells are the occurring events that are local minima (by name)
+    among their occurring dependency neighbors — the classic independent
+    selection — and each cell's ops are the owner's scope variables.
+    Two selected events are never dependency-adjacent (each would have
+    to precede the other), so their scopes are disjoint and the cells
+    can resample in parallel.  Each op's read set is just the owner
+    event: resampling reads no bookkeeping, only the scope.
+    """
+    graph = instance.dependency_graph
+    selected = sorted(
+        (
+            name
+            for name in occurring
+            if all(
+                repr(name) < repr(neighbor)
+                for neighbor in graph.neighbors(name)
+                if neighbor in occurring
+            )
+        ),
+        key=repr,
+    )
+    cells = tuple(
+        FixCell(
+            owner=name,
+            ops=tuple(
+                FixOp(variable=variable_name, events=(name,))
+                for variable_name in instance.event(name).scope_names
+            ),
+        )
+        for name in selected
+    )
+    return ColorClass(color=0, cells=cells)
+
+
+def plan_for_instance(instance: LLLInstance) -> FixPlan:
+    """Dispatch to the rank-2 or rank-3 plan builder by instance rank."""
+    if instance.rank <= 2:
+        return build_plan_rank2(instance)
+    return build_plan_rank3(instance)

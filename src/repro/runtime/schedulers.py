@@ -1,0 +1,424 @@
+"""Pluggable execution backends for :class:`~repro.runtime.plan.FixPlan`.
+
+All three schedulers produce bit-identical assignments, step records and
+phi ledgers; they differ only in how the independent cells of a color
+class are traversed:
+
+* :class:`SerialScheduler` — cells and ops strictly in plan order, one
+  ``fix_variable`` per op.  This is the differential oracle.
+* :class:`BatchScheduler` — same commit order, but each decision is
+  memoized on its *local situation*: the affected kernels'
+  fingerprints, their scope pins, the variable's weight vector and the
+  bookkeeping weights.  Two variables in identical local situations
+  (ubiquitous on symmetric instances) share one engine pass; the cached
+  choice is replayed by support position, which is exact because every
+  numeric query is label-independent.
+* :class:`ProcessScheduler` — cells are serialised to picklable
+  payloads (:mod:`repro.runtime.workers`) and replayed in a process
+  pool; the parent commits the returned choices in plan order, so the
+  trace equals the serial one.  Workers re-validate read-set
+  disjointness: a schedule bug raises instead of corrupting phi.
+
+Every scheduler validates each class's cross-cell disjointness before
+touching it and publishes per-class span / op-count metrics through
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.obs.recorder import active as _obs_active
+from repro.core.selection import Decision
+from repro.lll.instance import LLLInstance
+from repro.runtime.plan import ColorClass, FixCell, FixPlan
+from repro.runtime.workers import (
+    CellPayload,
+    EventPayload,
+    OpPayload,
+    execute_chunk,
+)
+
+#: Registered scheduler names, in documentation order.
+SCHEDULER_NAMES = ("serial", "batch", "process")
+
+
+def _fixer_kind(fixer) -> str:
+    """The selection discipline of a fixer, for worker payloads."""
+    name = type(fixer).__name__
+    if name == "Rank2Fixer":
+        return "rank2"
+    if name == "Rank3Fixer":
+        return "rank3"
+    return "naive"
+
+
+class Scheduler(ABC):
+    """Executes a :class:`FixPlan` against a fixer.
+
+    The fixer contract is the ``decide``/``commit`` split shared by
+    :class:`~repro.core.rank2.Rank2Fixer`,
+    :class:`~repro.core.rank3.Rank3Fixer` and
+    :class:`~repro.core.naive_rankr.NaiveRankRFixer`: ``decide(name)``
+    computes a :class:`~repro.core.selection.Decision` without side
+    effects, ``commit(decision)`` applies it, and ``fix_variable`` is
+    their composition.
+    """
+
+    #: Short name used by the CLI and the metrics.
+    name: str = "abstract"
+
+    def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
+        """Run every class of the plan, with validation and metrics."""
+        recorder = _obs_active()
+        if recorder is not None:
+            recorder.event(
+                "runtime",
+                "plan",
+                scheduler=self.name,
+                kind=plan.kind,
+                classes=plan.num_classes,
+                cells=plan.num_cells,
+                ops=plan.num_ops,
+                critical_path=plan.critical_path,
+            )
+        for color_class in plan.classes:
+            color_class.validate_disjoint()
+            start = time.perf_counter_ns() if recorder is not None else 0
+            self._run_class(fixer, color_class, instance)
+            if recorder is not None:
+                elapsed = time.perf_counter_ns() - start
+                recorder.record_span("runtime", "class", elapsed)
+                recorder.count("runtime", "ops", color_class.num_ops)
+                recorder.count("runtime", "classes")
+                recorder.event(
+                    "runtime",
+                    "class",
+                    scheduler=self.name,
+                    color=color_class.color,
+                    cells=len(color_class.cells),
+                    ops=color_class.num_ops,
+                    span=color_class.span,
+                )
+
+    @abstractmethod
+    def _run_class(
+        self, fixer, color_class: ColorClass, instance: LLLInstance
+    ) -> None:
+        """Fix every op of one (validated) color class."""
+
+
+class SerialScheduler(Scheduler):
+    """Plan order, one variable at a time — the differential oracle."""
+
+    name = "serial"
+
+    def _run_class(
+        self, fixer, color_class: ColorClass, instance: LLLInstance
+    ) -> None:
+        for cell in color_class.cells:
+            for op in cell.ops:
+                fixer.fix_variable(op.variable)
+
+
+class BatchScheduler(Scheduler):
+    """Decision memoization over the local situations of a plan.
+
+    The cache key captures everything a decision reads: the fixer
+    discipline, the variable's probability vector, and per affected
+    event the interned kernel fingerprint, the scope pins and the
+    variable's scope position — plus the current bookkeeping weights.
+    Keys are exact (no float rounding), so a hit replays a decision
+    whose numeric inputs were bit-identical; only the value *label* is
+    rebound, by support position.  Events without a compiled kernel
+    fall back to a direct ``decide``.
+    """
+
+    name = "batch"
+
+    def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
+        self._memo: Dict[tuple, Tuple[object, int]] = {}
+        self._hits = 0
+        self._misses = 0
+        super().execute(fixer, plan, instance)
+        recorder = _obs_active()
+        if recorder is not None:
+            recorder.event(
+                "runtime",
+                "batch_cache",
+                hits=self._hits,
+                misses=self._misses,
+            )
+
+    def _run_class(
+        self, fixer, color_class: ColorClass, instance: LLLInstance
+    ) -> None:
+        recorder = _obs_active()
+        memo = self._memo
+        for cell in color_class.cells:
+            for op in cell.ops:
+                variable = instance.variable(op.variable)
+                events = instance.events_of_variable(op.variable)
+                key = self._situation_key(fixer, variable, events)
+                if key is None:
+                    fixer.commit(fixer.decide(op.variable))
+                    continue
+                cached = memo.get(key)
+                if cached is None:
+                    self._misses += 1
+                    if recorder is not None:
+                        recorder.count("runtime", "batch_misses")
+                    decision = fixer.decide(op.variable)
+                    support = [
+                        value for value, _prob in variable.support_items()
+                    ]
+                    memo[key] = (
+                        decision.choice,
+                        support.index(decision.choice.value),
+                    )
+                    fixer.commit(decision)
+                else:
+                    self._hits += 1
+                    if recorder is not None:
+                        recorder.count("runtime", "batch_hits")
+                    choice, position = cached
+                    support = [
+                        value for value, _prob in variable.support_items()
+                    ]
+                    replayed = dataclasses.replace(
+                        choice, value=support[position]
+                    )
+                    fixer.commit(
+                        Decision(
+                            variable=variable,
+                            events=tuple(events),
+                            choice=replayed,
+                        )
+                    )
+
+    @staticmethod
+    def _situation_key(fixer, variable, events) -> Optional[tuple]:
+        """The exact local situation of a decision, or ``None`` to skip."""
+        parts = []
+        for event in events:
+            kernel = event.compiled_kernel()
+            if kernel is None:
+                return None
+            pins = event.scope_pins(fixer.assignment)
+            if pins is None:
+                return None
+            parts.append(
+                (
+                    kernel.fingerprint(),
+                    tuple(pins),
+                    event.scope_names.index(variable.name),
+                )
+            )
+        return (
+            _fixer_kind(fixer),
+            variable.probabilities,
+            tuple(parts),
+            fixer.local_weights(events),
+        )
+
+
+class ProcessScheduler(Scheduler):
+    """Cells of a class run in a ``ProcessPoolExecutor``; commits stay
+    in the parent, in plan order.
+
+    Each dispatched cell carries its events' kernels and pins plus its
+    slice of the phi ledger (:class:`~repro.runtime.workers.CellPayload`);
+    the worker replays the cell through the shared selection rules and
+    returns the choices.  Cells that cannot be serialised (no compiled
+    kernel) execute in the parent at their merge position, preserving
+    order.  ``max_workers`` bounds the pool; ``min_dispatch_ops`` routes
+    tiny classes around the pool entirely.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        min_dispatch_ops: int = 2,
+    ) -> None:
+        self._max_workers = max_workers
+        self._min_dispatch_ops = max(int(min_dispatch_ops), 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
+        try:
+            super().execute(fixer, plan, instance)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _acquire_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        return self._pool
+
+    def _run_class(
+        self, fixer, color_class: ColorClass, instance: LLLInstance
+    ) -> None:
+        kind = _fixer_kind(fixer)
+        payloads: List[Optional[CellPayload]] = [
+            self._cell_payload(fixer, kind, cell, instance)
+            for cell in color_class.cells
+        ]
+        dispatchable = [
+            index for index, payload in enumerate(payloads)
+            if payload is not None
+        ]
+        dispatch_ops = sum(
+            len(color_class.cells[index].ops) for index in dispatchable
+        )
+        choices_by_cell: Dict[int, List[object]] = {}
+        workers_used = 0
+        if len(dispatchable) >= 2 and dispatch_ops >= self._min_dispatch_ops:
+            pool = self._acquire_pool()
+            limit = pool._max_workers
+            chunks = self._chunk(dispatchable, limit)
+            futures = [
+                pool.submit(
+                    execute_chunk, [payloads[index] for index in chunk]
+                )
+                for chunk in chunks
+            ]
+            workers_used = len(chunks)
+            for chunk, future in zip(chunks, futures):
+                for index, choices in zip(chunk, future.result()):
+                    choices_by_cell[index] = choices
+            recorder = _obs_active()
+            if recorder is not None:
+                chunk_ops = [
+                    sum(len(color_class.cells[i].ops) for i in chunk)
+                    for chunk in chunks
+                ]
+                recorder.event(
+                    "runtime",
+                    "workers",
+                    color=color_class.color,
+                    workers=workers_used,
+                    chunk_ops=chunk_ops,
+                    utilization=(
+                        min(chunk_ops) / max(chunk_ops)
+                        if chunk_ops and max(chunk_ops) > 0
+                        else 1.0
+                    ),
+                )
+
+        # Deterministic merge: plan cell order, regardless of which
+        # worker finished first (or whether a cell ran in-parent).
+        for index, cell in enumerate(color_class.cells):
+            choices = choices_by_cell.get(index)
+            if choices is None:
+                for op in cell.ops:
+                    fixer.commit(fixer.decide(op.variable))
+                continue
+            for op, choice in zip(cell.ops, choices):
+                variable = instance.variable(op.variable)
+                events = instance.events_of_variable(op.variable)
+                fixer.commit(
+                    Decision(
+                        variable=variable,
+                        events=tuple(events),
+                        choice=choice,
+                    )
+                )
+
+    @staticmethod
+    def _chunk(indices: Sequence[int], workers: int) -> List[List[int]]:
+        """Split cell indices into at most ``workers`` contiguous chunks."""
+        count = min(max(workers, 1), len(indices))
+        size, remainder = divmod(len(indices), count)
+        chunks: List[List[int]] = []
+        start = 0
+        for position in range(count):
+            end = start + size + (1 if position < remainder else 0)
+            chunks.append(list(indices[start:end]))
+            start = end
+        return [chunk for chunk in chunks if chunk]
+
+    @staticmethod
+    def _cell_payload(
+        fixer, kind: str, cell: FixCell, instance: LLLInstance
+    ) -> Optional[CellPayload]:
+        """Serialise a cell, or ``None`` when it must run in-parent."""
+        event_payloads: Dict[Hashable, EventPayload] = {}
+        ops: List[OpPayload] = []
+        ledger: Dict[frozenset, Tuple[Tuple[Hashable, float], ...]] = {}
+        for op in cell.ops:
+            variable = instance.variable(op.variable)
+            events = instance.events_of_variable(op.variable)
+            for event in events:
+                if event.name in event_payloads:
+                    continue
+                kernel = event.compiled_kernel()
+                if kernel is None:
+                    return None
+                pins = event.scope_pins(fixer.assignment)
+                if pins is None:
+                    return None
+                event_payloads[event.name] = EventPayload(
+                    name=event.name,
+                    kernel=kernel,
+                    scope_names=event.scope_names,
+                    pins=tuple(pins),
+                )
+            names = tuple(event.name for event in events)
+            ops.append(OpPayload(variable=variable, event_names=names))
+            if kind == "naive":
+                key = frozenset(names)
+                if key not in ledger:
+                    weights = fixer.local_weights(events)
+                    ledger[key] = tuple(zip(names, weights))
+            elif len(events) == 2:
+                key = frozenset(names)
+                if key not in ledger:
+                    weights = fixer.local_weights(events)
+                    ledger[key] = tuple(zip(names, weights))
+            elif len(events) == 3:
+                for u, v in (
+                    (names[0], names[1]),
+                    (names[0], names[2]),
+                    (names[1], names[2]),
+                ):
+                    key = frozenset((u, v))
+                    if key not in ledger:
+                        ledger[key] = (
+                            (u, fixer.pstar.value(u, v, u)),
+                            (v, fixer.pstar.value(u, v, v)),
+                        )
+        return CellPayload(
+            owner=cell.owner,
+            kind=kind,
+            ops=tuple(ops),
+            events=tuple(event_payloads.values()),
+            ledger=tuple(ledger.items()),
+        )
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Factory used by the CLI and the benchmarks.
+
+    Raises
+    ------
+    ReproError
+        If ``name`` is not one of :data:`SCHEDULER_NAMES`.
+    """
+    if name == "serial":
+        return SerialScheduler(**kwargs)
+    if name == "batch":
+        return BatchScheduler(**kwargs)
+    if name == "process":
+        return ProcessScheduler(**kwargs)
+    raise ReproError(
+        f"unknown scheduler {name!r}; expected one of {SCHEDULER_NAMES}"
+    )

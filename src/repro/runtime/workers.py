@@ -1,0 +1,213 @@
+"""Picklable cell payloads and the process-pool worker entry point.
+
+:class:`~repro.runtime.schedulers.ProcessScheduler` cannot ship the
+fixers to workers: a :class:`~repro.probability.BadEvent` closes over an
+arbitrary predicate.  What *is* picklable is everything a decision
+actually reads — the compiled :class:`~repro.probability.engine.EventKernel`
+(plain tuples), the :class:`~repro.probability.DiscreteVariable`\\ s and
+the cell's slice of the bookkeeping ledger.  So the parent serialises
+each cell into a :class:`CellPayload`, the worker replays the cell's
+decisions through the *same* pure selection rules
+(:mod:`repro.core.selection`) against kernel-backed event views, and the
+parent commits the returned choices in deterministic plan order.
+
+Bit-identity argument: the view's ``conditional_increases`` reproduces
+the kernel path of :meth:`BadEvent.conditional_increases` operation for
+operation (one ``probability`` pin query plus one ``conditional_masses``
+bucket pass, same division order), and the worker-side ledger updates
+are the same arithmetic the fixers' ``commit`` performs — so every
+worker decision equals the decision the parent would have made at the
+same point of the serial order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.core.selection import (
+    select_rank1,
+    select_rank2,
+    select_rank3,
+    select_rankr,
+)
+from repro.probability import DiscreteVariable, PartialAssignment
+from repro.probability.engine import EventKernel
+
+
+class KernelEventView:
+    """A stand-in for a :class:`BadEvent` inside a worker process.
+
+    Holds the event's compiled kernel plus the pins of its scope at
+    dispatch time; as the cell fixes its own variables the view's pins
+    are updated, exactly mirroring how the parent's assignment would
+    evolve.  Implements the two members the selection rules use:
+    ``name`` and :meth:`conditional_increases`.
+    """
+
+    __slots__ = ("name", "kernel", "scope_names", "pins")
+
+    def __init__(
+        self,
+        name: Hashable,
+        kernel: EventKernel,
+        scope_names: Tuple[Hashable, ...],
+        pins: List[int],
+    ) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.scope_names = scope_names
+        self.pins = list(pins)
+
+    def pin(self, variable: DiscreteVariable, value: Hashable) -> None:
+        """Record that ``variable`` was fixed to ``value`` (if in scope)."""
+        try:
+            position = self.scope_names.index(variable.name)
+        except ValueError:
+            return
+        index = self.kernel.value_index(position, value)
+        if index is None:
+            raise SimulationError(
+                f"worker event {self.name!r}: fixed value {value!r} is "
+                f"outside the support of {variable.name!r}"
+            )
+        self.pins[position] = index
+
+    def conditional_increases(
+        self,
+        assignment: PartialAssignment,
+        variable: DiscreteVariable,
+    ) -> Dict[Hashable, float]:
+        """The kernel leg of ``BadEvent.conditional_increases``, verbatim."""
+        if variable.name not in self.scope_names:
+            return {value: 1.0 for value, _prob in variable.support_items()}
+        context = f"event {self.name!r}"
+        before = self.kernel.probability(self.pins, context)
+        if before == 0.0:
+            return {value: 0.0 for value, _prob in variable.support_items()}
+        target = self.scope_names.index(variable.name)
+        afters = self.kernel.conditional_masses(self.pins, target, context)
+        return {
+            value: afters[self.kernel.value_index(target, value)] / before
+            for value, _prob in variable.support_items()
+        }
+
+
+@dataclass(frozen=True)
+class EventPayload:
+    """Everything a worker needs to reconstruct one event's view."""
+
+    name: Hashable
+    kernel: EventKernel
+    scope_names: Tuple[Hashable, ...]
+    #: Pinned value indices at dispatch time (``-1`` = free).
+    pins: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class OpPayload:
+    """One fixing: the variable object plus its event names in order."""
+
+    variable: DiscreteVariable
+    event_names: Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class CellPayload:
+    """A cell serialised for out-of-process execution.
+
+    ``ledger`` carries the cell's slice of the parent bookkeeping:
+    ``{frozenset of event names: {event name: weight}}`` — edge weight
+    pairs for the rank-2 fixer, per-edge phi values for the rank-3
+    fixer's P* state, hyperedge weight vectors for the naive fixer.
+    """
+
+    owner: Hashable
+    #: Selection discipline: ``"rank2"``, ``"rank3"`` or ``"naive"``.
+    kind: str
+    ops: Tuple[OpPayload, ...]
+    events: Tuple[EventPayload, ...]
+    ledger: Tuple[Tuple[FrozenSet[Hashable], Tuple[Tuple[Hashable, float], ...]], ...]
+
+    @property
+    def read_events(self) -> FrozenSet[Hashable]:
+        """The cell's 1-hop read set (for worker-side disjointness checks)."""
+        return frozenset(payload.name for payload in self.events)
+
+
+def _edge_key(u: Hashable, v: Hashable) -> FrozenSet[Hashable]:
+    return frozenset((u, v))
+
+
+def execute_cell(payload: CellPayload) -> List[object]:
+    """Replay one cell's decisions; returns the choices in op order."""
+    views = {
+        event.name: KernelEventView(
+            event.name, event.kernel, event.scope_names, list(event.pins)
+        )
+        for event in payload.events
+    }
+    ledger: Dict[FrozenSet[Hashable], Dict[Hashable, float]] = {
+        key: dict(entries) for key, entries in payload.ledger
+    }
+    assignment = PartialAssignment()
+    choices: List[object] = []
+    for op in payload.ops:
+        events = [views[name] for name in op.event_names]
+        names = op.event_names
+        if payload.kind == "naive":
+            key = frozenset(names)
+            weights = tuple(ledger[key][name] for name in names)
+            choice = select_rankr(op.variable, events, weights, assignment)
+            for name, new_weight in zip(names, choice.new_weights):
+                ledger[key][name] = new_weight
+        elif len(events) == 1:
+            choice = select_rank1(op.variable, events[0], assignment)
+        elif len(events) == 2:
+            u, v = names
+            edge = _edge_key(u, v)
+            weights = (ledger[edge][u], ledger[edge][v])
+            choice = select_rank2(op.variable, events, weights, assignment)
+            ledger[edge][u], ledger[edge][v] = choice.new_weights
+        else:
+            u, v, w = names
+            uv, uw, vw = _edge_key(u, v), _edge_key(u, w), _edge_key(v, w)
+            triple = (
+                ledger[uv][u] * ledger[uw][u],
+                ledger[uv][v] * ledger[vw][v],
+                ledger[uw][w] * ledger[vw][w],
+            )
+            choice = select_rank3(op.variable, events, triple, assignment)
+            decomposition = choice.decomposition
+            ledger[uv][u], ledger[uv][v] = decomposition.a1, decomposition.b1
+            ledger[uw][u], ledger[uw][w] = decomposition.a2, decomposition.c2
+            ledger[vw][v], ledger[vw][w] = decomposition.b3, decomposition.c3
+        assignment.fix(op.variable, choice.value)
+        for view in views.values():
+            view.pin(op.variable, choice.value)
+        choices.append(choice)
+    return choices
+
+
+def execute_chunk(
+    payloads: Sequence[CellPayload],
+) -> List[List[object]]:
+    """Worker entry point: validate disjointness, then run each cell.
+
+    The read-set check is the schedule-bug tripwire: cells sharing an
+    event in one class means the plan (or the coloring underneath it)
+    is broken, and silently replaying them against stale pins would
+    corrupt the phi ledger — raising is the only safe response.
+    """
+    touched: set = set()
+    for payload in payloads:
+        reads = payload.read_events
+        overlap = touched & reads
+        if overlap:
+            raise SimulationError(
+                f"worker chunk: events {sorted(map(repr, overlap))} are "
+                f"read by two cells of one class"
+            )
+        touched.update(reads)
+    return [execute_cell(payload) for payload in payloads]
