@@ -38,6 +38,30 @@ from repro.probability import engine as probability_engine
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def require_native_dtype(array: Any, context: str) -> Any:
+    """Fail loudly if a benchmarked array fell back to ``object`` dtype.
+
+    The array substrate's speedups rest on native (fixed-width) dtypes;
+    an ``object``-dtype array silently degrades every operation to
+    per-element Python calls, which would make a perf bench measure the
+    wrong thing while still "passing".  Benches call this on the arrays
+    in their timed paths so the fallback is an error, not a slow pass.
+    """
+    import numpy as np
+
+    if not isinstance(array, np.ndarray):
+        raise AssertionError(
+            f"{context}: expected a numpy array, got {type(array).__name__}"
+        )
+    if array.dtype.kind not in "biufc":
+        raise AssertionError(
+            f"{context}: non-native dtype {array.dtype} (object-dtype "
+            f"fallback?); the array substrate must stay on fixed-width "
+            f"numeric dtypes"
+        )
+    return array
+
+
 def reset_engine(instances: Sequence[Any] = ()) -> None:
     """Reset probability-engine state between solve runs.
 

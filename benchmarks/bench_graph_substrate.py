@@ -1,0 +1,318 @@
+"""[E3] Array-native graph substrate: CSR arrays vs per-node dicts.
+
+``repro.graph`` promises that the vectorized coloring substrate, the
+batched LOCAL round loop, and the CSR-backed plan builders are
+bit-identical to their per-node reference twins while replacing dict
+traversals with whole-network array ops.  This bench measures the three
+hot paths the substrate rewrites, sweeping ``n`` up to ``10^6``:
+
+* **coloring** — the full ``d+1`` vertex-coloring pipeline (Linial +
+  Kuhn-Wattenhofer) on a cycle: ``vertex_coloring_arrays`` over a CSR
+  cycle vs ``compute_vertex_coloring`` over a networkx-backed ``Network``
+  on the reference backend;
+* **plan construction** — ``build_plan_rank2`` on the all-zero cycle
+  instance under each backend (CSR line-graph coloring vs the networkx
+  line-graph pipeline);
+* **one simulated round** — a single broadcast-and-aggregate round
+  (every node learns the minimum identifier in its closed neighborhood)
+  through :class:`BatchedSimulator`'s CSR gather vs the dict simulator's
+  per-edge delivery.
+
+Reference timings stop at the largest size the per-node path can cover
+in reasonable wall-clock; above that the sweep continues with
+vectorized-only rows (``ref_seconds`` null) up to ``n = 10^6``.  Every
+compared row asserts bit-identity — same colors, equal plans, same
+outputs and message accounting.
+
+Acceptance bar: at the largest *compared* workload the vectorized
+substrate must be >= 5x on coloring and >= 3x on plan construction (and
+>= 3x on the round loop).  Quick mode (``GRAPH_BENCH_QUICK=1``, the CI
+perf-smoke job) shrinks the sweep and only requires the fast paths not
+to be slower.  All arrays on the timed paths are checked against
+object-dtype fallback via ``_obs_harness.require_native_dtype`` — a
+silent degradation to per-element Python calls fails the bench instead
+of quietly inflating its timings.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+import _obs_harness
+from repro.generators import all_zero_edge_instance, cycle_csr, cycle_graph
+from repro.graph import (
+    ArrayAlgorithm,
+    BatchedSimulator,
+    use_backend,
+    vertex_coloring_arrays,
+)
+from repro.coloring import compute_vertex_coloring
+from repro.local_model import Network, Simulator
+from repro.local_model.algorithm import LocalAlgorithm
+from repro.runtime.plan import build_plan_rank2
+
+QUICK = os.environ.get("GRAPH_BENCH_QUICK") == "1"
+
+#: Timing repetitions per (phase, size, backend); the fastest is kept.
+REPEATS = 2 if QUICK else 3
+
+#: Required vectorized-over-reference speedups at the largest compared
+#: workload of each phase.
+COLORING_SPEEDUP_FLOOR = 1.5 if QUICK else 5.0
+PLAN_SPEEDUP_FLOOR = 1.0 if QUICK else 3.0
+ROUND_SPEEDUP_FLOOR = 1.0 if QUICK else 3.0
+
+#: Compared sizes run both backends; solo sizes run vectorized only
+#: (the per-node path would take minutes there — the sweep's point).
+COLORING_COMPARED = (512, 2048) if QUICK else (4096, 32768)
+COLORING_SOLO = () if QUICK else (1_000_000,)
+PLAN_COMPARED = (512, 2048) if QUICK else (4096, 16384)
+PLAN_SOLO = () if QUICK else (65_536,)
+ROUND_COMPARED = (2048, 8192) if QUICK else (16_384, 262_144)
+ROUND_SOLO = () if QUICK else (1_000_000,)
+
+
+def _best_of(fn):
+    """Best-of-``REPEATS`` wall time; returns ``(seconds, last_result)``."""
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _check_native(csr, context):
+    _obs_harness.require_native_dtype(csr.indptr, f"{context}: indptr")
+    _obs_harness.require_native_dtype(csr.indices, f"{context}: indices")
+
+
+# ----------------------------------------------------------------------
+# Phase 1: the coloring substrate (Linial + KW, whole pipeline)
+# ----------------------------------------------------------------------
+def _coloring_rows():
+    rows = []
+    for n in COLORING_COMPARED + COLORING_SOLO:
+        compared = n in COLORING_COMPARED
+        csr = cycle_csr(n)
+        _check_native(csr, f"coloring n={n}")
+        vec_seconds, vec = _best_of(lambda: vertex_coloring_arrays(csr))
+        ref_seconds = None
+        identical = None
+        if compared:
+            network = Network(cycle_graph(n))
+            with use_backend("reference"):
+                ref_seconds, ref = _best_of(
+                    lambda: compute_vertex_coloring(network)
+                )
+            identical = (
+                vec.colors == ref.colors
+                and vec.palette == ref.palette
+                and vec.total_rounds == ref.total_rounds
+            )
+        rows.append(
+            {
+                "phase": "coloring",
+                "n": n,
+                "ref_seconds": (
+                    round(ref_seconds, 6) if ref_seconds is not None else None
+                ),
+                "vec_seconds": round(vec_seconds, 6),
+                "speedup": (
+                    round(ref_seconds / vec_seconds, 2)
+                    if ref_seconds is not None
+                    else None
+                ),
+                "identical": identical,
+                "detail": f"palette={vec.palette} rounds={vec.total_rounds}",
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Phase 2: rank-2 plan construction (line-graph coloring + grouping)
+# ----------------------------------------------------------------------
+def _plan_rows():
+    rows = []
+    for n in PLAN_COMPARED + PLAN_SOLO:
+        compared = n in PLAN_COMPARED
+
+        def timed_build():
+            # Instance construction is identical Python work on both
+            # backends and stays outside the timed region; a fresh
+            # instance per repetition keeps the per-instance CSR and
+            # indexing caches cold for every timed build.
+            instances = [
+                all_zero_edge_instance(cycle_graph(n), 3)
+                for _ in range(REPEATS)
+            ]
+            best = None
+            plan = None
+            for instance in instances:
+                start = time.perf_counter()
+                plan = build_plan_rank2(instance)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+            return best, plan
+
+        with use_backend("vectorized"):
+            vec_seconds, vec_plan = timed_build()
+        ref_seconds = None
+        identical = None
+        if compared:
+            with use_backend("reference"):
+                ref_seconds, ref_plan = timed_build()
+            identical = vec_plan == ref_plan
+        rows.append(
+            {
+                "phase": "plan",
+                "n": n,
+                "ref_seconds": (
+                    round(ref_seconds, 6) if ref_seconds is not None else None
+                ),
+                "vec_seconds": round(vec_seconds, 6),
+                "speedup": (
+                    round(ref_seconds / vec_seconds, 2)
+                    if ref_seconds is not None
+                    else None
+                ),
+                "identical": identical,
+                "detail": (
+                    f"classes={vec_plan.num_classes} ops={vec_plan.num_ops}"
+                ),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Phase 3: one simulated LOCAL round (broadcast + aggregate)
+# ----------------------------------------------------------------------
+class _MinNeighborLocal(LocalAlgorithm):
+    """One round: broadcast my identifier, output the neighborhood min."""
+
+    def send(self, node, round_number):
+        return {neighbor: node.identifier for neighbor in node.neighbors}
+
+    def receive(self, node, messages, round_number):
+        best = node.identifier
+        for value in messages.values():
+            if value is not None and value < best:
+                best = value
+        node.halt_with(best)
+
+
+class _MinNeighborArray(ArrayAlgorithm):
+    """The same round as a CSR gather + segmented minimum."""
+
+    rounds_needed = 1
+
+    def start(self, csr, inputs):
+        return np.arange(csr.num_nodes, dtype=np.int64)
+
+    def round(self, state, csr, round_number):
+        out = state.copy()
+        np.minimum.at(out, csr.row_index, state[csr.indices])
+        return out
+
+
+def _round_rows():
+    rows = []
+    for n in ROUND_COMPARED + ROUND_SOLO:
+        compared = n in ROUND_COMPARED
+        csr = cycle_csr(n)
+        _check_native(csr, f"round n={n}")
+
+        def run_batched():
+            simulator = BatchedSimulator(csr, _MinNeighborArray())
+            result = simulator.run()
+            _obs_harness.require_native_dtype(
+                simulator.state, f"round n={n}: state"
+            )
+            return result
+
+        vec_seconds, vec = _best_of(run_batched)
+        ref_seconds = None
+        identical = None
+        if compared:
+            network = Network(cycle_graph(n))
+
+            def run_dict():
+                return Simulator(network, _MinNeighborLocal()).run()
+
+            ref_seconds, ref = _best_of(run_dict)
+            identical = (
+                vec.outputs == ref.outputs
+                and vec.rounds == ref.rounds
+                and vec.messages_delivered == ref.messages_delivered
+                and vec.round_messages == ref.round_messages
+            )
+        rows.append(
+            {
+                "phase": "round",
+                "n": n,
+                "ref_seconds": (
+                    round(ref_seconds, 6) if ref_seconds is not None else None
+                ),
+                "vec_seconds": round(vec_seconds, 6),
+                "speedup": (
+                    round(ref_seconds / vec_seconds, 2)
+                    if ref_seconds is not None
+                    else None
+                ),
+                "identical": identical,
+                "detail": f"messages={vec.messages_delivered}",
+            }
+        )
+    return rows
+
+
+def run_substrate():
+    return _coloring_rows() + _plan_rows() + _round_rows()
+
+
+def _largest_compared(rows, phase):
+    compared = [row for row in rows if row["phase"] == phase and row["speedup"]]
+    assert compared, f"no compared rows for phase {phase!r}"
+    return max(compared, key=lambda row: row["n"])
+
+
+def test_graph_substrate(benchmark, emit):
+    rows, wall = _obs_harness.timed(
+        lambda: benchmark.pedantic(run_substrate, rounds=1, iterations=1)
+    )
+    records = _obs_harness.rows_to_records(
+        "E3", rows, parameter_keys=("phase", "n")
+    )
+    emit(
+        "E3",
+        records,
+        "Graph substrate: CSR arrays vs per-node dicts",
+        wall_seconds=wall,
+    )
+
+    for row in rows:
+        if row["identical"] is not None:
+            assert row["identical"], (
+                f"vectorized {row['phase']} diverged from the reference "
+                f"at n={row['n']}"
+            )
+
+    for phase, floor in (
+        ("coloring", COLORING_SPEEDUP_FLOOR),
+        ("plan", PLAN_SPEEDUP_FLOOR),
+        ("round", ROUND_SPEEDUP_FLOOR),
+    ):
+        headline = _largest_compared(rows, phase)
+        assert headline["speedup"] >= floor, (
+            f"{phase} speedup {headline['speedup']}x below the {floor}x "
+            f"floor at n={headline['n']}"
+        )

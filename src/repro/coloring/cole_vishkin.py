@@ -156,6 +156,18 @@ def compute_cole_vishkin_coloring(
     missing = [node for node in network.nodes if node not in parents]
     if missing:
         raise ColoringError(f"no parent entry for nodes {missing[:3]!r}")
+    # Array-native fast path: one CSR gather per round instead of a
+    # per-node message loop.  Imported lazily (repro.graph imports the
+    # coloring package).
+    from repro.graph import (
+        CSRGraph,
+        cole_vishkin_arrays,
+        csr_eligible_network,
+        vectorized_enabled,
+    )
+
+    if vectorized_enabled() and csr_eligible_network(network):
+        return cole_vishkin_arrays(CSRGraph.from_network(network), parents)
     algorithm = ColeVishkinAlgorithm(network.identifier_space())
     simulator = Simulator(network, algorithm, inputs=dict(parents))
     result = simulator.run(max_rounds=algorithm.rounds_needed + 1)

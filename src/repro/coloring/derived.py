@@ -49,10 +49,37 @@ class EdgeColoringResult:
     virtual_rounds: int
 
 
+def _dispatch_csr(network):
+    """Resolve the array-native fast path for a coloring entry point.
+
+    Accepts either a :class:`Network` or a
+    :class:`repro.graph.CSRGraph` (CSR inputs always take the array
+    path); returns the CSR to use, or ``None`` for the reference path.
+    Imported lazily — repro.graph imports this module for the result
+    dataclasses.
+    """
+    from repro.graph import CSRGraph, csr_eligible_network, vectorized_enabled
+
+    if isinstance(network, CSRGraph):
+        return network
+    if vectorized_enabled() and csr_eligible_network(network):
+        return CSRGraph.from_network(network)
+    return None
+
+
 def compute_edge_coloring(
     network: Network, target: Optional[int] = None
 ) -> EdgeColoringResult:
-    """Edge-color a network with ``2d - 1`` colors (or ``target``)."""
+    """Edge-color a network with ``2d - 1`` colors (or ``target``).
+
+    ``network`` may also be a :class:`repro.graph.CSRGraph`, in which
+    case the array-native substrate is used directly.
+    """
+    csr = _dispatch_csr(network)
+    if csr is not None:
+        from repro.graph import edge_coloring_arrays
+
+        return edge_coloring_arrays(csr, target)
     virtual, index = line_graph_network(network)
     if target is None:
         target = max(virtual.max_degree + 1, 1)
@@ -96,7 +123,16 @@ class TwoHopColoringResult:
 def compute_two_hop_coloring(
     network: Network, target: Optional[int] = None
 ) -> TwoHopColoringResult:
-    """2-hop color a network with ``d^2 + 1`` colors (or ``target``)."""
+    """2-hop color a network with ``d^2 + 1`` colors (or ``target``).
+
+    ``network`` may also be a :class:`repro.graph.CSRGraph`, in which
+    case the array-native substrate is used directly.
+    """
+    csr = _dispatch_csr(network)
+    if csr is not None:
+        from repro.graph import two_hop_coloring_arrays
+
+        return two_hop_coloring_arrays(csr, target)
     square = square_graph_network(network)
     if target is None:
         target = max(square.max_degree + 1, 1)

@@ -85,6 +85,28 @@ def compute_vertex_coloring(
             f"{network.max_degree}"
         )
 
+    # Array-native fast path (REPRO_GRAPH=vectorized, the default):
+    # whole-palette rounds over a CSR adjacency, element-identical to the
+    # per-node simulation below.  Imported lazily — repro.graph imports
+    # this module for ColoringResult.
+    from repro.graph import backend as _graph_backend
+
+    if _graph_backend.vectorized_enabled():
+        from repro.graph import (
+            CSRGraph,
+            csr_eligible_network,
+            vertex_coloring_arrays,
+        )
+
+        if csr_eligible_network(network):
+            return vertex_coloring_arrays(
+                CSRGraph.from_network(network),
+                target=target,
+                identifier_space=identifier_space,
+                max_rounds=max_rounds,
+                reduction=reduction,
+            )
+
     recorder = _obs_active()
     linial = LinialColoringAlgorithm(identifier_space, degree)
     simulator = Simulator(network, linial)

@@ -19,7 +19,7 @@ from repro.core.distributed import (
     solve_distributed_rank3,
 )
 from repro.core.audit import AuditReport, audit_trace
-from repro.core.indexing import indexed_dependency_network
+from repro.core.indexing import indexed_csr, indexed_dependency_network
 from repro.core.local_protocol import (
     LocalFixingProtocol,
     solve_distributed_local,
@@ -74,6 +74,7 @@ __all__ = [
     "Rank2Choice",
     "Rank3Choice",
     "check_naive_criterion",
+    "indexed_csr",
     "indexed_dependency_network",
     "naive_threshold",
     "RankRChoice",

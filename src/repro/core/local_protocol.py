@@ -345,7 +345,9 @@ def solve_distributed_local(
         }
 
     protocol = LocalFixingProtocol(palette)
-    simulator = Simulator(network, protocol, inputs=inputs)
+    # The bandwidth profile (round_payload_chars) is part of this
+    # entry point's reported result, so payload sizing is opted in.
+    simulator = Simulator(network, protocol, inputs=inputs, track_payload=True)
     result = simulator.run(max_rounds=protocol.rounds_needed + 1)
 
     # Merge outputs and cross-check agreement between nodes.

@@ -81,6 +81,15 @@ class SimulationError(ReproError):
     """The LOCAL-model simulation reached an inconsistent state."""
 
 
+class GraphSubstrateError(ReproError):
+    """The array-native graph substrate received malformed input.
+
+    Raised by :mod:`repro.graph` when a CSR construction sees
+    out-of-range endpoints, self-loops, or NumPy falling back to object
+    dtype (which would silently forfeit every vectorized fast path).
+    """
+
+
 class ColoringError(ReproError):
     """A coloring routine produced or received an invalid coloring."""
 

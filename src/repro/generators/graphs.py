@@ -108,6 +108,56 @@ def random_bipartite_regular(
     return graph
 
 
+def cycle_csr(num_nodes: int):
+    """A cycle as a :class:`repro.graph.CSRGraph`, built without networkx.
+
+    Node-for-node identical to :func:`cycle_graph`; the index arrays are
+    assembled directly, so generating a million-node workload costs two
+    ``arange`` calls instead of a million dict insertions.
+    """
+    import numpy as np
+
+    from repro.graph import CSRGraph
+
+    if num_nodes < 3:
+        raise ReproError("a cycle needs at least 3 nodes")
+    u = np.arange(num_nodes, dtype=np.int64)
+    v = (u + 1) % num_nodes
+    return CSRGraph.from_edges(num_nodes, u, v)
+
+
+def torus_csr(rows: int, cols: int):
+    """A 2-D torus as a :class:`repro.graph.CSRGraph`, built without networkx.
+
+    Node-for-node identical to :func:`torus_graph` (node ``(r, c)`` maps
+    to index ``r * cols + c``, the sorted-label order networkx uses).
+    """
+    import numpy as np
+
+    from repro.graph import CSRGraph
+
+    if rows < 3 or cols < 3:
+        raise ReproError("a torus needs at least 3x3 nodes")
+    index = np.arange(rows * cols, dtype=np.int64)
+    r, c = np.divmod(index, cols)
+    right = r * cols + (c + 1) % cols
+    down = ((r + 1) % rows) * cols + c
+    u = np.concatenate([index, index])
+    v = np.concatenate([right, down])
+    return CSRGraph.from_edges(rows * cols, u, v)
+
+
+def random_regular_csr(num_nodes: int, degree: int, seed: int):
+    """A seeded random regular graph as a :class:`repro.graph.CSRGraph`.
+
+    Same graph as :func:`random_regular_graph` (networkx does the
+    generation; only the representation differs).
+    """
+    from repro.graph import CSRGraph
+
+    return CSRGraph.from_networkx(random_regular_graph(num_nodes, degree, seed))
+
+
 def degree_profile(graph: nx.Graph) -> dict:
     """Summary of a graph's degree distribution (min/max/mean)."""
     degrees = [deg for _, deg in graph.degree()]

@@ -13,6 +13,12 @@ threshold ``p = 2^-d``:
   strictly below it;
 * triple variables with ``t`` triples per node: ``k = 4`` is at the
   threshold, ``k >= 5`` strictly below.
+
+Every graph-taking builder accepts either a :class:`networkx.Graph` or a
+:class:`repro.graph.CSRGraph` — the builders only use the traversal
+surface (``nodes`` / ``edges`` / ``neighbors`` / ``degree``) that both
+provide, and the CSR form skips the per-node dict machinery on large
+workloads.
 """
 
 from __future__ import annotations

@@ -1,0 +1,86 @@
+"""Array-native graph substrate: CSR adjacency + vectorized LOCAL rounds.
+
+This package replaces networkx/dict traversals on the hot paths of the
+coloring substrate, the LOCAL simulator, and the plan builders with
+NumPy index arrays:
+
+* :mod:`repro.graph.csr` — the :class:`CSRGraph` representation and the
+  vectorized line-graph / square-graph constructions;
+* :mod:`repro.graph.batched` — the batched round loop
+  (:class:`BatchedSimulator`) delivering a whole round's messages as one
+  CSR gather;
+* :mod:`repro.graph.coloring` — whole-palette array implementations of
+  Linial, greedy / Kuhn-Wattenhofer reduction, and Cole-Vishkin;
+* :mod:`repro.graph.backend` — ``REPRO_GRAPH`` backend selection
+  (``vectorized`` default, ``reference`` keeps the per-node oracle).
+
+Every fast path is element-identical to its per-node twin; the
+Hypothesis differential suite in ``tests/test_graph_substrate.py``
+enforces the equivalence.
+"""
+
+from repro.graph.backend import (
+    REFERENCE,
+    VECTORIZED,
+    active_backend,
+    use_backend,
+    vectorized_enabled,
+)
+from repro.graph.batched import ArrayAlgorithm, BatchedSimulator
+from repro.graph.coloring import (
+    ColeVishkinArrayAlgorithm,
+    GreedyReductionArrayAlgorithm,
+    KWReductionArrayAlgorithm,
+    LinialArrayAlgorithm,
+    cole_vishkin_arrays,
+    edge_coloring_arrays,
+    edge_coloring_with_arrays,
+    two_hop_coloring_arrays,
+    two_hop_coloring_with_arrays,
+    validate_proper_vertex_arrays,
+    vertex_coloring_arrays,
+)
+from repro.graph.csr import (
+    CSRGraph,
+    line_graph_csr,
+    require_index_dtype,
+    square_csr,
+)
+
+__all__ = [
+    "ArrayAlgorithm",
+    "BatchedSimulator",
+    "CSRGraph",
+    "ColeVishkinArrayAlgorithm",
+    "GreedyReductionArrayAlgorithm",
+    "KWReductionArrayAlgorithm",
+    "LinialArrayAlgorithm",
+    "REFERENCE",
+    "VECTORIZED",
+    "active_backend",
+    "cole_vishkin_arrays",
+    "csr_eligible_network",
+    "edge_coloring_arrays",
+    "edge_coloring_with_arrays",
+    "line_graph_csr",
+    "require_index_dtype",
+    "square_csr",
+    "two_hop_coloring_arrays",
+    "two_hop_coloring_with_arrays",
+    "use_backend",
+    "validate_proper_vertex_arrays",
+    "vertex_coloring_arrays",
+    "vectorized_enabled",
+]
+
+
+def csr_eligible_network(network) -> bool:
+    """Whether a Network's identifiers admit the CSR representation.
+
+    CSR positions double as identifiers, so the nodes must be exactly the
+    integers ``0 .. n - 1``; anything else stays on the reference path.
+    """
+    n = network.num_nodes
+    return all(
+        isinstance(node, int) and 0 <= node < n for node in network.nodes
+    )

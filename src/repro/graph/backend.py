@@ -1,0 +1,60 @@
+"""Backend selection for the graph substrate.
+
+Mirrors the ``REPRO_ENGINE`` convention of the probability engine: the
+``REPRO_GRAPH`` environment variable picks between the ``vectorized``
+array-native fast paths (default) and the ``reference`` per-node LOCAL
+simulation, which is kept intact as the differential oracle.  Tests pin
+the backend with :func:`use_backend` instead of mutating the
+environment.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import GraphSubstrateError
+
+VECTORIZED = "vectorized"
+REFERENCE = "reference"
+
+_BACKENDS = (VECTORIZED, REFERENCE)
+
+#: Process-wide override installed by :func:`use_backend`; wins over the
+#: environment variable while active.
+_override: Optional[str] = None
+
+
+def active_backend() -> str:
+    """The graph backend in effect: override, else env, else vectorized."""
+    if _override is not None:
+        return _override
+    name = os.environ.get("REPRO_GRAPH", VECTORIZED).strip().lower()
+    if name not in _BACKENDS:
+        raise GraphSubstrateError(
+            f"unknown REPRO_GRAPH backend {name!r}; expected one of "
+            f"{_BACKENDS}"
+        )
+    return name
+
+
+def vectorized_enabled() -> bool:
+    """Whether the vectorized fast paths should be attempted."""
+    return active_backend() == VECTORIZED
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Pin the graph backend for the duration of the context (tests)."""
+    global _override
+    if name not in _BACKENDS:
+        raise GraphSubstrateError(
+            f"unknown graph backend {name!r}; expected one of {_BACKENDS}"
+        )
+    previous = _override
+    _override = name
+    try:
+        yield
+    finally:
+        _override = previous

@@ -87,6 +87,13 @@ class Simulator:
         The node behaviour (shared by all nodes).
     inputs:
         Optional per-node problem input, keyed by node identifier.
+    record_trace:
+        Collect per-round :class:`RoundTrace` records.
+    track_payload:
+        Measure payload sizes (the ``repr`` length of every delivered
+        message).  Defaults to ``record_trace`` — calling ``repr`` on
+        every message is a real cost at scale, so it is opt-in rather
+        than always-on.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class Simulator:
         algorithm: LocalAlgorithm,
         inputs: Optional[Dict[Hashable, Any]] = None,
         record_trace: bool = False,
+        track_payload: Optional[bool] = None,
     ) -> None:
         self._network = network
         self._algorithm = algorithm
@@ -106,6 +114,9 @@ class Simulator:
         self._rounds = 0
         self._messages_delivered = 0
         self._record_trace = record_trace
+        self._track_payload = (
+            record_trace if track_payload is None else track_payload
+        )
         self._trace: List[RoundTrace] = []
         self._round_messages: List[int] = []
         self._round_payload_chars: List[int] = []
@@ -150,6 +161,7 @@ class Simulator:
         round_messages = 0
         round_chars = 0
         active_senders = 0
+        track_payload = self._track_payload
         for sender, outbox in outboxes.items():
             sent_any = False
             for receiver, message in outbox.items():
@@ -158,7 +170,8 @@ class Simulator:
                     self._messages_delivered += 1
                     round_messages += 1
                     sent_any = True
-                    round_chars += len(repr(message))
+                    if track_payload:
+                        round_chars += len(repr(message))
             if sent_any:
                 active_senders += 1
         self._round_messages.append(round_messages)

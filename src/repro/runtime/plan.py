@@ -197,6 +197,85 @@ def _op_for(instance: LLLInstance, variable_name: Hashable) -> FixOp:
     )
 
 
+def _rank2_coloring(instance: LLLInstance):
+    """Indexing plus a thunk computing the validated edge coloring.
+
+    On the vectorized backend the dependency graph never leaves CSR
+    form: the coloring runs on the CSR line graph and properness is
+    re-checked with one array comparison.  The reference branch keeps
+    the original networkx pipeline.  Returns ``(to_index, num_edges,
+    thunk)`` where the thunk yields ``(palette, coloring_rounds,
+    colors)``.
+    """
+    from repro.graph import vectorized_enabled
+
+    if vectorized_enabled():
+        from repro.core.indexing import indexed_csr
+        from repro.graph import (
+            edge_coloring_with_arrays,
+            validate_proper_vertex_arrays,
+        )
+
+        csr, to_index, _from_index = indexed_csr(instance)
+
+        def coloring_thunk():
+            derived, colors_array, line, _eu, _ev = (
+                edge_coloring_with_arrays(csr)
+            )
+            # Defense-in-depth recheck, as on the reference branch:
+            # adjacent line-graph nodes are exactly edges sharing an
+            # endpoint.
+            validate_proper_vertex_arrays(line, colors_array)
+            return derived.palette, derived.host_rounds, derived.colors
+
+        return to_index, csr.num_edges, coloring_thunk
+
+    network, to_index, _from_index = indexed_dependency_network(instance)
+
+    def coloring_thunk():
+        coloring = compute_edge_coloring(network)
+        require_proper_edge_coloring(network.graph, coloring.colors)
+        return coloring.palette, coloring.host_rounds, coloring.colors
+
+    return to_index, network.graph.number_of_edges(), coloring_thunk
+
+
+def _rank3_coloring(instance: LLLInstance):
+    """Indexing plus a thunk computing the validated 2-hop coloring.
+
+    Same shape as :func:`_rank2_coloring`; the vectorized branch
+    validates by checking properness on the CSR square graph (adjacency
+    in ``G^2`` is exactly "within distance two").  Returns
+    ``(from_index, num_edges, thunk)``.
+    """
+    from repro.graph import vectorized_enabled
+
+    if vectorized_enabled():
+        from repro.core.indexing import indexed_csr
+        from repro.graph import (
+            two_hop_coloring_with_arrays,
+            validate_proper_vertex_arrays,
+        )
+
+        csr, _to_index, from_index = indexed_csr(instance)
+
+        def coloring_thunk():
+            derived, colors_array, square = two_hop_coloring_with_arrays(csr)
+            validate_proper_vertex_arrays(square, colors_array)
+            return derived.palette, derived.host_rounds, derived.colors
+
+        return from_index, csr.num_edges, coloring_thunk
+
+    network, _to_index, from_index = indexed_dependency_network(instance)
+
+    def coloring_thunk():
+        coloring = compute_two_hop_coloring(network)
+        require_two_hop_coloring(network.graph, coloring.colors)
+        return coloring.palette, coloring.host_rounds, coloring.colors
+
+    return from_index, network.graph.number_of_edges(), coloring_thunk
+
+
 def build_plan_rank2(instance: LLLInstance) -> FixPlan:
     """The Corollary 1.2 schedule: edge color classes.
 
@@ -207,7 +286,7 @@ def build_plan_rank2(instance: LLLInstance) -> FixPlan:
     has always used, up to commuting cross-cell fixings in the rank-1
     round.
     """
-    network, to_index, _from_index = indexed_dependency_network(instance)
+    to_index, num_edges, edge_coloring = _rank2_coloring(instance)
 
     singles_by_event: Dict[Hashable, List[Hashable]] = {}
     by_edge: Dict[Tuple[int, int], List[Hashable]] = {}
@@ -223,12 +302,8 @@ def build_plan_rank2(instance: LLLInstance) -> FixPlan:
             key = (min(u, v), max(u, v))
             by_edge.setdefault(key, []).append(variable.name)
 
-    if network.graph.number_of_edges() > 0:
-        coloring = compute_edge_coloring(network)
-        require_proper_edge_coloring(network.graph, coloring.colors)
-        palette = coloring.palette
-        coloring_rounds = coloring.host_rounds
-        colors = coloring.colors
+    if num_edges > 0:
+        palette, coloring_rounds, colors = edge_coloring()
     else:
         palette = 0
         coloring_rounds = 0
@@ -249,20 +324,27 @@ def build_plan_rank2(instance: LLLInstance) -> FixPlan:
             )
         )
         classes.append(ColorClass(color=-1, cells=cells))
+    # One grouping pass over the sorted edges instead of a full rescan
+    # per color; class contents and cell order are unchanged (cells stay
+    # in sorted-edge order within each class).
+    cells_by_color: Dict[int, List[FixCell]] = {}
+    for edge_key, names in sorted(by_edge.items()):
+        if not names:
+            continue
+        color = colors.get(edge_key)
+        cells_by_color.setdefault(color, []).append(
+            FixCell(
+                owner=edge_key,
+                ops=tuple(
+                    _op_for(instance, name)
+                    for name in sorted(names, key=repr)
+                ),
+            )
+        )
     for color in range(palette):
-        cells: List[FixCell] = []
-        for edge_key, names in sorted(by_edge.items()):
-            if colors.get(edge_key) == color and names:
-                cells.append(
-                    FixCell(
-                        owner=edge_key,
-                        ops=tuple(
-                            _op_for(instance, name)
-                            for name in sorted(names, key=repr)
-                        ),
-                    )
-                )
-        classes.append(ColorClass(color=color, cells=tuple(cells)))
+        classes.append(
+            ColorClass(color=color, cells=tuple(cells_by_color.get(color, ())))
+        )
 
     return FixPlan(
         kind="edge-coloring",
@@ -281,14 +363,10 @@ def build_plan_rank3(instance: LLLInstance) -> FixPlan:
     :func:`repro.core.distributed.solve_distributed_rank3`, so the serial
     traversal is that function's exact historical fixing order.
     """
-    network, _to_index, from_index = indexed_dependency_network(instance)
+    from_index, num_edges, two_hop_coloring = _rank3_coloring(instance)
 
-    if network.graph.number_of_edges() > 0:
-        coloring = compute_two_hop_coloring(network)
-        require_two_hop_coloring(network.graph, coloring.colors)
-        palette = coloring.palette
-        coloring_rounds = coloring.host_rounds
-        colors = coloring.colors
+    if num_edges > 0:
+        palette, coloring_rounds, colors = two_hop_coloring()
     else:
         palette = 1
         coloring_rounds = 0
@@ -318,12 +396,17 @@ def plan_from_two_hop_coloring(
         for event in instance.events_of_variable(variable.name):
             variables_of_node[event.name].append(variable.name)
 
+    # One grouping pass over the coloring instead of a full rescan per
+    # color; each class's active-node order (sorted indices) is
+    # unchanged.
+    nodes_by_color: Dict[int, List[int]] = {}
+    for index, c in colors.items():
+        nodes_by_color.setdefault(c, []).append(index)
+
     assigned: Set[Hashable] = set()
     classes: List[ColorClass] = []
     for color in range(palette):
-        active_nodes = sorted(
-            index for index, c in colors.items() if c == color
-        )
+        active_nodes = sorted(nodes_by_color.get(color, ()))
         cells: List[FixCell] = []
         for index in active_nodes:
             event_name = from_index[index]
