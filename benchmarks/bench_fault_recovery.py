@@ -1,0 +1,182 @@
+"""[E4] Fault recovery: injected worker failures vs the serial oracle.
+
+The fault-tolerant dispatch loop of ``ProcessScheduler`` promises two
+things at once: under injected worker faults (crashes, hangs, slow
+replies) the run recovers to the *bit-identical* serial transcript, and
+on the fault-free path the recovery machinery costs (next to) nothing —
+``fault_plan=None`` short-circuits every injection probe.  This bench
+measures both.  Three timed configurations on the headline rank-3
+workload:
+
+* ``plain`` — no fault plan at all (the production fast path),
+* ``inert-plan`` — a :class:`~repro.faults.FaultPlan` with every rate
+  zero (the plumbing is live, nothing fires),
+* ``crash+slow`` — a pinned first-chunk crash plus rate-drawn slow
+  workers; the pool is rebuilt and the chunk retried.
+
+Every configuration must produce the serial scheduler's exact
+assignment, step trace and certified bounds, and the faulted run's
+observability stream must pass :func:`repro.core.run_audit` — faults
+without a recorded recovery fail the bench, not just the run.
+
+Acceptance bars: the inert plan stays within ``INERT_OVERHEAD_CEILING``
+of plain (the probe is one hash-free ``None`` check per chunk), and the
+faulted run recovers (identity + audit) with its overhead reported.
+Quick mode (``FAULT_BENCH_QUICK=1``, used by the CI fault-smoke job)
+shrinks the workload and widens the timing ceiling.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import _obs_harness
+from repro.core import Rank3Fixer, run_audit
+from repro.faults import FaultPlan
+from repro.generators import all_zero_triple_instance, cyclic_triples
+from repro.lll import verify_solution
+from repro.obs.recorder import recording
+from repro.runtime import ProcessScheduler, SerialScheduler
+from repro.runtime.plan import plan_for_instance
+
+QUICK = os.environ.get("FAULT_BENCH_QUICK") == "1"
+
+#: Timing repetitions per configuration; the fastest is kept.
+REPEATS = 2 if QUICK else 3
+
+#: Allowed inert-plan slowdown over the plain fault-free path.  The
+#: probe per chunk is a single ``worker_fault`` call returning ``None``;
+#: the ceiling is dominated by process-pool timing noise, not the probe.
+INERT_OVERHEAD_CEILING = 2.0 if QUICK else 1.5
+
+#: Headline workload size (rank-3 cyclic triples, alphabet 8).
+N = 48 if QUICK else 120
+
+FAULTED_PLAN = FaultPlan(
+    seed=7,
+    explicit_chunks=((0, "crash"),),
+    slow_rate=0.25,
+    slow_seconds=0.001,
+)
+
+CONFIGURATIONS = [
+    ("plain", lambda: None),
+    ("inert-plan", lambda: FaultPlan(seed=7)),
+    ("crash+slow", lambda: FAULTED_PLAN),
+]
+
+
+def _build_instance():
+    return all_zero_triple_instance(N, cyclic_triples(N), 8)
+
+
+def _execute(scheduler, capture_events=False):
+    """One full plan execution on a fresh instance and fixer."""
+    instance = _build_instance()
+    plan = plan_for_instance(instance)
+    fixer = Rank3Fixer(instance)
+    _obs_harness.reset_engine([instance])
+    events = None
+    start = time.perf_counter()
+    if capture_events:
+        with recording() as recorder:
+            scheduler.execute(fixer, plan, instance)
+            events = list(recorder.memory.events)
+    else:
+        scheduler.execute(fixer, plan, instance)
+    elapsed = time.perf_counter() - start
+    return fixer.run(order=()), elapsed, instance, events
+
+
+def _run_configuration(make_plan):
+    """Best-of-``REPEATS`` execution; events captured on the last rep."""
+    best_seconds = None
+    result = instance = events = None
+    for repetition in range(REPEATS):
+        capture = repetition == REPEATS - 1
+        scheduler = ProcessScheduler(
+            max_workers=2,
+            deadline=30.0,
+            backoff_base=0.0,
+            fault_plan=make_plan(),
+        )
+        result, elapsed, instance, events = _execute(
+            scheduler, capture_events=capture
+        )
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    return result, best_seconds, instance, events
+
+
+def run_fault_recovery():
+    reference, _, _, _ = _execute(SerialScheduler())
+    rows = []
+    plain_seconds = None
+    for name, make_plan in CONFIGURATIONS:
+        result, seconds, instance, events = _run_configuration(make_plan)
+        identical = (
+            result.assignment.as_dict() == reference.assignment.as_dict()
+            and result.steps == reference.steps
+            and result.certified_bounds == reference.certified_bounds
+        )
+        audit = run_audit(instance, result, fault_events=events)
+        fault_count = sum(
+            1
+            for event in events
+            if event["component"] == "runtime" and event["event"] == "fault"
+        )
+        if name == "plain":
+            plain_seconds = seconds
+        rows.append(
+            {
+                "configuration": name,
+                "n": N,
+                "best_seconds": round(seconds, 6),
+                "overhead_vs_plain": (
+                    round(seconds / plain_seconds, 3)
+                    if plain_seconds
+                    else None
+                ),
+                "faults_observed": fault_count,
+                "identical_to_serial": identical,
+                "audit_ok": audit.ok,
+                "valid": verify_solution(
+                    _build_instance(), result.assignment
+                ).ok,
+            }
+        )
+    return rows
+
+
+def test_fault_recovery(benchmark, emit):
+    rows, wall = _obs_harness.timed(
+        lambda: benchmark.pedantic(run_fault_recovery, rounds=1, iterations=1)
+    )
+    records = _obs_harness.rows_to_records(
+        "E4", rows, parameter_keys=("configuration",)
+    )
+    emit(
+        "E4",
+        records,
+        "Fault recovery: injected worker failures vs serial",
+        wall_seconds=wall,
+    )
+
+    by_name = {row["configuration"]: row for row in rows}
+    for row in rows:
+        assert row["valid"], f"invalid solution under {row['configuration']}"
+        assert row["identical_to_serial"], (
+            f"{row['configuration']} diverged from the serial transcript"
+        )
+        assert row["audit_ok"], (
+            f"{row['configuration']} failed post-recovery audit"
+        )
+    assert by_name["crash+slow"]["faults_observed"] > 0, (
+        "faulted configuration observed no faults — injection is dead"
+    )
+    inert = by_name["inert-plan"]["overhead_vs_plain"]
+    assert inert is not None and inert <= INERT_OVERHEAD_CEILING, (
+        f"inert fault plan costs {inert}x over plain "
+        f"(ceiling {INERT_OVERHEAD_CEILING}x)"
+    )

@@ -6,6 +6,8 @@ Usage (also via ``python -m repro``)::
     python -m repro solve --family cycle --n 24 --alphabet 3
     python -m repro solve --family triples --n 18 --alphabet 5 --distributed
     python -m repro solve --family triples --n 18 --scheduler batch
+    python -m repro solve --family triples --n 18 --scheduler process \\
+        --faults seed=7,crash=0.3,deadline=1   # fault-injected, same answer
     python -m repro solve --family triples --n 18 --obs-trace run.jsonl
     python -m repro plan --family triples --n 18  # inspect the fix plan
     python -m repro stats run.jsonl           # span/counter/histogram summary
@@ -109,12 +111,23 @@ def _command_solve(args) -> int:
     return _solve_impl(args)
 
 
-def _make_scheduler(args):
+def _fault_plan_for(args):
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults import parse_fault_spec
+
+    return parse_fault_spec(spec)
+
+
+def _make_scheduler(args, fault_plan=None):
     name = getattr(args, "scheduler", None)
     if name is None:
         return None
     from repro.runtime import make_scheduler
 
+    if name == "process" and fault_plan is not None:
+        return make_scheduler(name, fault_plan=fault_plan)
     return make_scheduler(name)
 
 
@@ -127,15 +140,26 @@ def _solve_impl(args) -> int:
         f"p = {summary['p']:.6g}, d = {summary['d']}, "
         f"p*2^d = {summary['p_times_2^d']:.4g}"
     )
-    scheduler = _make_scheduler(args)
+    fault_plan = _fault_plan_for(args)
+    scheduler = _make_scheduler(args, fault_plan)
     if scheduler is not None and args.protocol:
         raise ReproError(
             "--scheduler applies to the scheduled paths; the message-level "
             "protocol (--protocol) executes its own schedule"
         )
+    if fault_plan is not None and not args.protocol and (
+        getattr(args, "scheduler", None) != "process"
+    ):
+        raise ReproError(
+            "--faults injects worker faults into the process scheduler or "
+            "message faults into the protocol simulation; combine it with "
+            "--scheduler process or --protocol"
+        )
+    if fault_plan is not None:
+        print(f"fault plan: {fault_plan.describe()}")
     try:
         if args.protocol:
-            result = solve_distributed_local(instance)
+            result = solve_distributed_local(instance, fault_plan=fault_plan)
         elif args.distributed:
             result = solve_distributed(instance, scheduler=scheduler)
         else:
@@ -326,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve_parser.add_argument(
         "--obs-trace", metavar="PATH",
         help="record a structured JSONL observability trace to PATH",
+    )
+    solve_parser.add_argument(
+        "--faults", metavar="SPEC",
+        help="inject deterministic faults (e.g. "
+        "'seed=7,crash=0.3,hang@2,drop=0.05,deadline=1'); worker faults "
+        "need --scheduler process, message faults need --protocol",
     )
 
     plan_parser = commands.add_parser(

@@ -18,7 +18,12 @@ from repro.core.distributed import (
     solve_distributed_rank2,
     solve_distributed_rank3,
 )
-from repro.core.audit import AuditReport, audit_trace
+from repro.core.audit import (
+    AuditReport,
+    audit_trace,
+    certify_recovery,
+    run_audit,
+)
 from repro.core.indexing import indexed_csr, indexed_dependency_network
 from repro.core.local_protocol import (
     LocalFixingProtocol,
@@ -65,6 +70,8 @@ __all__ = [
     "AuditReport",
     "DistributedResult",
     "audit_trace",
+    "certify_recovery",
+    "run_audit",
     "FixingResult",
     "LocalFixingProtocol",
     "LocalVerificationAlgorithm",

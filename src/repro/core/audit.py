@@ -21,11 +21,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Hashable, List, Tuple
+from typing import Any, Hashable, Iterable, List, Mapping, Optional, Tuple
 
-from repro.errors import NotRepresentableError, PStarViolationError
+from repro.errors import (
+    NotRepresentableError,
+    PStarViolationError,
+    UnknownVariableError,
+)
 from repro.geometry import decompose_triple, representability_margin
 from repro.lll.instance import LLLInstance
+from repro.obs.events import RUNTIME_FAULT_EVENTS
 from repro.obs.recorder import active as _obs_active
 from repro.core.pstar import PStarState
 from repro.core.results import FixingResult
@@ -71,7 +76,10 @@ def audit_trace(instance: LLLInstance, result: FixingResult) -> AuditReport:
         seen.add(step.variable)
         try:
             variable = instance.variable(step.variable)
-        except Exception:
+        except UnknownVariableError:
+            # Only the lookup failure means "unknown variable"; any other
+            # exception is a bug in the instance and must propagate, not
+            # be laundered into a trace discrepancy.
             problems.append(f"{label}: unknown variable")
             continue
         if step.value not in variable:
@@ -192,4 +200,80 @@ def audit_trace(instance: LLLInstance, result: FixingResult) -> AuditReport:
         )
     return AuditReport(
         ok=not problems, steps=len(result.steps), problems=tuple(problems)
+    )
+
+
+def _event_fields(event: Any) -> Tuple[str, str, Mapping[str, Any]]:
+    """Normalize an obs event (ObsEvent or serialized dict) to a triple."""
+    if isinstance(event, Mapping):
+        return (
+            str(event.get("component", "")),
+            str(event.get("event", "")),
+            event.get("payload") or {},
+        )
+    return (event.component, event.event, event.payload or {})
+
+
+def certify_recovery(events: Iterable[Any]) -> List[str]:
+    """Check that every recorded fault reached a terminal recovery.
+
+    ``events`` is an observability stream (``ObsEvent`` objects or their
+    serialized dict form, e.g. a read-back JSONL trace).  The
+    fault-tolerant paths emit ``runtime/fault``, ``runtime/retry`` and
+    ``runtime/fallback`` events that share a ``scope`` payload key per
+    fault; a fault is *recovered* when it is self-healing (payload
+    ``recovered: true`` — a deduplicated message), or a later ``retry``
+    for its scope reports ``outcome: "recovered"`` (redelivery or a
+    successful resubmission), or a ``fallback`` for its scope records
+    the in-parent escape hatch.  Returns human-readable problems for
+    every fault left dangling — an empty list certifies the transcript.
+    """
+    faulted: dict = {}
+    for event in events:
+        component, kind, payload = _event_fields(event)
+        if component != "runtime" or kind not in RUNTIME_FAULT_EVENTS:
+            continue
+        scope = payload.get("scope")
+        if scope is None:
+            continue
+        if kind == "fault":
+            if payload.get("recovered") is True:
+                faulted[scope] = None
+            elif scope not in faulted:
+                faulted[scope] = (
+                    f"fault at {scope} "
+                    f"({payload.get('kind', 'unknown')}) has no recorded "
+                    f"recovery"
+                )
+        elif kind == "retry":
+            if payload.get("outcome") == "recovered":
+                faulted[scope] = None
+        elif kind == "fallback":
+            faulted[scope] = None
+    return [problem for problem in faulted.values() if problem is not None]
+
+
+def run_audit(
+    instance: LLLInstance,
+    result: Any,
+    fault_events: Optional[Iterable[Any]] = None,
+) -> AuditReport:
+    """Audit a run end to end: trace replay plus recovery certification.
+
+    ``result`` may be a :class:`~repro.core.results.FixingResult` or any
+    object carrying one as ``.fixing`` (e.g. a
+    :class:`~repro.core.distributed.DistributedResult`).  When
+    ``fault_events`` is given — the observability stream of the run —
+    the report additionally certifies, via :func:`certify_recovery`,
+    that every injected or encountered fault was recovered or escaped
+    through the typed fallback, so a post-recovery transcript passes
+    only if both the mathematics *and* the systems layer held up.
+    """
+    fixing = getattr(result, "fixing", result)
+    report = audit_trace(instance, fixing)
+    if fault_events is None:
+        return report
+    problems = list(report.problems) + certify_recovery(fault_events)
+    return AuditReport(
+        ok=not problems, steps=report.steps, problems=tuple(problems)
     )

@@ -277,6 +277,7 @@ _MISSING = _Missing()
 def solve_distributed_local(
     instance: LLLInstance,
     require_criterion=True,
+    fault_plan=None,
 ) -> DistributedResult:
     """Run the full message-level distributed algorithm (rank <= 3).
 
@@ -284,6 +285,11 @@ def solve_distributed_local(
     :class:`LocalFixingProtocol`, merges the per-node outputs into a
     global assignment, and cross-checks consistency.  One extra round is
     charged for the initial 1-hop exchange of event descriptions.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects message
+    drops/duplications into the protocol simulation; the simulator's
+    reliable-delivery layer recovers them, so the merged result is
+    identical to the fault-free run.
     """
     from repro.lll.verify import check_preconditions
 
@@ -347,7 +353,13 @@ def solve_distributed_local(
     protocol = LocalFixingProtocol(palette)
     # The bandwidth profile (round_payload_chars) is part of this
     # entry point's reported result, so payload sizing is opted in.
-    simulator = Simulator(network, protocol, inputs=inputs, track_payload=True)
+    simulator = Simulator(
+        network,
+        protocol,
+        inputs=inputs,
+        track_payload=True,
+        fault_plan=fault_plan,
+    )
     result = simulator.run(max_rounds=protocol.rounds_needed + 1)
 
     # Merge outputs and cross-check agreement between nodes.

@@ -81,6 +81,29 @@ class SimulationError(ReproError):
     """The LOCAL-model simulation reached an inconsistent state."""
 
 
+class SchedulerProtocolError(ReproError):
+    """A scheduler worker reply violated the dispatch protocol.
+
+    Raised when a worker returns the wrong number of cell results or a
+    short/garbled choice list for a cell.  Committing such a reply would
+    silently corrupt the phi ledger, so the parent raises *before* any
+    commit — the error names the offending cell or chunk.
+    """
+
+
+class FaultSpecError(ReproError):
+    """A fault-injection specification string or plan is malformed."""
+
+
+class FaultRecoveryError(ReproError):
+    """Fault recovery exhausted its budget without restoring the run.
+
+    Raised when an injected (or real) fault persists past every retry:
+    a message dropped on all redelivery attempts, for example.  The
+    message names the fault site so post-mortems need no log spelunking.
+    """
+
+
 class GraphSubstrateError(ReproError):
     """The array-native graph substrate received malformed input.
 

@@ -1,0 +1,35 @@
+"""Deterministic fault injection for the execution plane and simulators.
+
+The math this repository reproduces is robust to adversarial scheduling;
+this package makes the *runtime* demonstrably robust to adversarial
+infrastructure.  A :class:`FaultPlan` is a seeded, reproducible schedule
+of injected failures — worker crashes, hangs, slow replies and garbled
+replies for :class:`~repro.runtime.schedulers.ProcessScheduler`; message
+drops and duplications for the LOCAL simulators — and the hardened
+execution paths must either recover to the exact fault-free transcript
+(the differential suites are the referee) or raise a typed error naming
+the fault.  Plans come from code, from ``repro solve --faults SPEC``, or
+ambiently from the ``REPRO_FAULTS`` environment variable.
+"""
+
+from repro.faults.plan import (
+    MESSAGE_FAULT_KINDS,
+    WORKER_FAULT_KINDS,
+    FaultPlan,
+    WorkerFault,
+)
+from repro.faults.spec import (
+    ENV_VAR,
+    fault_plan_from_env,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "MESSAGE_FAULT_KINDS",
+    "WORKER_FAULT_KINDS",
+    "WorkerFault",
+    "fault_plan_from_env",
+    "parse_fault_spec",
+]

@@ -1,0 +1,136 @@
+"""Parsing of fault-plan specifications (CLI flag and environment).
+
+A spec is a comma-separated list of tokens::
+
+    seed=7,crash=0.3,hang@2,drop=0.05,dup=0.02,deadline=0.5
+
+Token forms:
+
+``<kind>=<rate>``
+    Rate-based injection for a worker fault kind (``crash``, ``hang``,
+    ``slow``, ``garble``) or a message fault kind (``drop``, ``dup``).
+``<kind>@<chunk>``
+    Pin a worker fault to an explicit chunk index (first attempt only).
+``seed=<int>``, ``deadline=<seconds>``, ``redeliver=<int>``,
+``slow_seconds=<seconds>``, ``hang_seconds=<seconds>``
+    Plan parameters.
+
+The same grammar serves ``repro solve --faults SPEC`` and the
+``REPRO_FAULTS`` environment variable, which the execution plane and the
+simulators consult at construction time — so an unmodified test suite
+can be rerun under injected faults (the CI fault-smoke job does exactly
+this with the tier-1 scheduler differential tests).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultSpecError
+from repro.faults.plan import WORKER_FAULT_KINDS, FaultPlan
+
+#: Environment variable holding a default fault spec.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Spec keys mapping straight to rate fields.
+_RATE_KEYS = {
+    "crash": "crash_rate",
+    "hang": "hang_rate",
+    "slow": "slow_rate",
+    "garble": "garble_rate",
+    "drop": "drop_rate",
+    "dup": "duplicate_rate",
+    "duplicate": "duplicate_rate",
+}
+
+#: Spec keys mapping to scalar plan parameters (with their converters).
+_PARAM_KEYS = {
+    "seed": ("seed", int),
+    "deadline": ("deadline", float),
+    "redeliver": ("max_redelivery", int),
+    "slow_seconds": ("slow_seconds", float),
+    "hang_seconds": ("hang_seconds", float),
+}
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a fault spec string into a :class:`FaultPlan`.
+
+    Raises
+    ------
+    FaultSpecError
+        On unknown keys, malformed values, or out-of-range rates.
+    """
+    fields: Dict[str, object] = {}
+    explicit: List[Tuple[int, str]] = []
+    for raw in spec.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        if "@" in token:
+            kind, _, position = token.partition("@")
+            kind = kind.strip()
+            if kind not in WORKER_FAULT_KINDS:
+                raise FaultSpecError(
+                    f"unknown worker fault kind {kind!r} in token "
+                    f"{token!r}; expected one of {WORKER_FAULT_KINDS}"
+                )
+            try:
+                chunk = int(position)
+            except ValueError:
+                raise FaultSpecError(
+                    f"chunk index in token {token!r} is not an integer"
+                ) from None
+            explicit.append((chunk, kind))
+            continue
+        key, separator, value = token.partition("=")
+        key = key.strip()
+        if not separator:
+            raise FaultSpecError(
+                f"token {token!r} is neither key=value nor kind@chunk"
+            )
+        if key in _RATE_KEYS:
+            try:
+                fields[_RATE_KEYS[key]] = float(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"rate in token {token!r} is not a number"
+                ) from None
+            continue
+        if key in _PARAM_KEYS:
+            name, converter = _PARAM_KEYS[key]
+            try:
+                fields[name] = converter(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"value in token {token!r} is not a valid "
+                    f"{converter.__name__}"
+                ) from None
+            continue
+        raise FaultSpecError(
+            f"unknown fault spec key {key!r} in token {token!r}"
+        )
+    if explicit:
+        fields["explicit_chunks"] = tuple(explicit)
+    return FaultPlan(**fields)
+
+
+@lru_cache(maxsize=8)
+def _parse_cached(spec: str) -> FaultPlan:
+    return parse_fault_spec(spec)
+
+
+def fault_plan_from_env(var: str = ENV_VAR) -> Optional[FaultPlan]:
+    """The ambient fault plan, or ``None`` when the variable is unset.
+
+    Consulted by :class:`~repro.runtime.schedulers.ProcessScheduler` and
+    the simulators at construction time so an existing workload can be
+    rerun under faults without code changes.  Parsing is cached per spec
+    string; the variable is re-read on every call (tests monkeypatch it).
+    """
+    spec = os.environ.get(var)
+    if not spec or not spec.strip():
+        return None
+    return _parse_cached(spec.strip())

@@ -25,8 +25,13 @@ from typing import Dict, Hashable, List, Optional
 import numpy as np
 
 from repro.errors import GraphSubstrateError
+from repro.faults import FaultPlan, fault_plan_from_env
 from repro.graph.csr import CSRGraph, require_index_dtype
-from repro.local_model.simulator import RoundTrace, SimulationResult
+from repro.local_model.simulator import (
+    RoundTrace,
+    SimulationResult,
+    recover_delivery,
+)
 from repro.obs.recorder import active as _obs_active
 
 
@@ -74,6 +79,7 @@ class BatchedSimulator:
         inputs: Optional[np.ndarray] = None,
         record_trace: bool = False,
         track_payload: Optional[bool] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if inputs is not None:
             inputs = require_index_dtype("inputs", inputs)
@@ -89,11 +95,39 @@ class BatchedSimulator:
         self._track_payload = (
             record_trace if track_payload is None else track_payload
         )
+        if fault_plan is None:
+            fault_plan = fault_plan_from_env()
+        self._fault_plan = fault_plan
 
     @property
     def state(self) -> np.ndarray:
         """The current state vector (tests and composite pipelines)."""
         return self._state
+
+    def _recover_round(self, round_number: int, count: int) -> None:
+        """Run the reliable-delivery layer over one round's messages.
+
+        A batched round *is* one CSR gather; message slot ``i`` is the
+        directed edge ``indices[i] -> row(i)``.  The recovery layer
+        retransmits drops and suppresses duplicates before the gather,
+        so the gather always reads the complete inbox — semantics and
+        accounting stay bit-identical to the fault-free run (a drop
+        surviving the redelivery budget raises instead).  This is a
+        per-slot Python loop and therefore only runs when message
+        faults are actually live.
+        """
+        plan = self._fault_plan
+        indptr = self._csr.indptr
+        indices = self._csr.indices
+
+        def describe(slot):
+            receiver = int(np.searchsorted(indptr, slot, side="right")) - 1
+            return f"{int(indices[slot])!r} -> {receiver!r}"
+
+        for slot in range(count):
+            recover_delivery(
+                plan, round_number, slot, lambda s=slot: describe(s)
+            )
 
     def _round_payload_chars(self) -> int:
         """Total ``repr`` length of this round's messages (opt-in only).
@@ -114,7 +148,13 @@ class BatchedSimulator:
         trace: List[RoundTrace] = []
         round_messages: List[int] = []
         round_payload: List[int] = []
+        fault_plan = self._fault_plan
+        faults_active = (
+            fault_plan is not None and fault_plan.has_message_faults
+        )
         for round_number in range(1, rounds + 1):
+            if faults_active:
+                self._recover_round(round_number, messages_per_round)
             round_chars = (
                 self._round_payload_chars() if self._track_payload else 0
             )

@@ -17,13 +17,86 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import FaultRecoveryError, SimulationError
+from repro.faults import FaultPlan, fault_plan_from_env
 from repro.local_model.algorithm import LocalAlgorithm, NodeState
 from repro.local_model.network import Network
 from repro.obs.recorder import active as _obs_active
 
 #: Default budget preventing non-terminating algorithms from spinning.
 DEFAULT_MAX_ROUNDS = 10_000
+
+
+def recover_delivery(plan, round_number, message_index, describe) -> None:
+    """The reliable-delivery layer shared by both simulators.
+
+    Consults the fault plan for the fate of one message and recovers it:
+    a *duplicate* delivery is suppressed (delivery into a per-sender
+    inbox slot is idempotent, so deduplication restores the exact
+    fault-free transcript), a *drop* is retransmitted up to the plan's
+    ``max_redelivery`` budget.  Either way the caller proceeds with the
+    message delivered exactly once — accounting and algorithm semantics
+    are untouched — and the recovery is observable as ``runtime/fault``
+    / ``runtime/retry`` events sharing a ``scope`` key.
+
+    ``describe`` is a zero-argument callable naming the message (sender,
+    receiver); it is only invoked on the error/observability paths, so
+    the fault-free fast path pays nothing for it.
+
+    Raises
+    ------
+    FaultRecoveryError
+        If the message is dropped on the initial attempt *and* every
+        redelivery attempt — recovery must never silently give up.
+    """
+    action = plan.message_action(round_number, message_index, attempt=0)
+    if action is None:
+        return
+    recorder = _obs_active()
+    scope = f"msg:{round_number}:{message_index}"
+    if action == "duplicate":
+        if recorder is not None:
+            recorder.event(
+                "runtime",
+                "fault",
+                site="simulator",
+                kind="message_duplicate",
+                scope=scope,
+                round=round_number,
+                message=describe(),
+                recovered=True,
+            )
+        return
+    # A drop: retransmit until delivered or the budget is gone.
+    if recorder is not None:
+        recorder.event(
+            "runtime",
+            "fault",
+            site="simulator",
+            kind="message_drop",
+            scope=scope,
+            round=round_number,
+            message=describe(),
+            attempt=0,
+        )
+    for attempt in range(1, plan.max_redelivery + 1):
+        if plan.message_action(round_number, message_index, attempt) != "drop":
+            if recorder is not None:
+                recorder.event(
+                    "runtime",
+                    "retry",
+                    site="simulator",
+                    scope=scope,
+                    round=round_number,
+                    attempt=attempt,
+                    outcome="recovered",
+                )
+            return
+    raise FaultRecoveryError(
+        f"message {describe()} in round {round_number} was dropped on the "
+        f"initial delivery and all {plan.max_redelivery} redelivery "
+        f"attempts (fault plan seed {plan.seed})"
+    )
 
 
 @dataclass(frozen=True)
@@ -94,6 +167,14 @@ class Simulator:
         message).  Defaults to ``record_trace`` — calling ``repr`` on
         every message is a real cost at scale, so it is opt-in rather
         than always-on.
+    fault_plan:
+        Deterministic message-fault injection
+        (:class:`repro.faults.FaultPlan`): drops are retransmitted and
+        duplicates suppressed by the reliable-delivery layer, so a
+        faulted run produces the exact fault-free transcript (or raises
+        :class:`~repro.errors.FaultRecoveryError` when a drop survives
+        the redelivery budget).  Defaults to the ambient
+        ``REPRO_FAULTS`` environment spec; ``None`` there disables.
     """
 
     def __init__(
@@ -103,9 +184,13 @@ class Simulator:
         inputs: Optional[Dict[Hashable, Any]] = None,
         record_trace: bool = False,
         track_payload: Optional[bool] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self._network = network
         self._algorithm = algorithm
+        if fault_plan is None:
+            fault_plan = fault_plan_from_env()
+        self._fault_plan = fault_plan
         inputs = inputs or {}
         self._states: Dict[Hashable, NodeState] = {
             node: NodeState(node, network.neighbors(node), inputs.get(node))
@@ -162,9 +247,20 @@ class Simulator:
         round_chars = 0
         active_senders = 0
         track_payload = self._track_payload
+        fault_plan = self._fault_plan
+        faults_active = fault_plan is not None and fault_plan.has_message_faults
+        message_index = 0
         for sender, outbox in outboxes.items():
             sent_any = False
             for receiver, message in outbox.items():
+                if faults_active and message is not None:
+                    recover_delivery(
+                        fault_plan,
+                        round_number,
+                        message_index,
+                        lambda s=sender, r=receiver: f"{s!r} -> {r!r}",
+                    )
+                    message_index += 1
                 inboxes[receiver][sender] = message
                 if message is not None:
                     self._messages_delivered += 1
@@ -250,6 +346,9 @@ def run_algorithm(
     algorithm: LocalAlgorithm,
     inputs: Optional[Dict[Hashable, Any]] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(network, algorithm, inputs).run(max_rounds)
+    return Simulator(network, algorithm, inputs, fault_plan=fault_plan).run(
+        max_rounds
+    )

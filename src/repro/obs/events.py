@@ -51,6 +51,16 @@ OPTIONAL_INT_FIELDS = ("step", "round")
 #: Event kinds reserved for the recorder itself (component ``obs``).
 META_EVENTS = ("run_start", "run_end", "counter", "histogram")
 
+#: Fault-recovery event kinds of the ``runtime`` component.  Emitted by
+#: the fault-tolerant execution paths (``ProcessScheduler`` and the
+#: simulators' reliable-delivery layer); events describing the same
+#: fault share a ``scope`` payload key, which
+#: :func:`repro.core.audit.certify_recovery` uses to check that every
+#: recorded fault reached a terminal recovery (``retry`` with outcome
+#: ``recovered``, a ``fallback``, or a self-healing fault marked
+#: ``recovered``).
+RUNTIME_FAULT_EVENTS = ("fault", "retry", "fallback")
+
 
 @dataclass(frozen=True)
 class ObsEvent:

@@ -18,6 +18,11 @@ class are traversed:
   pool; the parent commits the returned choices in plan order, so the
   trace equals the serial one.  Workers re-validate read-set
   disjointness: a schedule bug raises instead of corrupting phi.
+  The backend is fault-tolerant: per-chunk deadlines, pool-rebuilding
+  retries with bounded exponential backoff, and a final in-parent
+  fallback keep the merge bit-identical under worker crashes and hangs
+  (deterministically injectable through :class:`repro.faults.FaultPlan`
+  or the ``REPRO_FAULTS`` environment spec).
 
 Every scheduler validates each class's cross-cell disjointness before
 touching it and publishes per-class span / op-count metrics through
@@ -27,12 +32,19 @@ touching it and publishes per-class span / op-count metrics through
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from concurrent.futures import (
+    CancelledError as FuturesCancelledError,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SchedulerProtocolError
+from repro.faults import FaultPlan, fault_plan_from_env
 from repro.obs.recorder import active as _obs_active
 from repro.core.selection import Decision
 from repro.lll.instance import LLLInstance
@@ -46,6 +58,34 @@ from repro.runtime.workers import (
 
 #: Registered scheduler names, in documentation order.
 SCHEDULER_NAMES = ("serial", "batch", "process")
+
+#: Failure classes the process backend recovers from (everything else —
+#: notably :class:`SchedulerProtocolError` and worker-side validation
+#: errors — indicates a bug and propagates).
+_RECOVERABLE_FAILURES = (
+    TimeoutError,
+    FuturesTimeoutError,
+    FuturesCancelledError,
+    BrokenProcessPool,
+    OSError,
+    EOFError,
+)
+
+
+def _is_recoverable_failure(error: BaseException) -> bool:
+    """Whether a chunk failure is environmental (retry) or a bug (raise)."""
+    return isinstance(error, _RECOVERABLE_FAILURES)
+
+
+def _classify_failure(error: BaseException) -> str:
+    """A stable label for a recoverable chunk failure, for obs events."""
+    if isinstance(error, (TimeoutError, FuturesTimeoutError)):
+        return "deadline"
+    if isinstance(error, BrokenProcessPool):
+        return "worker-death"
+    if isinstance(error, FuturesCancelledError):
+        return "cancelled"
+    return "ipc-failure"
 
 
 def _fixer_kind(fixer) -> str:
@@ -227,6 +267,21 @@ class BatchScheduler(Scheduler):
         )
 
 
+@dataclasses.dataclass
+class _ChunkState:
+    """Dispatch bookkeeping for one chunk of cells."""
+
+    #: Global chunk index (monotonic across classes) — the fault plan's
+    #: addressing space and the obs events' correlation key.
+    chunk_id: int
+    #: Cell indices (into the class) this chunk carries.
+    cells: List[int]
+    #: 0-based dispatch attempt.
+    attempt: int = 0
+    #: Whether any attempt of this chunk has failed (for recovery obs).
+    faulted: bool = False
+
+
 class ProcessScheduler(Scheduler):
     """Cells of a class run in a ``ProcessPoolExecutor``; commits stay
     in the parent, in plan order.
@@ -238,6 +293,25 @@ class ProcessScheduler(Scheduler):
     kernel) execute in the parent at their merge position, preserving
     order.  ``max_workers`` bounds the pool; ``min_dispatch_ops`` routes
     tiny classes around the pool entirely.
+
+    Failure semantics (see docs/scheduling.md): every chunk result is
+    awaited with ``deadline`` seconds of patience; a timeout or a dead
+    worker (``BrokenProcessPool``) marks the chunk failed, the pool is
+    abandoned and rebuilt, and the chunk is resubmitted with bounded
+    exponential backoff up to ``max_retries`` times.  A chunk that
+    exhausts its retries falls back to in-parent execution at its merge
+    position — which is *exactly* the serial oracle's arithmetic, so
+    recovery never changes the transcript.  Malformed worker replies
+    (wrong cell count, short choice lists) raise
+    :class:`~repro.errors.SchedulerProtocolError` before anything is
+    committed — no silent partial cells.  All of it is observable:
+    ``runtime/fault``, ``runtime/retry`` and ``runtime/fallback`` events
+    carry a shared ``scope`` key (``chunk:<id>``) that
+    :func:`repro.core.audit.certify_recovery` cross-checks.
+
+    ``fault_plan`` injects deterministic failures
+    (:class:`~repro.faults.FaultPlan`); when omitted, the ambient
+    ``REPRO_FAULTS`` environment spec applies (``None`` disables).
     """
 
     name = "process"
@@ -246,10 +320,35 @@ class ProcessScheduler(Scheduler):
         self,
         max_workers: Optional[int] = None,
         min_dispatch_ops: int = 2,
+        deadline: Optional[float] = None,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        fault_plan: Optional[FaultPlan] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
-        self._max_workers = max_workers
+        if max_workers is None:
+            # Resolve the worker count ourselves instead of reaching
+            # into the pool's private ``_max_workers`` after the fact.
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ReproError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._num_workers = int(max_workers)
         self._min_dispatch_ops = max(int(min_dispatch_ops), 1)
+        if fault_plan is None:
+            fault_plan = fault_plan_from_env()
+        self._fault_plan = fault_plan
+        if deadline is None and fault_plan is not None:
+            deadline = fault_plan.deadline
+        self._deadline = deadline
+        self._max_retries = max(int(max_retries), 0)
+        self._backoff_base = max(float(backoff_base), 0.0)
+        self._backoff_cap = max(float(backoff_cap), 0.0)
+        self._sleep = sleep
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._next_chunk_id = 0
 
     def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
         try:
@@ -261,8 +360,30 @@ class ProcessScheduler(Scheduler):
 
     def _acquire_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+            self._pool = ProcessPoolExecutor(max_workers=self._num_workers)
         return self._pool
+
+    def _abandon_pool(self) -> None:
+        """Discard a pool that failed or may hold hung workers.
+
+        ``shutdown(wait=True)`` on a pool with a hung worker would block
+        the parent forever — the precise failure mode the deadline
+        exists to bound — so the pool is shut down without waiting and
+        its remaining processes are terminated best-effort.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
 
     def _run_class(
         self, fixer, color_class: ColorClass, instance: LLLInstance
@@ -280,21 +401,9 @@ class ProcessScheduler(Scheduler):
             len(color_class.cells[index].ops) for index in dispatchable
         )
         choices_by_cell: Dict[int, List[object]] = {}
-        workers_used = 0
         if len(dispatchable) >= 2 and dispatch_ops >= self._min_dispatch_ops:
-            pool = self._acquire_pool()
-            limit = pool._max_workers
-            chunks = self._chunk(dispatchable, limit)
-            futures = [
-                pool.submit(
-                    execute_chunk, [payloads[index] for index in chunk]
-                )
-                for chunk in chunks
-            ]
-            workers_used = len(chunks)
-            for chunk, future in zip(chunks, futures):
-                for index, choices in zip(chunk, future.result()):
-                    choices_by_cell[index] = choices
+            chunks = self._chunk(dispatchable, self._num_workers)
+            choices_by_cell = self._dispatch(chunks, payloads, color_class)
             recorder = _obs_active()
             if recorder is not None:
                 chunk_ops = [
@@ -305,7 +414,7 @@ class ProcessScheduler(Scheduler):
                     "runtime",
                     "workers",
                     color=color_class.color,
-                    workers=workers_used,
+                    workers=len(chunks),
                     chunk_ops=chunk_ops,
                     utilization=(
                         min(chunk_ops) / max(chunk_ops)
@@ -322,6 +431,11 @@ class ProcessScheduler(Scheduler):
                 for op in cell.ops:
                     fixer.commit(fixer.decide(op.variable))
                 continue
+            if len(choices) != len(cell.ops):
+                raise SchedulerProtocolError(
+                    f"cell {cell.owner!r}: merge received {len(choices)} "
+                    f"choices for {len(cell.ops)} ops"
+                )
             for op, choice in zip(cell.ops, choices):
                 variable = instance.variable(op.variable)
                 events = instance.events_of_variable(op.variable)
@@ -331,6 +445,147 @@ class ProcessScheduler(Scheduler):
                         events=tuple(events),
                         choice=choice,
                     )
+                )
+
+    # ------------------------------------------------------------------
+    # Dispatch with deadlines, retries and fallback
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        chunks: Sequence[List[int]],
+        payloads: Sequence[Optional[CellPayload]],
+        color_class: ColorClass,
+    ) -> Dict[int, List[object]]:
+        """Run the chunks through the pool; recover from failed workers.
+
+        Returns the collected choices per cell index.  Cells of chunks
+        that exhausted their retry budget are deliberately *absent* from
+        the result — the merge loop executes them in-parent at their
+        plan position, which reproduces the serial transcript exactly.
+        """
+        recorder = _obs_active()
+        plan = self._fault_plan
+        results: Dict[int, List[object]] = {}
+        pending: List[_ChunkState] = []
+        for chunk in chunks:
+            pending.append(_ChunkState(self._next_chunk_id, list(chunk)))
+            self._next_chunk_id += 1
+        while pending:
+            pool = self._acquire_pool()
+            submitted = []
+            for state in pending:
+                fault = (
+                    plan.worker_fault(state.chunk_id, state.attempt)
+                    if plan is not None
+                    else None
+                )
+                future = pool.submit(
+                    execute_chunk,
+                    [payloads[index] for index in state.cells],
+                    fault,
+                )
+                submitted.append((state, future))
+            failed: List[_ChunkState] = []
+            for state, future in submitted:
+                try:
+                    replies = future.result(timeout=self._deadline)
+                except SchedulerProtocolError:
+                    # A malformed reply is a correctness bug, not an
+                    # environmental fault: surface it, never retry it.
+                    raise
+                except (Exception, FuturesCancelledError) as error:
+                    # Timeout, dead worker, cancelled wave, IPC failure.
+                    if not _is_recoverable_failure(error):
+                        raise
+                    state.faulted = True
+                    failed.append(state)
+                    if recorder is not None:
+                        recorder.event(
+                            "runtime",
+                            "fault",
+                            site="scheduler",
+                            kind=_classify_failure(error),
+                            scope=f"chunk:{state.chunk_id}",
+                            chunk=state.chunk_id,
+                            attempt=state.attempt,
+                            cells=len(state.cells),
+                            error=repr(error),
+                        )
+                    continue
+                self._validate_replies(state, replies, color_class)
+                for index, choices in zip(state.cells, replies):
+                    results[index] = choices
+                if state.faulted and recorder is not None:
+                    recorder.event(
+                        "runtime",
+                        "retry",
+                        site="scheduler",
+                        scope=f"chunk:{state.chunk_id}",
+                        chunk=state.chunk_id,
+                        attempt=state.attempt,
+                        outcome="recovered",
+                    )
+            if failed:
+                # The pool may hold hung or dead workers either way;
+                # abandon it wholesale and rebuild for the retry wave.
+                self._abandon_pool()
+            pending = []
+            for state in failed:
+                if state.attempt >= self._max_retries:
+                    if recorder is not None:
+                        recorder.event(
+                            "runtime",
+                            "fallback",
+                            site="scheduler",
+                            scope=f"chunk:{state.chunk_id}",
+                            chunk=state.chunk_id,
+                            cells=len(state.cells),
+                            reason=(
+                                f"retries exhausted after "
+                                f"{state.attempt + 1} attempts"
+                            ),
+                        )
+                    continue
+                delay = min(
+                    self._backoff_cap,
+                    self._backoff_base * (2.0 ** state.attempt),
+                )
+                state.attempt += 1
+                if recorder is not None:
+                    recorder.event(
+                        "runtime",
+                        "retry",
+                        site="scheduler",
+                        scope=f"chunk:{state.chunk_id}",
+                        chunk=state.chunk_id,
+                        attempt=state.attempt,
+                        backoff_seconds=delay,
+                        outcome="resubmitted",
+                    )
+                if delay > 0:
+                    self._sleep(delay)
+                pending.append(state)
+        return results
+
+    def _validate_replies(
+        self,
+        state: "_ChunkState",
+        replies: Sequence[Sequence[object]],
+        color_class: ColorClass,
+    ) -> None:
+        """Reject short or garbled worker replies before any commit."""
+        if len(replies) != len(state.cells):
+            raise SchedulerProtocolError(
+                f"chunk {state.chunk_id}: worker returned {len(replies)} "
+                f"cell results for {len(state.cells)} cells"
+            )
+        for index, choices in zip(state.cells, replies):
+            cell = color_class.cells[index]
+            if len(choices) != len(cell.ops):
+                raise SchedulerProtocolError(
+                    f"cell {cell.owner!r} (chunk {state.chunk_id}): "
+                    f"worker reply has {len(choices)} choices for "
+                    f"{len(cell.ops)} ops"
                 )
 
     @staticmethod

@@ -22,10 +22,13 @@ same point of the serial order.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import SchedulerProtocolError, SimulationError
+from repro.faults.plan import WorkerFault
 from repro.core.selection import (
     select_rank1,
     select_rank2,
@@ -160,6 +163,12 @@ def execute_cell(payload: CellPayload) -> List[object]:
             key = frozenset(names)
             weights = tuple(ledger[key][name] for name in names)
             choice = select_rankr(op.variable, events, weights, assignment)
+            if len(choice.new_weights) != len(names):
+                raise SchedulerProtocolError(
+                    f"cell {payload.owner!r}: selection returned "
+                    f"{len(choice.new_weights)} weights for {len(names)} "
+                    f"events — refusing to commit a partial ledger update"
+                )
             for name, new_weight in zip(names, choice.new_weights):
                 ledger[key][name] = new_weight
         elif len(events) == 1:
@@ -190,8 +199,36 @@ def execute_cell(payload: CellPayload) -> List[object]:
     return choices
 
 
+def _apply_worker_fault(
+    fault: Optional[WorkerFault], results: List[List[object]]
+) -> List[List[object]]:
+    """Execute a post-compute injected fault inside the worker.
+
+    ``hang`` and ``slow`` sleep — the former past any sane deadline, the
+    latter briefly; ``garble`` truncates the last cell's reply, which
+    the parent must reject as a protocol violation instead of committing
+    a partial cell.  (``crash`` is handled pre-compute in
+    :func:`execute_chunk`: the process dies before producing results,
+    and the parent sees a ``BrokenProcessPool``.)
+    """
+    if fault is None:
+        return results
+    if fault.kind in ("hang", "slow"):
+        time.sleep(fault.seconds)
+        return results
+    if fault.kind == "garble":
+        garbled = [list(choices) for choices in results]
+        if garbled and garbled[-1]:
+            garbled[-1].pop()
+        elif garbled:
+            garbled.pop()
+        return garbled
+    raise SimulationError(f"unknown injected worker fault {fault.kind!r}")
+
+
 def execute_chunk(
     payloads: Sequence[CellPayload],
+    fault: Optional[WorkerFault] = None,
 ) -> List[List[object]]:
     """Worker entry point: validate disjointness, then run each cell.
 
@@ -199,6 +236,12 @@ def execute_chunk(
     event in one class means the plan (or the coloring underneath it)
     is broken, and silently replaying them against stale pins would
     corrupt the phi ledger — raising is the only safe response.
+
+    ``fault`` is the deterministic fault-injection hook: when the
+    dispatching scheduler's :class:`~repro.faults.FaultPlan` selects this
+    chunk, the injected failure executes *here*, in the worker, so the
+    parent-side recovery path is exercised against real process death,
+    real elapsed deadlines and real malformed replies.
     """
     touched: set = set()
     for payload in payloads:
@@ -210,4 +253,7 @@ def execute_chunk(
                 f"read by two cells of one class"
             )
         touched.update(reads)
-    return [execute_cell(payload) for payload in payloads]
+    if fault is not None and fault.kind == "crash":
+        os._exit(13)
+    results = [execute_cell(payload) for payload in payloads]
+    return _apply_worker_fault(fault, results)

@@ -1,7 +1,6 @@
 """Unit tests for the consolidated report generator."""
 
 import json
-import os
 
 import pytest
 
@@ -72,13 +71,10 @@ class TestRenderReport:
 
 
 class TestRealArtifacts:
-    def test_report_over_checked_in_results(self):
-        results = os.path.join(
-            os.path.dirname(__file__), "..", "benchmarks", "results"
-        )
-        if not os.path.isdir(results):
-            pytest.skip("benchmark artifacts not generated yet")
-        artifacts = load_results(results)
+    def test_report_over_checked_in_results(self, benchmark_results_dir):
+        # The fixture falls back to synthetic artifacts when the
+        # checked-in ones are absent, so this runs unconditionally.
+        artifacts = load_results(benchmark_results_dir)
         report = render_report(artifacts)
         assert "[T5]" in report
         assert "phase shift" in report

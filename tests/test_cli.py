@@ -107,17 +107,8 @@ class TestCommands:
             rows = list(csv.reader(handle))
         assert rows[0] == ["a", "b", "f"]
 
-    def test_report_command(self, capsys):
-        import os
-
-        results = os.path.join(
-            os.path.dirname(__file__), "..", "benchmarks", "results"
-        )
-        if not os.path.isdir(results):
-            import pytest as _pytest
-
-            _pytest.skip("benchmark artifacts not generated")
-        code = main(["report", "--results-dir", results,
+    def test_report_command(self, benchmark_results_dir, capsys):
+        code = main(["report", "--results-dir", benchmark_results_dir,
                      "--experiments", "T5"])
         assert code == 0
         assert "phase shift" in capsys.readouterr().out

@@ -1,0 +1,506 @@
+"""The fault-injection plane and the execution plane's recovery promise.
+
+The paper's guarantee is adversarial in the *mathematical* order of
+fixing; the execution plane promises the systems-level analogue: under
+any injected fault schedule — worker crashes, hangs past the deadline,
+slow replies, dropped or duplicated simulator messages — a run either
+recovers to the exact ``SerialScheduler`` transcript or raises a typed
+error naming the fault.  These tests pin both halves: the determinism
+of :class:`repro.faults.FaultPlan` itself, and the bit-identity of every
+recovery path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    certify_recovery,
+    run_audit,
+    solve_distributed,
+    solve_distributed_local,
+)
+from repro.errors import (
+    FaultRecoveryError,
+    FaultSpecError,
+    ReproError,
+    SchedulerProtocolError,
+)
+from repro.faults import (
+    ENV_VAR,
+    FaultPlan,
+    WorkerFault,
+    fault_plan_from_env,
+    parse_fault_spec,
+)
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+)
+from repro.obs.recorder import recording
+from repro.runtime import ProcessScheduler, SerialScheduler
+
+
+def fast_process_scheduler(**kwargs):
+    """A ProcessScheduler tuned for tests: small pool, no real backoff."""
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("backoff_base", 0.0)
+    kwargs.setdefault("deadline", 15.0)
+    return ProcessScheduler(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan: validation, determinism, injection semantics
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_inert_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert not FaultPlan().has_worker_faults
+        assert not FaultPlan().has_message_faults
+
+    def test_rate_validation(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan(crash_rate=1.5)
+        with pytest.raises(FaultSpecError):
+            FaultPlan(drop_rate=-0.1)
+        with pytest.raises(FaultSpecError):
+            FaultPlan(max_redelivery=0)
+        with pytest.raises(FaultSpecError):
+            FaultPlan(explicit_chunks=((0, "explode"),))
+
+    def test_worker_fault_determinism(self):
+        plan = FaultPlan(seed=11, crash_rate=0.4, slow_rate=0.3)
+        again = FaultPlan(seed=11, crash_rate=0.4, slow_rate=0.3)
+        schedule = [plan.worker_fault(c, a) for c in range(40) for a in (0, 1)]
+        assert schedule == [
+            again.worker_fault(c, a) for c in range(40) for a in (0, 1)
+        ]
+        # A different seed produces a different schedule.
+        other = FaultPlan(seed=12, crash_rate=0.4, slow_rate=0.3)
+        assert schedule != [
+            other.worker_fault(c, a) for c in range(40) for a in (0, 1)
+        ]
+
+    def test_explicit_pin_fires_first_attempt_only(self):
+        plan = FaultPlan(explicit_chunks=((3, "crash"),))
+        assert plan.worker_fault(3, 0) == WorkerFault("crash")
+        assert plan.worker_fault(3, 1) is None
+        assert plan.worker_fault(2, 0) is None
+
+    def test_rate_one_faults_every_attempt(self):
+        plan = FaultPlan(crash_rate=1.0)
+        for attempt in range(4):
+            fault = plan.worker_fault(0, attempt)
+            assert fault is not None and fault.kind == "crash"
+
+    def test_durations_attached(self):
+        plan = FaultPlan(
+            explicit_chunks=((0, "hang"), (1, "slow")),
+            hang_seconds=9.0,
+            slow_seconds=0.25,
+        )
+        assert plan.worker_fault(0, 0) == WorkerFault("hang", 9.0)
+        assert plan.worker_fault(1, 0) == WorkerFault("slow", 0.25)
+
+    def test_message_action_semantics(self):
+        plan = FaultPlan(seed=5, drop_rate=1.0)
+        # Drops re-draw per attempt: rate 1.0 drops forever.
+        assert all(
+            plan.message_action(1, 0, attempt) == "drop"
+            for attempt in range(4)
+        )
+        dup = FaultPlan(seed=5, duplicate_rate=1.0)
+        assert dup.message_action(1, 0, 0) == "duplicate"
+        # Duplication is decided once, on the first attempt.
+        assert dup.message_action(1, 0, 1) is None
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        plan = FaultPlan(
+            seed=3,
+            crash_rate=0.5,
+            explicit_chunks=((2, "hang"),),
+            deadline=1.5,
+        )
+        summary = plan.describe()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["seed"] == 3
+        assert summary["explicit_chunks"] == {"2": "hang"}
+
+
+# ----------------------------------------------------------------------
+# Spec grammar (CLI flag and REPRO_FAULTS)
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_full_grammar(self):
+        plan = parse_fault_spec(
+            "seed=7, crash=0.3, hang@2, drop=0.05, dup=0.02,"
+            " deadline=0.5, redeliver=3, slow_seconds=0.2"
+        )
+        assert plan.seed == 7
+        assert plan.crash_rate == 0.3
+        assert plan.explicit_chunks == ((2, "hang"),)
+        assert plan.drop_rate == 0.05
+        assert plan.duplicate_rate == 0.02
+        assert plan.deadline == 0.5
+        assert plan.max_redelivery == 3
+        assert plan.slow_seconds == 0.2
+
+    def test_duplicate_alias(self):
+        assert parse_fault_spec("duplicate=0.1").duplicate_rate == 0.1
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode=0.5",          # unknown key
+            "crash",                # missing separator
+            "crash=lots",           # non-numeric rate
+            "explode@3",            # unknown pinned kind
+            "crash@first",          # non-integer chunk
+            "crash=2.0",            # out-of-range rate (via FaultPlan)
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(spec)
+
+    def test_env_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert fault_plan_from_env() is None
+        monkeypatch.setenv(ENV_VAR, "  ")
+        assert fault_plan_from_env() is None
+        monkeypatch.setenv(ENV_VAR, "seed=9,crash=0.25")
+        plan = fault_plan_from_env()
+        assert plan is not None and plan.crash_rate == 0.25
+
+    def test_env_plan_reaches_scheduler_and_simulator(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "seed=4,slow=0.5,slow_seconds=0.001")
+        scheduler = ProcessScheduler(max_workers=2)
+        assert scheduler._fault_plan is not None
+        assert scheduler._fault_plan.slow_rate == 0.5
+
+
+# ----------------------------------------------------------------------
+# ProcessScheduler recovery: the differential contract under faults
+# ----------------------------------------------------------------------
+def assert_identical(reference, candidate):
+    assert (
+        candidate.fixing.assignment.as_dict()
+        == reference.fixing.assignment.as_dict()
+    )
+    assert candidate.fixing.steps == reference.fixing.steps
+    assert (
+        candidate.fixing.certified_bounds
+        == reference.fixing.certified_bounds
+    )
+
+
+class TestProcessSchedulerRecovery:
+    @pytest.fixture
+    def rank2_instance(self):
+        return all_zero_edge_instance(cycle_graph(14), 3)
+
+    @pytest.fixture
+    def rank3_instance(self):
+        return all_zero_triple_instance(11, cyclic_triples(11), 5)
+
+    def solve(self, instance, scheduler):
+        return solve_distributed(instance, scheduler=scheduler)
+
+    def test_crash_recovery_is_bit_identical(self, rank2_instance):
+        reference = self.solve(rank2_instance, SerialScheduler())
+        plan = FaultPlan(explicit_chunks=((0, "crash"),))
+        with recording() as recorder:
+            candidate = self.solve(
+                rank2_instance, fast_process_scheduler(fault_plan=plan)
+            )
+            events = list(recorder.memory.events)
+        assert_identical(reference, candidate)
+        kinds = {
+            e["event"] for e in events if e["component"] == "runtime"
+        }
+        assert "fault" in kinds and "retry" in kinds
+        assert certify_recovery(events) == []
+
+    def test_hang_recovery_is_bit_identical(self, rank2_instance):
+        reference = self.solve(rank2_instance, SerialScheduler())
+        plan = FaultPlan(
+            explicit_chunks=((1, "hang"),), hang_seconds=10.0
+        )
+        with recording() as recorder:
+            candidate = self.solve(
+                rank2_instance,
+                fast_process_scheduler(fault_plan=plan, deadline=1.0),
+            )
+            events = list(recorder.memory.events)
+        assert_identical(reference, candidate)
+        faults = [
+            e for e in events
+            if e["component"] == "runtime" and e["event"] == "fault"
+        ]
+        assert any(e["payload"]["kind"] == "deadline" for e in faults)
+        assert certify_recovery(events) == []
+
+    def test_rank3_crash_and_slow_mix(self, rank3_instance):
+        reference = self.solve(rank3_instance, SerialScheduler())
+        plan = FaultPlan(
+            seed=2,
+            explicit_chunks=((0, "crash"),),
+            slow_rate=0.5,
+            slow_seconds=0.001,
+        )
+        candidate = self.solve(
+            rank3_instance, fast_process_scheduler(fault_plan=plan)
+        )
+        assert_identical(reference, candidate)
+
+    def test_persistent_crash_falls_back_in_parent(self, rank2_instance):
+        reference = self.solve(rank2_instance, SerialScheduler())
+        plan = FaultPlan(crash_rate=1.0)
+        with recording() as recorder:
+            candidate = self.solve(
+                rank2_instance,
+                fast_process_scheduler(fault_plan=plan, max_retries=1),
+            )
+            events = list(recorder.memory.events)
+        assert_identical(reference, candidate)
+        fallbacks = [
+            e for e in events
+            if e["component"] == "runtime" and e["event"] == "fallback"
+        ]
+        assert fallbacks, "expected the in-parent fallback to engage"
+        assert certify_recovery(events) == []
+
+    def test_garbled_reply_raises_protocol_error(self, rank2_instance):
+        plan = FaultPlan(explicit_chunks=((0, "garble"),))
+        with pytest.raises(SchedulerProtocolError) as excinfo:
+            self.solve(
+                rank2_instance, fast_process_scheduler(fault_plan=plan)
+            )
+        assert "choices" in str(excinfo.value)
+
+    def test_fault_free_path_unchanged(self, rank2_instance):
+        reference = self.solve(rank2_instance, SerialScheduler())
+        candidate = self.solve(rank2_instance, fast_process_scheduler())
+        assert_identical(reference, candidate)
+
+    def test_max_workers_none_resolves_to_cpu_count(self):
+        scheduler = ProcessScheduler()
+        assert scheduler._num_workers >= 1
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(ReproError):
+            ProcessScheduler(max_workers=0)
+
+    def test_audit_certifies_post_recovery_transcript(self, rank2_instance):
+        plan = FaultPlan(explicit_chunks=((0, "crash"),))
+        with recording() as recorder:
+            candidate = self.solve(
+                rank2_instance, fast_process_scheduler(fault_plan=plan)
+            )
+            events = list(recorder.memory.events)
+        report = run_audit(rank2_instance, candidate, fault_events=events)
+        assert report.ok, report.problems
+
+
+# ----------------------------------------------------------------------
+# Simulator message faults: reliable delivery, identical transcripts
+# ----------------------------------------------------------------------
+class TestSimulatorMessageFaults:
+    @pytest.fixture
+    def instance(self):
+        return all_zero_triple_instance(9, cyclic_triples(9), 5)
+
+    def test_drop_and_duplicate_recover_exactly(self, instance):
+        baseline = solve_distributed_local(instance)
+        plan = FaultPlan(seed=3, drop_rate=0.3, duplicate_rate=0.3)
+        with recording() as recorder:
+            faulted = solve_distributed_local(instance, fault_plan=plan)
+            events = list(recorder.memory.events)
+        assert (
+            faulted.fixing.assignment.as_dict()
+            == baseline.fixing.assignment.as_dict()
+        )
+        assert faulted.fixing.steps == baseline.fixing.steps
+        # Message accounting is part of the transcript: the reliable
+        # delivery layer must not change what the algorithm observed.
+        assert faulted.round_messages == baseline.round_messages
+        assert faulted.schedule_rounds == baseline.schedule_rounds
+        runtime = [e for e in events if e["component"] == "runtime"]
+        assert any(e["event"] == "fault" for e in runtime)
+        assert certify_recovery(events) == []
+        assert run_audit(instance, faulted, fault_events=events).ok
+
+    def test_exhausted_redelivery_raises_typed_error(self, instance):
+        plan = FaultPlan(seed=1, drop_rate=1.0, max_redelivery=2)
+        with pytest.raises(FaultRecoveryError) as excinfo:
+            solve_distributed_local(instance, fault_plan=plan)
+        message = str(excinfo.value)
+        assert "dropped" in message and "redelivery" in message
+
+    def test_batched_simulator_recovers_exactly(self):
+        import numpy as np
+
+        from repro.graph.batched import BatchedSimulator
+        from repro.graph.coloring import GreedyReductionArrayAlgorithm
+        from repro.graph.csr import CSRGraph
+        from repro.generators import random_regular_graph
+
+        graph = random_regular_graph(16, 4, seed=3)
+        csr = CSRGraph.from_networkx(graph)
+        inputs = np.arange(16)
+
+        def algorithm():
+            return GreedyReductionArrayAlgorithm(16, 5, 4)
+
+        baseline = BatchedSimulator(
+            csr, algorithm(), inputs=inputs, record_trace=True
+        ).run()
+        plan = FaultPlan(seed=9, drop_rate=0.2, duplicate_rate=0.2)
+        with recording() as recorder:
+            faulted = BatchedSimulator(
+                csr,
+                algorithm(),
+                inputs=inputs,
+                record_trace=True,
+                fault_plan=plan,
+            ).run()
+            events = list(recorder.memory.events)
+        assert faulted.outputs == baseline.outputs
+        assert faulted.trace == baseline.trace
+        assert faulted.round_messages == baseline.round_messages
+        assert certify_recovery(events) == []
+
+        dead = FaultPlan(seed=2, drop_rate=1.0, max_redelivery=1)
+        with pytest.raises(FaultRecoveryError):
+            BatchedSimulator(
+                csr, algorithm(), inputs=inputs, fault_plan=dead
+            ).run()
+
+
+# ----------------------------------------------------------------------
+# Recovery certification over event streams
+# ----------------------------------------------------------------------
+def _event(event_kind, **payload):
+    return {
+        "run_id": "r",
+        "seq": 0,
+        "ts_ns": 0,
+        "component": "runtime",
+        "event": event_kind,
+        "payload": payload,
+    }
+
+
+class TestCertifyRecovery:
+    def test_empty_stream_certifies(self):
+        assert certify_recovery([]) == []
+
+    def test_dangling_fault_reported(self):
+        problems = certify_recovery(
+            [_event("fault", scope="chunk:0", kind="worker-death")]
+        )
+        assert len(problems) == 1
+        assert "chunk:0" in problems[0]
+
+    def test_retry_recovery_closes_fault(self):
+        events = [
+            _event("fault", scope="chunk:0", kind="deadline"),
+            _event("retry", scope="chunk:0", outcome="resubmitted"),
+            _event("retry", scope="chunk:0", outcome="recovered"),
+        ]
+        assert certify_recovery(events) == []
+
+    def test_fallback_closes_fault(self):
+        events = [
+            _event("fault", scope="chunk:1", kind="worker-death"),
+            _event("fallback", scope="chunk:1", reason="retries exhausted"),
+        ]
+        assert certify_recovery(events) == []
+
+    def test_self_healing_fault(self):
+        events = [
+            _event(
+                "fault",
+                scope="msg:1:0",
+                kind="message_duplicate",
+                recovered=True,
+            )
+        ]
+        assert certify_recovery(events) == []
+
+    def test_unrelated_events_ignored(self):
+        events = [
+            {
+                "run_id": "r",
+                "seq": 0,
+                "ts_ns": 0,
+                "component": "simulator",
+                "event": "fault",
+                "payload": {"scope": "x"},
+            },
+            _event("fault", kind="no-scope"),
+        ]
+        assert certify_recovery(events) == []
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCliFaults:
+    def test_faults_flag_with_process_scheduler(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "solve",
+                "--family",
+                "cycle",
+                "--n",
+                "10",
+                "--scheduler",
+                "process",
+                "--faults",
+                "seed=5,crash@0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+
+    def test_faults_flag_requires_fault_aware_backend(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "solve",
+                "--family",
+                "cycle",
+                "--n",
+                "10",
+                "--faults",
+                "crash=0.5",
+            ]
+        )
+        assert code != 0
+
+    def test_malformed_spec_is_a_clean_error(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "solve",
+                "--family",
+                "cycle",
+                "--n",
+                "10",
+                "--scheduler",
+                "process",
+                "--faults",
+                "explode=1",
+            ]
+        )
+        assert code != 0

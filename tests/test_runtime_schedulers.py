@@ -219,3 +219,31 @@ def test_plan_charges_coloring_host_rounds():
     coloring = compute_two_hop_coloring(network)
     assert plan.coloring_rounds == coloring.host_rounds
     assert coloring.host_rounds % VIRTUAL_ROUND_FACTOR == 0
+
+
+# ----------------------------------------------------------------------
+# Differential under injected faults: recovery must be invisible
+# ----------------------------------------------------------------------
+@SLOW_SETTINGS
+@given(spec=rank2_instances(), seed=st.integers(min_value=0, max_value=7))
+def test_process_scheduler_identical_under_faults(spec, seed):
+    """Crash/slow injection must not perturb the serial transcript."""
+    from repro.faults import FaultPlan
+
+    reference = run_with(spec, SerialScheduler())
+    plan = FaultPlan(
+        seed=seed,
+        explicit_chunks=((0, "crash"),),
+        slow_rate=0.3,
+        slow_seconds=0.001,
+    )
+    candidate = run_with(
+        spec,
+        ProcessScheduler(
+            max_workers=2,
+            backoff_base=0.0,
+            deadline=15.0,
+            fault_plan=plan,
+        ),
+    )
+    assert_identical(reference, candidate)
