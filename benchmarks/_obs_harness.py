@@ -35,7 +35,12 @@ from repro.analysis import ExperimentRecord, records_to_table, write_records_jso
 from repro.obs import active as obs_active
 from repro.probability import engine as probability_engine
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+# REPRO_BENCH_RESULTS_DIR redirects artifact writes (the CI perf gate
+# points it at a scratch dir, then diffs against the committed baselines
+# with `repro bench compare`).
+RESULTS_DIR = os.environ.get("REPRO_BENCH_RESULTS_DIR") or os.path.join(
+    os.path.dirname(__file__), "results"
+)
 
 
 def require_native_dtype(array: Any, context: str) -> Any:
@@ -122,6 +127,8 @@ def _span_breakdown() -> Optional[List[Dict[str, Any]]]:
     recorder = obs_active()
     if recorder is None:
         return None
+    from repro.obs import percentile
+
     breakdown = []
     for (component, name), durations in sorted(
         recorder.span_durations.items()
@@ -132,6 +139,9 @@ def _span_breakdown() -> Optional[List[Dict[str, Any]]]:
                 "span": name,
                 "count": len(durations),
                 "total_ns": sum(durations),
+                "p50_ns": percentile(durations, 50),
+                "p95_ns": percentile(durations, 95),
+                "p99_ns": percentile(durations, 99),
             }
         )
     return breakdown

@@ -1,0 +1,218 @@
+"""[E5] Observability overhead: the disabled path must cost (almost) nothing.
+
+The obs plane's founding constraint (docs/observability.md) is that
+instrumented hot paths pay one ``active() is None`` check when recording
+is off.  This bench holds the plane to that number on the headline
+rank-3 workload, three ways:
+
+* ``off`` — the instrumented library with no recorder installed: the
+  production path whose overhead must stay under ``OFF_OVERHEAD_BAR``.
+* ``on`` — the same solve recording a full JSONL trace (spans, worker
+  shards, counter summaries).  The slowdown is reported, the trace must
+  be schema-valid, and with the process scheduler every worker chunk
+  must be attributed (``worker_id``) in the merged trace.
+* ``probe`` — a microbenchmark of the disabled-path check itself.  The
+  off-mode *estimate* multiplies the measured per-check cost by a 3x
+  cushion of the event count an enabled run emits (an upper bound on
+  the number of guarded sites a run executes) and must stay under the
+  2% bar.  This is the honest version of "obs off is free": the bar is
+  checked against a measured per-site cost, not against run-to-run
+  timing noise, which on CI machines exceeds 2% by itself.
+
+Quick mode (``OBS_BENCH_QUICK=1``, used by the CI perf-gate job)
+shrinks the workload; the bars are unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import _obs_harness
+from repro.core import Rank3Fixer
+from repro.generators import all_zero_triple_instance, cyclic_triples
+from repro.obs import check_events, read_trace
+from repro.obs.recorder import active as obs_active, recording
+from repro.runtime import ProcessScheduler, SerialScheduler
+from repro.runtime.plan import plan_for_instance
+
+QUICK = os.environ.get("OBS_BENCH_QUICK") == "1"
+
+#: Timing repetitions per mode; the fastest is kept.
+REPEATS = 2 if QUICK else 3
+
+#: Headline workload size (rank-3 cyclic triples, alphabet 8).
+N = 36 if QUICK else 120
+
+#: The disabled path's estimated overhead bar, in percent.
+OFF_OVERHEAD_BAR = 2.0
+
+#: Iterations of the ``active()``-check microbenchmark.
+PROBE_ITERATIONS = 200_000 if QUICK else 1_000_000
+
+
+def _build_instance():
+    return all_zero_triple_instance(N, cyclic_triples(N), 8)
+
+
+def _solve(scheduler):
+    instance = _build_instance()
+    plan = plan_for_instance(instance)
+    fixer = Rank3Fixer(instance)
+    _obs_harness.reset_engine([instance])
+    start = time.perf_counter()
+    scheduler.execute(fixer, plan, instance)
+    return fixer.run(order=()), time.perf_counter() - start
+
+
+def _best_of(make_scheduler, repeats=REPEATS):
+    best = None
+    result = None
+    for _ in range(repeats):
+        result, elapsed = _solve(make_scheduler())
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def _probe_check_ns():
+    """Measured cost of one disabled-path ``active() is None`` check.
+
+    The loop body *is* the instrumentation pattern; loop bookkeeping is
+    included, making the per-check figure a conservative overestimate.
+    """
+    assert obs_active() is None, "probe must run with obs off"
+    start = time.perf_counter_ns()
+    for _ in range(PROBE_ITERATIONS):
+        if obs_active() is not None:  # pragma: no cover - obs is off
+            raise AssertionError("recorder appeared mid-probe")
+    return (time.perf_counter_ns() - start) / PROBE_ITERATIONS
+
+
+def run_obs_overhead():
+    rows = []
+    # Mode: off — the production path.
+    reference, off_seconds = _best_of(SerialScheduler)
+    rows.append(
+        {
+            "mode": "off",
+            "n": N,
+            "best_seconds": round(off_seconds, 6),
+            "on_vs_off": 1.0,
+        }
+    )
+
+    # Mode: on — full JSONL trace of the serial solve.
+    events_on = None
+    with tempfile.TemporaryDirectory() as scratch:
+        trace_path = os.path.join(scratch, "on.jsonl")
+        best = None
+        for _ in range(REPEATS):
+            with recording(path=os.path.join(scratch, "scratch.jsonl")):
+                _, elapsed = _solve(SerialScheduler())
+            if best is None or elapsed < best:
+                best = elapsed
+        with recording(path=trace_path):
+            result_on, _ = _solve(SerialScheduler())
+        events = read_trace(trace_path)
+        events_on = check_events(events)
+        identical = (
+            result_on.assignment.as_dict() == reference.assignment.as_dict()
+        )
+        rows.append(
+            {
+                "mode": "on",
+                "n": N,
+                "best_seconds": round(best, 6),
+                "on_vs_off": round(best / off_seconds, 3)
+                if off_seconds
+                else None,
+                "events": events_on,
+                "trace_ok": True,
+                "identical_to_serial": identical,
+            }
+        )
+
+        # Mode: on-process — the cross-process trace with worker shards.
+        proc_path = os.path.join(scratch, "process.jsonl")
+        with recording(path=proc_path):
+            result_proc, proc_seconds = _solve(
+                ProcessScheduler(max_workers=2, min_dispatch_ops=1)
+            )
+        proc_events = read_trace(proc_path)
+        check_events(proc_events)
+        workers = sorted(
+            {
+                event["worker_id"]
+                for event in proc_events
+                if event.get("worker_id")
+            }
+        )
+        dispatches = sum(
+            1 for event in proc_events if event["event"] == "dispatch"
+        )
+        rows.append(
+            {
+                "mode": "on-process",
+                "n": N,
+                "best_seconds": round(proc_seconds, 6),
+                "workers_attributed": len(workers),
+                "dispatches": dispatches,
+                "trace_ok": True,
+                "identical_to_serial": (
+                    result_proc.assignment.as_dict()
+                    == reference.assignment.as_dict()
+                ),
+            }
+        )
+
+    # Mode: probe — the honest disabled-path estimate.
+    check_ns = _probe_check_ns()
+    estimated_pct = (
+        3 * events_on * check_ns / (off_seconds * 1e9) * 100.0
+        if off_seconds
+        else 0.0
+    )
+    rows.append(
+        {
+            "mode": "probe",
+            "n": N,
+            "check_ns": round(check_ns, 2),
+            "estimated_off_pct": round(estimated_pct, 4),
+            "within_bar": estimated_pct < OFF_OVERHEAD_BAR,
+        }
+    )
+    return rows
+
+
+def test_obs_overhead(benchmark, emit):
+    rows, wall = _obs_harness.timed(
+        lambda: benchmark.pedantic(run_obs_overhead, rounds=1, iterations=1)
+    )
+    records = _obs_harness.rows_to_records(
+        "E5", rows, parameter_keys=("mode",)
+    )
+    emit(
+        "E5",
+        records,
+        "Observability overhead: off path, on path, worker shards",
+        wall_seconds=wall,
+    )
+
+    by_mode = {row["mode"]: row for row in rows}
+    assert by_mode["probe"]["within_bar"], (
+        f"disabled-path overhead estimate "
+        f"{by_mode['probe']['estimated_off_pct']}% exceeds the "
+        f"{OFF_OVERHEAD_BAR}% bar"
+    )
+    assert by_mode["on"]["trace_ok"] and by_mode["on"]["events"] > 0
+    assert by_mode["on"]["identical_to_serial"], (
+        "recording changed the serial transcript"
+    )
+    assert by_mode["on-process"]["identical_to_serial"], (
+        "recording changed the process-backend transcript"
+    )
+    assert by_mode["on-process"]["workers_attributed"] > 0, (
+        "merged process trace attributes no worker shards"
+    )

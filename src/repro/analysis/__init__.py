@@ -28,6 +28,14 @@ from repro.analysis.report import (
     render_report,
     report_summary,
 )
+from repro.analysis.perfgate import (
+    DEFAULT_TOLERANCE,
+    KEY_FIELDS,
+    GateReport,
+    GateRow,
+    compare_results,
+    compare_rows,
+)
 from repro.analysis.records import (
     ExperimentRecord,
     format_cell,
@@ -43,7 +51,13 @@ __all__ = [
     "landscape_rows",
     "landscape_table",
     "lower_bound_table",
+    "DEFAULT_TOLERANCE",
+    "KEY_FIELDS",
     "ExperimentRecord",
+    "GateReport",
+    "GateRow",
+    "compare_results",
+    "compare_rows",
     "load_results",
     "render_report",
     "report_summary",

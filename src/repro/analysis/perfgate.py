@@ -1,0 +1,306 @@
+"""Perf-regression gates: diff fresh benchmark runs against baselines.
+
+``repro bench compare`` turns the committed ``benchmarks/results``
+artifacts into a CI gate.  A fresh (usually quick-mode) benchmark run
+writes its ``<ID>.json`` record lists to a scratch directory; this
+module matches each candidate row to its baseline row by the
+experiment's key fields and applies one policy per metric *class*:
+
+* **booleans** (``ok``, ``identical_to_serial``, ``audit_ok``, ...)
+  must not regress: a baseline ``true`` must stay ``true``.  A
+  ``false``-to-``true`` flip is an improvement and passes.
+* **speedup ratios** (metric name contains ``speedup``) must stay at or
+  above ``baseline * (1 - tolerance)``.
+* **overhead ratios** (metric name contains ``overhead``) must stay at
+  or below ``baseline * (1 + tolerance)``.
+* **integer counts** (steps, kernel compiles, observed faults) are
+  deterministic for a fixed workload and must match exactly.
+* **absolute times** (``*_s``, ``*_seconds``, ``*_ns``) are recorded as
+  informational only — absolute wall-clock is not comparable across
+  machines, which is exactly why the committed ratios exist.
+* **strings and nulls** are informational.
+
+Ratios are compared against *relative* bands because quick-mode CI
+workloads are small and noisy; the default tolerance is deliberately
+loose (the gate exists to catch a backend becoming 2x slower, not a 3%
+wobble).  Rows present on only one side are reported as ``skipped``
+rather than failed — quick mode may restrict backends — but an
+experiment whose rows match nowhere at all fails, so an empty or
+mis-keyed candidate run cannot pass silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.analysis.records import format_table
+
+#: Row-identity fields per experiment: a row matches the baseline row
+#: with equal values for every listed key.  Experiments not listed here
+#: fall back to matching rows by position.
+KEY_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "E1": ("workload",),
+    "E2": ("workload", "backend"),
+    "E3": ("phase", "n"),
+    "E4": ("configuration", "n"),
+    "E5": ("mode",),
+}
+
+#: Default relative tolerance band for speedup/overhead ratios.
+DEFAULT_TOLERANCE = 0.4
+
+#: Metric-name suffixes treated as absolute times (informational).
+_TIME_SUFFIXES = ("_s", "_seconds", "_ns")
+
+
+@dataclass(frozen=True)
+class GateRow:
+    """The verdict for one metric of one matched row."""
+
+    experiment: str
+    key: str
+    metric: str
+    baseline: Any
+    candidate: Any
+    #: ``ok`` / ``fail`` / ``info`` / ``skipped``.
+    status: str
+    note: str = ""
+
+
+@dataclass
+class GateReport:
+    """Every per-metric verdict of one ``bench compare`` invocation."""
+
+    rows: List[GateRow] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[GateRow]:
+        return [row for row in self.rows if row.status == "fail"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self, verbose: bool = False) -> str:
+        """The terminal report; non-verbose hides passing info rows."""
+        shown = [
+            row for row in self.rows
+            if verbose or row.status in ("fail", "skipped")
+        ]
+        checked = sum(1 for row in self.rows if row.status in ("ok", "fail"))
+        lines: List[str] = []
+        if shown:
+            lines.append(
+                format_table(
+                    [
+                        {
+                            "experiment": row.experiment,
+                            "row": row.key,
+                            "metric": row.metric,
+                            "baseline": row.baseline,
+                            "candidate": row.candidate,
+                            "status": row.status,
+                            "note": row.note,
+                        }
+                        for row in shown
+                    ],
+                    title="perf gate",
+                )
+            )
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"perf gate: {verdict} — {checked} metrics checked, "
+            f"{len(self.failures)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def _row_key(experiment: str, row: Mapping[str, Any], index: int) -> str:
+    keys = KEY_FIELDS.get(experiment)
+    if keys is None:
+        return f"#{index}"
+    return ",".join(str(row.get(key)) for key in keys)
+
+
+def _metric_class(name: str, baseline: Any, candidate: Any) -> str:
+    """The comparison policy for one metric, from name and value types."""
+    if isinstance(baseline, bool) or isinstance(candidate, bool):
+        return "bool"
+    if baseline is None or candidate is None:
+        return "info"
+    if isinstance(baseline, str) or isinstance(candidate, str):
+        return "info"
+    lowered = name.lower()
+    if lowered.endswith(_TIME_SUFFIXES) or lowered == "best_seconds":
+        return "time"
+    if "speedup" in lowered:
+        return "speedup"
+    if "overhead" in lowered:
+        return "overhead"
+    if isinstance(baseline, int) and isinstance(candidate, int):
+        return "int"
+    return "info"
+
+
+def compare_rows(
+    experiment: str,
+    key: str,
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    tolerance: float,
+) -> List[GateRow]:
+    """Apply the per-metric policies to one matched row pair."""
+    verdicts: List[GateRow] = []
+    for metric in baseline:
+        if metric == "experiment" or metric in KEY_FIELDS.get(
+            experiment, ()
+        ):
+            continue
+        if metric not in candidate:
+            verdicts.append(GateRow(
+                experiment, key, metric, baseline[metric], None,
+                "skipped", "metric absent from candidate",
+            ))
+            continue
+        base, cand = baseline[metric], candidate[metric]
+        kind = _metric_class(metric, base, cand)
+        if kind == "bool":
+            if bool(base) and not bool(cand):
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "fail",
+                    "boolean invariant regressed",
+                ))
+            else:
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "ok",
+                ))
+        elif kind == "speedup":
+            floor = float(base) * (1.0 - tolerance)
+            if float(cand) < floor:
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "fail",
+                    f"below tolerance floor {floor:.3g}",
+                ))
+            else:
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "ok",
+                ))
+        elif kind == "overhead":
+            ceiling = float(base) * (1.0 + tolerance)
+            if float(cand) > ceiling:
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "fail",
+                    f"above tolerance ceiling {ceiling:.3g}",
+                ))
+            else:
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "ok",
+                ))
+        elif kind == "int":
+            if int(base) != int(cand):
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "fail",
+                    "deterministic count changed",
+                ))
+            else:
+                verdicts.append(GateRow(
+                    experiment, key, metric, base, cand, "ok",
+                ))
+        else:  # time / info
+            verdicts.append(GateRow(
+                experiment, key, metric, base, cand, "info",
+                "informational (not gated)" if kind == "info"
+                else "absolute time (not gated)",
+            ))
+    return verdicts
+
+
+def _load_records(path: str) -> List[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(payload, list):
+        raise ReproError(
+            f"{path}: expected a record list, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def compare_results(
+    candidate_dir: str,
+    baseline_dir: str,
+    experiments: Optional[Sequence[str]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> GateReport:
+    """Diff every shared ``<ID>.json`` artifact of two result directories.
+
+    ``experiments`` restricts the gate to the named ids (e.g. the E1-E4
+    execution-plane rows CI regenerates in quick mode); by default every
+    baseline record list with a candidate counterpart is gated, and a
+    named experiment *without* a candidate artifact is a failure.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ReproError(
+            f"tolerance must be in [0, 1), got {tolerance}"
+        )
+    if not os.path.isdir(baseline_dir):
+        raise ReproError(f"baseline directory {baseline_dir!r} not found")
+    if not os.path.isdir(candidate_dir):
+        raise ReproError(f"candidate directory {candidate_dir!r} not found")
+    if experiments:
+        names = list(experiments)
+    else:
+        names = sorted(
+            os.path.splitext(entry)[0]
+            for entry in os.listdir(baseline_dir)
+            if entry.endswith(".json") and not entry.endswith(".meta.json")
+        )
+    report = GateReport()
+    for experiment in names:
+        baseline_path = os.path.join(baseline_dir, f"{experiment}.json")
+        candidate_path = os.path.join(candidate_dir, f"{experiment}.json")
+        if not os.path.exists(baseline_path):
+            raise ReproError(
+                f"no baseline artifact for experiment {experiment!r} "
+                f"under {baseline_dir}"
+            )
+        if not os.path.exists(candidate_path):
+            report.rows.append(GateRow(
+                experiment, "-", "-", "present", "missing", "fail",
+                "candidate artifact missing (benchmark did not run?)",
+            ))
+            continue
+        baseline_rows = _load_records(baseline_path)
+        candidate_rows = _load_records(candidate_path)
+        candidates = {
+            _row_key(experiment, row, index): row
+            for index, row in enumerate(candidate_rows)
+        }
+        matched = 0
+        for index, baseline_row in enumerate(baseline_rows):
+            key = _row_key(experiment, baseline_row, index)
+            candidate_row = candidates.get(key)
+            if candidate_row is None:
+                report.rows.append(GateRow(
+                    experiment, key, "-", "present", "missing",
+                    "skipped", "row absent from candidate run",
+                ))
+                continue
+            matched += 1
+            report.rows.extend(compare_rows(
+                experiment, key, baseline_row, candidate_row, tolerance,
+            ))
+        if baseline_rows and not matched:
+            report.rows.append(GateRow(
+                experiment, "-", "-", len(baseline_rows), 0, "fail",
+                "no candidate row matched any baseline row",
+            ))
+    return report

@@ -11,6 +11,10 @@ Usage (also via ``python -m repro``)::
     python -m repro solve --family triples --n 18 --obs-trace run.jsonl
     python -m repro plan --family triples --n 18  # inspect the fix plan
     python -m repro stats run.jsonl           # span/counter/histogram summary
+    python -m repro stats run.jsonl --json    # machine-readable summary
+    python -m repro stats live.jsonl --follow # tail a running trace
+    python -m repro profile run.jsonl         # flamegraph-ready hot stacks
+    python -m repro bench compare --results-dir /tmp/fresh  # perf gate
     python -m repro trace run.jsonl --component fixer.rank3
     python -m repro threshold --n 32          # the phase-shift demo
     python -m repro logstar 1000000           # evaluate log*
@@ -259,11 +263,86 @@ def _command_report(args) -> int:
 
 
 def _command_stats(args) -> int:
-    from repro.obs import read_trace, render_summary, summarize_trace
+    import json as _json
 
-    events = read_trace(args.trace, validate=not args.no_validate)
-    print(render_summary(summarize_trace(events)))
+    from repro.obs import (
+        follow_trace,
+        render_summary,
+        summarize_trace,
+        summarize_trace_file,
+        summary_to_dict,
+    )
+
+    if args.follow:
+        # Tail the live trace: print each snapshot as it lands, then the
+        # full summary once every started run has ended.
+        events = []
+        for event in follow_trace(
+            args.trace, idle_timeout=args.idle_timeout
+        ):
+            events.append(event)
+            if event.get("event") == "snapshot" and not args.json:
+                payload = event.get("payload") or {}
+                live = {
+                    **(payload.get("counters") or {}),
+                    **(payload.get("gauges") or {}),
+                }
+                print(
+                    f"snapshot @{event.get('ts_ns', 0) / 1e9:.3f}s "
+                    + " ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(live.items())
+                    )
+                )
+        summary = summarize_trace(events)
+    else:
+        # Streaming single pass: multi-GB traces never materialize.
+        summary = summarize_trace_file(
+            args.trace, validate=not args.no_validate
+        )
+    if args.json:
+        print(_json.dumps(summary_to_dict(summary), indent=2, default=repr))
+    else:
+        print(render_summary(summary))
     return 0
+
+
+def _command_profile(args) -> int:
+    from repro.obs import (
+        collect_profiles,
+        iter_trace,
+        render_collapsed,
+        render_profile_report,
+    )
+
+    stacks = collect_profiles(
+        iter_trace(args.trace), component=args.component
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(render_collapsed(stacks) + "\n")
+        print(f"wrote {len(stacks)} collapsed stacks to {args.out}")
+        return 0
+    print(render_profile_report(stacks, top=args.top))
+    return 0
+
+
+def _command_bench(args) -> int:
+    if args.bench_command == "compare":
+        from repro.analysis import compare_results
+
+        kwargs = {}
+        if args.tolerance is not None:
+            kwargs["tolerance"] = args.tolerance
+        report = compare_results(
+            candidate_dir=args.results_dir,
+            baseline_dir=args.baseline_dir,
+            experiments=args.experiments or None,
+            **kwargs,
+        )
+        print(report.render(verbose=args.verbose))
+        return 0 if report.ok else 3
+    raise ReproError(f"unknown bench subcommand {args.bench_command!r}")
 
 
 def _command_trace(args) -> int:
@@ -382,6 +461,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-validate", action="store_true",
         help="skip schema validation before summarizing",
     )
+    stats_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as one machine-readable JSON object",
+    )
+    stats_parser.add_argument(
+        "--follow", action="store_true",
+        help="tail a live trace: print snapshots as they arrive, then "
+        "the summary when the run ends",
+    )
+    stats_parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="with --follow, stop after this long without new events",
+    )
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="render the collapsed-stack profile events of a trace "
+        "(record them with REPRO_PROFILE=sample|cprofile)",
+    )
+    profile_parser.add_argument(
+        "trace", help="path to a .jsonl trace file"
+    )
+    profile_parser.add_argument(
+        "--component", help="only profile events of this component"
+    )
+    profile_parser.add_argument(
+        "--out", metavar="PATH",
+        help="write a flamegraph-ready .folded file instead of a report",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=25,
+        help="rows per report section (default 25)",
+    )
+
+    bench_parser = commands.add_parser(
+        "bench", help="benchmark artifact tooling"
+    )
+    bench_commands = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+    compare_parser = bench_commands.add_parser(
+        "compare",
+        help="gate a fresh benchmark run against committed baselines",
+    )
+    compare_parser.add_argument(
+        "--results-dir", required=True,
+        help="directory of freshly produced <ID>.json artifacts",
+    )
+    compare_parser.add_argument(
+        "--baseline-dir", default="benchmarks/results",
+        help="directory of committed baseline artifacts",
+    )
+    compare_parser.add_argument(
+        "--experiments", nargs="*",
+        help="restrict the gate to these experiment ids",
+    )
+    compare_parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="relative tolerance band for speedup/overhead ratios",
+    )
+    compare_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list every passing metric",
+    )
 
     trace_parser = commands.add_parser(
         "trace", help="list the events of a JSONL observability trace"
@@ -443,6 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "surface": _command_surface,
         "stats": _command_stats,
         "trace": _command_trace,
+        "profile": _command_profile,
+        "bench": _command_bench,
     }
     try:
         return handlers[args.command](args)

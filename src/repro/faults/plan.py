@@ -69,6 +69,13 @@ class WorkerFault:
     #: abandoned worker eventually exits even if termination fails).
     seconds: float = 0.0
 
+    def as_payload(self) -> Dict[str, object]:
+        """A JSON-friendly description for worker-side obs events."""
+        payload: Dict[str, object] = {"kind": self.kind}
+        if self.seconds:
+            payload["seconds"] = self.seconds
+        return payload
+
 
 @dataclass(frozen=True)
 class FaultPlan:

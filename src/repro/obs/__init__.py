@@ -26,10 +26,25 @@ then inspect the trace with ``python -m repro stats trace.jsonl`` or
 from repro.obs.events import (
     META_EVENTS,
     OPTIONAL_INT_FIELDS,
+    OPTIONAL_STR_FIELDS,
     REQUIRED_FIELDS,
     ObsEvent,
     check_events,
     validate_event,
+)
+from repro.obs.metrics import (
+    DEFAULT_GROWTH,
+    Gauge,
+    QuantileHistogram,
+)
+from repro.obs.profile import (
+    PROFILE_ENV,
+    PROFILE_MODES,
+    collect_profiles,
+    profile_mode_from_env,
+    profiled,
+    render_collapsed,
+    render_profile_report,
 )
 from repro.obs.recorder import (
     DEFAULT_BUCKETS,
@@ -44,7 +59,19 @@ from repro.obs.recorder import (
     span,
     uninstall,
 )
-from repro.obs.sinks import JsonlSink, MemorySink, read_trace
+from repro.obs.shard import (
+    ShardRecorder,
+    TraceContext,
+    collect_shard_fallback,
+    read_shard_file,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    follow_trace,
+    iter_trace,
+    read_trace,
+)
 from repro.obs.summary import (
     SpanStats,
     TraceSummary,
@@ -54,35 +81,53 @@ from repro.obs.summary import (
     render_trace,
     summarize_trace,
     summarize_trace_file,
+    summary_to_dict,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_GROWTH",
     "MARGIN_BUCKETS",
     "META_EVENTS",
     "OPTIONAL_INT_FIELDS",
+    "OPTIONAL_STR_FIELDS",
     "PHI_BUCKETS",
-    "REQUIRED_FIELDS",
+    "PROFILE_ENV",
+    "PROFILE_MODES",
+    "Gauge",
     "Histogram",
     "JsonlSink",
     "MemorySink",
     "ObsEvent",
+    "QuantileHistogram",
     "Recorder",
+    "ShardRecorder",
     "Span",
     "SpanStats",
+    "TraceContext",
     "TraceSummary",
     "active",
     "check_events",
+    "collect_profiles",
+    "collect_shard_fallback",
+    "follow_trace",
     "install",
+    "iter_trace",
     "percentile",
+    "profile_mode_from_env",
+    "profiled",
+    "read_shard_file",
     "read_trace",
     "recording",
+    "render_collapsed",
     "render_histogram",
+    "render_profile_report",
     "render_summary",
     "render_trace",
     "span",
     "summarize_trace",
     "summarize_trace_file",
+    "summary_to_dict",
     "uninstall",
     "validate_event",
 ]

@@ -20,6 +20,12 @@ completions and the counter/histogram summaries written at close — is an
     ``counter``, ``histogram``...).
 ``step`` / ``round``
     Optional integer positions: a fixing-step index, a LOCAL round number.
+``worker_id`` / ``parent_span`` / ``attempt``
+    Optional provenance of events merged from worker trace shards: the
+    logical worker that emitted the event, the span id of the parent's
+    ``dispatch`` event that caused it, and the 0-based dispatch attempt
+    (retried chunks keep every attempt's events).  Absent on in-parent
+    events — the schema is append-only.
 ``payload``
     Free-form event details; values must be JSON-representable (sinks
     fall back to ``repr`` for anything else).
@@ -46,10 +52,22 @@ REQUIRED_FIELDS = {
 }
 
 #: Optional integer position fields (``None`` or absent when not meaningful).
-OPTIONAL_INT_FIELDS = ("step", "round")
+#: ``attempt`` is the 0-based dispatch attempt of the worker shard an
+#: event came from — retried chunks keep the events of *every* attempt,
+#: distinguished by this field.
+OPTIONAL_INT_FIELDS = ("step", "round", "attempt")
+
+#: Optional string provenance fields set on events merged from worker
+#: trace shards: ``worker_id`` names the logical worker that emitted the
+#: event, ``parent_span`` is the span id of the parent-side ``dispatch``
+#: event that caused it (the causal edge of the cross-process trace).
+OPTIONAL_STR_FIELDS = ("worker_id", "parent_span")
 
 #: Event kinds reserved for the recorder itself (component ``obs``).
-META_EVENTS = ("run_start", "run_end", "counter", "histogram")
+META_EVENTS = (
+    "run_start", "run_end", "counter", "histogram", "gauge", "quantile",
+    "snapshot",
+)
 
 #: Fault-recovery event kinds of the ``runtime`` component.  Emitted by
 #: the fault-tolerant execution paths (``ProcessScheduler`` and the
@@ -74,6 +92,9 @@ class ObsEvent:
     step: Optional[int] = None
     round: Optional[int] = None
     payload: Mapping[str, Any] = field(default_factory=dict)
+    worker_id: Optional[str] = None
+    parent_span: Optional[str] = None
+    attempt: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Flatten to the stable JSON envelope (omitting unset positions)."""
@@ -88,6 +109,12 @@ class ObsEvent:
             record["step"] = self.step
         if self.round is not None:
             record["round"] = self.round
+        if self.worker_id is not None:
+            record["worker_id"] = self.worker_id
+        if self.parent_span is not None:
+            record["parent_span"] = self.parent_span
+        if self.attempt is not None:
+            record["attempt"] = self.attempt
         record["payload"] = dict(self.payload)
         return record
 
@@ -120,6 +147,12 @@ def validate_event(record: Mapping[str, Any]) -> List[str]:
             not isinstance(value, int) or isinstance(value, bool)
         ):
             problems.append(f"field {name!r} must be an int or absent")
+    for name in OPTIONAL_STR_FIELDS:
+        value = record.get(name)
+        if value is not None and (not isinstance(value, str) or not value):
+            problems.append(
+                f"field {name!r} must be a non-empty string or absent"
+            )
     if isinstance(record.get("seq"), int) and record["seq"] < 0:
         problems.append("field 'seq' must be non-negative")
     if isinstance(record.get("ts_ns"), int) and record["ts_ns"] < 0:

@@ -1,0 +1,189 @@
+"""Live metric primitives: gauges and streaming log-bucket quantiles.
+
+The PR 1 recorder collects *terminal* aggregates — monotonic counters
+and fixed-bucket histograms flushed once, at close.  A long-running
+service (``repro serve``) and the cross-process execution plane need
+*live* metrics too:
+
+* :class:`Gauge` — a last-value metric (queue depth, pool size, cache
+  occupancy) with min/max/updates side statistics, snapshottable at any
+  point of the run;
+* :class:`QuantileHistogram` — a streaming histogram over geometric
+  (log-spaced) buckets, answering p50/p95/p99 queries at any time with a
+  bounded relative error (one bucket width, ~9% at the default growth
+  factor) and O(1) memory per occupied bucket.  This is the latency
+  primitive the ``repro serve`` requests/sec + latency dashboard
+  consumes; unlike :class:`~repro.obs.recorder.Histogram` it needs no
+  a-priori bucket bounds, so one class serves nanosecond spans and
+  second-scale deadlines alike.
+
+Both are plain in-memory objects registered on the
+:class:`~repro.obs.recorder.Recorder` (``recorder.gauge(...)`` /
+``recorder.observe_quantile(...)``) and flushed as ``gauge`` /
+``quantile`` summary events at close; periodic ``snapshot`` events
+(:meth:`Recorder.snapshot`) publish their current values mid-run for
+``repro stats --follow``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ObsError
+
+#: Default per-bucket growth factor: 2^(1/8) keeps the relative
+#: quantile error under ~9% while occupying ~8 buckets per octave.
+DEFAULT_GROWTH = 2.0 ** 0.125
+
+#: The quantiles every summary/snapshot reports, in order.
+REPORTED_QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+class Gauge:
+    """A last-value metric with min/max/updates side statistics."""
+
+    __slots__ = ("value", "min", "max", "updates")
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current level of the tracked quantity."""
+        value = float(value)
+        self.value = value
+        self.updates += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (the payload of ``gauge`` events)."""
+        return {
+            "value": self.value,
+            "min": self.min if self.updates else None,
+            "max": self.max if self.updates else None,
+            "updates": self.updates,
+        }
+
+
+class QuantileHistogram:
+    """A streaming histogram over geometric buckets.
+
+    A positive sample ``v`` lands in bucket ``floor(log(v) / log(growth))``;
+    zero and negative samples are counted separately (they carry no
+    magnitude information on a log scale).  Quantiles are answered by
+    walking the occupied buckets in order and returning the geometric
+    midpoint of the bucket holding the requested rank, so the estimate
+    is off by at most one bucket width.
+    """
+
+    __slots__ = ("growth", "_log_growth", "buckets", "zero", "count",
+                 "total", "min", "max")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        if growth <= 1.0:
+            raise ObsError(
+                f"quantile histogram growth must be > 1, got {growth!r}"
+            )
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        #: Occupied bucket index -> sample count.
+        self.buckets: Dict[int, int] = {}
+        #: Samples with value <= 0 (rank below every positive bucket).
+        self.zero = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero += 1
+            return
+        index = math.floor(math.log(value) / self._log_growth)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-th percentile estimate (0..100); NaN when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ObsError(f"quantile must be in [0, 100], got {q!r}")
+        if self.count == 0:
+            return float("nan")
+        # 1-based rank of the requested order statistic.
+        rank = max(1, math.ceil(self.count * (q / 100.0)))
+        if rank <= self.zero:
+            # All-zero-or-negative prefix: the best point estimate we
+            # kept is the true minimum.
+            return min(self.min, 0.0)
+        seen = self.zero
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                lower = self.growth ** index
+                upper = lower * self.growth
+                # Geometric midpoint, clamped to the observed range so
+                # single-sample buckets report exact extremes.
+                estimate = math.sqrt(lower * upper)
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def quantiles(self) -> Dict[str, float]:
+        """The standard p50/p95/p99 report (keys ``p50``...)."""
+        return {
+            f"p{q:g}": self.quantile(q) for q in REPORTED_QUANTILES
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (the payload of ``quantile`` events)."""
+        record: Dict[str, Any] = {
+            "growth": self.growth,
+            "buckets": {str(i): c for i, c in sorted(self.buckets.items())},
+            "zero": self.zero,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+        if self.count:
+            record.update(self.quantiles())
+        return record
+
+    def merge_dict(self, data: Mapping[str, Any]) -> None:
+        """Fold a serialized summary (``as_dict``) into this histogram.
+
+        Used by the trace summarizer to combine the ``quantile`` events
+        of several runs; requires a matching ``growth``.
+        """
+        if abs(float(data.get("growth", self.growth)) - self.growth) > 1e-12:
+            raise ObsError(
+                f"cannot merge quantile histograms with different growth "
+                f"factors ({data.get('growth')!r} vs {self.growth!r})"
+            )
+        for key, count in (data.get("buckets") or {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + int(count)
+        self.zero += int(data.get("zero", 0))
+        self.count += int(data.get("count", 0))
+        self.total += float(data.get("total", 0.0))
+        for side, pick in (("min", min), ("max", max)):
+            value = data.get(side)
+            if value is not None:
+                setattr(self, side, pick(getattr(self, side), float(value)))

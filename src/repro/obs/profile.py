@@ -1,0 +1,260 @@
+"""Opt-in per-component profiling emitting flamegraph-ready events.
+
+Setting ``REPRO_PROFILE=sample`` or ``REPRO_PROFILE=cprofile`` makes the
+instrumented components (the schedulers' plan execution, the worker
+chunk entrypoints) wrap their hot regions in a profiler and emit one
+``profile`` event per region with a *collapsed-stack* payload — the
+``frame;frame;frame weight`` line format consumed directly by
+``flamegraph.pl`` and speedscope.  Profiling is strictly opt-in and
+composes with tracing: no recorder or no ``REPRO_PROFILE`` means zero
+overhead beyond one environment lookup.
+
+Two modes:
+
+``sample``
+    A background thread samples the profiled thread's Python stack
+    (``sys._current_frames``) every few milliseconds.  Stacks are exact
+    and weights are sample counts; cheap enough for the scheduler's
+    in-worker decide loops.
+``cprofile``
+    Deterministic :mod:`cProfile` over the region.  cProfile records a
+    call *graph*, not stacks, so the collapsed payload is the
+    caller;callee edge approximation with microsecond self-time
+    weights — coarser shape, exact coverage.
+
+``repro profile <trace>`` renders the aggregated collapsed stacks of a
+trace (optionally filtered by component) or writes a ``.folded`` file
+for external flamegraph tooling.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import sys
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ObsError
+
+#: Recognized REPRO_PROFILE modes.
+PROFILE_MODES = ("sample", "cprofile")
+
+#: Environment variable selecting the profiling mode.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Sampling period of the ``sample`` mode, in seconds.
+SAMPLE_INTERVAL = 0.002
+
+
+def profile_mode_from_env() -> Optional[str]:
+    """The validated ``REPRO_PROFILE`` mode, or ``None`` when unset."""
+    value = os.environ.get(PROFILE_ENV, "").strip().lower()
+    if not value:
+        return None
+    if value not in PROFILE_MODES:
+        raise ObsError(
+            f"{PROFILE_ENV}={value!r}: expected one of {PROFILE_MODES}"
+        )
+    return value
+
+
+def _frame_label(frame) -> str:
+    """``module:function`` label of one stack frame."""
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{frame.f_code.co_name}"
+
+
+class _Sampler(threading.Thread):
+    """Samples one thread's stack until stopped; counts collapsed stacks."""
+
+    def __init__(self, thread_id: int, interval: float) -> None:
+        super().__init__(name="repro-obs-sampler", daemon=True)
+        self._thread_id = thread_id
+        self._interval = interval
+        self._stop_event = threading.Event()
+        self.stacks: Dict[str, int] = {}
+        self.samples = 0
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            frame = sys._current_frames().get(self._thread_id)
+            if frame is None:
+                continue
+            labels: List[str] = []
+            while frame is not None:
+                labels.append(_frame_label(frame))
+                frame = frame.f_back
+            collapsed = ";".join(reversed(labels))
+            self.stacks[collapsed] = self.stacks.get(collapsed, 0) + 1
+            self.samples += 1
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=1.0)
+
+
+def _collapse_cprofile(profile: cProfile.Profile) -> Dict[str, int]:
+    """Caller;callee edge lines with self-time weights in microseconds."""
+    stats = pstats.Stats(profile)
+    collapsed: Dict[str, int] = {}
+
+    def label(func: Tuple[str, int, str]) -> str:
+        filename, _lineno, name = func
+        module = os.path.splitext(os.path.basename(filename))[0]
+        return f"{module}:{name}"
+
+    for func, (_cc, _nc, tottime, _ct, callers) in stats.stats.items():
+        weight = int(tottime * 1e6)
+        if weight <= 0:
+            continue
+        if callers:
+            # Attribute self time to each caller edge proportionally to
+            # the per-edge total time cProfile recorded.
+            edge_total = sum(edge[3] for edge in callers.values()) or 1.0
+            for caller, (_ecc, _enc, _ett, ect) in callers.items():
+                share = int(weight * (ect / edge_total))
+                if share <= 0:
+                    continue
+                key = f"{label(caller)};{label(func)}"
+                collapsed[key] = collapsed.get(key, 0) + share
+        else:
+            key = label(func)
+            collapsed[key] = collapsed.get(key, 0) + weight
+    return collapsed
+
+
+class profiled:
+    """Context manager: profile a region and emit one ``profile`` event.
+
+    ``recorder`` is anything with an ``event(component, event,
+    **payload)`` method — the parent :class:`~repro.obs.Recorder` or a
+    worker :class:`~repro.obs.shard.ShardRecorder`.  With ``mode=None``
+    (profiling disabled) or ``recorder=None`` the context manager is
+    inert.
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[Any],
+        component: str,
+        mode: Optional[str],
+        name: str = "region",
+    ) -> None:
+        if mode is not None and mode not in PROFILE_MODES:
+            raise ObsError(
+                f"unknown profile mode {mode!r}; expected one of "
+                f"{PROFILE_MODES}"
+            )
+        self._recorder = recorder if mode is not None else None
+        self._component = component
+        self._mode = mode
+        self._name = name
+        self._sampler: Optional[_Sampler] = None
+        self._cprofile: Optional[cProfile.Profile] = None
+        self._start = 0
+
+    def __enter__(self) -> "profiled":
+        if self._recorder is None:
+            return self
+        self._start = time.perf_counter_ns()
+        if self._mode == "sample":
+            self._sampler = _Sampler(
+                threading.get_ident(), SAMPLE_INTERVAL
+            )
+            self._sampler.start()
+        else:
+            self._cprofile = cProfile.Profile()
+            self._cprofile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._recorder is None:
+            return
+        duration = time.perf_counter_ns() - self._start
+        if self._sampler is not None:
+            self._sampler.stop()
+            stacks = self._sampler.stacks
+            samples = self._sampler.samples
+            self._sampler = None
+        else:
+            self._cprofile.disable()
+            stacks = _collapse_cprofile(self._cprofile)
+            samples = sum(stacks.values())
+            self._cprofile = None
+        self._recorder.event(
+            self._component,
+            "profile",
+            mode=self._mode,
+            name=self._name,
+            duration_ns=duration,
+            samples=samples,
+            collapsed=[
+                f"{stack} {weight}"
+                for stack, weight in sorted(stacks.items())
+            ],
+        )
+
+
+# ----------------------------------------------------------------------
+# Trace-side rendering (``repro profile``)
+# ----------------------------------------------------------------------
+def collect_profiles(
+    events: Iterable[Mapping[str, Any]],
+    component: Optional[str] = None,
+) -> Dict[str, int]:
+    """Aggregate the collapsed stacks of every ``profile`` event."""
+    merged: Dict[str, int] = {}
+    for record in events:
+        if record.get("event") != "profile":
+            continue
+        if component is not None and record.get("component") != component:
+            continue
+        payload = record.get("payload") or {}
+        for line in payload.get("collapsed") or []:
+            stack, _, weight = str(line).rpartition(" ")
+            if not stack:
+                continue
+            try:
+                merged[stack] = merged.get(stack, 0) + int(weight)
+            except ValueError:
+                raise ObsError(
+                    f"malformed collapsed-stack line {line!r}"
+                ) from None
+    return merged
+
+
+def render_collapsed(stacks: Mapping[str, int]) -> str:
+    """The ``.folded`` file body: one ``stack weight`` line per stack."""
+    return "\n".join(
+        f"{stack} {weight}" for stack, weight in sorted(stacks.items())
+    )
+
+
+def render_profile_report(
+    stacks: Mapping[str, int], top: int = 25
+) -> str:
+    """A terminal summary: hottest leaf frames plus hottest full stacks."""
+    if not stacks:
+        return "no profile events in trace (run with REPRO_PROFILE=sample|cprofile)"
+    total = sum(stacks.values()) or 1
+    leaves: Dict[str, int] = {}
+    for stack, weight in stacks.items():
+        leaf = stack.rsplit(";", 1)[-1]
+        leaves[leaf] = leaves.get(leaf, 0) + weight
+    lines = [f"profile: {len(stacks)} stacks, total weight {total}"]
+    lines.append("")
+    lines.append(f"hottest frames (top {min(top, len(leaves))}):")
+    for leaf, weight in sorted(
+        leaves.items(), key=lambda item: (-item[1], item[0])
+    )[:top]:
+        lines.append(f"  {100.0 * weight / total:5.1f}%  {leaf}")
+    lines.append("")
+    lines.append(f"hottest stacks (top {min(top, len(stacks))}):")
+    for stack, weight in sorted(
+        stacks.items(), key=lambda item: (-item[1], item[0])
+    )[:top]:
+        lines.append(f"  {100.0 * weight / total:5.1f}%  {stack}")
+    return "\n".join(lines)

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObsError
 from repro.obs.events import ObsEvent
+from repro.obs.metrics import Gauge, QuantileHistogram
 from repro.obs.sinks import JsonlSink, MemorySink
 
 #: Default histogram buckets: log-ish spacing covering ratios/margins.
@@ -167,6 +168,7 @@ class Recorder:
         self,
         sinks: Optional[Sequence[Any]] = None,
         run_id: Optional[str] = None,
+        snapshot_interval: Optional[float] = None,
     ) -> None:
         self.run_id = run_id or uuid.uuid4().hex[:12]
         self.memory: Optional[MemorySink] = None
@@ -184,8 +186,16 @@ class Recorder:
         self._span_stack: List[Span] = []
         self.counters: Dict[MetricKey, int] = {}
         self.histograms: Dict[MetricKey, Histogram] = {}
+        self.gauges: Dict[MetricKey, Gauge] = {}
+        self.quantiles: Dict[MetricKey, QuantileHistogram] = {}
         #: Per-(component, name) span durations in ns, in completion order.
         self.span_durations: Dict[MetricKey, List[int]] = {}
+        if snapshot_interval is not None and snapshot_interval <= 0:
+            raise ObsError(
+                f"snapshot_interval must be positive, got {snapshot_interval}"
+            )
+        self.snapshot_interval = snapshot_interval
+        self._last_snapshot_ns = self._t0
         self._closed = False
         self.event("obs", "run_start", wall_time=time.time())
 
@@ -280,6 +290,128 @@ class Recorder:
             histogram = self.histograms[key] = Histogram(bounds)
         histogram.observe(value)
 
+    def gauge(self, component: str, name: str, value: float) -> None:
+        """Set the current level of a gauge metric."""
+        key = (component, name)
+        gauge = self.gauges.get(key)
+        if gauge is None:
+            gauge = self.gauges[key] = Gauge()
+        gauge.set(value)
+
+    def gauge_value(self, component: str, name: str) -> Optional[float]:
+        """Current value of a gauge (``None`` if never set)."""
+        gauge = self.gauges.get((component, name))
+        return gauge.value if gauge is not None else None
+
+    def observe_quantile(
+        self, component: str, name: str, value: float
+    ) -> None:
+        """Record one sample into a streaming log-bucket quantile histogram.
+
+        Unlike :meth:`observe`, no bucket bounds are needed: samples land
+        in geometric buckets and p50/p95/p99 are answerable at any time
+        (``recorder.quantiles[(component, name)].quantile(99)``).
+        """
+        key = (component, name)
+        histogram = self.quantiles.get(key)
+        if histogram is None:
+            histogram = self.quantiles[key] = QuantileHistogram()
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, **payload: Any) -> ObsEvent:
+        """Emit a ``snapshot`` event with the current live metric values.
+
+        The payload carries every counter, every gauge value and the
+        p50/p95/p99 of every quantile histogram under ``component/name``
+        keys — the stream ``repro stats --follow`` tails.
+        """
+        return self.event(
+            "obs",
+            "snapshot",
+            counters={
+                f"{component}/{name}": value
+                for (component, name), value in sorted(
+                    self.counters.items(), key=repr
+                )
+            },
+            gauges={
+                f"{component}/{name}": gauge.value
+                for (component, name), gauge in sorted(
+                    self.gauges.items(), key=repr
+                )
+            },
+            quantiles={
+                f"{component}/{name}": histogram.quantiles()
+                for (component, name), histogram in sorted(
+                    self.quantiles.items(), key=repr
+                )
+                if histogram.count
+            },
+            **payload,
+        )
+
+    def maybe_snapshot(self) -> Optional[ObsEvent]:
+        """Emit a snapshot if ``snapshot_interval`` seconds have elapsed.
+
+        Instrumented loops (scheduler classes, simulator rounds, server
+        request handlers) call this at natural checkpoints; with no
+        interval configured it is a no-op.
+        """
+        if self.snapshot_interval is None:
+            return None
+        now = time.perf_counter_ns()
+        if now - self._last_snapshot_ns < self.snapshot_interval * 1e9:
+            return None
+        self._last_snapshot_ns = now
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # Worker shard merging
+    # ------------------------------------------------------------------
+    def emit_shard_record(
+        self,
+        record: Dict[str, Any],
+        worker_id: str,
+        parent_span: str,
+        attempt: int,
+    ) -> ObsEvent:
+        """Re-emit one worker-shard record into this recorder's stream.
+
+        The record keeps its component/event/step/round/payload; it is
+        stamped with this run's ``run_id``, the next parent ``seq`` and
+        the parent clock, and tagged with the worker provenance fields.
+        The worker-relative timestamp is preserved as
+        ``payload.worker_ts_ns`` so intra-worker timing survives the
+        merge.  Causal ordering is by construction: shards are merged
+        after the ``dispatch`` event that created them, in buffer order.
+        """
+        if self._closed:
+            raise ObsError("recorder is closed")
+        payload = dict(record.get("payload") or {})
+        ts = record.get("ts_ns")
+        if ts is not None:
+            payload["worker_ts_ns"] = ts
+        event = ObsEvent(
+            run_id=self.run_id,
+            seq=self._seq,
+            ts_ns=time.perf_counter_ns() - self._t0,
+            component=str(record.get("component", "worker")),
+            event=str(record.get("event", "event")),
+            step=record.get("step"),
+            round=record.get("round"),
+            payload=payload,
+            worker_id=worker_id,
+            parent_span=parent_span,
+            attempt=attempt,
+        )
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(event)
+        return event
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -302,6 +434,16 @@ class Recorder:
         ):
             self.event("obs", "histogram", metric_component=component,
                        name=name, **histogram.as_dict())
+        for (component, name), gauge in sorted(
+            self.gauges.items(), key=repr
+        ):
+            self.event("obs", "gauge", metric_component=component,
+                       name=name, **gauge.as_dict())
+        for (component, name), quantile in sorted(
+            self.quantiles.items(), key=repr
+        ):
+            self.event("obs", "quantile", metric_component=component,
+                       name=name, **quantile.as_dict())
         self.event("obs", "run_end", events=self._seq + 1,
                    wall_time=time.time())
         self._closed = True
@@ -376,6 +518,7 @@ class recording:
         sink: Optional[Any] = None,
         run_id: Optional[str] = None,
         append: bool = False,
+        snapshot_interval: Optional[float] = None,
     ) -> None:
         sinks: Optional[List[Any]] = []
         if path is not None:
@@ -384,7 +527,9 @@ class recording:
             sinks.append(sink)
         if not sinks:
             sinks = None
-        self._recorder = Recorder(sinks=sinks, run_id=run_id)
+        self._recorder = Recorder(
+            sinks=sinks, run_id=run_id, snapshot_interval=snapshot_interval
+        )
         self._previous: Optional[Recorder] = None
 
     def __enter__(self) -> Recorder:

@@ -11,7 +11,9 @@ instrumented code may pass arbitrary variable names and values.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, IO, List, Optional
+import os
+import time
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional
 
 from repro.errors import ObsError
 from repro.obs.events import ObsEvent
@@ -65,21 +67,25 @@ class JsonlSink:
             self._handle = None
 
 
-def read_trace(path: str, validate: bool = False) -> List[Dict[str, Any]]:
-    """Load a JSONL trace file back into a list of event dictionaries.
+def iter_trace(
+    path: str, validate: bool = False
+) -> Iterator[Dict[str, Any]]:
+    """Stream the events of a JSONL trace file one record at a time.
 
-    Blank lines are skipped.  With ``validate=True`` every record is also
-    checked against the event schema.
+    The lazy counterpart of :func:`read_trace`: at no point is the whole
+    file (or the whole event list) resident in memory, so multi-GB
+    worker-shard traces summarize in constant space.  Blank lines are
+    skipped.  With ``validate=True`` each record is checked against the
+    event schema as it is yielded.
 
     Raises
     ------
     ObsError
         On unreadable files, unparseable lines, or (with ``validate``)
-        schema violations.
+        the first schema violation.
     """
-    from repro.obs.events import check_events
+    from repro.obs.events import validate_event
 
-    events: List[Dict[str, Any]] = []
     try:
         handle = open(path, "r", encoding="utf-8")
     except OSError as error:
@@ -95,7 +101,91 @@ def read_trace(path: str, validate: bool = False) -> List[Dict[str, Any]]:
                 raise ObsError(
                     f"{path}:{line_number}: not valid JSON ({error})"
                 ) from None
-            events.append(record)
-    if validate:
-        check_events(events)
-    return events
+            if validate:
+                problems = validate_event(record)
+                if problems:
+                    raise ObsError(
+                        f"{path}:{line_number}: trace fails schema "
+                        f"validation: {'; '.join(problems)}"
+                    )
+            yield record
+
+
+def read_trace(path: str, validate: bool = False) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into a list of event dictionaries.
+
+    Materializes :func:`iter_trace`; prefer the iterator (or
+    :func:`repro.obs.summarize_trace_file`) for traces that may not fit
+    in memory.
+    """
+    return list(iter_trace(path, validate=validate))
+
+
+def follow_trace(
+    path: str,
+    poll_seconds: float = 0.2,
+    idle_timeout: Optional[float] = None,
+    stop_when: Optional[Callable[[Dict[str, Any]], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Tail a live JSONL trace, yielding events as they are appended.
+
+    The ``tail -f`` of trace files, powering ``repro stats --follow``:
+    yields every complete line already present, then polls for new ones.
+    A partially written final line is left in the file until its newline
+    arrives.  Iteration ends when
+
+    * ``stop_when(event)`` returns true for a yielded event (the default
+      stops once every started run has ended — a ``run_end`` has been
+      seen for each ``run_start``), or
+    * no new data arrives for ``idle_timeout`` seconds (``None`` waits
+      forever).
+    """
+    if stop_when is None:
+        started = [0]
+
+        def stop_when(event: Dict[str, Any]) -> bool:
+            if event.get("component") == "obs":
+                if event.get("event") == "run_start":
+                    started[0] += 1
+                elif event.get("event") == "run_end":
+                    started[0] -= 1
+                    if started[0] <= 0:
+                        return True
+            return False
+
+    # Wait for the file to appear: --follow is commonly started before
+    # the producing run.
+    waited = 0.0
+    while not os.path.exists(path):
+        if idle_timeout is not None and waited >= idle_timeout:
+            return
+        time.sleep(poll_seconds)
+        waited += poll_seconds
+    buffer = ""
+    idle = 0.0
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read()
+            if chunk:
+                idle = 0.0
+                buffer += chunk
+                while "\n" in buffer:
+                    line, buffer = buffer.split("\n", 1)
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError as error:
+                        raise ObsError(
+                            f"{path}: not valid JSON while following "
+                            f"({error})"
+                        ) from None
+                    yield record
+                    if stop_when(record):
+                        return
+            else:
+                if idle_timeout is not None and idle >= idle_timeout:
+                    return
+                time.sleep(poll_seconds)
+                idle += poll_seconds

@@ -3,21 +3,29 @@
 A JSONL trace (see :mod:`repro.obs.events` for the schema) is reduced to:
 
 * per-``(component, span-name)`` latency statistics (count, p50, p95,
-  total) from the ``span`` events,
-* final counter values and histograms from the summary events the
-  recorder flushes at close,
+  p99, total) from the ``span`` events,
+* final counter/gauge/quantile values and histograms from the summary
+  events the recorder flushes at close,
 * LOCAL-round and message totals from the simulator's ``round`` events,
+* per-worker event counts from the ``worker_id`` provenance of merged
+  worker trace shards,
 
-rendered as the same aligned ASCII tables the benchmark harness uses.
+rendered as the same aligned ASCII tables the benchmark harness uses,
+or (``repro stats --json``) as one machine-readable JSON object.
+
+:func:`summarize_trace` accepts any *iterable* of event dictionaries
+and consumes it in one pass, so multi-GB traces can be summarized
+straight off :func:`repro.obs.iter_trace` without materializing a list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.records import format_table
-from repro.obs.sinks import read_trace
+from repro.obs.metrics import QuantileHistogram
+from repro.obs.sinks import iter_trace
 
 MetricKey = Tuple[str, str]
 
@@ -43,6 +51,7 @@ class SpanStats:
     count: int
     p50_ns: float
     p95_ns: float
+    p99_ns: float
     total_ns: int
     max_depth: int
 
@@ -62,22 +71,41 @@ class TraceSummary:
     messages: int = 0
     fix_steps: int = 0
     events_by_kind: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    gauges: Dict[MetricKey, Dict[str, Any]] = field(default_factory=dict)
+    quantiles: Dict[MetricKey, Dict[str, Any]] = field(default_factory=dict)
+    #: Events per logical worker id, from merged worker trace shards.
+    workers: Dict[str, int] = field(default_factory=dict)
+    snapshots: int = 0
 
 
-def summarize_trace(events: Sequence[Mapping[str, Any]]) -> TraceSummary:
-    """Aggregate a list of event dictionaries into a :class:`TraceSummary`."""
+def summarize_trace(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
+    """Aggregate an iterable of event dictionaries into a :class:`TraceSummary`.
+
+    Single pass, constant memory apart from the aggregates themselves —
+    streaming a multi-GB trace through :func:`repro.obs.iter_trace` is
+    the intended use for large inputs.
+    """
     run_ids: List[str] = []
     components: Dict[str, int] = {}
     durations: Dict[MetricKey, List[int]] = {}
     depths: Dict[MetricKey, int] = {}
     counters: Dict[MetricKey, int] = {}
     histograms: Dict[MetricKey, Dict[str, Any]] = {}
+    gauges: Dict[MetricKey, Dict[str, Any]] = {}
+    quantile_hists: Dict[MetricKey, QuantileHistogram] = {}
     events_by_kind: Dict[Tuple[str, str], int] = {}
+    workers: Dict[str, int] = {}
+    num_events = 0
+    snapshots = 0
     rounds = 0
     messages = 0
     fix_steps = 0
     max_ts = 0
     for record in events:
+        num_events += 1
+        worker = record.get("worker_id")
+        if isinstance(worker, str):
+            workers[worker] = workers.get(worker, 0) + 1
         run_id = record.get("run_id")
         if isinstance(run_id, str) and run_id not in run_ids:
             run_ids.append(run_id)
@@ -133,6 +161,46 @@ def summarize_trace(events: Sequence[Mapping[str, Any]]) -> TraceSummary:
                     for k, v in payload.items()
                     if k not in ("metric_component", "name")
                 }
+        elif kind == "gauge" and component == "obs":
+            key = (
+                str(payload.get("metric_component", "?")),
+                str(payload.get("name", "?")),
+            )
+            # Last writer wins across runs; min/max/updates merge.
+            previous = gauges.get(key)
+            current = {
+                k: v
+                for k, v in payload.items()
+                if k not in ("metric_component", "name")
+            }
+            if previous is not None:
+                current["updates"] = int(previous.get("updates", 0)) + int(
+                    current.get("updates", 0)
+                )
+                for side, pick in (("min", min), ("max", max)):
+                    values = [
+                        v
+                        for v in (previous.get(side), current.get(side))
+                        if v is not None
+                    ]
+                    current[side] = pick(values) if values else None
+            gauges[key] = current
+        elif kind == "quantile" and component == "obs":
+            key = (
+                str(payload.get("metric_component", "?")),
+                str(payload.get("name", "?")),
+            )
+            merged = quantile_hists.get(key)
+            if merged is None:
+                growth = payload.get("growth")
+                merged = quantile_hists[key] = (
+                    QuantileHistogram(growth=float(growth))
+                    if growth
+                    else QuantileHistogram()
+                )
+            merged.merge_dict(payload)
+        elif kind == "snapshot" and component == "obs":
+            snapshots += 1
         elif component == "simulator" and kind == "round":
             rounds += 1
             messages += int(payload.get("messages", 0))
@@ -143,6 +211,7 @@ def summarize_trace(events: Sequence[Mapping[str, Any]]) -> TraceSummary:
             count=len(values),
             p50_ns=percentile(values, 50),
             p95_ns=percentile(values, 95),
+            p99_ns=percentile(values, 99),
             total_ns=sum(values),
             max_depth=depths.get(key, 0),
         )
@@ -150,7 +219,7 @@ def summarize_trace(events: Sequence[Mapping[str, Any]]) -> TraceSummary:
     }
     return TraceSummary(
         run_ids=run_ids,
-        num_events=len(events),
+        num_events=num_events,
         duration_ns=max_ts,
         components=components,
         spans=spans,
@@ -160,6 +229,12 @@ def summarize_trace(events: Sequence[Mapping[str, Any]]) -> TraceSummary:
         messages=messages,
         fix_steps=fix_steps,
         events_by_kind=events_by_kind,
+        gauges=gauges,
+        quantiles={
+            key: hist.as_dict() for key, hist in quantile_hists.items()
+        },
+        workers=workers,
+        snapshots=snapshots,
     )
 
 
@@ -221,6 +296,7 @@ def render_summary(summary: TraceSummary) -> str:
                 "count": stats.count,
                 "p50": _format_ns(stats.p50_ns),
                 "p95": _format_ns(stats.p95_ns),
+                "p99": _format_ns(stats.p99_ns),
                 "total": _format_ns(stats.total_ns),
                 "max_depth": stats.max_depth,
             }
@@ -235,7 +311,49 @@ def render_summary(summary: TraceSummary) -> str:
         ]
         sections.append(format_table(rows, title="counters"))
 
+    if summary.gauges:
+        rows = [
+            {
+                "component": component,
+                "gauge": name,
+                "value": data.get("value"),
+                "min": data.get("min"),
+                "max": data.get("max"),
+                "updates": data.get("updates"),
+            }
+            for (component, name), data in sorted(summary.gauges.items())
+        ]
+        sections.append(format_table(rows, title="gauges"))
+
+    if summary.quantiles:
+        rows = [
+            {
+                "component": component,
+                "metric": name,
+                "count": data.get("count"),
+                "p50": data.get("p50"),
+                "p95": data.get("p95"),
+                "p99": data.get("p99"),
+                "mean": (
+                    float(data.get("total", 0.0)) / data["count"]
+                    if data.get("count")
+                    else None
+                ),
+            }
+            for (component, name), data in sorted(summary.quantiles.items())
+        ]
+        sections.append(format_table(rows, title="quantiles"))
+
+    if summary.workers:
+        rows = [
+            {"worker": worker, "events": count}
+            for worker, count in sorted(summary.workers.items())
+        ]
+        sections.append(format_table(rows, title="worker shards"))
+
     activity = []
+    if summary.snapshots:
+        activity.append(f"snapshots: {summary.snapshots}")
     if summary.rounds:
         activity.append(f"LOCAL rounds: {summary.rounds}")
     if summary.messages:
@@ -287,6 +405,58 @@ def render_trace(
     return "\n".join([header] + lines)
 
 
+def summary_to_dict(summary: TraceSummary) -> Dict[str, Any]:
+    """Flatten a :class:`TraceSummary` to one JSON-ready object.
+
+    The machine-readable form behind ``repro stats --json`` — consumed
+    by ``repro bench compare`` and (eventually) service dashboards.
+    Metric keys flatten to ``"component/name"`` strings.
+    """
+
+    def flat(mapping: Mapping[MetricKey, Any]) -> Dict[str, Any]:
+        return {
+            f"{component}/{name}": value
+            for (component, name), value in sorted(
+                mapping.items(), key=repr
+            )
+        }
+
+    return {
+        "run_ids": list(summary.run_ids),
+        "num_events": summary.num_events,
+        "duration_ns": summary.duration_ns,
+        "components": dict(sorted(summary.components.items())),
+        "spans": flat(
+            {
+                key: {
+                    "count": stats.count,
+                    "p50_ns": stats.p50_ns,
+                    "p95_ns": stats.p95_ns,
+                    "p99_ns": stats.p99_ns,
+                    "total_ns": stats.total_ns,
+                    "max_depth": stats.max_depth,
+                }
+                for key, stats in summary.spans.items()
+            }
+        ),
+        "counters": flat(summary.counters),
+        "gauges": flat(summary.gauges),
+        "quantiles": flat(summary.quantiles),
+        "histograms": flat(summary.histograms),
+        "workers": dict(sorted(summary.workers.items())),
+        "rounds": summary.rounds,
+        "messages": summary.messages,
+        "fix_steps": summary.fix_steps,
+        "snapshots": summary.snapshots,
+        "events_by_kind": {
+            f"{component}/{kind}": count
+            for (component, kind), count in sorted(
+                summary.events_by_kind.items()
+            )
+        },
+    }
+
+
 def summarize_trace_file(path: str, validate: bool = False) -> TraceSummary:
-    """Read and summarize a JSONL trace in one call."""
-    return summarize_trace(read_trace(path, validate=validate))
+    """Stream and summarize a JSONL trace in one constant-memory pass."""
+    return summarize_trace(iter_trace(path, validate=validate))

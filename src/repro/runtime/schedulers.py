@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import shutil
+import tempfile
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import (
@@ -45,12 +47,15 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError, SchedulerProtocolError
 from repro.faults import FaultPlan, fault_plan_from_env
+from repro.obs.profile import profile_mode_from_env, profiled
 from repro.obs.recorder import active as _obs_active
+from repro.obs.shard import TraceContext, collect_shard_fallback
 from repro.core.selection import Decision
 from repro.lll.instance import LLLInstance
 from repro.runtime.plan import ColorClass, FixCell, FixPlan
 from repro.runtime.workers import (
     CellPayload,
+    ChunkReply,
     EventPayload,
     OpPayload,
     execute_chunk,
@@ -116,6 +121,11 @@ class Scheduler(ABC):
     def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
         """Run every class of the plan, with validation and metrics."""
         recorder = _obs_active()
+        # REPRO_PROFILE only takes effect when a recorder is live — the
+        # profile events need a trace to land in.
+        self._profile_mode = (
+            profile_mode_from_env() if recorder is not None else None
+        )
         if recorder is not None:
             recorder.event(
                 "runtime",
@@ -127,24 +137,29 @@ class Scheduler(ABC):
                 ops=plan.num_ops,
                 critical_path=plan.critical_path,
             )
-        for color_class in plan.classes:
-            color_class.validate_disjoint()
-            start = time.perf_counter_ns() if recorder is not None else 0
-            self._run_class(fixer, color_class, instance)
-            if recorder is not None:
-                elapsed = time.perf_counter_ns() - start
-                recorder.record_span("runtime", "class", elapsed)
-                recorder.count("runtime", "ops", color_class.num_ops)
-                recorder.count("runtime", "classes")
-                recorder.event(
-                    "runtime",
-                    "class",
-                    scheduler=self.name,
-                    color=color_class.color,
-                    cells=len(color_class.cells),
-                    ops=color_class.num_ops,
-                    span=color_class.span,
-                )
+        with profiled(recorder, "scheduler", self._profile_mode,
+                      name=f"execute:{self.name}"):
+            for index, color_class in enumerate(plan.classes):
+                color_class.validate_disjoint()
+                start = time.perf_counter_ns() if recorder is not None else 0
+                self._run_class(fixer, color_class, instance)
+                if recorder is not None:
+                    elapsed = time.perf_counter_ns() - start
+                    recorder.record_span("runtime", "class", elapsed)
+                    recorder.observe_quantile("runtime", "class_ns", elapsed)
+                    recorder.count("runtime", "ops", color_class.num_ops)
+                    recorder.count("runtime", "classes")
+                    recorder.gauge("runtime", "classes_done", index + 1)
+                    recorder.event(
+                        "runtime",
+                        "class",
+                        scheduler=self.name,
+                        color=color_class.color,
+                        cells=len(color_class.cells),
+                        ops=color_class.num_ops,
+                        span=color_class.span,
+                    )
+                    recorder.maybe_snapshot()
 
     @abstractmethod
     def _run_class(
@@ -349,14 +364,23 @@ class ProcessScheduler(Scheduler):
         self._sleep = sleep
         self._pool: Optional[ProcessPoolExecutor] = None
         self._next_chunk_id = 0
+        self._shard_dir: Optional[str] = None
+        self._profile_mode: Optional[str] = None
 
     def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
+        if _obs_active() is not None:
+            # Workers append crash-survivable telemetry here; the merged
+            # trace is the durable artifact, so the shards are temporary.
+            self._shard_dir = tempfile.mkdtemp(prefix="repro-shards-")
         try:
             super().execute(fixer, plan, instance)
         finally:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self._shard_dir is not None:
+                shutil.rmtree(self._shard_dir, ignore_errors=True)
+                self._shard_dir = None
 
     def _acquire_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -388,11 +412,21 @@ class ProcessScheduler(Scheduler):
     def _run_class(
         self, fixer, color_class: ColorClass, instance: LLLInstance
     ) -> None:
+        recorder = _obs_active()
         kind = _fixer_kind(fixer)
+        # Payload serialization timed apart from dispatch and merge, so
+        # pickling cost is attributable from the trace alone.
+        payload_start = time.perf_counter_ns() if recorder is not None else 0
         payloads: List[Optional[CellPayload]] = [
             self._cell_payload(fixer, kind, cell, instance)
             for cell in color_class.cells
         ]
+        if recorder is not None:
+            recorder.record_span(
+                "runtime", "payload",
+                time.perf_counter_ns() - payload_start,
+                color=color_class.color, cells=len(payloads),
+            )
         dispatchable = [
             index for index, payload in enumerate(payloads)
             if payload is not None
@@ -404,7 +438,6 @@ class ProcessScheduler(Scheduler):
         if len(dispatchable) >= 2 and dispatch_ops >= self._min_dispatch_ops:
             chunks = self._chunk(dispatchable, self._num_workers)
             choices_by_cell = self._dispatch(chunks, payloads, color_class)
-            recorder = _obs_active()
             if recorder is not None:
                 chunk_ops = [
                     sum(len(color_class.cells[i].ops) for i in chunk)
@@ -425,6 +458,7 @@ class ProcessScheduler(Scheduler):
 
         # Deterministic merge: plan cell order, regardless of which
         # worker finished first (or whether a cell ran in-parent).
+        merge_start = time.perf_counter_ns() if recorder is not None else 0
         for index, cell in enumerate(color_class.cells):
             choices = choices_by_cell.get(index)
             if choices is None:
@@ -446,6 +480,12 @@ class ProcessScheduler(Scheduler):
                         choice=choice,
                     )
                 )
+        if recorder is not None:
+            recorder.record_span(
+                "runtime", "merge",
+                time.perf_counter_ns() - merge_start,
+                color=color_class.color, cells=len(color_class.cells),
+            )
 
     # ------------------------------------------------------------------
     # Dispatch with deadlines, retries and fallback
@@ -472,6 +512,9 @@ class ProcessScheduler(Scheduler):
             self._next_chunk_id += 1
         while pending:
             pool = self._acquire_pool()
+            if recorder is not None:
+                recorder.gauge("runtime", "pending_chunks", len(pending))
+                recorder.gauge("runtime", "pool_workers", self._num_workers)
             submitted = []
             for state in pending:
                 fault = (
@@ -479,16 +522,52 @@ class ProcessScheduler(Scheduler):
                     if plan is not None
                     else None
                 )
+                trace: Optional[TraceContext] = None
+                if recorder is not None:
+                    # The dispatch event is this attempt's causal parent:
+                    # its span_id is shipped to the worker and stamped
+                    # (as parent_span) on every merged shard record.
+                    span_id = f"chunk:{state.chunk_id}:a{state.attempt}"
+                    trace = TraceContext(
+                        run_id=recorder.run_id,
+                        parent_span=span_id,
+                        worker_id=f"worker:{state.chunk_id}",
+                        attempt=state.attempt,
+                        shard_path=(
+                            os.path.join(
+                                self._shard_dir,
+                                f"chunk{state.chunk_id}-a{state.attempt}"
+                                ".jsonl",
+                            )
+                            if self._shard_dir is not None
+                            else None
+                        ),
+                        profile=self._profile_mode,
+                    )
+                    recorder.event(
+                        "runtime",
+                        "dispatch",
+                        span_id=span_id,
+                        scope=f"chunk:{state.chunk_id}",
+                        chunk=state.chunk_id,
+                        attempt=state.attempt,
+                        cells=len(state.cells),
+                        worker_id=trace.worker_id,
+                    )
                 future = pool.submit(
                     execute_chunk,
                     [payloads[index] for index in state.cells],
                     fault,
+                    trace,
                 )
-                submitted.append((state, future))
+                submitted.append((state, future, trace))
             failed: List[_ChunkState] = []
-            for state, future in submitted:
+            for state, future, trace in submitted:
+                wait_start = (
+                    time.perf_counter_ns() if recorder is not None else 0
+                )
                 try:
-                    replies = future.result(timeout=self._deadline)
+                    reply = future.result(timeout=self._deadline)
                 except SchedulerProtocolError:
                     # A malformed reply is a correctness bug, not an
                     # environmental fault: surface it, never retry it.
@@ -500,6 +579,13 @@ class ProcessScheduler(Scheduler):
                     state.faulted = True
                     failed.append(state)
                     if recorder is not None:
+                        # The reply died with the worker; recover the
+                        # partial telemetry from its eager shard file,
+                        # tagged with this attempt number — a later
+                        # retry merges its own records separately.
+                        self._merge_shard(recorder, trace, state.attempt,
+                                          collect_shard_fallback(
+                                              trace.shard_path))
                         recorder.event(
                             "runtime",
                             "fault",
@@ -512,6 +598,26 @@ class ProcessScheduler(Scheduler):
                             error=repr(error),
                         )
                     continue
+                if recorder is not None:
+                    elapsed = time.perf_counter_ns() - wait_start
+                    recorder.record_span(
+                        "runtime", "chunk_wait", elapsed,
+                        chunk=state.chunk_id, attempt=state.attempt,
+                    )
+                    recorder.observe_quantile(
+                        "runtime", "chunk_wait_ns", elapsed
+                    )
+                if isinstance(reply, ChunkReply):
+                    replies = reply.results
+                    # Merge before validation: a rejected (garbled)
+                    # reply still contributed worker telemetry, and the
+                    # trace should show what the worker did.
+                    if recorder is not None:
+                        self._merge_shard(
+                            recorder, trace, state.attempt, reply.records
+                        )
+                else:
+                    replies = reply
                 self._validate_replies(state, replies, color_class)
                 for index, choices in zip(state.cells, replies):
                     results[index] = choices
@@ -565,7 +671,34 @@ class ProcessScheduler(Scheduler):
                 if delay > 0:
                     self._sleep(delay)
                 pending.append(state)
+        if recorder is not None:
+            recorder.gauge("runtime", "pending_chunks", 0)
         return results
+
+    @staticmethod
+    def _merge_shard(
+        recorder,
+        trace: Optional[TraceContext],
+        attempt: int,
+        records: Sequence[Dict[str, object]],
+    ) -> None:
+        """Re-emit one worker attempt's shard records into the trace.
+
+        ``attempt`` is passed explicitly (rather than read from the
+        context) because the records of a failed attempt are merged
+        while the chunk state may already be marked for a retried
+        dispatch — the tag must name the attempt that *produced* the
+        records.
+        """
+        if trace is None:
+            return
+        for record in records:
+            recorder.emit_shard_record(
+                record,
+                worker_id=trace.worker_id,
+                parent_span=trace.parent_span,
+                attempt=attempt,
+            )
 
     def _validate_replies(
         self,

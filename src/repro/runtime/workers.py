@@ -29,6 +29,8 @@ from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulerProtocolError, SimulationError
 from repro.faults.plan import WorkerFault
+from repro.obs.profile import profiled
+from repro.obs.shard import ShardRecorder, TraceContext
 from repro.core.selection import (
     select_rank1,
     select_rank2,
@@ -199,8 +201,25 @@ def execute_cell(payload: CellPayload) -> List[object]:
     return choices
 
 
+@dataclass
+class ChunkReply:
+    """A traced chunk's return value: results plus the telemetry shard.
+
+    ``execute_chunk`` keeps returning a plain list of per-cell choice
+    lists when no :class:`~repro.obs.shard.TraceContext` is shipped, so
+    untraced callers (and the in-parent fallback path) see the original
+    protocol; with tracing on, the shard records piggyback on the reply
+    and the parent merges them into its trace after validation.
+    """
+
+    results: List[List[object]]
+    records: List[Dict[str, object]]
+
+
 def _apply_worker_fault(
-    fault: Optional[WorkerFault], results: List[List[object]]
+    fault: Optional[WorkerFault],
+    results: List[List[object]],
+    shard: Optional[ShardRecorder] = None,
 ) -> List[List[object]]:
     """Execute a post-compute injected fault inside the worker.
 
@@ -209,10 +228,15 @@ def _apply_worker_fault(
     the parent must reject as a protocol violation instead of committing
     a partial cell.  (``crash`` is handled pre-compute in
     :func:`execute_chunk`: the process dies before producing results,
-    and the parent sees a ``BrokenProcessPool``.)
+    and the parent sees a ``BrokenProcessPool``.)  With a shard recorder
+    installed the injection is announced *before* it executes, so a
+    worker terminated mid-hang still leaves the ``fault_injected`` event
+    in its shard file.
     """
     if fault is None:
         return results
+    if shard is not None:
+        shard.event("worker", "fault_injected", **fault.as_payload())
     if fault.kind in ("hang", "slow"):
         time.sleep(fault.seconds)
         return results
@@ -229,7 +253,8 @@ def _apply_worker_fault(
 def execute_chunk(
     payloads: Sequence[CellPayload],
     fault: Optional[WorkerFault] = None,
-) -> List[List[object]]:
+    trace: Optional[TraceContext] = None,
+):
     """Worker entry point: validate disjointness, then run each cell.
 
     The read-set check is the schedule-bug tripwire: cells sharing an
@@ -242,7 +267,56 @@ def execute_chunk(
     chunk, the injected failure executes *here*, in the worker, so the
     parent-side recovery path is exercised against real process death,
     real elapsed deadlines and real malformed replies.
+
+    ``trace`` opts the worker into the cross-process trace: a
+    :class:`~repro.obs.shard.ShardRecorder` times validation and every
+    cell's decide loop, announces injected faults, and the buffered
+    records return piggybacked on a :class:`ChunkReply` (with the shard
+    file as the crash-survivable fallback).  Returns a plain list of
+    per-cell choice lists when ``trace`` is ``None``.
     """
+    shard = ShardRecorder(trace) if trace is not None else None
+    if shard is not None:
+        shard.event(
+            "worker",
+            "worker_start",
+            pid=os.getpid(),
+            cells=len(payloads),
+            attempt=trace.attempt,
+        )
+    if shard is not None:
+        with shard.span("worker", "validate", cells=len(payloads)):
+            _validate_chunk_disjoint(payloads)
+    else:
+        _validate_chunk_disjoint(payloads)
+    if fault is not None and fault.kind == "crash":
+        if shard is not None:
+            # The eager line-buffered shard file is the only telemetry
+            # that survives the os._exit below.
+            shard.event("worker", "fault_injected", **fault.as_payload())
+        os._exit(13)
+    results: List[List[object]] = []
+    with profiled(shard, "worker", trace.profile if trace else None,
+                  name="chunk"):
+        for payload in payloads:
+            if shard is not None:
+                with shard.span(
+                    "worker", "decide",
+                    cell=repr(payload.owner), ops=len(payload.ops),
+                ):
+                    results.append(execute_cell(payload))
+                shard.count("worker", "cells")
+                shard.count("worker", "ops", len(payload.ops))
+            else:
+                results.append(execute_cell(payload))
+    results = _apply_worker_fault(fault, results, shard)
+    if shard is None:
+        return results
+    return ChunkReply(results=results, records=shard.drain())
+
+
+def _validate_chunk_disjoint(payloads: Sequence[CellPayload]) -> None:
+    """Raise if two cells of one chunk read the same event."""
     touched: set = set()
     for payload in payloads:
         reads = payload.read_events
@@ -253,7 +327,3 @@ def execute_chunk(
                 f"read by two cells of one class"
             )
         touched.update(reads)
-    if fault is not None and fault.kind == "crash":
-        os._exit(13)
-    results = [execute_cell(payload) for payload in payloads]
-    return _apply_worker_fault(fault, results)

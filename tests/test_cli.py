@@ -116,3 +116,116 @@ class TestCommands:
     def test_info_landscape(self, capsys):
         assert main(["info", "--landscape"]) == 0
         assert "landscape" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def build_trace(self, tmp_path, with_profile=False):
+        from repro.obs import profiled, recording
+
+        path = str(tmp_path / "trace.jsonl")
+        with recording(path=path, run_id="cli-test") as recorder:
+            recorder.event("demo", "tick", step=0)
+            recorder.gauge("demo", "queue", 4)
+            recorder.observe_quantile("demo", "latency_ns", 100)
+            recorder.count("demo", "hits", 2)
+            recorder.snapshot()
+            if with_profile:
+                with profiled(recorder, "demo", "cprofile", name="hot"):
+                    sum(range(10_000))
+        return path
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+
+        path = self.build_trace(tmp_path)
+        assert main(["stats", path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["run_ids"] == ["cli-test"]
+        assert data["counters"]["demo/hits"] == 2
+        assert data["gauges"]["demo/queue"]["value"] == 4.0
+        assert data["quantiles"]["demo/latency_ns"]["count"] == 1
+
+    def test_stats_follow_prints_snapshots(self, tmp_path, capsys):
+        path = self.build_trace(tmp_path)
+        # The trace is complete (run_start/run_end balanced), so the
+        # follow loop drains it and exits without waiting.
+        assert main(["stats", path, "--follow", "--idle-timeout", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot @" in out
+        assert "demo/hits=2" in out
+        assert "spans" in out or "counters" in out
+
+    def test_profile_reports_collapsed_stacks(self, tmp_path, capsys):
+        path = self.build_trace(tmp_path, with_profile=True)
+        assert main(["profile", path]) == 0
+        report = capsys.readouterr().out
+        assert "hottest frames" in report
+
+    def test_profile_writes_folded_file(self, tmp_path, capsys):
+        path = self.build_trace(tmp_path, with_profile=True)
+        out = str(tmp_path / "stacks.folded")
+        assert main(["profile", path, "--out", out]) == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = open(out).read().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) > 0
+
+    def test_profile_without_profile_events(self, tmp_path, capsys):
+        path = self.build_trace(tmp_path)
+        assert main(["profile", path]) == 0
+        assert "REPRO_PROFILE" in capsys.readouterr().out
+
+
+class TestBenchCompare:
+    def write_results(self, directory, rows):
+        import json
+
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "E5.json").write_text(json.dumps(rows))
+
+    def test_green_gate_exits_zero(self, tmp_path, capsys):
+        rows = [{"experiment": "E5", "mode": "on", "events": 3,
+                 "trace_ok": True}]
+        self.write_results(tmp_path / "baseline", rows)
+        self.write_results(tmp_path / "candidate", rows)
+        code = main([
+            "bench", "compare",
+            "--results-dir", str(tmp_path / "candidate"),
+            "--baseline-dir", str(tmp_path / "baseline"),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exits_three(self, tmp_path, capsys):
+        self.write_results(
+            tmp_path / "baseline",
+            [{"experiment": "E5", "mode": "on", "events": 3,
+              "trace_ok": True}],
+        )
+        self.write_results(
+            tmp_path / "candidate",
+            [{"experiment": "E5", "mode": "on", "events": 3,
+              "trace_ok": False}],
+        )
+        code = main([
+            "bench", "compare",
+            "--results-dir", str(tmp_path / "candidate"),
+            "--baseline-dir", str(tmp_path / "baseline"),
+            "--verbose",
+        ])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "trace_ok" in out
+
+    def test_missing_baseline_dir_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "candidate").mkdir()
+        code = main([
+            "bench", "compare",
+            "--results-dir", str(tmp_path / "candidate"),
+            "--baseline-dir", str(tmp_path / "absent"),
+        ])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

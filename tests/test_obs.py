@@ -361,3 +361,220 @@ class TestSummary:
         assert merged["count"] == 2
         assert merged["counts"] == [1, 1, 0]
         assert summary.run_ids == ["one", "two"]
+
+
+class TestGaugesAndQuantiles:
+    def test_gauge_tracks_last_value_and_extremes(self):
+        from repro.obs import Gauge
+
+        gauge = Gauge()
+        assert gauge.as_dict() == {
+            "value": None, "min": None, "max": None, "updates": 0,
+        }
+        for value in (3, 9, 1):
+            gauge.set(value)
+        assert gauge.as_dict() == {
+            "value": 1.0, "min": 1.0, "max": 9.0, "updates": 3,
+        }
+
+    def test_quantile_histogram_estimates_within_one_bucket(self):
+        from repro.obs import QuantileHistogram
+
+        histogram = QuantileHistogram()
+        samples = list(range(1, 1001))
+        for sample in samples:
+            histogram.observe(sample)
+        assert histogram.count == 1000
+        for q in (50, 95, 99):
+            exact = percentile(samples, q)
+            estimate = histogram.quantile(q)
+            # One log-bucket of relative error at the default growth.
+            assert abs(estimate - exact) / exact < 0.10, (q, estimate, exact)
+        report = histogram.quantiles()
+        assert set(report) == {"p50", "p95", "p99"}
+        assert report["p50"] <= report["p95"] <= report["p99"]
+
+    def test_quantile_histogram_edge_cases(self):
+        from repro.obs import QuantileHistogram
+
+        histogram = QuantileHistogram()
+        assert histogram.quantile(50) != histogram.quantile(50)  # NaN
+        histogram.observe(0.0)
+        histogram.observe(-2.0)
+        assert histogram.zero == 2
+        assert histogram.quantile(50) == -2.0
+        histogram.observe(100.0)
+        assert histogram.quantile(99) == 100.0
+        with pytest.raises(ObsError):
+            histogram.quantile(101)
+        with pytest.raises(ObsError):
+            QuantileHistogram(growth=1.0)
+
+    def test_quantile_histogram_merge_requires_same_growth(self):
+        from repro.obs import QuantileHistogram
+
+        left = QuantileHistogram()
+        right = QuantileHistogram()
+        for value in (1, 10, 100):
+            left.observe(value)
+            right.observe(value * 2)
+        merged = QuantileHistogram()
+        merged.merge_dict(left.as_dict())
+        merged.merge_dict(right.as_dict())
+        assert merged.count == 6
+        assert merged.min == 1.0 and merged.max == 200.0
+        other = QuantileHistogram(growth=2.0)
+        with pytest.raises(ObsError):
+            merged.merge_dict(other.as_dict())
+
+    def test_recorder_flushes_gauge_and_quantile_summaries(self):
+        recorder = Recorder(run_id="metrics")
+        recorder.gauge("runtime", "queue", 4)
+        recorder.gauge("runtime", "queue", 2)
+        assert recorder.gauge_value("runtime", "queue") == 2.0
+        assert recorder.gauge_value("runtime", "absent") is None
+        for value in (10, 20, 30):
+            recorder.observe_quantile("runtime", "latency_ns", value)
+        recorder.close()
+        events = recorder.memory.events
+        assert check_events(events) == len(events)
+        (gauge,) = [e for e in events if e["event"] == "gauge"]
+        assert gauge["payload"]["metric_component"] == "runtime"
+        assert gauge["payload"]["name"] == "queue"
+        assert gauge["payload"]["value"] == 2.0
+        (quantile,) = [e for e in events if e["event"] == "quantile"]
+        assert quantile["payload"]["count"] == 3
+        assert "p99" in quantile["payload"]
+
+    def test_snapshot_publishes_live_values_mid_run(self):
+        with recording(run_id="snap") as recorder:
+            recorder.count("runtime", "cells", 7)
+            recorder.gauge("runtime", "queue", 3)
+            recorder.observe_quantile("runtime", "latency_ns", 50)
+            event = recorder.snapshot(reason="test").as_dict()
+        assert event["event"] == "snapshot"
+        payload = event["payload"]
+        assert payload["reason"] == "test"
+        assert payload["counters"]["runtime/cells"] == 7
+        assert payload["gauges"]["runtime/queue"] == 3.0
+        assert set(payload["quantiles"]["runtime/latency_ns"]) == {
+            "p50", "p95", "p99",
+        }
+
+    def test_maybe_snapshot_respects_interval(self):
+        with recording(run_id="snap", snapshot_interval=3600.0) as recorder:
+            first = recorder.maybe_snapshot()
+            second = recorder.maybe_snapshot()
+        # The recording() entry stamps the interval clock, so nothing
+        # fires within the hour; without an interval it never fires.
+        assert first is None and second is None
+        with recording(run_id="snap2") as recorder:
+            assert recorder.maybe_snapshot() is None
+
+
+class TestStreamingTraceReaders:
+    def build_trace(self, path, count=5):
+        with recording(path=str(path), run_id="stream") as recorder:
+            for index in range(count):
+                recorder.event("demo", "tick", step=index)
+
+    def test_iter_trace_is_lazy_and_equivalent_to_read_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.build_trace(path)
+        iterator = iter((read_trace(str(path))))
+        from repro.obs import iter_trace
+
+        lazy = iter_trace(str(path))
+        assert next(lazy)["event"] == next(iterator)["event"]
+        assert list(lazy) == list(iterator)
+
+    def test_iter_trace_validates_on_demand(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0}\n')
+        from repro.obs import iter_trace
+
+        assert len(list(iter_trace(str(path)))) == 1
+        with pytest.raises(ObsError):
+            list(iter_trace(str(path), validate=True))
+
+    def test_summarize_trace_file_streams(self, tmp_path):
+        from repro.obs.summary import summarize_trace_file
+
+        path = tmp_path / "trace.jsonl"
+        self.build_trace(path, count=3)
+        summary = summarize_trace_file(str(path), validate=True)
+        assert summary.events_by_kind[("demo", "tick")] == 3
+
+    def test_follow_trace_stops_on_balanced_run_end(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.build_trace(path)  # recording() emits run_start/run_end
+        from repro.obs import follow_trace
+
+        events = list(follow_trace(str(path), poll_seconds=0.01))
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_end"
+
+    def test_follow_trace_idle_timeout(self, tmp_path):
+        path = tmp_path / "endless.jsonl"
+        # run_start without run_end: only the idle timeout stops this.
+        path.write_text(
+            '{"run_id": "r", "seq": 0, "ts_ns": 0, "component": "obs",'
+            ' "event": "run_start", "payload": {}}\n'
+        )
+        from repro.obs import follow_trace
+
+        events = list(
+            follow_trace(str(path), poll_seconds=0.01, idle_timeout=0.05)
+        )
+        assert len(events) == 1
+
+    def test_follow_trace_custom_stop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        self.build_trace(path)
+        from repro.obs import follow_trace
+
+        events = list(
+            follow_trace(
+                str(path),
+                poll_seconds=0.01,
+                stop_when=lambda event: event["event"] == "tick",
+            )
+        )
+        assert events[-1]["event"] == "tick"
+        assert len(events) == 2  # run_start + first tick
+
+
+class TestSummaryToDict:
+    def test_summary_to_dict_flattens_metrics(self):
+        with recording(run_id="dictify") as recorder:
+            recorder.event("demo", "tick", step=0)
+            with span("demo", "work"):
+                pass
+            recorder.count("demo", "hits", 3)
+            recorder.gauge("demo", "queue", 2)
+            recorder.observe_quantile("demo", "latency_ns", 10)
+        from repro.obs import summary_to_dict
+
+        summary = summarize_trace(recorder.memory.events)
+        data = summary_to_dict(summary)
+        assert data["run_ids"] == ["dictify"]
+        assert data["counters"]["demo/hits"] == 3
+        assert data["gauges"]["demo/queue"]["value"] == 2.0
+        assert data["quantiles"]["demo/latency_ns"]["count"] == 1
+        assert data["events_by_kind"]["demo/tick"] == 1
+        span_row = data["spans"]["demo/work"]
+        assert span_row["count"] == 1
+        assert "p99_ns" in span_row
+        import json as json_module
+
+        json_module.dumps(data)  # JSON-serializable throughout
+
+    def test_span_stats_report_p99(self):
+        with recording(run_id="p99") as recorder:
+            for duration in range(100):
+                recorder.record_span("demo", "op", duration)
+        summary = summarize_trace(recorder.memory.events)
+        stats = summary.spans[("demo", "op")]
+        assert stats.p99_ns >= stats.p95_ns >= stats.p50_ns
+        report = render_summary(summary)
+        assert "p99" in report

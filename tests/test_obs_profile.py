@@ -1,0 +1,139 @@
+"""Opt-in profiling: collapsed-stack events and trace-side rendering."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    PROFILE_ENV,
+    PROFILE_MODES,
+    Recorder,
+    check_events,
+    collect_profiles,
+    profile_mode_from_env,
+    profiled,
+    render_collapsed,
+    render_profile_report,
+)
+
+
+def spin(deadline_seconds=0.02):
+    """Busy-work with a recognizable frame for the profilers to see."""
+    total = 0
+    end = time.perf_counter() + deadline_seconds
+    while time.perf_counter() < end:
+        total += sum(range(50))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Mode resolution
+# ----------------------------------------------------------------------
+def test_profile_mode_from_env_unset(monkeypatch):
+    monkeypatch.delenv(PROFILE_ENV, raising=False)
+    assert profile_mode_from_env() is None
+    monkeypatch.setenv(PROFILE_ENV, "")
+    assert profile_mode_from_env() is None
+
+
+@pytest.mark.parametrize("mode", PROFILE_MODES)
+def test_profile_mode_from_env_valid(monkeypatch, mode):
+    monkeypatch.setenv(PROFILE_ENV, mode.upper())
+    assert profile_mode_from_env() == mode
+
+
+def test_profile_mode_from_env_rejects_unknown(monkeypatch):
+    monkeypatch.setenv(PROFILE_ENV, "perf")
+    with pytest.raises(ObsError):
+        profile_mode_from_env()
+
+
+def test_profiled_rejects_unknown_mode():
+    with pytest.raises(ObsError):
+        profiled(None, "runtime", "flamescope")
+
+
+# ----------------------------------------------------------------------
+# The profiled context manager
+# ----------------------------------------------------------------------
+def test_profiled_is_inert_without_mode_or_recorder():
+    recorder = Recorder(run_id="inert")
+    try:
+        with profiled(recorder, "runtime", None):
+            spin(0.001)
+        with profiled(None, "runtime", "cprofile"):
+            spin(0.001)
+    finally:
+        recorder.close()
+    assert not any(
+        e["event"] == "profile" for e in recorder.memory.events
+    )
+
+
+@pytest.mark.parametrize("mode", PROFILE_MODES)
+def test_profiled_emits_one_collapsed_stack_event(mode):
+    recorder = Recorder(run_id=f"profiled-{mode}")
+    try:
+        with profiled(recorder, "runtime", mode, name="hot"):
+            spin()
+    finally:
+        recorder.close()
+    events = recorder.memory.events
+    assert check_events(events) == len(events)
+    (event,) = [e for e in events if e["event"] == "profile"]
+    payload = event["payload"]
+    assert payload["mode"] == mode
+    assert payload["name"] == "hot"
+    assert payload["duration_ns"] > 0
+    assert payload["samples"] >= 0
+    for line in payload["collapsed"]:
+        stack, _, weight = line.rpartition(" ")
+        assert stack
+        assert int(weight) > 0
+    if mode == "cprofile":
+        # cProfile coverage is exact: the busy loop must show up.
+        assert any("spin" in line for line in payload["collapsed"])
+
+
+# ----------------------------------------------------------------------
+# Trace-side aggregation and rendering
+# ----------------------------------------------------------------------
+def profile_event(component, collapsed):
+    return {
+        "component": component,
+        "event": "profile",
+        "payload": {"collapsed": collapsed},
+    }
+
+
+def test_collect_profiles_merges_weights_across_events():
+    events = [
+        profile_event("runtime", ["a;b 3", "a;c 1"]),
+        profile_event("worker", ["a;b 2"]),
+        {"component": "runtime", "event": "span", "payload": {}},
+    ]
+    assert collect_profiles(events) == {"a;b": 5, "a;c": 1}
+    assert collect_profiles(events, component="worker") == {"a;b": 2}
+    assert collect_profiles(events, component="absent") == {}
+
+
+def test_collect_profiles_rejects_malformed_lines():
+    with pytest.raises(ObsError):
+        collect_profiles([profile_event("runtime", ["a;b notanumber"])])
+
+
+def test_render_collapsed_is_folded_format():
+    rendered = render_collapsed({"a;b": 5, "a;c": 1})
+    assert rendered == "a;b 5\na;c 1"
+
+
+def test_render_profile_report_ranks_leaves_and_stacks():
+    report = render_profile_report({"main;hot": 75, "main;cold": 25})
+    assert "hottest frames" in report
+    assert "75.0%" in report
+    assert "main;hot" in report
+    # Empty traces get guidance, not a crash.
+    assert "REPRO_PROFILE" in render_profile_report({})

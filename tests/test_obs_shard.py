@@ -1,0 +1,183 @@
+"""Worker-side trace shards: buffering, eager files, recovery, merge."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    Recorder,
+    ShardRecorder,
+    TraceContext,
+    check_events,
+    collect_shard_fallback,
+    read_shard_file,
+)
+
+
+def make_context(tmp_path=None, **overrides):
+    fields = {
+        "run_id": "run-1",
+        "parent_span": "chunk:0:a0",
+        "worker_id": "worker:0",
+    }
+    if tmp_path is not None:
+        fields["shard_path"] = str(tmp_path / "shard.jsonl")
+    fields.update(overrides)
+    return TraceContext(**fields)
+
+
+# ----------------------------------------------------------------------
+# TraceContext
+# ----------------------------------------------------------------------
+def test_trace_context_round_trips_through_pickle():
+    context = make_context(attempt=2, shard_path="/tmp/s.jsonl", profile="sample")
+    clone = pickle.loads(pickle.dumps(context))
+    assert clone == context
+    assert clone.worker_id == "worker:0"
+    assert clone.attempt == 2
+
+
+def test_trace_context_defaults():
+    context = make_context()
+    assert context.attempt == 0
+    assert context.shard_path is None
+    assert context.profile is None
+
+
+# ----------------------------------------------------------------------
+# ShardRecorder buffering
+# ----------------------------------------------------------------------
+def test_shard_recorder_buffers_records_with_local_seq():
+    shard = ShardRecorder(make_context())
+    shard.event("worker", "worker_start", pid=123)
+    shard.event("worker", "decide", step=4, cell="x")
+    records = shard.drain()
+    assert [r["seq"] for r in records] == [0, 1]
+    assert records[0]["event"] == "worker_start"
+    assert records[0]["payload"] == {"pid": 123}
+    assert records[1]["step"] == 4
+    assert all(r["ts_ns"] >= 0 for r in records)
+
+
+def test_shard_recorder_span_times_and_records():
+    shard = ShardRecorder(make_context())
+    with shard.span("worker", "decide", cell="c"):
+        pass
+    (record,) = shard.drain()
+    assert record["event"] == "span"
+    assert record["payload"]["name"] == "decide"
+    assert record["payload"]["cell"] == "c"
+    assert record["payload"]["duration_ns"] >= 0
+
+
+def test_shard_recorder_counters_flush_on_drain():
+    shard = ShardRecorder(make_context())
+    shard.count("worker", "cells")
+    shard.count("worker", "cells")
+    shard.count("worker", "ops", delta=5)
+    records = shard.drain()
+    counters = {
+        (r["payload"]["metric_component"], r["payload"]["name"]):
+            r["payload"]["value"]
+        for r in records
+        if r["event"] == "counter"
+    }
+    assert counters == {("worker", "cells"): 2, ("worker", "ops"): 5}
+    # drain() flushed; a second drain adds nothing new.
+    assert shard.drain() == records
+
+
+# ----------------------------------------------------------------------
+# Eager shard files
+# ----------------------------------------------------------------------
+def test_shard_file_receives_every_record_eagerly(tmp_path):
+    context = make_context(tmp_path)
+    shard = ShardRecorder(context)
+    shard.event("worker", "worker_start", pid=1)
+    shard.event("worker", "fault_injected", kind="crash")
+    # Deliberately NOT drained: simulates a worker that dies mid-chunk.
+    recovered = read_shard_file(context.shard_path)
+    assert [r["event"] for r in recovered] == [
+        "worker_start",
+        "fault_injected",
+    ]
+    assert recovered == shard.records
+
+
+def test_shard_recorder_survives_unwritable_shard_path(tmp_path):
+    context = make_context(shard_path=str(tmp_path / "no" / "dir" / "s.jsonl"))
+    shard = ShardRecorder(context)
+    shard.event("worker", "worker_start")
+    assert len(shard.drain()) == 1
+
+
+def test_read_shard_file_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "shard.jsonl"
+    path.write_text(
+        '{"seq": 0, "event": "worker_start", "component": "worker", '
+        '"payload": {}}\n{"seq": 1, "event": "span", "compo'
+    )
+    records = read_shard_file(str(path))
+    assert len(records) == 1
+    assert records[0]["event"] == "worker_start"
+
+
+def test_read_shard_file_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "shard.jsonl"
+    path.write_text('not json\n{"seq": 0, "event": "ok", "payload": {}}\n')
+    with pytest.raises(ObsError):
+        read_shard_file(str(path))
+
+
+def test_read_shard_file_missing_raises(tmp_path):
+    with pytest.raises(ObsError):
+        read_shard_file(str(tmp_path / "absent.jsonl"))
+
+
+def test_collect_shard_fallback_is_best_effort(tmp_path):
+    assert collect_shard_fallback(None) == []
+    assert collect_shard_fallback(str(tmp_path / "absent.jsonl")) == []
+    corrupt = tmp_path / "corrupt.jsonl"
+    corrupt.write_text('nope\n{"seq": 0, "payload": {}}\n')
+    assert collect_shard_fallback(str(corrupt)) == []
+    good = tmp_path / "good.jsonl"
+    good.write_text('{"seq": 0, "event": "worker_start", '
+                    '"component": "worker", "payload": {}}\n')
+    assert len(collect_shard_fallback(str(good))) == 1
+
+
+# ----------------------------------------------------------------------
+# Parent-side merge
+# ----------------------------------------------------------------------
+def test_emit_shard_record_stamps_provenance_and_parent_seq():
+    recorder = Recorder(run_id="merge-test")
+    try:
+        recorder.event("runtime", "dispatch", span_id="chunk:0:a0")
+        shard = ShardRecorder(make_context())
+        shard.event("worker", "decide", step=7, cell="c")
+        for record in shard.drain():
+            recorder.emit_shard_record(
+                record,
+                worker_id="worker:0",
+                parent_span="chunk:0:a0",
+                attempt=1,
+            )
+    finally:
+        recorder.close()
+    events = recorder.memory.events
+    assert check_events(events) == len(events)
+    merged = next(e for e in events if e["event"] == "decide")
+    assert merged["run_id"] == "merge-test"
+    assert merged["worker_id"] == "worker:0"
+    assert merged["parent_span"] == "chunk:0:a0"
+    assert merged["attempt"] == 1
+    assert merged["step"] == 7
+    # Parent seq numbering continues past the dispatch event, and the
+    # worker-local clock survives in the payload.
+    dispatch = next(e for e in events if e["event"] == "dispatch")
+    assert merged["seq"] > dispatch["seq"]
+    assert "worker_ts_ns" in merged["payload"]

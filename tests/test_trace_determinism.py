@@ -1,0 +1,239 @@
+"""The merged cross-process trace is a reproducible artifact.
+
+The worker-shard protocol (docs/observability.md) promises that the
+trace a ``ProcessScheduler`` run merges from its workers is
+
+* **schema-valid** — every merged record passes ``check_events``,
+  provenance fields included;
+* **causally ordered** — a worker record never precedes the parent
+  ``dispatch`` event whose span id it carries as ``parent_span``;
+* **deterministic** — two runs of the same workload with a pinned
+  ``run_id`` produce the same event stream once wall-clock noise
+  (timestamps, durations, pids) is stripped: same events, same order,
+  same worker attribution, same counters.  Logical worker ids
+  (``worker:<chunk_id>``) exist precisely so this holds across process
+  pools.
+
+Under a deterministic fault schedule the same holds, *plus* the trace
+keeps the telemetry of every attempt: a crashed chunk contributes the
+records it flushed to its shard file before dying (tagged ``attempt
+0``) and the records of the successful retry (``attempt 1``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import solve_distributed
+from repro.faults import FaultPlan
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+)
+from repro.obs import check_events, recording
+from repro.runtime import ProcessScheduler
+
+POOL_SETTINGS = settings(
+    deadline=None,
+    max_examples=5,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Payload keys that legitimately differ between reruns (clocks, pids,
+#: in-flight timing); everything else must be bit-identical.
+VOLATILE_PAYLOAD_KEYS = frozenset(
+    {
+        "wall_time",
+        "duration_ns",
+        "worker_ts_ns",
+        "pid",
+        "backoff_seconds",
+        "error",
+        "utilization",
+    }
+)
+
+#: Summary events whose payloads aggregate *timing* values; only their
+#: sample counts are stable across reruns.
+TIMING_SUMMARY_EVENTS = frozenset({"histogram", "quantile", "snapshot"})
+
+
+def normalize(events):
+    """Strip wall-clock noise, keep everything the protocol promises."""
+    normalized = []
+    for event in events:
+        record = {
+            key: value
+            for key, value in event.items()
+            if key != "ts_ns"
+        }
+        payload = dict(record.get("payload") or {})
+        if record.get("event") in TIMING_SUMMARY_EVENTS:
+            payload = {
+                key: payload.get(key)
+                for key in ("metric_component", "name", "count")
+                if key in payload
+            }
+        else:
+            for key in VOLATILE_PAYLOAD_KEYS:
+                payload.pop(key, None)
+        record["payload"] = payload
+        normalized.append(record)
+    return normalized
+
+
+def assert_causally_ordered(events):
+    """Every merged worker record follows its parent dispatch event."""
+    dispatch_seq = {
+        event["payload"]["span_id"]: event["seq"]
+        for event in events
+        if event["event"] == "dispatch"
+    }
+    for event in events:
+        parent = event.get("parent_span")
+        if parent is None:
+            continue
+        assert parent in dispatch_seq, (
+            f"worker record {event['seq']} references unknown dispatch "
+            f"{parent!r}"
+        )
+        assert dispatch_seq[parent] < event["seq"], (
+            f"worker record {event['seq']} precedes its dispatch {parent!r}"
+        )
+
+
+def traced_run(build, scheduler_factory):
+    """One traced process-backend solve; returns (events, assignment)."""
+    with recording(run_id="determinism") as recorder:
+        result = solve_distributed(build(), scheduler=scheduler_factory())
+    events = list(recorder.memory.events)
+    check_events(events)
+    return events, result.assignment.as_dict()
+
+
+def build_for(spec):
+    family, n, alphabet = spec
+    if family == "cycle":
+        return lambda: all_zero_edge_instance(cycle_graph(n), alphabet)
+    return lambda: all_zero_triple_instance(n, cyclic_triples(n), alphabet)
+
+
+def specs():
+    # Sizes start where the process scheduler actually dispatches (a
+    # color class needs >= 2 dispatchable cells); smaller instances run
+    # in-parent and would make the worker-attribution checks vacuous.
+    cycles = st.tuples(
+        st.just("cycle"),
+        st.integers(min_value=10, max_value=16),
+        st.integers(min_value=3, max_value=4),
+    )
+    triples = st.tuples(
+        st.just("triples"),
+        st.integers(min_value=12, max_value=18),
+        st.integers(min_value=5, max_value=6),
+    )
+    return st.one_of(cycles, triples)
+
+
+@POOL_SETTINGS
+@given(spec=specs())
+def test_merged_trace_deterministic(spec):
+    build = build_for(spec)
+    factory = lambda: ProcessScheduler(max_workers=2, min_dispatch_ops=1)
+    first_events, first_assignment = traced_run(build, factory)
+    second_events, second_assignment = traced_run(build, factory)
+
+    assert first_assignment == second_assignment
+    assert_causally_ordered(first_events)
+    assert normalize(first_events) == normalize(second_events)
+
+    # Every dispatched chunk is attributed: each dispatch's worker_id
+    # shows up on at least one merged record.
+    dispatched = {
+        event["payload"]["worker_id"]
+        for event in first_events
+        if event["event"] == "dispatch"
+    }
+    attributed = {
+        event["worker_id"]
+        for event in first_events
+        if event.get("worker_id")
+    }
+    assert dispatched, "workload too small: nothing was dispatched"
+    assert dispatched == attributed
+
+
+@POOL_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=7))
+def test_merged_trace_deterministic_under_faults(seed):
+    # A crashed worker (os._exit) tears down the whole process pool, so
+    # with several workers the *sibling* chunks' fates race the breakage
+    # — one run sees them complete, another sees them retried.  Both
+    # transcripts merge to the same solver output, but only a single
+    # worker gives the crash/retry schedule one interleaving, which is
+    # what lets this test demand event-for-event equality.
+    build = build_for(("triples", 15, 5))
+    factory = lambda: ProcessScheduler(
+        max_workers=1,
+        min_dispatch_ops=1,
+        backoff_base=0.0,
+        deadline=20.0,
+        fault_plan=FaultPlan(
+            seed=seed,
+            explicit_chunks=((0, "crash"),),
+        ),
+    )
+    first_events, first_assignment = traced_run(build, factory)
+    second_events, second_assignment = traced_run(build, factory)
+
+    assert first_assignment == second_assignment
+    assert_causally_ordered(first_events)
+    assert normalize(first_events) == normalize(second_events)
+
+    # The crashed chunk keeps both attempts in the merged trace: the
+    # shard-file records of the dying attempt 0 and the piggybacked
+    # records of the clean retry, distinguished by the attempt tag.
+    attempts = {
+        event.get("attempt")
+        for event in first_events
+        if event.get("worker_id") == "worker:0"
+    }
+    assert attempts == {0, 1}
+    injected = [
+        event
+        for event in first_events
+        if event["event"] == "fault_injected"
+    ]
+    assert len(injected) == 1
+    assert injected[0]["attempt"] == 0
+    assert injected[0]["payload"]["kind"] == "crash"
+    # The parent saw the death and recorded the recovery pair.
+    kinds = {event["event"] for event in first_events}
+    assert "fault" in kinds and "retry" in kinds
+
+
+def test_merged_trace_deterministic_under_env_fault_spec():
+    """The REPRO_FAULTS ambient spec drives the same reproducible trace."""
+    build = build_for(("triples", 15, 5))
+    previous = os.environ.get("REPRO_FAULTS")
+    os.environ["REPRO_FAULTS"] = "seed=3,crash@0,deadline=20"
+    try:
+        factory = lambda: ProcessScheduler(
+            max_workers=1, min_dispatch_ops=1, backoff_base=0.0
+        )
+        first_events, first_assignment = traced_run(build, factory)
+        second_events, second_assignment = traced_run(build, factory)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_FAULTS"]
+        else:
+            os.environ["REPRO_FAULTS"] = previous
+    assert first_assignment == second_assignment
+    assert normalize(first_events) == normalize(second_events)
+    assert any(
+        event["event"] == "fault_injected" for event in first_events
+    )
