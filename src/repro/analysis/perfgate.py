@@ -48,6 +48,7 @@ KEY_FIELDS: Dict[str, Tuple[str, ...]] = {
     "E3": ("phase", "n"),
     "E4": ("configuration", "n"),
     "E5": ("mode",),
+    "E6": ("phase", "mode"),
 }
 
 #: Default relative tolerance band for speedup/overhead ratios.

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``)::
     python -m repro solve --family triples --n 18 --scheduler process \\
         --faults seed=7,crash=0.3,deadline=1   # fault-injected, same answer
     python -m repro solve --family triples --n 18 --obs-trace run.jsonl
+    python -m repro solve --family triples --n 18 --decide scalar \\
+        --engine naive --graph reference     # pin the oracle backends
     python -m repro plan --family triples --n 18  # inspect the fix plan
     python -m repro stats run.jsonl           # span/counter/histogram summary
     python -m repro stats run.jsonl --json    # machine-readable summary
@@ -46,6 +48,28 @@ from repro.lll import verify_solution
 from repro.runtime.schedulers import SCHEDULER_NAMES
 
 FAMILIES = ("cycle", "regular", "torus", "triples")
+
+
+def _apply_backend_args(args) -> None:
+    """Install the ``--engine`` / ``--graph`` / ``--decide`` selections.
+
+    Each flag is the CLI front for one of the three process-wide
+    backend switches (``REPRO_ENGINE`` / ``REPRO_GRAPH`` /
+    ``REPRO_DECIDE``); a flag that was not given leaves the ambient
+    environment selection untouched.
+    """
+    if getattr(args, "engine", None):
+        from repro.probability import set_engine_mode
+
+        set_engine_mode(args.engine)
+    if getattr(args, "graph", None):
+        from repro.graph import set_backend
+
+        set_backend(args.graph)
+    if getattr(args, "decide", None):
+        from repro.core.vector import set_decide_mode
+
+        set_decide_mode(args.decide)
 
 
 def _build_instance(args):
@@ -136,6 +160,7 @@ def _make_scheduler(args, fault_plan=None):
 
 
 def _solve_impl(args) -> int:
+    _apply_backend_args(args)
     instance = _build_instance(args)
     summary = instance.summary()
     print(
@@ -189,6 +214,7 @@ def _solve_impl(args) -> int:
 def _command_plan(args) -> int:
     from repro.runtime import plan_for_instance
 
+    _apply_backend_args(args)
     instance = _build_instance(args)
     plan = plan_for_instance(instance)
     plan.validate()
@@ -409,10 +435,28 @@ def build_parser() -> argparse.ArgumentParser:
         )
         subparser.add_argument("--seed", type=int, default=0)
 
+    def add_backend_arguments(subparser) -> None:
+        subparser.add_argument(
+            "--engine", choices=("compiled", "naive"), default=None,
+            help="probability engine (default: REPRO_ENGINE, else "
+            "compiled)",
+        )
+        subparser.add_argument(
+            "--graph", choices=("vectorized", "reference"), default=None,
+            help="graph substrate backend (default: REPRO_GRAPH, else "
+            "vectorized)",
+        )
+        subparser.add_argument(
+            "--decide", choices=("vector", "scalar"), default=None,
+            help="decide plane: whole-class batch decisions or the "
+            "per-op scalar oracle (default: REPRO_DECIDE, else vector)",
+        )
+
     solve_parser = commands.add_parser(
         "solve", help="solve a generated workload"
     )
     add_instance_arguments(solve_parser)
+    add_backend_arguments(solve_parser)
     solve_parser.add_argument(
         "--distributed", action="store_true",
         help="run the scheduled distributed algorithm",
@@ -442,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the color-class fix plan of a generated workload",
     )
     add_instance_arguments(plan_parser)
+    add_backend_arguments(plan_parser)
 
     threshold_parser = commands.add_parser(
         "threshold", help="demonstrate the phase shift"

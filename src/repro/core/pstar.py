@@ -29,6 +29,49 @@ PSTAR_TOLERANCE = 1e-7
 EdgeKey = FrozenSet
 
 
+def checked_edge_write(
+    entry: Dict[Hashable, float],
+    u: Hashable,
+    v: Hashable,
+    value_u: float,
+    value_v: float,
+) -> None:
+    """Validate, clamp and write one edge's phi pair through a live entry.
+
+    This is :meth:`PStarState.set_edge` minus the key lookup and
+    recorder hooks; the vector decide plane's lean commit path calls it
+    directly on edge entries resolved once per class, and ``set_edge``
+    delegates here so the two paths cannot drift.
+
+    Raises
+    ------
+    PStarViolationError
+        If either value is outside ``[0, 2]`` or they sum to more than 2
+        (beyond tolerance).  Values within tolerance are clamped so
+        float dust cannot accumulate across steps.
+    """
+    for side, value in ((u, value_u), (v, value_v)):
+        if value < -PSTAR_TOLERANCE or value > 2.0 + PSTAR_TOLERANCE:
+            raise PStarViolationError(
+                f"phi value {value} for edge {{{u!r}, {v!r}}} side "
+                f"{side!r} is outside [0, 2]"
+            )
+    if value_u + value_v > 2.0 + PSTAR_TOLERANCE:
+        raise PStarViolationError(
+            f"edge {{{u!r}, {v!r}}}: values {value_u} + {value_v} > 2"
+        )
+    value_u = min(max(value_u, 0.0), 2.0)
+    value_v = min(max(value_v, 0.0), 2.0)
+    if value_u + value_v > 2.0:
+        excess = value_u + value_v - 2.0
+        if value_u >= value_v:
+            value_u -= excess
+        else:
+            value_v -= excess
+    entry[u] = value_u
+    entry[v] = value_v
+
+
 class PStarState:
     """The ``phi`` function of Definition 3.1, with validation helpers."""
 
@@ -48,6 +91,16 @@ class PStarState:
     def initial_probabilities(self) -> Dict[Hashable, float]:
         """The unconditional probability of each event (a copy)."""
         return dict(self._initial_probabilities)
+
+    @property
+    def entries(self) -> Dict[EdgeKey, Dict[Hashable, float]]:
+        """The live phi mapping, keyed by edge.
+
+        Exposed for the batch decide plane, which snapshots whole color
+        classes of edges at once; mutate through :meth:`set_edge` (or the
+        fixers' equivalent validated commit paths), never directly.
+        """
+        return self._phi
 
     def edge_key(self, u: Hashable, v: Hashable) -> EdgeKey:
         """The canonical key for the dependency edge ``{u, v}``."""
@@ -102,31 +155,16 @@ class PStarState:
             clamped so float dust cannot accumulate across steps.
         """
         key = self.edge_key(u, v)
-        for side, value in ((u, value_u), (v, value_v)):
-            if value < -PSTAR_TOLERANCE or value > 2.0 + PSTAR_TOLERANCE:
-                raise PStarViolationError(
-                    f"phi value {value} for edge {{{u!r}, {v!r}}} side "
-                    f"{side!r} is outside [0, 2]"
-                )
-        if value_u + value_v > 2.0 + PSTAR_TOLERANCE:
-            raise PStarViolationError(
-                f"edge {{{u!r}, {v!r}}}: values {value_u} + {value_v} > 2"
-            )
-        value_u = min(max(value_u, 0.0), 2.0)
-        value_v = min(max(value_v, 0.0), 2.0)
-        if value_u + value_v > 2.0:
-            excess = value_u + value_v - 2.0
-            if value_u >= value_v:
-                value_u -= excess
-            else:
-                value_v -= excess
-        self._phi[key][u] = value_u
-        self._phi[key][v] = value_v
+        entry = self._phi[key]
+        checked_edge_write(entry, u, v, value_u, value_v)
         recorder = _obs_active()
         if recorder is not None:
             recorder.count("pstar", "edge_updates")
             recorder.observe(
-                "pstar", "edge_phi_sum", value_u + value_v, bounds=PHI_BUCKETS
+                "pstar",
+                "edge_phi_sum",
+                entry[u] + entry[v],
+                bounds=PHI_BUCKETS,
             )
 
     # ------------------------------------------------------------------

@@ -30,7 +30,7 @@ from repro.errors import NoGoodValueError, PStarViolationError
 from repro.obs.recorder import active as _obs_active
 from repro.lll.instance import LLLInstance
 from repro.lll.verify import check_preconditions
-from repro.core.results import FixingResult, StepRecord
+from repro.core.results import FixingResult, StepRecord, make_step_record
 from repro.core.selection import (
     Decision,
     Rank1Choice,
@@ -216,6 +216,89 @@ class Rank2Fixer:
                 "fixer.rank2", "fix", time.perf_counter_ns() - start
             )
         return record
+
+    # ------------------------------------------------------------------
+    # Whole-class batch decisions (the vector decide plane)
+    # ------------------------------------------------------------------
+    def decide_class(self, cells) -> Optional[List[list]]:
+        """Batched pure decide for a whole color class.
+
+        Returns one choice list per cell (choices in op order), computed
+        on the vector plane (:mod:`repro.core.vector`) and bit-identical
+        to looping :meth:`decide`/:meth:`commit` over the class in plan
+        order.  ``None`` means the class is not vectorizable (scalar
+        decide mode, events without compiled kernels) and the caller
+        should keep its per-op loop.  Never mutates the fixer's
+        bookkeeping state; the speculative run state it parks is
+        confirmed or discarded by :meth:`commit_class`.
+        """
+        from repro.core import vector
+
+        return vector.decide_class_choices(
+            self, "rank2", cells, self._instance, self._edge_weights
+        )
+
+    def commit_class(self, cells, class_choices) -> None:
+        """Commit a class's worth of decided choices, in plan order.
+
+        With a recorder attached, invariant validation on, or no pending
+        run state for this class, defers to the full-fidelity
+        :meth:`commit` per op; otherwise applies the same mutations
+        through a lean loop over the template's resolved op records and
+        the live ledger entries the decide resolved.
+        """
+        from repro.core import vector
+
+        state = vector.cached_commit(self, cells)
+        if self._validate or _obs_active() is not None or state is None:
+            self._vector_state = None
+            for cell, choices in zip(cells, class_choices):
+                for op, choice in zip(cell.ops, choices):
+                    variable = self._instance.variable(op.variable)
+                    events = self._instance.events_of_variable(op.variable)
+                    self.commit(
+                        Decision(
+                            variable=variable,
+                            events=tuple(events),
+                            choice=choice,
+                        )
+                    )
+            return
+        assignment = self._assignment
+        steps = self._steps
+        section = state.pending[1]
+        refs = state.pending[2]
+        for (_owner, ops), cell_refs, choices in zip(
+            section.cells, refs, class_choices
+        ):
+            for op, ref, choice in zip(ops, cell_refs, choices):
+                variable = op[vector.TOP_VARIABLE]
+                names = op[vector.TOP_NAMES]
+                if isinstance(choice, Rank1Choice):
+                    record = make_step_record(
+                        variable=variable.name,
+                        value=choice.value,
+                        events=(names[0],),
+                        increases=(choice.increase,),
+                        slack=choice.slack,
+                        num_good_values=choice.num_good_values,
+                        num_values=variable.num_values,
+                    )
+                else:
+                    ref[names[0]] = choice.new_weights[0]
+                    ref[names[1]] = choice.new_weights[1]
+                    record = make_step_record(
+                        variable=variable.name,
+                        value=choice.value,
+                        events=names,
+                        increases=choice.increases,
+                        slack=choice.slack,
+                        num_good_values=choice.num_good_values,
+                        num_values=variable.num_values,
+                    )
+                assignment.fix(variable, choice.value)
+                steps.append(record)
+        state.pending = None
 
     def run(self, order: Optional[Iterable[Hashable]] = None) -> FixingResult:
         """Fix every variable (in ``order`` if given) and return the result.

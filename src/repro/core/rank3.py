@@ -38,8 +38,8 @@ from repro.errors import PStarViolationError
 from repro.obs.recorder import MARGIN_BUCKETS, active as _obs_active
 from repro.lll.instance import LLLInstance
 from repro.lll.verify import check_preconditions
-from repro.core.pstar import PStarState
-from repro.core.results import FixingResult, StepRecord
+from repro.core.pstar import PStarState, checked_edge_write
+from repro.core.results import FixingResult, StepRecord, make_step_record
 from repro.core.selection import (
     MEMBERSHIP_TOLERANCE,
     Decision,
@@ -245,6 +245,155 @@ class Rank3Fixer:
                 "fixer.rank3", "fix", time.perf_counter_ns() - start
             )
         return record
+
+    # ------------------------------------------------------------------
+    # Whole-class batch decisions (the vector decide plane)
+    # ------------------------------------------------------------------
+    def decide_class(self, cells) -> Optional[List[list]]:
+        """Batched pure decide for a whole color class.
+
+        Returns one choice list per cell (choices in op order), computed
+        on the vector plane (:mod:`repro.core.vector`) and bit-identical
+        to looping :meth:`decide`/:meth:`commit` over the class in plan
+        order.  ``None`` means the class is not vectorizable (scalar
+        decide mode, events without compiled kernels) and the caller
+        should keep its per-op loop.  Never mutates the fixer's
+        bookkeeping state; the speculative run state it parks is
+        confirmed or discarded by :meth:`commit_class`.
+        """
+        from repro.core import vector
+
+        return vector.decide_class_choices(
+            self, "rank3", cells, self._instance, self._pstar.entries
+        )
+
+    def commit_class(self, cells, class_choices) -> None:
+        """Commit a class's worth of decided choices, in plan order.
+
+        With a recorder attached, invariant validation on, or no pending
+        run state for this class, defers to the full-fidelity
+        :meth:`commit` per op; otherwise applies the same mutations
+        through a lean loop over the template's resolved op records.
+        Phi values that are certainly in range (non-negative pairs
+        summing to at most 2 — the common case) are written directly;
+        anything else goes through
+        :func:`repro.core.pstar.checked_edge_write`, so validation,
+        clamping and error messages match :meth:`PStarState.set_edge`
+        exactly, and the run state's flat ledger is re-synced with the
+        clamped values.
+        """
+        from repro.core import vector
+
+        state = vector.cached_commit(self, cells)
+        if self._validate or _obs_active() is not None or state is None:
+            self._vector_state = None
+            for cell, choices in zip(cells, class_choices):
+                for op, choice in zip(cell.ops, choices):
+                    variable = self._instance.variable(op.variable)
+                    events = self._instance.events_of_variable(op.variable)
+                    self.commit(
+                        Decision(
+                            variable=variable,
+                            events=tuple(events),
+                            choice=choice,
+                        )
+                    )
+            return
+        assignment = self._assignment
+        steps = self._steps
+        phi = state.phi
+        section = state.pending[1]
+        refs = state.pending[2]
+        for (_owner, ops), cell_refs, choices in zip(
+            section.cells, refs, class_choices
+        ):
+            for op, ref, choice in zip(ops, cell_refs, choices):
+                variable = op[vector.TOP_VARIABLE]
+                names = op[vector.TOP_NAMES]
+                if isinstance(choice, Rank1Choice):
+                    record = make_step_record(
+                        variable=variable.name,
+                        value=choice.value,
+                        events=(names[0],),
+                        increases=(choice.increase,),
+                        slack=choice.slack,
+                        num_good_values=choice.num_good_values,
+                        num_values=variable.num_values,
+                    )
+                elif isinstance(choice, Rank2Choice):
+                    u, v = names
+                    value_u, value_v = choice.new_weights
+                    if (
+                        value_u >= 0.0
+                        and value_v >= 0.0
+                        and value_u + value_v <= 2.0
+                    ):
+                        ref[u] = value_u
+                        ref[v] = value_v
+                    else:
+                        checked_edge_write(ref, u, v, value_u, value_v)
+                        slots = op[vector.TOP_APPLY]
+                        phi[slots[0]] = ref[u]
+                        phi[slots[1]] = ref[v]
+                    record = make_step_record(
+                        variable=variable.name,
+                        value=choice.value,
+                        events=names,
+                        increases=choice.increases,
+                        slack=choice.slack,
+                        num_good_values=choice.num_good_values,
+                        num_values=variable.num_values,
+                    )
+                else:
+                    u, v, w = names
+                    entry_uv, entry_uw, entry_vw = ref
+                    decomposition = choice.decomposition
+                    a1 = decomposition.a1
+                    b1 = decomposition.b1
+                    a2 = decomposition.a2
+                    c2 = decomposition.c2
+                    b3 = decomposition.b3
+                    c3 = decomposition.c3
+                    if (
+                        a1 >= 0.0
+                        and b1 >= 0.0
+                        and a1 + b1 <= 2.0
+                        and a2 >= 0.0
+                        and c2 >= 0.0
+                        and a2 + c2 <= 2.0
+                        and b3 >= 0.0
+                        and c3 >= 0.0
+                        and b3 + c3 <= 2.0
+                    ):
+                        entry_uv[u] = a1
+                        entry_uv[v] = b1
+                        entry_uw[u] = a2
+                        entry_uw[w] = c2
+                        entry_vw[v] = b3
+                        entry_vw[w] = c3
+                    else:
+                        checked_edge_write(entry_uv, u, v, a1, b1)
+                        checked_edge_write(entry_uw, u, w, a2, c2)
+                        checked_edge_write(entry_vw, v, w, b3, c3)
+                        slots = op[vector.TOP_APPLY]
+                        phi[slots[0]] = entry_uv[u]
+                        phi[slots[1]] = entry_uv[v]
+                        phi[slots[2]] = entry_uw[u]
+                        phi[slots[3]] = entry_uw[w]
+                        phi[slots[4]] = entry_vw[v]
+                        phi[slots[5]] = entry_vw[w]
+                    record = make_step_record(
+                        variable=variable.name,
+                        value=choice.value,
+                        events=names,
+                        increases=choice.increases,
+                        slack=max(choice.margin, 0.0),
+                        num_good_values=choice.num_good_values,
+                        num_values=variable.num_values,
+                    )
+                assignment.fix(variable, choice.value)
+                steps.append(record)
+        state.pending = None
 
     def run(self, order: Optional[Iterable[Hashable]] = None) -> FixingResult:
         """Fix every variable (in ``order`` if given) and return the result."""

@@ -37,6 +37,36 @@ class StepRecord:
     num_values: int
 
 
+def make_step_record(
+    variable: Hashable,
+    value: Hashable,
+    events: Tuple[Hashable, ...],
+    increases: Tuple[float, ...],
+    slack: float,
+    num_good_values: int,
+    num_values: int,
+) -> StepRecord:
+    """Allocation-light :class:`StepRecord` constructor for hot loops.
+
+    The frozen dataclass ``__init__`` routes every field through
+    ``object.__setattr__``, which dominates the batch commit path's
+    per-op cost; populating ``__dict__`` directly produces an
+    indistinguishable instance (equality, hashing and immutability all
+    read the same storage) at a fraction of the price.
+    """
+    record = StepRecord.__new__(StepRecord)
+    record.__dict__.update(
+        variable=variable,
+        value=value,
+        events=events,
+        increases=increases,
+        slack=slack,
+        num_good_values=num_good_values,
+        num_values=num_values,
+    )
+    return record
+
+
 @dataclass
 class FixingResult:
     """Outcome of running a deterministic fixer to completion."""

@@ -14,13 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import NoGoodValueError
 from repro.geometry import (
     TripleDecomposition,
     decompose_triple,
     representability_margin,
+    representability_margin_array,
 )
 from repro.probability import BadEvent, DiscreteVariable, PartialAssignment
 
@@ -261,3 +262,217 @@ def select_rank3(
         margin=best_margin,
         num_good_values=good,
     )
+
+
+# ----------------------------------------------------------------------
+# Whole-class batch selection (the vector decide plane's fixer layer)
+# ----------------------------------------------------------------------
+# Each *_class function is the stacked counterpart of the scalar rule
+# above it, applied to one wave of ops at once: ``incs_*`` matrices hold
+# the Inc ratio of every candidate value of every op (``[N, S]``, padded
+# columns masked out by ``mask``), the winner is a masked argmin/argmax
+# (numpy's first-occurrence tie-break equals the scalar strict-inequality
+# scan over support order), and the returned Choice objects are built
+# from the winning lanes with the same scalar float arithmetic the
+# per-op rules perform — so the choices are bit-identical.  On the first
+# op without a good value the same NoGoodValueError is raised.
+
+
+def select_rank1_class(
+    variables: Sequence[DiscreteVariable],
+    support_values: Sequence[Sequence[Hashable]],
+    incs,
+    mask,
+) -> List[Rank1Choice]:
+    """Stacked :func:`select_rank1` over one wave of rank-1 ops."""
+    import numpy as np
+
+    masked = np.where(mask, incs, math.inf)
+    best = masked.argmin(axis=1)
+    lanes = np.arange(len(variables))
+    best_inc = masked[lanes, best]
+    good = np.count_nonzero(
+        mask & (incs <= 1.0 + MEMBERSHIP_TOLERANCE), axis=1
+    )
+    choices: List[Rank1Choice] = []
+    for n, variable in enumerate(variables):
+        inc = float(best_inc[n])
+        if inc > 1.0 + MEMBERSHIP_TOLERANCE:
+            raise NoGoodValueError(
+                f"rank-1 variable {variable.name!r}: min Inc = {inc} > 1"
+            )
+        choices.append(
+            Rank1Choice(
+                value=support_values[n][int(best[n])],
+                increase=inc,
+                slack=1.0 - inc,
+                num_good_values=int(good[n]),
+            )
+        )
+    return choices
+
+
+def select_rank2_class(
+    variables: Sequence[DiscreteVariable],
+    support_values: Sequence[Sequence[Hashable]],
+    incs_u,
+    incs_v,
+    weights,
+    mask,
+) -> List[Rank2Choice]:
+    """Stacked :func:`select_rank2` over one wave of rank-2 ops."""
+    import numpy as np
+
+    total = weights[:, 0:1] * incs_u + weights[:, 1:2] * incs_v
+    masked = np.where(mask, total, math.inf)
+    best = masked.argmin(axis=1)
+    lanes = np.arange(len(variables))
+    best_total = masked[lanes, best]
+    good = np.count_nonzero(
+        mask & (total <= 2.0 + MEMBERSHIP_TOLERANCE), axis=1
+    )
+    choices: List[Rank2Choice] = []
+    for n, variable in enumerate(variables):
+        chosen_total = float(best_total[n])
+        if chosen_total > 2.0 + MEMBERSHIP_TOLERANCE:
+            raise NoGoodValueError(
+                f"rank-2 variable {variable.name!r}: minimum weighted "
+                f"increase {chosen_total} exceeds 2"
+            )
+        j = int(best[n])
+        inc_u = float(incs_u[n, j])
+        inc_v = float(incs_v[n, j])
+        weight_u = float(weights[n, 0])
+        weight_v = float(weights[n, 1])
+        choices.append(
+            Rank2Choice(
+                value=support_values[n][j],
+                increases=(inc_u, inc_v),
+                new_weights=(weight_u * inc_u, weight_v * inc_v),
+                slack=2.0 - chosen_total,
+                num_good_values=int(good[n]),
+            )
+        )
+    return choices
+
+
+def select_rankr_class(
+    variables: Sequence[DiscreteVariable],
+    support_values: Sequence[Sequence[Hashable]],
+    incs_stack,
+    weights,
+    mask,
+) -> List[RankRChoice]:
+    """Stacked :func:`select_rankr` over one wave of equal-rank ops.
+
+    ``incs_stack`` is a list of ``[N, S]`` matrices, one per affected
+    event (every op of the wave must affect the same number of events);
+    ``weights`` is ``[N, R]`` in the same event order.
+    """
+    import numpy as np
+
+    count = len(variables)
+    # Left-fold the weighted sums in event order, replicating the scalar
+    # rule's ``sum(...)`` (which folds 0 + w_0*inc_0 + w_1*inc_1 + ...;
+    # the leading 0 + x is exact for the non-negative terms involved).
+    budget = np.zeros(count, dtype=np.float64)
+    total = np.zeros((count, incs_stack[0].shape[1]), dtype=np.float64)
+    for position, incs in enumerate(incs_stack):
+        budget = budget + weights[:, position]
+        total = total + weights[:, position : position + 1] * incs
+    masked = np.where(mask, total, math.inf)
+    best = masked.argmin(axis=1)
+    lanes = np.arange(count)
+    best_total = masked[lanes, best]
+    good = np.count_nonzero(
+        mask & (total <= budget[:, None] + MEMBERSHIP_TOLERANCE), axis=1
+    )
+    choices: List[RankRChoice] = []
+    for n, variable in enumerate(variables):
+        chosen_total = float(best_total[n])
+        op_budget = float(budget[n])
+        if chosen_total > op_budget + MEMBERSHIP_TOLERANCE:
+            raise NoGoodValueError(
+                f"variable {variable.name!r}: minimum weighted increase "
+                f"{chosen_total} exceeds the budget {op_budget}"
+            )
+        j = int(best[n])
+        incs = tuple(float(matrix[n, j]) for matrix in incs_stack)
+        op_weights = [float(w) for w in weights[n]]
+        choices.append(
+            RankRChoice(
+                value=support_values[n][j],
+                increases=incs,
+                new_weights=tuple(
+                    weight * inc for weight, inc in zip(op_weights, incs)
+                ),
+                slack=op_budget - chosen_total,
+                num_good_values=int(good[n]),
+            )
+        )
+    return choices
+
+
+def select_rank3_class(
+    variables: Sequence[DiscreteVariable],
+    support_values: Sequence[Sequence[Hashable]],
+    incs_u,
+    incs_v,
+    incs_w,
+    triples,
+    mask,
+) -> List[Rank3Choice]:
+    """Stacked :func:`select_rank3` over one wave of rank-3 ops.
+
+    ``triples`` is ``[N, 3]``: the current representable triple of each
+    op's event triangle.  The masked argmax over the stacked margins
+    replicates the scalar strict-``>`` first-win scan, and the winning
+    decomposition is computed by the scalar :func:`decompose_triple`
+    (one call per op, not per candidate).
+    """
+    import numpy as np
+
+    cand_u = incs_u * triples[:, 0:1]
+    cand_v = incs_v * triples[:, 1:2]
+    cand_w = incs_w * triples[:, 2:3]
+    margins = representability_margin_array(cand_u, cand_v, cand_w)
+    masked = np.where(mask, margins, -math.inf)
+    best = masked.argmax(axis=1)
+    lanes = np.arange(len(variables))
+    best_margin = masked[lanes, best]
+    good = np.count_nonzero(
+        mask & (margins >= -MEMBERSHIP_TOLERANCE), axis=1
+    )
+    choices: List[Rank3Choice] = []
+    for n, variable in enumerate(variables):
+        margin = float(best_margin[n])
+        if margin < -MEMBERSHIP_TOLERANCE:
+            a, b, c = (float(x) for x in triples[n])
+            raise NoGoodValueError(
+                f"rank-3 variable {variable.name!r}: every value is "
+                f"({a:.6g}, {b:.6g}, {c:.6g})-evil "
+                f"(best margin {margin:.3g})"
+            )
+        j = int(best[n])
+        triple = (
+            float(cand_u[n, j]), float(cand_v[n, j]), float(cand_w[n, j])
+        )
+        decomposition = decompose_triple(
+            *triple,
+            tolerance=max(MEMBERSHIP_TOLERANCE, -margin + 1e-12),
+        )
+        choices.append(
+            Rank3Choice(
+                value=support_values[n][j],
+                increases=(
+                    float(incs_u[n, j]),
+                    float(incs_v[n, j]),
+                    float(incs_w[n, j]),
+                ),
+                triple=triple,
+                decomposition=decomposition,
+                margin=margin,
+                num_good_values=int(good[n]),
+            )
+        )
+    return choices

@@ -1,0 +1,1499 @@
+"""The vector decide plane: whole-class batched fixing decisions.
+
+The scalar hot path decides one op at a time: per affected event one
+``conditional_increases`` query (a Python pass through the event layer),
+then a Python scan over the support values.  This module batches the
+*entire color class* and executes it as a sequence of **waves**, where
+wave ``j`` decides the ``j``-th op of every cell at once.  Cells of a
+validated class have disjoint event read sets, so the ops of one wave
+are independent by construction; ops within a cell stay sequentially
+dependent and are separated by waves, exactly mirroring the per-cell
+replay loop of :func:`repro.runtime.workers.execute_cell`.
+
+Two lowerings share the wave-executor idea:
+
+* **Parent side** (the fixers' ``decide_class``): the instance is
+  lowered once into a :class:`_Template` cached on the instance —
+  kernels deduplicated by fingerprint and stacked
+  (:class:`repro.probability.engine.KernelStack`), one pins-matrix row
+  per event, one flat weight-ledger slot per bookkeeping entry, and
+  per-class wave sections with all index arrays precomputed.  A solve
+  then only carries a small :class:`_RunState` (the pins matrix and the
+  ledger array, specialised from live fixer state) through the
+  template, so repeated solves pay specialisation, not lowering.
+* **Worker side** (:func:`execute_class_cells`): process workers lower
+  the :class:`~repro.runtime.workers.CellPayload` chunk they received
+  into a one-shot :class:`ClassProgram` — no template, since payloads
+  already carry kernels, pins and ledger slices.
+
+Bit-identity contract: the engine layer reproduces the scalar kernels'
+mass arithmetic (see :meth:`KernelStack.query`), the selection layer's
+masked argmin/argmax reproduces the scalar tie-breaking
+(:mod:`repro.core.selection`), weight products use the same operand
+order as the fixers' ``local_weights``, and every derived quantity of a
+winning lane (new weights, slack, decompositions) is computed with the
+same scalar float operations the per-op rules perform.  Within a wave,
+lanes with identical selection inputs (support labels, Inc rows,
+bookkeeping weights) are deduplicated before selection — sound for the
+same reason the batch scheduler's decision memoization is sound: a
+decision reads nothing else.
+
+The scalar path stays intact as the differential oracle:
+``REPRO_DECIDE=scalar`` switches every scheduler back to per-op
+``decide``/``commit``, and the Hypothesis suite in
+``tests/test_decide_vector.py`` holds the two planes to exact equality.
+
+Fallback discipline: lowering and execution never alter fixer state
+beyond the idempotent first-touch defaults ``local_weights`` itself
+installs, so on any internal error ``decide_class`` simply reports the
+class as not vectorizable and the scheduler re-runs it through the
+untouched scalar per-op loop — which reproduces the exact error the
+scalar path would raise (same exception, same op attribution in plan
+order) or succeeds outright.  Speculative run state is confirmed by
+``commit_class`` and rebuilt from ground truth (the assignment and the
+live ledgers) whenever the fixer advanced through any other path; the
+engine's ``vector_fallbacks`` counter tracks abandoned attempts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.probability.engine import (
+    DEFAULT_STACK_LIMIT,
+    KernelStack,
+    STATS,
+    _numpy,
+)
+from repro.core.selection import (
+    select_rank1_class,
+    select_rank2_class,
+    select_rank3_class,
+    select_rankr_class,
+)
+
+#: Environment variable selecting the decide plane ("vector" or "scalar").
+DECIDE_ENV = "REPRO_DECIDE"
+
+_VALID_MODES = ("vector", "scalar")
+
+# Lazily validated, like REPRO_ENGINE: raising at import time would
+# crash ``import repro`` before CLI error handling exists.
+_MODE: Optional[str] = None
+
+
+def _mode_from_env() -> str:
+    mode = os.environ.get(DECIDE_ENV, "vector").strip().lower()
+    if mode not in _VALID_MODES:
+        raise ReproError(
+            f"{DECIDE_ENV}={mode!r} is not a valid decide mode; "
+            f"expected one of {_VALID_MODES}"
+        )
+    return mode
+
+
+def decide_mode() -> str:
+    """The active decide plane: ``"vector"`` or ``"scalar"``."""
+    global _MODE
+    if _MODE is None:
+        _MODE = _mode_from_env()
+    return _MODE
+
+
+def vector_enabled() -> bool:
+    """Whether whole-class batched decisions should be attempted."""
+    return decide_mode() == "vector"
+
+
+def set_decide_mode(mode: str) -> str:
+    """Select the decide plane process-wide; returns the previous mode."""
+    global _MODE
+    if mode not in _VALID_MODES:
+        raise ReproError(
+            f"invalid decide mode {mode!r}; expected one of {_VALID_MODES}"
+        )
+    previous = decide_mode()
+    _MODE = mode
+    return previous
+
+
+class using_decide:
+    """Context manager: run the body under a specific decide mode.
+
+    The differential-oracle pattern of the vector/scalar parity tests::
+
+        with using_decide("scalar"):
+            reference = solve(instance)
+        with using_decide("vector"):
+            candidate = solve(instance)
+    """
+
+    def __init__(self, mode: str) -> None:
+        self._mode = mode
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> str:
+        self._previous = set_decide_mode(self._mode)
+        return self._mode
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._previous is not None:
+            set_decide_mode(self._previous)
+
+
+_MISSING = object()
+
+#: Cache of per-variable support structure, keyed by the (values,
+#: probabilities) tuples that define it.
+_SUPPORT_CACHE: Dict[tuple, Tuple[tuple, tuple]] = {}
+
+
+def _support_info(variable) -> Tuple[tuple, tuple]:
+    """``(support value labels, support value indices)``, cached by shape."""
+    key = (variable.values, variable.probabilities)
+    cached = _SUPPORT_CACHE.get(key)
+    if cached is None:
+        values = []
+        indices = []
+        for index, probability in enumerate(variable.probabilities):
+            if probability > 0.0:
+                values.append(variable.values[index])
+                indices.append(index)
+        cached = (tuple(values), tuple(indices))
+        _SUPPORT_CACHE[key] = cached
+    return cached
+
+
+class _NotVectorizable(Exception):
+    """Internal: the class cannot take the vector path."""
+
+
+# ----------------------------------------------------------------------
+# Parent side: the instance-level template
+# ----------------------------------------------------------------------
+# Template op records are plain tuples; the indices below name the
+# fields.  ``TOP_GATHER``/``TOP_APPLY`` are ledger-slot layouts: where
+# the op's decision weights are read and where its committed weights
+# are written back.  For the rank-3 rule the gather is the ``[3, 2]``
+# matrix of phi-slot pairs whose products form the representable
+# triple, in the exact operand order ``local_weights`` multiplies them.
+TOP_VARIABLE = 0  # the DiscreteVariable object
+TOP_NAMES = 1  # tuple of affected event names, in bookkeeping order
+TOP_RANK = 2  # number of affected events
+TOP_VALUES = 3  # tuple of support value labels, in support order
+TOP_SUPPORT = 4  # tuple of support value indices (into the value list)
+TOP_VALUES_ID = 5  # interned id of the support label tuple
+TOP_KEYS = 6  # ledger keys (frozensets) the op reads, or None
+TOP_GATHER = 7  # ledger slots read for decision weights, or None
+TOP_APPLY = 8  # ledger slots written on commit, or None
+
+
+class _TGroup:
+    """One wave's lanes sharing a selection rule (and rank)."""
+
+    __slots__ = (
+        "rule",
+        "rank",
+        "lanes",  # int64 [L] lane indices
+        "lane_list",  # same, as a Python list (fast iteration)
+        "values_id",  # float64 [L, 1] interned support-label ids
+        "variables",  # per-lane DiscreteVariable (error contexts)
+        "values",  # per-lane support label tuples
+        "mask",  # bool [L, S] valid support positions
+        "gather",  # int64 [L, rank] / [L, 3, 2] phi slots, or None
+        "apply",  # int64 [L, m] phi slots, or None
+    )
+
+
+class _TWave:
+    """One wave's static structure: queries, groups, pin-scatter sites."""
+
+    __slots__ = (
+        "count",
+        "cell_of",  # per lane: owning cell index
+        "max_rank",
+        "max_support",
+        "q_kernel",  # [Q] stack slot per engine query
+        "q_event",  # [Q] pins-matrix row per query
+        "q_target",  # [Q] scope position being conditioned on
+        "q_op",  # [Q] lane of the querying op
+        "q_slot",  # [Q] event position within the op
+        "q_names",  # per-query event name (engine error contexts)
+        "q_support",  # [Q, S] support value indices of the querying op
+        "groups",
+        "site_lane",  # [T] lane per pin-scatter site
+        "site_event",  # [T] pins-matrix row per site
+        "site_pos",  # [T] pins-matrix column per site
+        "site_maps",  # [T, S] pin index per support position
+        "site_arange",
+    )
+
+
+#: Per-section cap on memoized decision batches (see :class:`_Section`).
+MEMO_LIMIT = 128
+
+
+class _Section:
+    """One color class lowered against a template.
+
+    ``read_rows``/``slot_list`` enumerate every pins-matrix row and
+    every phi-ledger slot the section's decisions read or write — the
+    *complete* mutable input of the batch (everything else is static
+    lowering).  ``memo`` caches finished decision batches keyed by the
+    exact bytes of that input: the wave-level dedup argument lifted to
+    whole classes — a decision batch is a pure function of those
+    arrays, so identical pre-state yields the identical (shared) choice
+    objects and post-state, bit for bit.
+    """
+
+    __slots__ = ("cells", "waves", "num_ops", "read_rows", "slot_list", "memo")
+
+
+class _Template:
+    """The instance-wide static lowering, shared across fixers and runs.
+
+    Events register lazily (with the first class that reads them).
+    Every op's pin-scatter sites are exactly its own affected events,
+    and an event's scope containing a variable is the same thing as the
+    event being affected by it — so any event is registered no later
+    than the first op whose fix it must observe, and later classes'
+    freshly registered events (whose scopes are disjoint from all
+    previously fixed variables) correctly start fully unpinned.
+    """
+
+    __slots__ = (
+        "instance",
+        "kind",
+        "index_of",  # event name -> event index
+        "names",
+        "scopes",
+        "slots",  # per event: stack slot of its kernel
+        "kernel_of",  # per event: the kernel object
+        "kernels",  # unique kernels, by fingerprint
+        "fingerprint_slots",
+        "stack",
+        "stack_size",
+        "values_ids",  # support label tuple -> small int
+        "ledger_slots",  # ledger key -> {event name: phi slot}
+        "ledger_size",
+        "sections",  # id(cells) -> (cells, _Section)
+        "max_values",
+    )
+
+    def __init__(self, instance, kind: str) -> None:
+        self.instance = instance
+        self.kind = kind
+        self.index_of: Dict[Hashable, int] = {}
+        self.names: List[Hashable] = []
+        self.scopes: List[tuple] = []
+        self.slots: List[int] = []
+        self.kernel_of: List[object] = []
+        self.kernels: List[object] = []
+        self.fingerprint_slots: Dict[int, int] = {}
+        self.stack: Optional[KernelStack] = None
+        self.stack_size = 0
+        self.values_ids: Dict[tuple, int] = {}
+        self.ledger_slots: Dict[frozenset, Dict[Hashable, int]] = {}
+        self.ledger_size = 0
+        self.sections: Dict[int, tuple] = {}
+        self.max_values = 1
+
+    # -- events and kernels -------------------------------------------
+    def ensure_event(self, event) -> int:
+        index = self.index_of.get(event.name)
+        if index is not None:
+            return index
+        kernel = event.compiled_kernel()
+        if kernel is None:
+            raise _NotVectorizable(
+                f"event {event.name!r} has no compiled kernel"
+            )
+        fingerprint = kernel.fingerprint()
+        slot = self.fingerprint_slots.get(fingerprint)
+        if slot is None:
+            slot = len(self.kernels)
+            self.fingerprint_slots[fingerprint] = slot
+            self.kernels.append(kernel)
+        index = len(self.names)
+        self.index_of[event.name] = index
+        self.names.append(event.name)
+        self.scopes.append(tuple(event.scope_names))
+        self.slots.append(slot)
+        self.kernel_of.append(kernel)
+        return index
+
+    def ensure_stack(self) -> KernelStack:
+        if self.stack is None or self.stack_size != len(self.kernels):
+            stack = KernelStack(self.kernels)
+            if stack.cells > DEFAULT_STACK_LIMIT:
+                raise _NotVectorizable(
+                    f"kernel stack of {stack.cells} cells exceeds the "
+                    f"batch limit"
+                )
+            self.stack = stack
+            self.stack_size = len(self.kernels)
+        return self.stack
+
+    # -- ledger slots --------------------------------------------------
+    def _slots_for(
+        self, key: frozenset, names: tuple
+    ) -> Dict[Hashable, int]:
+        slot_map = self.ledger_slots.get(key)
+        if slot_map is None:
+            base = self.ledger_size
+            slot_map = {
+                name: base + offset for offset, name in enumerate(names)
+            }
+            self.ledger_size = base + len(names)
+            self.ledger_slots[key] = slot_map
+        return slot_map
+
+    def _ledger_layout(self, names: tuple, rank: int):
+        """``(keys, gather slots, apply slots)`` for one op."""
+        if self.kind == "naive":
+            key = frozenset(names)
+            slot_map = self._slots_for(key, names)
+            slots = tuple(slot_map[name] for name in names)
+            return (key,), slots, slots
+        if rank == 1:
+            return None, None, None
+        if rank == 2:
+            key = frozenset(names)
+            slot_map = self._slots_for(key, names)
+            slots = (slot_map[names[0]], slot_map[names[1]])
+            return (key,), slots, slots
+        u, v, w = names
+        key_uv = frozenset((u, v))
+        key_uw = frozenset((u, w))
+        key_vw = frozenset((v, w))
+        map_uv = self._slots_for(key_uv, (u, v))
+        map_uw = self._slots_for(key_uw, (u, w))
+        map_vw = self._slots_for(key_vw, (v, w))
+        gather = (
+            (map_uv[u], map_uw[u]),
+            (map_uv[v], map_vw[v]),
+            (map_uw[w], map_vw[w]),
+        )
+        apply_slots = (
+            map_uv[u],
+            map_uv[v],
+            map_uw[u],
+            map_uw[w],
+            map_vw[v],
+            map_vw[w],
+        )
+        return (key_uv, key_uw, key_vw), gather, apply_slots
+
+    # -- class sections ------------------------------------------------
+    def section_for(self, cells) -> _Section:
+        entry = self.sections.get(id(cells))
+        if entry is not None and entry[0] is cells:
+            return entry[1]
+        section = self._lower(cells)
+        self.sections[id(cells)] = (cells, section)
+        return section
+
+    def _lower(self, cells) -> _Section:
+        instance = self.instance
+        section = _Section()
+        section.cells = []
+        section.waves = []
+        section.memo = {}
+        read_set: set = set()
+        slot_set: set = set()
+        raw: List[tuple] = []
+        num_ops = 0
+        for cell_index, cell in enumerate(cells):
+            op_records = []
+            for op_index, op in enumerate(cell.ops):
+                variable = instance.variable(op.variable)
+                events = instance.events_of_variable(op.variable)
+                names = tuple(event.name for event in events)
+                rank = len(names)
+                indices = [self.ensure_event(event) for event in events]
+                values, support = _support_info(variable)
+                if variable.num_values > self.max_values:
+                    self.max_values = variable.num_values
+                values_id = self.values_ids.setdefault(
+                    values, len(self.values_ids)
+                )
+                sites = []
+                pin_maps = []
+                for event_index in indices:
+                    position = self.scopes[event_index].index(
+                        variable.name
+                    )
+                    value_map = self.kernel_of[event_index].support_map(
+                        position, values
+                    )
+                    if value_map is None:
+                        raise _NotVectorizable(
+                            f"support of {variable.name!r} not indexable "
+                            f"in event {self.names[event_index]!r}"
+                        )
+                    sites.append((event_index, position))
+                    pin_maps.append(value_map)
+                keys, gather, apply_slots = self._ledger_layout(
+                    names, rank
+                )
+                read_set.update(indices)
+                if apply_slots is not None:
+                    slot_set.update(apply_slots)
+                if gather is not None:
+                    for entry in gather:
+                        if isinstance(entry, tuple):
+                            slot_set.update(entry)
+                        else:
+                            slot_set.add(entry)
+                record = (
+                    variable,
+                    names,
+                    rank,
+                    values,
+                    support,
+                    values_id,
+                    keys,
+                    gather,
+                    apply_slots,
+                )
+                op_records.append(record)
+                raw.append((cell_index, op_index, record, sites, pin_maps))
+                num_ops += 1
+            section.cells.append((cell.owner, op_records))
+        section.num_ops = num_ops
+        np = _numpy()
+        section.read_rows = np.asarray(sorted(read_set), dtype=np.int64)
+        section.slot_list = np.asarray(sorted(slot_set), dtype=np.int64)
+        self._assemble(section, raw)
+        self.ensure_stack()
+        return section
+
+    def _assemble(self, section: _Section, raw: List[tuple]) -> None:
+        np = _numpy()
+        num_waves = max((entry[1] for entry in raw), default=-1) + 1
+        buckets: List[List[tuple]] = [[] for _ in range(num_waves)]
+        for entry in raw:
+            buckets[entry[1]].append(entry)
+        naive = self.kind == "naive"
+        for bucket in buckets:
+            wave = _TWave()
+            count = len(bucket)
+            wave.count = count
+            wave.cell_of = [entry[0] for entry in bucket]
+            max_rank = 1
+            max_support = 1
+            for _c, _w, record, _s, _m in bucket:
+                if record[TOP_RANK] > max_rank:
+                    max_rank = record[TOP_RANK]
+                size = len(record[TOP_SUPPORT])
+                if size > max_support:
+                    max_support = size
+            wave.max_rank = max_rank
+            wave.max_support = max_support
+            support_matrix = np.zeros(
+                (count, max_support), dtype=np.int64
+            )
+            mask_matrix = np.zeros((count, max_support), dtype=bool)
+            q_kernel: List[int] = []
+            q_event: List[int] = []
+            q_target: List[int] = []
+            q_op: List[int] = []
+            q_slot: List[int] = []
+            q_names: List[Hashable] = []
+            site_lane: List[int] = []
+            site_event: List[int] = []
+            site_pos: List[int] = []
+            site_maps: List[tuple] = []
+            grouped: Dict[Tuple[str, int], List[int]] = {}
+            for lane, (_c, _w, record, sites, pin_maps) in enumerate(
+                bucket
+            ):
+                support = record[TOP_SUPPORT]
+                size = len(support)
+                support_matrix[lane, :size] = support
+                mask_matrix[lane, :size] = True
+                for slot_index, (event_index, position) in enumerate(
+                    sites
+                ):
+                    q_kernel.append(self.slots[event_index])
+                    q_event.append(event_index)
+                    q_target.append(position)
+                    q_op.append(lane)
+                    q_slot.append(slot_index)
+                    q_names.append(self.names[event_index])
+                for (event_index, position), value_map in zip(
+                    sites, pin_maps
+                ):
+                    site_lane.append(lane)
+                    site_event.append(event_index)
+                    site_pos.append(position)
+                    site_maps.append(
+                        value_map
+                        + (0,) * (max_support - len(value_map))
+                    )
+                rank = record[TOP_RANK]
+                rule = "rankr" if naive else f"rank{rank}"
+                grouped.setdefault((rule, rank), []).append(lane)
+            q_op_array = np.asarray(q_op, dtype=np.int64)
+            wave.q_kernel = np.asarray(q_kernel, dtype=np.int64)
+            wave.q_event = np.asarray(q_event, dtype=np.int64)
+            wave.q_target = np.asarray(q_target, dtype=np.int64)
+            wave.q_op = q_op_array
+            wave.q_slot = np.asarray(q_slot, dtype=np.int64)
+            wave.q_names = q_names
+            wave.q_support = support_matrix[q_op_array]
+            wave.site_lane = np.asarray(site_lane, dtype=np.int64)
+            wave.site_event = np.asarray(site_event, dtype=np.int64)
+            wave.site_pos = np.asarray(site_pos, dtype=np.int64)
+            wave.site_maps = np.asarray(
+                site_maps, dtype=np.int64
+            ).reshape(len(site_maps), max_support)
+            wave.site_arange = np.arange(len(site_maps))
+            wave.groups = []
+            for (rule, rank), lane_list in grouped.items():
+                group = _TGroup()
+                group.rule = rule
+                group.rank = rank
+                group.lane_list = lane_list
+                group.lanes = np.asarray(lane_list, dtype=np.int64)
+                records = [bucket[lane][2] for lane in lane_list]
+                group.values_id = np.asarray(
+                    [record[TOP_VALUES_ID] for record in records],
+                    dtype=np.float64,
+                ).reshape(len(lane_list), 1)
+                group.variables = [
+                    record[TOP_VARIABLE] for record in records
+                ]
+                group.values = [
+                    record[TOP_VALUES] for record in records
+                ]
+                group.mask = mask_matrix[group.lanes]
+                if records[0][TOP_GATHER] is None:
+                    group.gather = None
+                    group.apply = None
+                else:
+                    group.gather = np.asarray(
+                        [record[TOP_GATHER] for record in records],
+                        dtype=np.int64,
+                    )
+                    group.apply = np.asarray(
+                        [record[TOP_APPLY] for record in records],
+                        dtype=np.int64,
+                    )
+                wave.groups.append(group)
+            section.waves.append(wave)
+
+
+def _template_for(instance, kind: str) -> _Template:
+    templates = getattr(instance, "_vector_templates", None)
+    if templates is None:
+        templates = {}
+        instance._vector_templates = templates
+    template = templates.get(kind)
+    if template is None:
+        template = _Template(instance, kind)
+        templates[kind] = template
+    return template
+
+
+# ----------------------------------------------------------------------
+# Parent side: per-fixer run state
+# ----------------------------------------------------------------------
+class _RunState:
+    """The mutable arrays one fixer's solve carries through a template.
+
+    ``pending`` holds the class most recently decided but not yet
+    committed; decisions mutate the pins matrix and the ledger array
+    speculatively, so an unconfirmed pending class (or any fixer
+    progress outside the vector path, detected via the step count)
+    invalidates the state and forces a rebuild from ground truth.
+    """
+
+    __slots__ = (
+        "template",
+        "pins",
+        "phi",
+        "steps_seen",
+        "pending",
+        "refs_cache",
+    )
+
+    def __init__(self, template: _Template) -> None:
+        self.template = template
+        self.pins = None
+        self.phi = None
+        self.steps_seen = 0
+        self.pending: Optional[tuple] = None
+        # Per-section live ledger entries (_resolve_refs output); the
+        # entry dicts are created once per fixer and mutated in place,
+        # so the resolution is stable for this fixer's lifetime.
+        self.refs_cache: Dict[int, List[list]] = {}
+
+    def ensure_capacity(self, np) -> None:
+        template = self.template
+        width = max(template.stack.width, 1)
+        num_events = len(template.names)
+        pins = self.pins
+        if pins is None:
+            self.pins = np.full(
+                (num_events, width), -1, dtype=np.int64
+            )
+        else:
+            rows, cols = pins.shape
+            if cols < width:
+                pins = np.concatenate(
+                    [
+                        pins,
+                        np.full(
+                            (rows, width - cols), -1, dtype=np.int64
+                        ),
+                    ],
+                    axis=1,
+                )
+            if rows < num_events:
+                pins = np.concatenate(
+                    [
+                        pins,
+                        np.full(
+                            (num_events - rows, pins.shape[1]),
+                            -1,
+                            dtype=np.int64,
+                        ),
+                    ],
+                    axis=0,
+                )
+            self.pins = pins
+        phi = self.phi
+        size = template.ledger_size
+        if phi is None:
+            self.phi = np.ones(max(size, 1), dtype=np.float64)
+        elif phi.shape[0] < size:
+            self.phi = np.concatenate(
+                [phi, np.ones(size - phi.shape[0], dtype=np.float64)]
+            )
+
+
+def _build_state(fixer, template: _Template, edges) -> _RunState:
+    """Specialise fresh run state from live fixer state (ground truth)."""
+    np = _numpy()
+    template.ensure_stack()
+    state = _RunState(template)
+    state.steps_seen = len(fixer._steps)
+    state.ensure_capacity(np)
+    values_map = fixer.assignment._values
+    if values_map:
+        pins = state.pins
+        kernel_of = template.kernel_of
+        scopes = template.scopes
+        for index in range(len(template.names)):
+            kernel = kernel_of[index]
+            for position, name in enumerate(scopes[index]):
+                value = values_map.get(name, _MISSING)
+                if value is not _MISSING:
+                    pin = kernel.value_index(position, value)
+                    if pin is None:
+                        raise _NotVectorizable(
+                            f"value of {name!r} outside the support of "
+                            f"event {template.names[index]!r}"
+                        )
+                    pins[index, position] = pin
+    if state.steps_seen or values_map:
+        phi = state.phi
+        for key, slot_map in template.ledger_slots.items():
+            live = edges.get(key)
+            if live is not None:
+                for name, slot in slot_map.items():
+                    phi[slot] = live[name]
+    return state
+
+
+def _resolve_refs(section: _Section, edges, kind: str) -> List[list]:
+    """Live ledger entries per op, for the lean commit path.
+
+    For the rank-2 and naive fixers a first touch installs the same
+    all-ones default their ``local_weights`` would; for the rank-3
+    fixer every edge must already exist in the phi mapping (a miss
+    means no dependency edge — the scalar path raises the proper
+    error).
+    """
+    refs: List[list] = []
+    for _owner, ops in section.cells:
+        cell_refs = []
+        for op in ops:
+            keys = op[TOP_KEYS]
+            if keys is None:
+                cell_refs.append(None)
+            elif kind == "rank3":
+                if len(keys) == 1:
+                    cell_refs.append(edges[keys[0]])
+                else:
+                    cell_refs.append(
+                        (edges[keys[0]], edges[keys[1]], edges[keys[2]])
+                    )
+            else:
+                key = keys[0]
+                live = edges.get(key)
+                if live is None:
+                    live = {name: 1.0 for name in op[TOP_NAMES]}
+                    edges[key] = live
+                cell_refs.append(live)
+        refs.append(cell_refs)
+    return refs
+
+
+def _run_section(state: _RunState, section: _Section) -> List[list]:
+    np = _numpy()
+    template = state.template
+    stack = template.ensure_stack()
+    state.ensure_capacity(np)
+    pins = state.pins
+    phi = state.phi
+    # Class-decision memoization: the signature is the byte-exact
+    # mutable input of the whole batch (every pins row and phi slot the
+    # section reads or writes), so a hit replays the identical choice
+    # objects and post-state — the per-wave dedup argument, one level
+    # up.  Shared across fixers via the template: the batch is a pure
+    # function of the signature.
+    read_rows = section.read_rows
+    slot_list = section.slot_list
+    signature = pins[read_rows].tobytes() + phi[slot_list].tobytes()
+    memo = section.memo
+    hit = memo.get(signature)
+    if hit is not None:
+        choices, post_pins, post_phi = hit
+        pins[read_rows] = post_pins
+        phi[slot_list] = post_phi
+        STATS.vector_memo_hits += 1
+        return choices
+    max_values = template.max_values
+    results: List[list] = [[] for _ in section.cells]
+    for wave in section.waves:
+        _run_twave(np, stack, pins, phi, wave, results, max_values)
+    if len(memo) < MEMO_LIMIT:
+        memo[signature] = (
+            results,
+            pins[read_rows].copy(),
+            phi[slot_list].copy(),
+        )
+    return results
+
+
+def _run_twave(np, stack, pins, phi, wave, results, max_values) -> None:
+    count = wave.count
+    if count == 0:
+        return
+    max_support = wave.max_support
+    incs = np.ones(
+        (count, wave.max_rank, max_support), dtype=np.float64
+    )
+    if wave.q_kernel.shape[0]:
+        afters, before = stack.query(
+            wave.q_kernel,
+            pins[wave.q_event],
+            wave.q_target,
+            max_values,
+            wave.q_names,
+        )
+        gathered = np.take_along_axis(afters, wave.q_support, axis=1)
+        positive = before > 0.0
+        denominator = np.where(positive, before, 1.0)
+        ratios = np.where(
+            positive[:, None], gathered / denominator[:, None], 0.0
+        )
+        incs[wave.q_op, wave.q_slot] = ratios
+
+    choices: List[object] = [None] * count
+    positions = np.zeros(count, dtype=np.int64)
+    for group in wave.groups:
+        lanes = group.lanes
+        rank = group.rank
+        rule = group.rule
+        lane_count = lanes.shape[0]
+        sub = incs[lanes, :rank]
+        if group.gather is None:
+            weights = None
+            key_matrix = np.concatenate(
+                [group.values_id, sub.reshape(lane_count, -1)], axis=1
+            )
+        else:
+            gathered_w = phi[group.gather]
+            if rule == "rank3":
+                weights = gathered_w[:, :, 0] * gathered_w[:, :, 1]
+            else:
+                weights = gathered_w
+            key_matrix = np.concatenate(
+                [
+                    group.values_id,
+                    weights,
+                    sub.reshape(lane_count, -1),
+                ],
+                axis=1,
+            )
+        # Deduplicate lanes with identical selection inputs; the
+        # representative's choice is shared (a decision reads nothing
+        # but support labels, Inc rows and bookkeeping weights).
+        seen: Dict[bytes, int] = {}
+        reps: List[int] = []
+        assign = np.empty(lane_count, dtype=np.int64)
+        for row in range(lane_count):
+            key = key_matrix[row].tobytes()
+            index = seen.get(key, -1)
+            if index < 0:
+                index = len(reps)
+                seen[key] = index
+                reps.append(row)
+            assign[row] = index
+        rep_rows = np.asarray(reps, dtype=np.int64)
+        variables = [group.variables[row] for row in reps]
+        values = [group.values[row] for row in reps]
+        mask = group.mask[rep_rows]
+        rep_sub = sub[rep_rows]
+        if rule == "rank1":
+            rep_choices = select_rank1_class(
+                variables, values, rep_sub[:, 0], mask
+            )
+        elif rule == "rank2":
+            rep_choices = select_rank2_class(
+                variables,
+                values,
+                rep_sub[:, 0],
+                rep_sub[:, 1],
+                weights[rep_rows],
+                mask,
+            )
+        elif rule == "rank3":
+            rep_choices = select_rank3_class(
+                variables,
+                values,
+                rep_sub[:, 0],
+                rep_sub[:, 1],
+                rep_sub[:, 2],
+                weights[rep_rows],
+                mask,
+            )
+        else:
+            rep_choices = select_rankr_class(
+                variables,
+                values,
+                [
+                    rep_sub[:, position]
+                    for position in range(rank)
+                ],
+                weights[rep_rows],
+                mask,
+            )
+        rep_positions = np.asarray(
+            [
+                values[index].index(choice.value)
+                for index, choice in enumerate(rep_choices)
+            ],
+            dtype=np.int64,
+        )
+        positions[lanes] = rep_positions[assign]
+        lane_list = group.lane_list
+        for offset in range(lane_count):
+            choices[lane_list[offset]] = rep_choices[assign[offset]]
+        if group.apply is not None:
+            if rule == "rank3":
+                rep_values = np.asarray(
+                    [
+                        (
+                            choice.decomposition.a1,
+                            choice.decomposition.b1,
+                            choice.decomposition.a2,
+                            choice.decomposition.c2,
+                            choice.decomposition.b3,
+                            choice.decomposition.c3,
+                        )
+                        if choice.decomposition is not None
+                        else choice.new_weights
+                        for choice in rep_choices
+                    ],
+                    dtype=np.float64,
+                )
+            else:
+                rep_values = np.asarray(
+                    [choice.new_weights for choice in rep_choices],
+                    dtype=np.float64,
+                )
+            phi[group.apply] = rep_values[assign]
+
+    cell_of = wave.cell_of
+    for lane in range(count):
+        results[cell_of[lane]].append(choices[lane])
+    if wave.site_event.shape[0]:
+        pins[wave.site_event, wave.site_pos] = wave.site_maps[
+            wave.site_arange, positions[wave.site_lane]
+        ]
+
+
+# ----------------------------------------------------------------------
+# Parent-side entry points
+# ----------------------------------------------------------------------
+def decide_class_choices(
+    fixer, kind: str, cells, instance, edges
+) -> Optional[List[list]]:
+    """Batched pure decide for a whole color class.
+
+    Returns the per-cell choice lists (and parks the run state as
+    pending for :func:`cached_commit` / the lean commit path), or
+    ``None`` when the class should take the scalar per-op path instead
+    — scalar decide mode, missing kernels, or any internal error (the
+    scalar loop then reproduces the exact scalar-path outcome,
+    including error attribution).
+    """
+    if not vector_enabled():
+        return None
+    try:
+        template = _template_for(instance, kind)
+        section = template.section_for(cells)
+        state = getattr(fixer, "_vector_state", None)
+        if (
+            state is None
+            or state.template is not template
+            or state.pending is not None
+            or state.steps_seen != len(fixer._steps)
+        ):
+            state = _build_state(fixer, template, edges)
+        refs = state.refs_cache.get(id(section))
+        if refs is None:
+            refs = _resolve_refs(section, edges, kind)
+            state.refs_cache[id(section)] = refs
+        choices = _run_section(state, section)
+    except Exception:
+        STATS.vector_fallbacks += 1
+        fixer._vector_state = None
+        return None
+    state.pending = (cells, section, refs)
+    state.steps_seen = len(fixer._steps) + section.num_ops
+    fixer._vector_state = state
+    return choices
+
+
+def cached_commit(fixer, cells) -> Optional[_RunState]:
+    """The pending run state for ``cells``, if the fixer just decided it.
+
+    Identity-checked so a commit can only reuse the lowering of the
+    class it is committing; the caller must clear ``pending`` (or drop
+    the state entirely) once the fixer has been mutated.
+    """
+    state = getattr(fixer, "_vector_state", None)
+    if (
+        state is not None
+        and state.pending is not None
+        and state.pending[0] is cells
+    ):
+        return state
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker side: one-shot class programs from payloads
+# ----------------------------------------------------------------------
+# Worker op records are plain tuples; the indices below name the fields.
+OP_VARIABLE = 0  # the DiscreteVariable object
+OP_NAMES = 1  # tuple of affected event names, in bookkeeping order
+OP_RANK = 2  # number of affected events
+OP_VALUES = 3  # tuple of support value labels, in support order
+OP_WEIGHTS = 4  # working-ledger refs (dict, dict triple, or None)
+OP_PIN_MAPS = 5  # per pin site: tuple mapping support position -> pin index
+OP_SUPPORT = 6  # tuple of support value indices (into the value list)
+
+
+class _Wave:
+    """One worker wave's structure: queries, lanes, pin-scatter targets."""
+
+    __slots__ = (
+        "lanes",  # [(cell index, op record)], in plan (cell) order
+        "max_rank",
+        "q_kernel",
+        "q_event",
+        "q_target",
+        "q_op",
+        "q_slot",
+        "q_names",
+        "support_matrix",
+        "support_mask",
+        "groups",  # [(rule, rank, [lane])]
+        "scatter_event",
+        "scatter_pos",
+    )
+
+
+class ClassProgram:
+    """A payload chunk lowered to stacked arrays plus wave structure."""
+
+    __slots__ = (
+        "kind",
+        "kernels",
+        "names",
+        "scopes",
+        "pins",
+        "slots",
+        "cells",  # [(owner, [op record], [event index])]
+        "ledger",
+        "waves",
+        "max_values",
+    )
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.kernels: List[object] = []
+        self.names: List[Hashable] = []
+        self.scopes: List[Tuple[Hashable, ...]] = []
+        self.pins: List[List[int]] = []
+        self.slots: List[int] = []
+        self.cells: List[tuple] = []
+        self.ledger: Dict[frozenset, Dict[Hashable, float]] = {}
+        self.waves: List[_Wave] = []
+        self.max_values = 1
+
+
+def _assemble_waves(program: ClassProgram, raw_ops: List[tuple]) -> None:
+    """Build the per-wave flat structure from raw per-op info.
+
+    ``raw_ops`` entries are ``(cell_index, op_index, op_record, targets,
+    sites)``: ``targets`` pairs each affected event index with the
+    variable's scope position there, ``sites`` lists the cell events to
+    re-pin after the op as ``(event_index, position)`` pairs aligned
+    with the op record's ``OP_PIN_MAPS``.
+    """
+    np = _numpy()
+    num_waves = max((entry[1] for entry in raw_ops), default=-1) + 1
+    buckets: List[List[tuple]] = [[] for _ in range(num_waves)]
+    for entry in raw_ops:
+        buckets[entry[1]].append(entry)
+    slots = program.slots
+    names = program.names
+    naive = program.kind == "naive"
+    for bucket in buckets:
+        wave = _Wave()
+        wave.lanes = [(entry[0], entry[2]) for entry in bucket]
+        q_kernel: List[int] = []
+        q_event: List[int] = []
+        q_target: List[int] = []
+        q_op: List[int] = []
+        q_slot: List[int] = []
+        q_names: List[Hashable] = []
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        scatter_event: List[int] = []
+        scatter_pos: List[int] = []
+        max_rank = 1
+        max_support = 1
+        for lane, (_cell, _w, op, targets, sites) in enumerate(bucket):
+            rank = op[OP_RANK]
+            if rank > max_rank:
+                max_rank = rank
+            size = len(op[OP_VALUES])
+            if size > max_support:
+                max_support = size
+            for slot, (event_index, target) in enumerate(targets):
+                if target < 0:
+                    continue
+                q_kernel.append(slots[event_index])
+                q_event.append(event_index)
+                q_target.append(target)
+                q_op.append(lane)
+                q_slot.append(slot)
+                q_names.append(names[event_index])
+            rule = "rankr" if naive else f"rank{rank}"
+            groups.setdefault((rule, rank), []).append(lane)
+            for site in sites:
+                scatter_event.append(site[0])
+                scatter_pos.append(site[1])
+        count = len(bucket)
+        support_matrix = np.zeros((count, max_support), dtype=np.int64)
+        support_mask = np.zeros((count, max_support), dtype=bool)
+        for lane, (_cell, _w, op, _t, _s) in enumerate(bucket):
+            indices = op[OP_SUPPORT]
+            size = len(indices)
+            support_matrix[lane, :size] = indices
+            support_mask[lane, :size] = True
+        wave.max_rank = max_rank
+        wave.q_kernel = np.asarray(q_kernel, dtype=np.int64)
+        wave.q_event = np.asarray(q_event, dtype=np.int64)
+        wave.q_target = np.asarray(q_target, dtype=np.int64)
+        wave.q_op = np.asarray(q_op, dtype=np.int64)
+        wave.q_slot = np.asarray(q_slot, dtype=np.int64)
+        wave.q_names = q_names
+        wave.support_matrix = support_matrix
+        wave.support_mask = support_mask
+        wave.groups = [
+            (rule, rank, lanes)
+            for (rule, rank), lanes in groups.items()
+        ]
+        wave.scatter_event = np.asarray(scatter_event, dtype=np.int64)
+        wave.scatter_pos = np.asarray(scatter_pos, dtype=np.int64)
+        program.waves.append(wave)
+
+
+def _register_event(
+    program, slot_of, name, kernel, scope_names, pins
+) -> int:
+    """Add one event to the program, sharing stacked kernels by print."""
+    fingerprint = kernel.fingerprint()
+    slot = slot_of.get(fingerprint)
+    if slot is None:
+        slot = len(program.kernels)
+        slot_of[fingerprint] = slot
+        program.kernels.append(kernel)
+    index = len(program.names)
+    program.names.append(name)
+    program.scopes.append(tuple(scope_names))
+    program.pins.append(pins)
+    program.slots.append(slot)
+    return index
+
+
+def _finish_cell(
+    program,
+    raw_ops,
+    cell_index,
+    owner,
+    cell_ops,
+    cell_events,
+    event_kernels,
+):
+    """Resolve one cell's per-op records, targets and pin sites.
+
+    ``cell_ops`` carries ``(variable, names, event_indices)`` per op;
+    ``event_kernels`` maps the cell's event indices to their kernels.
+    The working ledger must already hold every entry a rank-3 op reads
+    (payload ledger slices ship them); naive and rank-2 first touches
+    install the all-ones default ``local_weights`` would.
+    """
+    kind = program.kind
+    ledger = program.ledger
+    # One scan over the cell's event scopes: which events (and where)
+    # contain each variable — execute_cell pins *every* view of the
+    # cell after each op, so pin sites cover the whole cell.
+    by_name: Dict[Hashable, List[tuple]] = {}
+    for event_index in cell_events:
+        kernel = event_kernels[event_index]
+        for position, scope_name in enumerate(
+            program.scopes[event_index]
+        ):
+            by_name.setdefault(scope_name, []).append(
+                (event_index, position, kernel)
+            )
+    op_records = []
+    for op_index, (variable, names, indices) in enumerate(cell_ops):
+        values, support = _support_info(variable)
+        if variable.num_values > program.max_values:
+            program.max_values = variable.num_values
+        sites_raw = by_name.get(variable.name, ())
+        position_of = {site[0]: site[1] for site in sites_raw}
+        targets = [
+            (event_index, position_of.get(event_index, -1))
+            for event_index in indices
+        ]
+        pin_maps = []
+        sites = []
+        for event_index, position, kernel in sites_raw:
+            value_map = kernel.support_map(position, values)
+            if value_map is None:
+                raise _NotVectorizable(
+                    f"support of {variable.name!r} not indexable in "
+                    f"event {program.names[event_index]!r}"
+                )
+            pin_maps.append(value_map)
+            sites.append((event_index, position))
+        rank = len(names)
+        if kind == "naive":
+            key = frozenset(names)
+            weights_ref = ledger.get(key)
+            if weights_ref is None:
+                weights_ref = {name: 1.0 for name in names}
+                ledger[key] = weights_ref
+        elif rank == 1:
+            weights_ref = None
+        elif rank == 2:
+            key = frozenset(names)
+            weights_ref = ledger.get(key)
+            if weights_ref is None:
+                if kind == "rank3":
+                    # Rank-3 ledger slices ship every edge; a miss
+                    # means a malformed payload — scalar replay will
+                    # raise the proper error.
+                    raise KeyError(key)
+                weights_ref = {names[0]: 1.0, names[1]: 1.0}
+                ledger[key] = weights_ref
+        else:
+            u, v, w = names
+            weights_ref = (
+                ledger[frozenset((u, v))],
+                ledger[frozenset((u, w))],
+                ledger[frozenset((v, w))],
+            )
+        record = (
+            variable,
+            names,
+            rank,
+            values,
+            weights_ref,
+            tuple(pin_maps),
+            support,
+        )
+        op_records.append(record)
+        raw_ops.append((cell_index, op_index, record, targets, sites))
+    program.cells.append((owner, op_records, cell_events))
+
+
+def program_from_payloads(payloads) -> ClassProgram:
+    """Lower worker-side :class:`~repro.runtime.workers.CellPayload`\\ s.
+
+    The payloads already carry kernels, pins and ledger slices, so no
+    template is involved; the program is one-shot for this chunk.
+    """
+    kind = payloads[0].kind if payloads else "naive"
+    program = ClassProgram(kind)
+    slot_of: Dict[int, int] = {}
+    event_kernels: Dict[int, object] = {}
+    raw_ops: List[tuple] = []
+    for cell_index, payload in enumerate(payloads):
+        index_of: Dict[Hashable, int] = {}
+        cell_events: List[int] = []
+        for event in payload.events:
+            index = _register_event(
+                program,
+                slot_of,
+                event.name,
+                event.kernel,
+                event.scope_names,
+                list(event.pins),
+            )
+            index_of[event.name] = index
+            event_kernels[index] = event.kernel
+            cell_events.append(index)
+        for key, entries in payload.ledger:
+            program.ledger[key] = dict(entries)
+        cell_ops = []
+        for op in payload.ops:
+            names = op.event_names
+            indices = tuple(index_of[name] for name in names)
+            cell_ops.append((op.variable, names, indices))
+        _finish_cell(
+            program,
+            raw_ops,
+            cell_index,
+            payload.owner,
+            cell_ops,
+            cell_events,
+            event_kernels,
+        )
+    _assemble_waves(program, raw_ops)
+    return program
+
+
+def _read_weights(kind: str, rule: str, op) -> tuple:
+    """The bookkeeping weights an op's decision reads, as Python floats."""
+    if rule == "rank1":
+        return ()
+    names = op[OP_NAMES]
+    refs = op[OP_WEIGHTS]
+    if kind == "naive":
+        return tuple(refs[name] for name in names)
+    if rule == "rank2":
+        return (refs[names[0]], refs[names[1]])
+    uv, uw, vw = refs
+    u, v, w = names
+    return (uv[u] * uw[u], uv[v] * vw[v], uw[w] * vw[w])
+
+
+def _apply_ledger(kind: str, op, choice) -> None:
+    """Absorb a committed choice into the working ledger (wave-local)."""
+    if kind == "naive":
+        refs = op[OP_WEIGHTS]
+        for name, weight in zip(op[OP_NAMES], choice.new_weights):
+            refs[name] = weight
+        return
+    rank = op[OP_RANK]
+    if rank == 1:
+        return
+    names = op[OP_NAMES]
+    if rank == 2:
+        refs = op[OP_WEIGHTS]
+        refs[names[0]], refs[names[1]] = choice.new_weights
+        return
+    uv, uw, vw = op[OP_WEIGHTS]
+    u, v, w = names
+    decomposition = choice.decomposition
+    uv[u] = decomposition.a1
+    uv[v] = decomposition.b1
+    uw[u] = decomposition.a2
+    uw[w] = decomposition.c2
+    vw[v] = decomposition.b3
+    vw[w] = decomposition.c3
+
+
+def run_program(program: ClassProgram) -> List[List[object]]:
+    """Execute a lowered payload chunk wave by wave.
+
+    Mutates only program-local state (the pins matrix and the working
+    ledger copies).  Raises on any condition the vectorized arithmetic
+    cannot reproduce — callers fall back to the scalar per-op loop.
+    """
+    np = _numpy()
+    stack = KernelStack(program.kernels)
+    if stack.cells > DEFAULT_STACK_LIMIT:
+        raise _NotVectorizable(
+            f"kernel stack of {stack.cells} cells exceeds the batch "
+            f"limit"
+        )
+    width = max(stack.width, 1)
+    filler = [-1] * width
+    pins = np.array(
+        [
+            (event_pins + filler[len(event_pins):])
+            if event_pins
+            else filler
+            for event_pins in program.pins
+        ],
+        dtype=np.int64,
+    ).reshape(len(program.pins), width)
+    results: List[List[object]] = [[] for _ in program.cells]
+    kind = program.kind
+    max_values = program.max_values
+    for wave in program.waves:
+        _run_wave(np, stack, pins, wave, results, kind, max_values)
+    return results
+
+
+def _run_wave(np, stack, pins, wave, results, kind, max_values) -> None:
+    """Decide one wave (the next op of every still-active cell)."""
+    lanes = wave.lanes
+    count = len(lanes)
+    if count == 0:
+        return
+    max_rank = wave.max_rank
+    max_support = wave.support_matrix.shape[1]
+    incs = np.ones((count, max_rank, max_support), dtype=np.float64)
+    if wave.q_kernel.shape[0]:
+        afters, before = stack.query(
+            wave.q_kernel,
+            pins[wave.q_event],
+            wave.q_target,
+            max_values,
+            wave.q_names,
+        )
+        gathered = np.take_along_axis(
+            afters, wave.support_matrix[wave.q_op], axis=1
+        )
+        positive = before > 0.0
+        denominator = np.where(positive, before, 1.0)
+        ratios = np.where(
+            positive[:, None], gathered / denominator[:, None], 0.0
+        )
+        incs[wave.q_op, wave.q_slot] = ratios
+
+    choices: List[object] = [None] * count
+    positions: List[int] = [0] * count
+    for rule, rank, group_lanes in wave.groups:
+        unique: Dict[tuple, int] = {}
+        rep_lanes: List[int] = []
+        rep_weights: List[tuple] = []
+        assign: List[int] = []
+        for lane in group_lanes:
+            op = lanes[lane][1]
+            weights = _read_weights(kind, rule, op)
+            key = (
+                op[OP_VALUES],
+                weights,
+                incs[lane, :rank].tobytes(),
+            )
+            index = unique.get(key, -1)
+            if index < 0:
+                index = len(rep_lanes)
+                unique[key] = index
+                rep_lanes.append(lane)
+                rep_weights.append(weights)
+            assign.append(index)
+        rep_array = np.asarray(rep_lanes, dtype=np.int64)
+        variables = [lanes[lane][1][OP_VARIABLE] for lane in rep_lanes]
+        values = [lanes[lane][1][OP_VALUES] for lane in rep_lanes]
+        mask = wave.support_mask[rep_array]
+        sub = incs[rep_array]
+        if rule == "rank1":
+            rep_choices = select_rank1_class(
+                variables, values, sub[:, 0], mask
+            )
+        elif rule == "rank2":
+            weight_matrix = np.asarray(
+                rep_weights, dtype=np.float64
+            ).reshape(len(rep_lanes), 2)
+            rep_choices = select_rank2_class(
+                variables,
+                values,
+                sub[:, 0],
+                sub[:, 1],
+                weight_matrix,
+                mask,
+            )
+        elif rule == "rank3":
+            weight_matrix = np.asarray(
+                rep_weights, dtype=np.float64
+            ).reshape(len(rep_lanes), 3)
+            rep_choices = select_rank3_class(
+                variables,
+                values,
+                sub[:, 0],
+                sub[:, 1],
+                sub[:, 2],
+                weight_matrix,
+                mask,
+            )
+        else:
+            weight_matrix = np.asarray(
+                rep_weights, dtype=np.float64
+            ).reshape(len(rep_lanes), rank)
+            rep_choices = select_rankr_class(
+                variables,
+                values,
+                [sub[:, position] for position in range(rank)],
+                weight_matrix,
+                mask,
+            )
+        rep_positions = [
+            values[index].index(choice.value)
+            for index, choice in enumerate(rep_choices)
+        ]
+        for offset, lane in enumerate(group_lanes):
+            index = assign[offset]
+            choices[lane] = rep_choices[index]
+            positions[lane] = rep_positions[index]
+
+    # Apply the wave in lane (plan) order: ledger updates, choice
+    # collection, and one batched pin scatter for the next wave.
+    scatter_values: List[int] = []
+    for lane in range(count):
+        cell_index, op = lanes[lane]
+        choice = choices[lane]
+        _apply_ledger(kind, op, choice)
+        position = positions[lane]
+        for value_map in op[OP_PIN_MAPS]:
+            scatter_values.append(value_map[position])
+        results[cell_index].append(choice)
+    if scatter_values:
+        pins[wave.scatter_event, wave.scatter_pos] = np.asarray(
+            scatter_values, dtype=np.int64
+        )
+
+
+def execute_class_cells(payloads) -> List[List[object]]:
+    """Worker-side batch execution of one chunk's cells.
+
+    Takes the vector path when possible; otherwise (or on any internal
+    error) replays the cells through the scalar
+    :func:`~repro.runtime.workers.execute_cell` loop in plan order,
+    which raises exactly the errors the scalar path would.
+    """
+    try:
+        program = program_from_payloads(payloads)
+        return run_program(program)
+    except Exception:
+        STATS.vector_fallbacks += 1
+        from repro.runtime.workers import execute_cell
+
+        return [execute_cell(payload) for payload in payloads]

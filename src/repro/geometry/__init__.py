@@ -14,6 +14,7 @@ from repro.geometry.representable import (
     is_representable_pair,
     is_representable_triple,
     representability_margin,
+    representability_margin_array,
     segment_points_inside,
     violates_incurvedness,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "is_representable_triple",
     "numerical_gradient",
     "representability_margin",
+    "representability_margin_array",
     "segment_points_inside",
     "surface_alternative_form",
     "surface_grid",

@@ -90,6 +90,58 @@ def representability_margin(a: float, b: float, c: float) -> float:
     return min(margin, boundary_surface(a_dom, b_dom) - max(c, 0.0))
 
 
+def representability_margin_array(a, b, c):
+    """Vectorized :func:`representability_margin` over numpy arrays.
+
+    Bit-identical to the scalar function applied elementwise: every
+    arithmetic step mirrors the scalar composition (including the
+    double clamp-and-shave of :func:`~repro.geometry.surface
+    .boundary_surface`'s domain normalisation), and numpy's
+    ``minimum``/``maximum``/``sqrt`` are IEEE correctly-rounded, so each
+    lane reproduces the scalar float sequence exactly.  The scalar
+    function's early return for ``margin < 0`` is realised by masking —
+    those lanes never consult the boundary surface, whose domain check
+    cannot fail on the remaining lanes (``margin >= 0`` implies
+    ``a, b, c >= 0`` and ``a + b <= 4``).
+    """
+    import numpy as np
+
+    margin = np.minimum(np.minimum(a, b), c)
+    margin = np.minimum(margin, 4.0 - (a + b))
+    negative = margin < 0.0
+    a_dom = np.minimum(np.maximum(a, 0.0), 4.0)
+    b_dom = np.minimum(np.maximum(b, 0.0), 4.0)
+    excess = (a_dom + b_dom) - 4.0
+    over = (a_dom + b_dom) > 4.0
+    shave_a = over & (a_dom >= b_dom)
+    shave_b = over & ~shave_a
+    a_dom = np.where(shave_a, a_dom - excess, a_dom)
+    b_dom = np.where(shave_b, b_dom - excess, b_dom)
+    # boundary_surface re-normalises its inputs the same way; replicate
+    # the second clamp-and-shave so the composed float ops line up.
+    a_dom = np.minimum(np.maximum(a_dom, 0.0), 4.0)
+    b_dom = np.minimum(np.maximum(b_dom, 0.0), 4.0)
+    excess = (a_dom + b_dom) - 4.0
+    over = (a_dom + b_dom) > 4.0
+    shave_a = over & (a_dom >= b_dom)
+    shave_b = over & ~shave_a
+    a_dom = np.where(shave_a, a_dom - excess, a_dom)
+    b_dom = np.where(shave_b, b_dom - excess, b_dom)
+    radicand = a_dom * b_dom * (4.0 - a_dom) * (4.0 - b_dom)
+    surface = 4.0 + 0.5 * (
+        a_dom * b_dom
+        - 2.0 * a_dom
+        - 2.0 * b_dom
+        - np.sqrt(np.maximum(radicand, 0.0))
+    )
+    surface = np.maximum(surface, 0.0)
+    return np.where(
+        negative,
+        margin,
+        np.minimum(margin, surface - np.maximum(c, 0.0)),
+    )
+
+
 @dataclass(frozen=True)
 class TripleDecomposition:
     """Witness values for a representable triple (Definition 3.3)."""

@@ -23,6 +23,7 @@ from repro.graph.backend import (
     REFERENCE,
     VECTORIZED,
     active_backend,
+    set_backend,
     use_backend,
     vectorized_enabled,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "edge_coloring_with_arrays",
     "line_graph_csr",
     "require_index_dtype",
+    "set_backend",
     "square_csr",
     "two_hop_coloring_arrays",
     "two_hop_coloring_with_arrays",

@@ -44,6 +44,23 @@ def vectorized_enabled() -> bool:
     return active_backend() == VECTORIZED
 
 
+def set_backend(name: str) -> str:
+    """Select the graph backend process-wide; returns the previous one.
+
+    The plain-setter counterpart of :func:`use_backend`, for callers
+    (the CLI's ``--graph`` flag) that pick a backend for the rest of the
+    process rather than for a scoped block.
+    """
+    global _override
+    if name not in _BACKENDS:
+        raise GraphSubstrateError(
+            f"unknown graph backend {name!r}; expected one of {_BACKENDS}"
+        )
+    previous = active_backend()
+    _override = name
+    return previous
+
+
 @contextmanager
 def use_backend(name: str) -> Iterator[None]:
     """Pin the graph backend for the duration of the context (tests)."""

@@ -156,6 +156,10 @@ _STAT_NAMES = (
     "kernel_occurs_queries",
     "naive_queries",
     "naive_batch_queries",
+    "vector_queries",
+    "vector_passes",
+    "vector_fallbacks",
+    "vector_memo_hits",
     "cache_hits",
     "cache_misses",
     "cache_evictions",
@@ -262,6 +266,8 @@ class EventKernel:
         "_rows",
         "_codes",
         "_fingerprint",
+        "_batch_arrays",
+        "_support_maps",
         "num_outcomes",
     )
 
@@ -301,6 +307,8 @@ class EventKernel:
             self.encode(row) for row in self._rows
         )
         self._fingerprint: Optional[int] = None
+        self._batch_arrays = None
+        self._support_maps: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -390,6 +398,38 @@ class EventKernel:
         return len(self._rows)
 
     @property
+    def width(self) -> int:
+        """Number of scope positions (variables) of the kernel."""
+        return len(self._num_values)
+
+    @property
+    def num_values(self) -> Tuple[int, ...]:
+        """Support size of each scope position."""
+        return self._num_values
+
+    def batch_arrays(self):
+        """The truth table as numpy arrays, built lazily and cached.
+
+        Returns ``(rows, factors)`` with shape ``[num_bad, width]``:
+        ``rows[r, p]`` is the value index of bad row ``r`` at scope
+        position ``p`` and ``factors[r, p]`` its probability weight
+        ``probs[p][rows[r, p]]``.  These are the per-kernel inputs
+        :class:`KernelStack` pads and stacks for whole-class queries.
+        """
+        if self._batch_arrays is None:
+            np = _numpy()
+            rows = np.array(self._rows, dtype=np.int64).reshape(
+                self.num_bad, self.width
+            )
+            factors = np.ones((self.num_bad, self.width), dtype=np.float64)
+            for position, probs in enumerate(self._probs):
+                factors[:, position] = np.asarray(probs, dtype=np.float64)[
+                    rows[:, position]
+                ]
+            self._batch_arrays = (rows, factors)
+        return self._batch_arrays
+
+    @property
     def strides(self) -> Tuple[int, ...]:
         """The mixed-radix place value of each scope position."""
         return self._strides
@@ -404,6 +444,33 @@ class EventKernel:
     def value_index(self, position: int, value: Hashable) -> Optional[int]:
         """Index of ``value`` in the scope variable at ``position``."""
         return self._index_maps[position].get(value)
+
+    def support_map(
+        self, position: int, values: Tuple[Hashable, ...]
+    ) -> Optional[Tuple[int, ...]]:
+        """Value indices of a support tuple at one scope position, cached.
+
+        ``None`` if any value is outside the scope variable's value list.
+        Cached per kernel *object* (not per fingerprint): fingerprints
+        deliberately ignore value labels, which are exactly what this
+        maps.  The vector decide plane calls this once per (variable,
+        pin-site) pair per class, so the cache turns the per-op label
+        translation into a dict hit.
+        """
+        maps = self._support_maps
+        if maps is None:
+            maps = self._support_maps = {}
+        key = (position, values)
+        cached = maps.get(key, False)
+        if cached is False:
+            index_map = self._index_maps[position]
+            indices: Optional[Tuple[int, ...]] = tuple(
+                index_map.get(value, -1) for value in values
+            )
+            if -1 in indices:
+                indices = None
+            cached = maps[key] = indices
+        return cached
 
     def bad_value_tuples(self) -> List[Tuple[Hashable, ...]]:
         """The bad outcomes as value tuples, in code (lexicographic) order.
@@ -508,3 +575,230 @@ class EventKernel:
         return (
             f"EventKernel(outcomes={self.num_outcomes}, bad={self.num_bad})"
         )
+
+
+# ----------------------------------------------------------------------
+# Whole-class batch evaluation (the vector decide plane's engine layer)
+# ----------------------------------------------------------------------
+_NUMPY = None
+
+
+def _numpy():
+    """Import numpy on first batch use, keeping scalar imports light."""
+    global _NUMPY
+    if _NUMPY is None:
+        import numpy
+
+        _NUMPY = numpy
+    return _NUMPY
+
+
+#: Padded-stack cells beyond which :class:`KernelStack` refuses to build
+#: (callers fall back to the scalar path instead of burning memory).
+DEFAULT_STACK_LIMIT = 1 << 22
+
+
+class KernelStack:
+    """The truth tables of a color class's events, stacked and padded.
+
+    One instance covers every event a class's decisions read: kernel
+    ``e``'s table occupies slice ``e`` of three padded arrays —
+    ``rows[e, r, p]`` (value indices, padded with 0), ``factors[e, r, p]``
+    (probability weights, padded with 1.0) and ``row_valid[e, r]``
+    (``False`` for padding rows).  Padded scope positions carry pin ``-1``
+    (free) and factor 1.0, so they multiply masses by exactly 1.0 and
+    never constrain row validity — the padded query is bit-identical to
+    the unpadded one.
+
+    :meth:`query` answers a whole batch of ``conditional_masses`` +
+    ``probability`` pairs (one per affected event per op of a wave) in a
+    handful of numpy passes, preserving the scalar engine's numerical
+    contract:
+
+    * per-row masses multiply the same probability floats in the same
+      scope-position order (skipped positions multiply by 1.0, which is
+      exact for IEEE doubles);
+    * bucket and before sums with more than one surviving row are
+      delegated to the scalar kernel methods, whose ``math.fsum`` order
+      is the contract — the scatter fast path only applies where a
+      bucket holds at most one row, where ``fsum([x]) == x`` exactly;
+    * the ``checked_mass_sum`` raise/clamp semantics are reproduced,
+      including the per-event error context.
+    """
+
+    __slots__ = (
+        "kernels",
+        "width",
+        "depth",
+        "rows",
+        "factors",
+        "row_valid",
+        "cells",
+    )
+
+    def __init__(self, kernels: Sequence[EventKernel]) -> None:
+        np = _numpy()
+        self.kernels = list(kernels)
+        count = len(self.kernels)
+        self.width = max((k.width for k in self.kernels), default=0)
+        self.depth = max((k.num_bad for k in self.kernels), default=0)
+        depth = max(self.depth, 1)
+        width = max(self.width, 1)
+        self.cells = count * depth * width
+        self.rows = np.zeros((count, depth, width), dtype=np.int64)
+        self.factors = np.ones((count, depth, width), dtype=np.float64)
+        self.row_valid = np.zeros((count, depth), dtype=bool)
+        for index, kernel in enumerate(self.kernels):
+            if kernel.num_bad == 0:
+                continue
+            k_rows, k_factors = kernel.batch_arrays()
+            self.rows[index, : kernel.num_bad, : kernel.width] = k_rows
+            self.factors[index, : kernel.num_bad, : kernel.width] = k_factors
+            self.row_valid[index, : kernel.num_bad] = True
+
+    def query(
+        self,
+        event_index,
+        pins,
+        targets,
+        max_values: int,
+        names: Sequence[Hashable],
+    ):
+        """Batched ``(conditional_masses, probability)`` for ``Q`` queries.
+
+        Parameters
+        ----------
+        event_index:
+            ``[Q]`` int array — which stacked kernel each query reads.
+        pins:
+            ``[Q, width]`` int array — the querying event's current pins
+            (``-1`` = free), padded with ``-1``.
+        targets:
+            ``[Q]`` int array — the scope position being conditioned on.
+        max_values:
+            Width of the returned ``afters`` matrix (max support size
+            over the batch); entries beyond a target's support stay 0.
+        names:
+            Per-*query* event names, for ``checked_mass_sum`` contexts
+            (several queries may share one stacked kernel when events
+            are deduplicated by fingerprint).
+
+        Returns ``(afters, before)``: ``afters[q, i]`` equals
+        ``kernel.conditional_masses(pins, target)[i]`` and ``before[q]``
+        equals ``kernel.probability(pins)`` — bit-identical to the
+        scalar methods.
+        """
+        np = _numpy()
+        count = int(event_index.shape[0])
+        STATS.vector_passes += 1
+        STATS.vector_queries += count
+        afters = np.zeros((count, max_values), dtype=np.float64)
+        before = np.zeros(count, dtype=np.float64)
+        if count == 0:
+            return afters, before
+        if self.depth <= 1:
+            # Single-row tables (the common all-zero generators): every
+            # bucket holds at most one row, so the scatter path is always
+            # exact and the bucket bookkeeping can be skipped wholesale.
+            rows0 = self.rows[event_index, 0]
+            factors0 = self.factors[event_index, 0]
+            free = pins < 0
+            valid = self.row_valid[event_index, 0] & (
+                free | (pins == rows0)
+            ).all(axis=1)
+            masses = np.ones(count, dtype=np.float64)
+            befores = np.ones(count, dtype=np.float64)
+            for position in range(self.width):
+                column = factors0[:, position]
+                masses = masses * np.where(
+                    free[:, position] & (targets != position), column, 1.0
+                )
+                befores = befores * np.where(free[:, position], column, 1.0)
+            lanes = np.arange(count)
+            target_values = rows0[lanes, targets]
+            afters[lanes[valid], target_values[valid]] = masses[valid]
+            before = np.where(valid, befores, 0.0)
+            limit = 1.0 + PROBABILITY_MASS_TOLERANCE
+            if bool((masses > limit).any()) or bool((befores > limit).any()):
+                bad = valid & ((masses > limit) | (befores > limit))
+                for q in np.nonzero(bad)[0]:
+                    self._scalar_query(
+                        np, int(q), event_index, pins, targets, names,
+                        afters, before,
+                    )
+            np.minimum(afters, 1.0, out=afters)
+            np.minimum(before, 1.0, out=before)
+            return afters, before
+        rows = self.rows[event_index]
+        factors = self.factors[event_index]
+        valid = self.row_valid[event_index]
+        if self.width:
+            free = pins < 0
+            valid = valid & (free[:, None, :] | (pins[:, None, :] == rows)).all(
+                axis=2
+            )
+            masses = np.ones(rows.shape[:2], dtype=np.float64)
+            befores = np.ones(rows.shape[:2], dtype=np.float64)
+            for position in range(self.width):
+                column = factors[:, :, position]
+                include = free[:, position] & (targets != position)
+                masses = masses * np.where(include[:, None], column, 1.0)
+                befores = befores * np.where(
+                    free[:, position, None], column, 1.0
+                )
+        else:
+            masses = np.ones(rows.shape[:2], dtype=np.float64)
+            befores = masses
+        target_values = np.take_along_axis(
+            rows, targets[:, None, None], axis=2
+        )[:, :, 0]
+        keys = np.arange(count)[:, None] * max_values + target_values
+        flat_keys = keys[valid]
+        bucket_counts = np.bincount(
+            flat_keys, minlength=count * max_values
+        ).reshape(count, max_values)
+        row_counts = valid.sum(axis=1)
+        # Queries whose buckets all hold <= 1 row take the exact scatter
+        # path (fsum of a singleton is the value itself); the rest replay
+        # through the scalar kernel methods to preserve fsum order.
+        simple = (bucket_counts.max(axis=1) <= 1) & (row_counts <= 1)
+        scatter = valid & simple[:, None]
+        afters_flat = afters.reshape(-1)
+        afters_flat[keys[scatter]] = masses[scatter]
+        before = np.where(
+            simple, np.where(valid, befores, 0.0).max(axis=1, initial=0.0), 0.0
+        )
+        limit = 1.0 + PROBABILITY_MASS_TOLERANCE
+        if bool((afters > limit).any()) or bool((before > limit).any()):
+            # Over-unit mass: replay the offending queries through the
+            # scalar methods so the ProbabilityMassError (context and
+            # message included) is the one the scalar engine raises.
+            bad = (afters > limit).any(axis=1) | (before > limit)
+            for q in np.nonzero(bad)[0]:
+                self._scalar_query(
+                    np, int(q), event_index, pins, targets, names,
+                    afters, before,
+                )
+        np.minimum(afters, 1.0, out=afters)
+        np.minimum(before, 1.0, out=before)
+        if not bool(simple.all()):
+            for q in np.nonzero(~simple)[0]:
+                STATS.vector_fallbacks += 1
+                self._scalar_query(
+                    np, int(q), event_index, pins, targets, names,
+                    afters, before,
+                )
+        return afters, before
+
+    def _scalar_query(
+        self, np, q, event_index, pins, targets, names, afters, before
+    ) -> None:
+        """Answer query ``q`` via the scalar kernel methods, in place."""
+        kernel = self.kernels[int(event_index[q])]
+        pin_list = [int(pin) for pin in pins[q, : kernel.width]]
+        context = f"event {names[q]!r}"
+        target = int(targets[q])
+        masses = kernel.conditional_masses(pin_list, target, context)
+        afters[q, : len(masses)] = masses
+        afters[q, len(masses):] = 0.0
+        before[q] = kernel.probability(pin_list, context)

@@ -24,6 +24,17 @@ class are traversed:
   (deterministically injectable through :class:`repro.faults.FaultPlan`
   or the ``REPRO_FAULTS`` environment spec).
 
+All three backends dispatch whole color classes through the fixers'
+``decide_class``/``commit_class`` batch split when the vector decide
+plane (:mod:`repro.core.vector`) accepts the class; a ``None`` from
+``decide_class`` — scalar decide mode (``REPRO_DECIDE=scalar``), events
+without compiled kernels — falls back to the scheduler's own per-op
+loop, which is the differential oracle the batch path is tested
+against.  The process backend additionally batches *inside* the
+workers: each chunk executes as one class-level program
+(:func:`repro.runtime.workers.execute_class_chunk`) and kernels are
+interned per class so every distinct kernel pickles once per chunk.
+
 Every scheduler validates each class's cross-cell disjointness before
 touching it and publishes per-class span / op-count metrics through
 :mod:`repro.obs`.
@@ -33,6 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import pickle
 import shutil
 import tempfile
 import time
@@ -51,6 +63,7 @@ from repro.obs.profile import profile_mode_from_env, profiled
 from repro.obs.recorder import active as _obs_active
 from repro.obs.shard import TraceContext, collect_shard_fallback
 from repro.core.selection import Decision
+from repro.core.vector import decide_mode
 from repro.lll.instance import LLLInstance
 from repro.runtime.plan import ColorClass, FixCell, FixPlan
 from repro.runtime.workers import (
@@ -91,6 +104,26 @@ def _classify_failure(error: BaseException) -> str:
     if isinstance(error, FuturesCancelledError):
         return "cancelled"
     return "ipc-failure"
+
+
+def _dispatch_class(fixer, color_class: ColorClass, recorder) -> bool:
+    """Try the whole-class batch path; ``True`` if the class was fixed.
+
+    ``decide_class`` is a pure batched decide — it parks speculative run
+    state but mutates nothing — so a ``None`` (scalar mode, missing
+    kernels, internal fallback) leaves the fixer exactly where the
+    caller's per-op loop expects it.
+    """
+    decide_class = getattr(fixer, "decide_class", None)
+    if decide_class is None:
+        return False
+    choices = decide_class(color_class.cells)
+    if choices is None:
+        return False
+    fixer.commit_class(color_class.cells, choices)
+    if recorder is not None:
+        recorder.count("runtime", "class_batches")
+    return True
 
 
 def _fixer_kind(fixer) -> str:
@@ -169,13 +202,21 @@ class Scheduler(ABC):
 
 
 class SerialScheduler(Scheduler):
-    """Plan order, one variable at a time — the differential oracle."""
+    """Plan order, one variable at a time.
+
+    Classes the vector plane accepts run as one batched
+    ``decide_class``/``commit_class`` pass; everything else (and the
+    whole plan under ``REPRO_DECIDE=scalar``) takes the historical
+    one-``fix_variable``-per-op loop — the differential oracle.
+    """
 
     name = "serial"
 
     def _run_class(
         self, fixer, color_class: ColorClass, instance: LLLInstance
     ) -> None:
+        if _dispatch_class(fixer, color_class, _obs_active()):
+            return
         for cell in color_class.cells:
             for op in cell.ops:
                 fixer.fix_variable(op.variable)
@@ -214,6 +255,11 @@ class BatchScheduler(Scheduler):
         self, fixer, color_class: ColorClass, instance: LLLInstance
     ) -> None:
         recorder = _obs_active()
+        # The vector plane already amortizes identical local situations
+        # (its engine pass dedups lanes by situation bytes), so a class
+        # it accepts never touches the scalar memo.
+        if _dispatch_class(fixer, color_class, recorder):
+            return
         memo = self._memo
         for cell in color_class.cells:
             for op in cell.ops:
@@ -415,10 +461,14 @@ class ProcessScheduler(Scheduler):
         recorder = _obs_active()
         kind = _fixer_kind(fixer)
         # Payload serialization timed apart from dispatch and merge, so
-        # pickling cost is attributable from the trace alone.
+        # pickling cost is attributable from the trace alone.  Kernels
+        # are interned per class (by fingerprint): cells of a symmetric
+        # class share the same kernel *objects*, so pickle's memo ships
+        # each distinct kernel once per chunk instead of once per cell.
         payload_start = time.perf_counter_ns() if recorder is not None else 0
+        kernel_cache: Dict[tuple, object] = {}
         payloads: List[Optional[CellPayload]] = [
-            self._cell_payload(fixer, kind, cell, instance)
+            self._cell_payload(fixer, kind, cell, instance, kernel_cache)
             for cell in color_class.cells
         ]
         if recorder is not None:
@@ -431,6 +481,19 @@ class ProcessScheduler(Scheduler):
             index for index, payload in enumerate(payloads)
             if payload is not None
         ]
+        if recorder is not None and dispatchable:
+            # Class-level shipping cost: the size of the class's whole
+            # dispatched payload in one pickle (the unit that actually
+            # crosses the process boundary, kernel interning included).
+            class_bytes = len(
+                pickle.dumps(
+                    [payloads[index] for index in dispatchable],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            )
+            recorder.observe_quantile(
+                "runtime", "payload_bytes_per_class", class_bytes
+            )
         dispatch_ops = sum(
             len(color_class.cells[index].ops) for index in dispatchable
         )
@@ -516,6 +579,7 @@ class ProcessScheduler(Scheduler):
                 recorder.gauge("runtime", "pending_chunks", len(pending))
                 recorder.gauge("runtime", "pool_workers", self._num_workers)
             submitted = []
+            failed: List[_ChunkState] = []
             for state in pending:
                 fault = (
                     plan.worker_fault(state.chunk_id, state.attempt)
@@ -554,14 +618,40 @@ class ProcessScheduler(Scheduler):
                         cells=len(state.cells),
                         worker_id=trace.worker_id,
                     )
-                future = pool.submit(
-                    execute_chunk,
-                    [payloads[index] for index in state.cells],
-                    fault,
-                    trace,
-                )
+                try:
+                    future = pool.submit(
+                        execute_chunk,
+                        [payloads[index] for index in state.cells],
+                        fault,
+                        trace,
+                        decide_mode(),
+                    )
+                except Exception as error:
+                    # A crashed worker can break the pool while this
+                    # wave is still being submitted; a synchronous
+                    # submit failure is the same environmental fault as
+                    # a dead future and takes the same retry path.
+                    if not _is_recoverable_failure(error):
+                        raise
+                    state.faulted = True
+                    failed.append(state)
+                    if recorder is not None:
+                        self._merge_shard(recorder, trace, state.attempt,
+                                          collect_shard_fallback(
+                                              trace.shard_path))
+                        recorder.event(
+                            "runtime",
+                            "fault",
+                            site="scheduler",
+                            kind=_classify_failure(error),
+                            scope=f"chunk:{state.chunk_id}",
+                            chunk=state.chunk_id,
+                            attempt=state.attempt,
+                            cells=len(state.cells),
+                            error=repr(error),
+                        )
+                    continue
                 submitted.append((state, future, trace))
-            failed: List[_ChunkState] = []
             for state, future, trace in submitted:
                 wait_start = (
                     time.perf_counter_ns() if recorder is not None else 0
@@ -736,9 +826,18 @@ class ProcessScheduler(Scheduler):
 
     @staticmethod
     def _cell_payload(
-        fixer, kind: str, cell: FixCell, instance: LLLInstance
+        fixer,
+        kind: str,
+        cell: FixCell,
+        instance: LLLInstance,
+        kernel_cache: Optional[Dict[tuple, object]] = None,
     ) -> Optional[CellPayload]:
-        """Serialise a cell, or ``None`` when it must run in-parent."""
+        """Serialise a cell, or ``None`` when it must run in-parent.
+
+        ``kernel_cache`` interns kernels by fingerprint across the cells
+        of one class, so pickle serialises each distinct kernel once per
+        chunk rather than once per referencing cell.
+        """
         event_payloads: Dict[Hashable, EventPayload] = {}
         ops: List[OpPayload] = []
         ledger: Dict[frozenset, Tuple[Tuple[Hashable, float], ...]] = {}
@@ -751,6 +850,10 @@ class ProcessScheduler(Scheduler):
                 kernel = event.compiled_kernel()
                 if kernel is None:
                     return None
+                if kernel_cache is not None:
+                    kernel = kernel_cache.setdefault(
+                        kernel.fingerprint(), kernel
+                    )
                 pins = event.scope_pins(fixer.assignment)
                 if pins is None:
                     return None

@@ -250,10 +250,29 @@ def _apply_worker_fault(
     raise SimulationError(f"unknown injected worker fault {fault.kind!r}")
 
 
+def execute_class_chunk(
+    payloads: Sequence[CellPayload],
+) -> List[List[object]]:
+    """Run one chunk as a single class-level batch program.
+
+    The chunk's cells lower into one
+    :class:`~repro.core.vector.ClassProgram` (kernels deduplicated by
+    fingerprint, decisions computed in stacked engine passes) and the
+    per-cell choice lists come back in plan order, bit-identical to the
+    per-cell :func:`execute_cell` loop.  Any condition the vector plane
+    cannot reproduce falls back to that loop internally, so callers see
+    the scalar path's exact results and error attribution either way.
+    """
+    from repro.core import vector
+
+    return vector.execute_class_cells(list(payloads))
+
+
 def execute_chunk(
     payloads: Sequence[CellPayload],
     fault: Optional[WorkerFault] = None,
     trace: Optional[TraceContext] = None,
+    decide: Optional[str] = None,
 ):
     """Worker entry point: validate disjointness, then run each cell.
 
@@ -274,7 +293,17 @@ def execute_chunk(
     records return piggybacked on a :class:`ChunkReply` (with the shard
     file as the crash-survivable fallback).  Returns a plain list of
     per-cell choice lists when ``trace`` is ``None``.
+
+    ``decide`` pins the worker's decide plane to the parent's: the
+    parent ships its active mode (``"vector"``/``"scalar"``) so a
+    parent-side :func:`~repro.core.vector.set_decide_mode` — e.g. a
+    test pinning the scalar oracle — governs the workers too, not just
+    the inherited ``REPRO_DECIDE`` environment.
     """
+    if decide is not None:
+        from repro.core.vector import set_decide_mode
+
+        set_decide_mode(decide)
     shard = ShardRecorder(trace) if trace is not None else None
     if shard is not None:
         shard.event(
@@ -295,20 +324,35 @@ def execute_chunk(
             # that survives the os._exit below.
             shard.event("worker", "fault_injected", **fault.as_payload())
         os._exit(13)
+    from repro.core.vector import vector_enabled
+
     results: List[List[object]] = []
     with profiled(shard, "worker", trace.profile if trace else None,
                   name="chunk"):
-        for payload in payloads:
+        if vector_enabled() and payloads:
+            num_ops = sum(len(payload.ops) for payload in payloads)
             if shard is not None:
                 with shard.span(
-                    "worker", "decide",
-                    cell=repr(payload.owner), ops=len(payload.ops),
+                    "worker", "decide_class",
+                    cells=len(payloads), ops=num_ops,
                 ):
-                    results.append(execute_cell(payload))
-                shard.count("worker", "cells")
-                shard.count("worker", "ops", len(payload.ops))
+                    results = execute_class_chunk(payloads)
+                shard.count("worker", "cells", len(payloads))
+                shard.count("worker", "ops", num_ops)
             else:
-                results.append(execute_cell(payload))
+                results = execute_class_chunk(payloads)
+        else:
+            for payload in payloads:
+                if shard is not None:
+                    with shard.span(
+                        "worker", "decide",
+                        cell=repr(payload.owner), ops=len(payload.ops),
+                    ):
+                        results.append(execute_cell(payload))
+                    shard.count("worker", "cells")
+                    shard.count("worker", "ops", len(payload.ops))
+                else:
+                    results.append(execute_cell(payload))
     results = _apply_worker_fault(fault, results, shard)
     if shard is None:
         return results
