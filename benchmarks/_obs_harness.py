@@ -32,6 +32,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import ExperimentRecord, records_to_table, write_records_json
+from repro.artifacts import STORE as artifact_store
 from repro.obs import active as obs_active
 from repro.probability import engine as probability_engine
 
@@ -71,14 +72,17 @@ def reset_engine(instances: Sequence[Any] = ()) -> None:
     """Reset probability-engine state between solve runs.
 
     Clears the per-event conditional-probability caches of the given
-    instances and zeroes the engine counters, so that each benchmarked
-    run starts cold and the counters published into the meta side-car
-    describe exactly one run.
+    instances, zeroes the engine counters, and empties the artifact
+    store, so that each benchmarked run starts cold and the counters
+    published into the meta side-car describe exactly one run.  (The E7
+    bench warms the store *deliberately* between its timed phases and
+    manages it by hand.)
     """
     for instance in instances:
         for event in instance.events:
             event.clear_cache()
     probability_engine.reset_stats()
+    artifact_store.clear()
 
 
 def environment_metadata() -> Dict[str, Any]:
@@ -177,9 +181,11 @@ def write_experiment(
     recorder = obs_active()
     if recorder is not None:
         # Flush engine counter deltas (kernel compiles/queries, cache
-        # hit/miss/evictions) accrued since the last publish, so they
-        # appear in the counters dump below.
+        # hit/miss/evictions) and the artifact store's per-tier
+        # counters accrued since the last publish, so they appear in
+        # the counters dump below.
         probability_engine.publish_stats(recorder)
+        artifact_store.publish_stats(recorder)
         meta["obs_run_id"] = recorder.run_id
         spans = _span_breakdown()
         if spans:

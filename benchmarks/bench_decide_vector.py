@@ -19,7 +19,12 @@ region* and executes the full plan.  E2 measures first-solve cost
 (cold per-event caches each repetition); E6 measures the steady-state
 decide/commit arithmetic, which is what the batch lowering targets —
 the template is per-instance state and amortises across fixers exactly
-as it does across the repeated solves of a sweep.
+as it does across the repeated solves of a sweep.  Since the artifact
+plane (``repro.artifacts``) landed, the untimed warm-up also populates
+the process-global store — templates, kernel stacks and the instance's
+parameter tier entry — so both decide paths see the same warm store;
+the cold/warm *store* trade is E7's subject
+(``bench_artifact_cache.py``), not this bench's.
 
 Acceptance bar: the vector path must be at least 10x faster than the
 scalar oracle on the headline workload (4x in quick mode,

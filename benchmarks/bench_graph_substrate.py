@@ -42,6 +42,7 @@ import time
 import numpy as np
 
 import _obs_harness
+from repro.artifacts import using_artifacts
 from repro.generators import all_zero_edge_instance, cycle_csr, cycle_graph
 from repro.graph import (
     ArrayAlgorithm,
@@ -148,7 +149,11 @@ def _plan_rows():
             # Instance construction is identical Python work on both
             # backends and stays outside the timed region; a fresh
             # instance per repetition keeps the per-instance CSR and
-            # indexing caches cold for every timed build.
+            # indexing caches cold for every timed build.  The artifact
+            # plane is scoped off below for the same reason: its plans
+            # tier would serve every repetition after the first from the
+            # store, turning a construction bench into a cache-hit bench
+            # (the warm trade is E7's subject, bench_artifact_cache.py).
             instances = [
                 all_zero_edge_instance(cycle_graph(n), 3)
                 for _ in range(REPEATS)
@@ -163,14 +168,15 @@ def _plan_rows():
                     best = elapsed
             return best, plan
 
-        with use_backend("vectorized"):
-            vec_seconds, vec_plan = timed_build()
-        ref_seconds = None
-        identical = None
-        if compared:
-            with use_backend("reference"):
-                ref_seconds, ref_plan = timed_build()
-            identical = vec_plan == ref_plan
+        with using_artifacts("off"):
+            with use_backend("vectorized"):
+                vec_seconds, vec_plan = timed_build()
+            ref_seconds = None
+            identical = None
+            if compared:
+                with use_backend("reference"):
+                    ref_seconds, ref_plan = timed_build()
+                identical = vec_plan == ref_plan
         rows.append(
             {
                 "phase": "plan",

@@ -49,6 +49,7 @@ KEY_FIELDS: Dict[str, Tuple[str, ...]] = {
     "E4": ("configuration", "n"),
     "E5": ("mode",),
     "E6": ("phase", "mode"),
+    "E7": ("phase",),
 }
 
 #: Default relative tolerance band for speedup/overhead ratios.

@@ -1,0 +1,148 @@
+"""Canonical structural fingerprints for cross-instance artifact reuse.
+
+An artifact (kernel, template, plan, index map) may be shared between
+two instances only if *everything* it bakes in is equal between them.
+The lean commit paths push template-held variable objects, event names
+and value labels straight into fixer state (assignments, step records,
+phi ledgers), and ``EventKernel.value_index`` is label-addressed — so
+the fingerprint is **content-addressed, not rename-insensitive**: it
+covers event names, scope names, value labels, probability vectors and
+the tabulated bad-outcome sets, in construction order.  Two instances
+produced by the same generator with the same parameters fingerprint
+identically; renaming a variable changes the fingerprint (a
+rename-insensitive canonicalisation is future service-layer work).
+
+Fingerprintability requires every event to carry a *bad-outcomes hint*
+(events built via :meth:`BadEvent.from_bad_outcomes` /
+:meth:`BadEvent.all_equal`, or loaded through :mod:`repro.lll.io`): the
+hint is the complete predicate semantics in tabulated form.  An event
+defined only by an opaque predicate closure cannot be compared for
+equality without enumerating it, so instances containing one are
+reported unfingerprintable (``None``) and every store tier skips them —
+they keep the exact legacy per-object cache behaviour.
+
+Keys are 16-byte BLAKE2b digests of canonical ``repr`` streams rather
+than the structure tuples themselves: at n = 10^6 events the digest
+keys cost ~50 MB where the tuples would cost ~0.5 GB.  The scheme
+relies on ``repr`` faithfulness of names and value labels, the same
+assumption the plan builders already make when they sort events by
+``repr``.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Optional, Tuple
+
+_UNSET = object()
+
+#: Digest width. 16 bytes = 128 bits: collision probability is
+#: negligible at any realistic artifact count.
+_DIGEST_SIZE = 16
+
+
+def event_structure(event) -> Optional[tuple]:
+    """The canonical structure tuple of one event, or ``None``.
+
+    ``None`` means the event's semantics are not tabulated (predicate
+    closure without a bad-outcomes hint) and nothing derived from it
+    may be shared across objects.
+    """
+    hint = event.bad_outcomes_hint
+    if hint is None:
+        return None
+    return (
+        event.name,
+        event.scope_names,
+        tuple(
+            (variable.values, variable.probabilities)
+            for variable in event.variables
+        ),
+        tuple(sorted(map(repr, hint))),
+    )
+
+
+def digest_key(structure: tuple) -> bytes:
+    """A fixed-width digest key for one canonical structure tuple."""
+    return blake2b(
+        repr(structure).encode("utf-8"), digest_size=_DIGEST_SIZE
+    ).digest()
+
+
+def event_artifact_key(event) -> Optional[bytes]:
+    """The kernels-tier key of one event, or ``None``.
+
+    Content-addressed over the event's name, scope, per-variable
+    supports and tabulated bad outcomes — everything
+    :meth:`EventKernel.from_outcomes` reads — so a hit returns a kernel
+    bit-identical to the one compilation would produce.
+
+    The digest is memoised on the event (events are immutable once
+    their hint is set): every consumer after the first — the kernel
+    tier, :func:`instance_fingerprint` — pays one attribute read
+    instead of a repr + BLAKE2b pass over the structure tuple.
+    """
+    cached = getattr(event, "_artifact_key", None)
+    if cached is not None:
+        return cached
+    structure = event_structure(event)
+    if structure is None:
+        return None
+    key = digest_key(structure)
+    try:
+        event._artifact_key = key
+    except AttributeError:
+        pass
+    return key
+
+
+def instance_fingerprint(instance) -> Optional[bytes]:
+    """The structural fingerprint of a whole instance, or ``None``.
+
+    A digest over every event's digest key in construction order
+    (event order determines variable first-appearance order, hence
+    every iteration order the plan builders and the template lowering
+    see).  Hashing the per-event *keys* rather than the raw structure
+    streams means one structure pass per event per process — the pass
+    the kernels tier needs anyway — and the instance digest itself
+    touches only 16 bytes per event.  Cached on the instance —
+    instances are immutable after construction, so the fingerprint
+    never goes stale.
+    """
+    cached = getattr(instance, "_artifact_fingerprint", _UNSET)
+    if cached is not _UNSET:
+        return cached
+    hasher = blake2b(digest_size=_DIGEST_SIZE)
+    fingerprint: Optional[bytes] = None
+    for event in instance.events:
+        key = event_artifact_key(event)
+        if key is None:
+            break
+        hasher.update(key)
+    else:
+        fingerprint = hasher.digest()
+    instance._artifact_fingerprint = fingerprint
+    return fingerprint
+
+
+def instance_key(instance, *parts) -> Optional[Tuple]:
+    """A store key scoped to an instance shape, or ``None``.
+
+    Convenience for the template/plan/indexing tiers: the instance
+    fingerprint plus discriminating parts (kind, rank, artifact name).
+    """
+    fingerprint = instance_fingerprint(instance)
+    if fingerprint is None:
+        return None
+    return (fingerprint,) + parts
+
+
+def stack_key(kernels) -> Tuple:
+    """The stacks-tier key: the interned fingerprints of the kernels.
+
+    ``EventKernel.fingerprint()`` interns on kernel *content* within a
+    process, so content-identical kernel sets — including kernels
+    unpickled afresh in a worker for every chunk — map to the same key
+    and share one stacked truth table.
+    """
+    return tuple(kernel.fingerprint() for kernel in kernels)

@@ -51,11 +51,12 @@ FAMILIES = ("cycle", "regular", "torus", "triples")
 
 
 def _apply_backend_args(args) -> None:
-    """Install the ``--engine`` / ``--graph`` / ``--decide`` selections.
+    """Install the ``--engine``/``--graph``/``--decide``/``--artifacts``
+    selections.
 
-    Each flag is the CLI front for one of the three process-wide
-    backend switches (``REPRO_ENGINE`` / ``REPRO_GRAPH`` /
-    ``REPRO_DECIDE``); a flag that was not given leaves the ambient
+    Each flag is the CLI front for one of the four process-wide backend
+    switches (``REPRO_ENGINE`` / ``REPRO_GRAPH`` / ``REPRO_DECIDE`` /
+    ``REPRO_ARTIFACTS``); a flag that was not given leaves the ambient
     environment selection untouched.
     """
     if getattr(args, "engine", None):
@@ -70,6 +71,10 @@ def _apply_backend_args(args) -> None:
         from repro.core.vector import set_decide_mode
 
         set_decide_mode(args.decide)
+    if getattr(args, "artifacts", None):
+        from repro.artifacts import set_artifacts_mode
+
+        set_artifacts_mode(args.artifacts)
 
 
 def _build_instance(args):
@@ -371,6 +376,36 @@ def _command_bench(args) -> int:
     raise ReproError(f"unknown bench subcommand {args.bench_command!r}")
 
 
+def _command_cache(args) -> int:
+    from repro.artifacts import STORE, artifacts_mode
+
+    if args.cache_command == "stats":
+        print(f"artifact cache: mode={artifacts_mode()}")
+        stats = STORE.stats()
+        if not stats:
+            print("  (no tiers materialised)")
+        for name in sorted(stats):
+            tier = stats[name]
+            print(
+                f"  {name:<12} size={tier['size']}/{tier['capacity']}"
+                f"  hits={tier['hits']}  misses={tier['misses']}"
+                f"  evictions={tier['evictions']}"
+            )
+        totals = STORE.totals()
+        print(
+            f"  {'total':<12} size={totals['size']}"
+            f"  hits={totals['hits']}  misses={totals['misses']}"
+            f"  evictions={totals['evictions']}"
+        )
+        return 0
+    if args.cache_command == "clear":
+        cleared = STORE.totals()["size"]
+        STORE.clear()
+        print(f"cleared {cleared} cached artifacts")
+        return 0
+    raise ReproError(f"unknown cache subcommand {args.cache_command!r}")
+
+
 def _command_trace(args) -> int:
     from repro.obs import check_events, read_trace, render_trace
 
@@ -450,6 +485,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--decide", choices=("vector", "scalar"), default=None,
             help="decide plane: whole-class batch decisions or the "
             "per-op scalar oracle (default: REPRO_DECIDE, else vector)",
+        )
+        subparser.add_argument(
+            "--artifacts", choices=("on", "off"), default=None,
+            help="structural-fingerprint artifact cache: reuse "
+            "kernels/plans/templates across same-shape instances "
+            "(default: REPRO_ARTIFACTS, else on)",
         )
 
     solve_parser = commands.add_parser(
@@ -571,6 +612,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also list every passing metric",
     )
 
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or clear the artifact cache"
+    )
+    cache_commands = cache_parser.add_subparsers(
+        dest="cache_command", required=True
+    )
+    cache_commands.add_parser(
+        "stats", help="per-tier sizes, hits, misses and evictions"
+    )
+    cache_commands.add_parser(
+        "clear", help="drop every cached artifact and reset counters"
+    )
+
     trace_parser = commands.add_parser(
         "trace", help="list the events of a JSONL observability trace"
     )
@@ -633,6 +687,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _command_trace,
         "profile": _command_profile,
         "bench": _command_bench,
+        "cache": _command_cache,
     }
     try:
         return handlers[args.command](args)

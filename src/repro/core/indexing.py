@@ -24,6 +24,8 @@ from typing import Dict, Hashable, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.artifacts.fingerprint import instance_key
+from repro.artifacts.store import STORE as _ARTIFACTS, artifacts_enabled
 from repro.lll.instance import LLLInstance
 from repro.local_model.network import Network
 
@@ -67,10 +69,18 @@ def indexed_dependency_network(
     cached = _NETWORK_CACHE.get(instance)
     if cached is not None:
         return cached
-    graph = instance.dependency_graph
-    to_index, from_index = _index_maps(instance)
-    relabeled = nx.relabel_nodes(graph, to_index, copy=True)
-    result = (Network(relabeled), to_index, from_index)
+    # L2: the shared artifact store, keyed on instance shape.  Event
+    # names and scopes are part of the fingerprint, so an equal-shape
+    # instance gets back content-identical mappings and an identical
+    # relabeled network (read-only by contract).
+    key = instance_key(instance, "network") if artifacts_enabled() else None
+    result = _ARTIFACTS.get("indexings", key)
+    if result is None:
+        graph = instance.dependency_graph
+        to_index, from_index = _index_maps(instance)
+        relabeled = nx.relabel_nodes(graph, to_index, copy=True)
+        result = (Network(relabeled), to_index, from_index)
+        _ARTIFACTS.put("indexings", key, result)
     _NETWORK_CACHE[instance] = result
     return result
 
@@ -87,6 +97,11 @@ def indexed_csr(instance: LLLInstance):
     cached = _CSR_CACHE.get(instance)
     if cached is not None:
         return cached
+    key = instance_key(instance, "csr") if artifacts_enabled() else None
+    result = _ARTIFACTS.get("indexings", key)
+    if result is not None:
+        _CSR_CACHE[instance] = result
+        return result
     from repro.graph import CSRGraph
 
     to_index, from_index = _index_maps(instance)
@@ -106,5 +121,6 @@ def indexed_csr(instance: LLLInstance):
         np.array(endpoints_v, dtype=np.int64),
     )
     result = (csr, to_index, from_index)
+    _ARTIFACTS.put("indexings", key, result)
     _CSR_CACHE[instance] = result
     return result

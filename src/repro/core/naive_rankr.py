@@ -117,9 +117,9 @@ class NaiveRankRFixer:
         # set); variables with the same event set share it, exactly like
         # multiple rank-2 variables sharing a dependency edge.
         self._weights: Dict[FrozenSet, Dict[Hashable, float]] = {}
-        self._initial_probabilities = {
-            event.name: event.probability() for event in instance.events
-        }
+        # Via the instance (and hence the artifact store's parameters
+        # tier): same-shape instances share one probability enumeration.
+        self._initial_probabilities = instance.event_probabilities()
         self._steps: List[StepRecord] = []
 
     # ------------------------------------------------------------------

@@ -80,9 +80,9 @@ class PStarState:
         self._phi: Dict[EdgeKey, Dict[Hashable, float]] = {}
         for u, v in instance.dependency_graph.edges():
             self._phi[frozenset((u, v))] = {u: 1.0, v: 1.0}
-        self._initial_probabilities = {
-            event.name: event.probability() for event in instance.events
-        }
+        # Via the instance (and hence the artifact store's parameters
+        # tier): same-shape instances share one probability enumeration.
+        self._initial_probabilities = instance.event_probabilities()
 
     # ------------------------------------------------------------------
     # Accessors

@@ -78,9 +78,9 @@ class Rank2Fixer:
         # ratios event u has absorbed from variables on edge {u, v}.
         self._edge_weights: Dict[FrozenSet[Hashable], Dict[Hashable, float]] = {}
         # Cumulative increase for events touched by rank-1 variables.
-        self._initial_probabilities = {
-            event.name: event.probability() for event in instance.events
-        }
+        # Via the instance (and hence the artifact store's parameters
+        # tier): same-shape instances share one probability enumeration.
+        self._initial_probabilities = instance.event_probabilities()
         self._steps: List[StepRecord] = []
 
     # ------------------------------------------------------------------

@@ -60,6 +60,12 @@ from __future__ import annotations
 import os
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.artifacts.fingerprint import instance_key, stack_key
+from repro.artifacts.store import (
+    LRUCache,
+    STORE as _ARTIFACTS,
+    artifacts_enabled,
+)
 from repro.errors import ReproError
 from repro.probability.engine import (
     DEFAULT_STACK_LIMIT,
@@ -326,7 +332,7 @@ class _Template:
 
     def ensure_stack(self) -> KernelStack:
         if self.stack is None or self.stack_size != len(self.kernels):
-            stack = KernelStack(self.kernels)
+            stack = _shared_stack(self.kernels)
             if stack.cells > DEFAULT_STACK_LIMIT:
                 raise _NotVectorizable(
                     f"kernel stack of {stack.cells} cells exceeds the "
@@ -400,7 +406,7 @@ class _Template:
         section = _Section()
         section.cells = []
         section.waves = []
-        section.memo = {}
+        section.memo = LRUCache(MEMO_LIMIT)
         read_set: set = set()
         slot_set: set = set()
         raw: List[tuple] = []
@@ -586,6 +592,25 @@ class _Template:
             section.waves.append(wave)
 
 
+def _shared_stack(kernels) -> KernelStack:
+    """A :class:`KernelStack` for ``kernels``, shared through the store.
+
+    Keyed on the kernels' interned content fingerprints, so templates
+    (and worker-side class programs, which rebuild their kernel lists
+    from unpickled payloads every chunk) with content-identical kernel
+    sets share one stacked truth table.  A stack is immutable after
+    construction and its queries delegate multi-row buckets to the same
+    ``math.fsum`` order regardless of which kernel objects it was built
+    from — bit-identity is preserved by construction.
+    """
+    key = stack_key(kernels) if artifacts_enabled() else None
+    stack = _ARTIFACTS.get("stacks", key)
+    if stack is None:
+        stack = KernelStack(kernels)
+        _ARTIFACTS.put("stacks", key, stack)
+    return stack
+
+
 def _template_for(instance, kind: str) -> _Template:
     templates = getattr(instance, "_vector_templates", None)
     if templates is None:
@@ -593,7 +618,25 @@ def _template_for(instance, kind: str) -> _Template:
         instance._vector_templates = templates
     template = templates.get(kind)
     if template is None:
-        template = _Template(instance, kind)
+        # Cross-instance reuse: a template lowered for any earlier
+        # instance of the same structural fingerprint is valid verbatim
+        # — equal fingerprints mean equal event names, scopes, supports
+        # and truth tables, so every name, kernel and variable object
+        # the template holds is interchangeable with this instance's.
+        key = (
+            instance_key(instance, "template", kind)
+            if artifacts_enabled()
+            else None
+        )
+        template = _ARTIFACTS.get("templates", key)
+        if template is None:
+            template = _Template(instance, kind)
+            _ARTIFACTS.put("templates", key, template)
+        else:
+            # Rebind so sections lowered from here on resolve events
+            # and variables against the live instance (content-equal
+            # to the one the template was first lowered against).
+            template.instance = instance
         templates[kind] = template
     return template
 
@@ -771,12 +814,18 @@ def _run_section(state: _RunState, section: _Section) -> List[list]:
     results: List[list] = [[] for _ in section.cells]
     for wave in section.waves:
         _run_twave(np, stack, pins, phi, wave, results, max_values)
-    if len(memo) < MEMO_LIMIT:
-        memo[signature] = (
+    # LRU insert: the memo evicts its least recently used batch at
+    # capacity instead of silently refusing new entries, so a workload
+    # cycling through more than MEMO_LIMIT distinct signatures keeps a
+    # live working set instead of freezing the first 128 forever.
+    memo.put(
+        signature,
+        (
             results,
             pins[read_rows].copy(),
             phi[slot_list].copy(),
-        )
+        ),
+    )
     return results
 
 
@@ -1336,7 +1385,7 @@ def run_program(program: ClassProgram) -> List[List[object]]:
     cannot reproduce — callers fall back to the scalar per-op loop.
     """
     np = _numpy()
-    stack = KernelStack(program.kernels)
+    stack = _shared_stack(program.kernels)
     if stack.cells > DEFAULT_STACK_LIMIT:
         raise _NotVectorizable(
             f"kernel stack of {stack.cells} cells exceeds the batch "

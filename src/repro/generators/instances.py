@@ -88,12 +88,11 @@ def all_zero_edge_instance(
             variables[edge_variable_name(node, neighbor)]
             for neighbor in sorted(graph.neighbors(node))
         ]
-        names = tuple(variable.name for variable in scope)
-
-        def predicate(assignment: Mapping, _names=names) -> bool:
-            return all(assignment[name] == 0 for name in _names)
-
-        events.append(BadEvent(node, scope, predicate))
+        # Tabulated ("all incident equal 0") rather than an opaque
+        # closure: the bad-outcomes hint makes the event — and hence the
+        # whole instance — structurally fingerprintable, so kernels,
+        # plans and templates are shared across same-shape instances.
+        events.append(BadEvent.all_equal(node, scope, 0))
     return LLLInstance(events)
 
 
@@ -209,12 +208,7 @@ def all_zero_triple_instance(
                 f"node {node} is in no triple; its event would have an "
                 f"empty scope"
             )
-        names = tuple(variable.name for variable in scope)
-
-        def predicate(assignment: Mapping, _names=names) -> bool:
-            return all(assignment[name] == 0 for name in _names)
-
-        events.append(BadEvent(node, scope, predicate))
+        events.append(BadEvent.all_equal(node, scope, 0))
     return LLLInstance(events)
 
 
@@ -253,10 +247,5 @@ def mixed_rank_instance(
             for neighbor in sorted(graph.neighbors(node))
         ]
         scope.extend(incident_triples[node])
-        names = tuple(variable.name for variable in scope)
-
-        def predicate(assignment: Mapping, _names=names) -> bool:
-            return all(assignment[name] == 0 for name in _names)
-
-        events.append(BadEvent(node, scope, predicate))
+        events.append(BadEvent.all_equal(node, scope, 0))
     return LLLInstance(events)

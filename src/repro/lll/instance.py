@@ -15,6 +15,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro.artifacts import STORE as _ARTIFACTS, artifacts_enabled
+from repro.artifacts.fingerprint import instance_key
 from repro.errors import ReproError, UnknownVariableError
 from repro.lll.hypergraph import Hypergraph
 from repro.probability import (
@@ -161,18 +163,53 @@ class LLLInstance:
 
     @property
     def max_dependency_degree(self) -> int:
-        """``d``: the maximum degree of the dependency graph."""
+        """``d``: the maximum degree of the dependency graph.
+
+        Served from the artifact store's parameters tier when enabled:
+        ``d`` is a pure function of the instance shape, so a same-shape
+        instance avoids materialising the dependency graph just to take
+        a degree maximum (precondition checks need only the scalar).
+        """
+        key = (
+            instance_key(self, "max-degree") if artifacts_enabled() else None
+        )
+        cached = _ARTIFACTS.get("parameters", key)
+        if cached is not None:
+            return cached
         graph = self.dependency_graph
-        return max((deg for _, deg in graph.degree()), default=0)
+        degree = max((deg for _, deg in graph.degree()), default=0)
+        _ARTIFACTS.put("parameters", key, degree)
+        return degree
 
     def event_probabilities(self) -> Dict[Hashable, float]:
-        """Unconditional probability of each event."""
-        return {event.name: event.probability() for event in self._events}
+        """Unconditional probability of each event.
+
+        Served from the artifact store's parameters tier when enabled —
+        the probabilities are pure functions of the instance shape, so a
+        same-shape instance solved earlier already paid the per-event
+        enumeration.  Always returns a fresh dict; callers own (and may
+        mutate) their copy.
+        """
+        key = (
+            instance_key(self, "probabilities")
+            if artifacts_enabled()
+            else None
+        )
+        cached = _ARTIFACTS.get("parameters", key)
+        if cached is not None:
+            return dict(cached)
+        probabilities = {
+            event.name: event.probability() for event in self._events
+        }
+        if key is None:
+            return probabilities
+        _ARTIFACTS.put("parameters", key, probabilities)
+        return dict(probabilities)
 
     @property
     def max_event_probability(self) -> float:
         """``p``: the maximum unconditional probability of a bad event."""
-        return max(event.probability() for event in self._events)
+        return max(self.event_probabilities().values())
 
     # ------------------------------------------------------------------
     # Verification

@@ -150,6 +150,7 @@ class using_engine:
 # ----------------------------------------------------------------------
 _STAT_NAMES = (
     "kernel_compiles",
+    "kernel_reuses",
     "kernel_compile_outcomes",
     "kernel_queries",
     "kernel_batch_queries",

@@ -41,6 +41,12 @@ from typing import (
     Tuple,
 )
 
+from repro.artifacts.fingerprint import event_artifact_key
+from repro.artifacts.store import (
+    LRUCache,
+    STORE as _ARTIFACTS,
+    artifacts_enabled,
+)
 from repro.errors import EnumerationLimitError, InvalidAssignmentError, UnknownVariableError
 from repro.probability import engine as _engine
 from repro.probability.assignment import PartialAssignment
@@ -86,8 +92,9 @@ class BadEvent:
         Safety cap on exact enumeration size (see
         :class:`repro.errors.EnumerationLimitError`).
     cache_limit:
-        Cap on memoised conditional probabilities; the oldest entry is
-        evicted once the cap is reached.  ``0`` disables caching.
+        Cap on memoised conditional probabilities; the least recently
+        used entry is evicted once the cap is reached.  ``0`` disables
+        caching.
     """
 
     __slots__ = (
@@ -98,11 +105,9 @@ class BadEvent:
         "_enumeration_limit",
         "_cache",
         "_cache_limit",
-        "_cache_hits",
-        "_cache_misses",
-        "_cache_evictions",
         "_kernel",
         "_bad_outcomes_hint",
+        "_artifact_key",
     )
 
     def __init__(
@@ -122,13 +127,13 @@ class BadEvent:
             )
         self._predicate = predicate
         self._enumeration_limit = int(enumeration_limit)
-        self._cache: Dict[Tuple[Tuple[Hashable, Hashable], ...], float] = {}
         self._cache_limit = int(cache_limit)
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._cache_evictions = 0
+        self._cache = LRUCache(self._cache_limit)
         self._kernel = _UNCOMPILED
         self._bad_outcomes_hint: Optional[FrozenSet[Tuple[Hashable, ...]]] = None
+        # Memoised structural digest (repro.artifacts.fingerprint); the
+        # event is immutable once its hint is set, so it never goes stale.
+        self._artifact_key: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     # Accessors
@@ -151,6 +156,19 @@ class BadEvent:
     def depends_on(self, variable_name: Hashable) -> bool:
         """Whether ``variable_name`` is in the event's scope."""
         return variable_name in self._scope_names
+
+    @property
+    def bad_outcomes_hint(self) -> Optional[FrozenSet[Tuple[Hashable, ...]]]:
+        """The tabulated bad outcomes, when the event carries them.
+
+        Present on events built via :meth:`from_bad_outcomes` /
+        :meth:`all_equal` (and everything loaded through
+        :mod:`repro.lll.io`); the hint is the complete predicate
+        semantics, which is what makes an event — and any instance
+        containing it — structurally fingerprintable for the artifact
+        cache.  ``None`` for opaque predicate closures.
+        """
+        return self._bad_outcomes_hint
 
     # ------------------------------------------------------------------
     # Kernel management
@@ -178,6 +196,21 @@ class BadEvent:
             size *= variable.num_values
             if size > limit:
                 return None
+        # Cross-instance reuse: an event whose semantics are tabulated
+        # (bad-outcomes hint) is content-addressable, and a same-shape
+        # instance solved earlier already paid for this exact kernel.
+        # Keys include the event *name*, so reuse is across instances,
+        # never within one (within-instance dedup already happens at
+        # the KernelStack layer, and keeping compile counts per event
+        # keeps them deterministic for the perf gate).
+        artifact_key = (
+            event_artifact_key(self) if artifacts_enabled() else None
+        )
+        if artifact_key is not None:
+            kernel = _ARTIFACTS.get("kernels", artifact_key)
+            if kernel is not None:
+                _engine.STATS.kernel_reuses += 1
+                return kernel
         if self._bad_outcomes_hint is not None:
             kernel = EventKernel.from_outcomes(
                 self._variables, self._bad_outcomes_hint
@@ -198,6 +231,8 @@ class BadEvent:
                 outcomes=kernel.num_outcomes,
                 bad_outcomes=kernel.num_bad,
             )
+        if artifact_key is not None:
+            _ARTIFACTS.put("kernels", artifact_key, kernel)
         return kernel
 
     @property
@@ -288,10 +323,8 @@ class BadEvent:
         key = assignment.restriction_key(self._scope_names)
         cached = self._cache.get(key)
         if cached is not None:
-            self._cache_hits += 1
             _engine.STATS.cache_hits += 1
             return cached
-        self._cache_misses += 1
         _engine.STATS.cache_misses += 1
 
         probability = None
@@ -484,14 +517,8 @@ class BadEvent:
     def _cache_store(
         self, key: Tuple[Tuple[Hashable, Hashable], ...], value: float
     ) -> None:
-        if self._cache_limit <= 0:
-            return
-        cache = self._cache
-        if len(cache) >= self._cache_limit:
-            cache.pop(next(iter(cache)))
-            self._cache_evictions += 1
+        if self._cache.put(key, value) is not None:
             _engine.STATS.cache_evictions += 1
-        cache[key] = value
 
     def clear_cache(self) -> None:
         """Drop all memoised conditional probabilities."""
@@ -504,11 +531,12 @@ class BadEvent:
 
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/eviction counts and current size/limit of the cache."""
+        cache = self._cache
         return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "evictions": self._cache_evictions,
-            "size": len(self._cache),
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "evictions": cache.evictions,
+            "size": len(cache),
             "limit": self._cache_limit,
         }
 

@@ -35,6 +35,8 @@ from typing import (
     Tuple,
 )
 
+from repro.artifacts.fingerprint import instance_key
+from repro.artifacts.store import STORE as _ARTIFACTS, artifacts_enabled
 from repro.errors import SimulationError
 from repro.coloring import (
     compute_edge_coloring,
@@ -286,6 +288,17 @@ def build_plan_rank2(instance: LLLInstance) -> FixPlan:
     has always used, up to commuting cross-cell fixings in the rank-1
     round.
     """
+    # Plans are frozen dataclasses of pure names, derived only from the
+    # fingerprinted structure, so an equal-shape instance can reuse the
+    # whole schedule — coloring included — without rebuilding it.
+    plan_key = (
+        instance_key(instance, "plan", "rank2")
+        if artifacts_enabled()
+        else None
+    )
+    cached = _ARTIFACTS.get("plans", plan_key)
+    if cached is not None:
+        return cached
     to_index, num_edges, edge_coloring = _rank2_coloring(instance)
 
     singles_by_event: Dict[Hashable, List[Hashable]] = {}
@@ -346,12 +359,14 @@ def build_plan_rank2(instance: LLLInstance) -> FixPlan:
             ColorClass(color=color, cells=tuple(cells_by_color.get(color, ())))
         )
 
-    return FixPlan(
+    plan = FixPlan(
         kind="edge-coloring",
         classes=tuple(classes),
         palette=palette,
         coloring_rounds=coloring_rounds,
     )
+    _ARTIFACTS.put("plans", plan_key, plan)
+    return plan
 
 
 def build_plan_rank3(instance: LLLInstance) -> FixPlan:
@@ -363,6 +378,14 @@ def build_plan_rank3(instance: LLLInstance) -> FixPlan:
     :func:`repro.core.distributed.solve_distributed_rank3`, so the serial
     traversal is that function's exact historical fixing order.
     """
+    plan_key = (
+        instance_key(instance, "plan", "rank3")
+        if artifacts_enabled()
+        else None
+    )
+    cached = _ARTIFACTS.get("plans", plan_key)
+    if cached is not None:
+        return cached
     from_index, num_edges, two_hop_coloring = _rank3_coloring(instance)
 
     if num_edges > 0:
@@ -371,9 +394,11 @@ def build_plan_rank3(instance: LLLInstance) -> FixPlan:
         palette = 1
         coloring_rounds = 0
         colors = {index: 0 for index in from_index}
-    return plan_from_two_hop_coloring(
+    plan = plan_from_two_hop_coloring(
         instance, from_index, colors, palette, coloring_rounds
     )
+    _ARTIFACTS.put("plans", plan_key, plan)
+    return plan
 
 
 def plan_from_two_hop_coloring(

@@ -57,8 +57,14 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.artifacts.store import (
+    STORE as _ARTIFACTS,
+    artifacts_enabled,
+    artifacts_mode,
+)
 from repro.errors import ReproError, SchedulerProtocolError
 from repro.faults import FaultPlan, fault_plan_from_env
+from repro.probability import engine as _engine
 from repro.obs.profile import profile_mode_from_env, profiled
 from repro.obs.recorder import active as _obs_active
 from repro.obs.shard import TraceContext, collect_shard_fallback
@@ -193,6 +199,13 @@ class Scheduler(ABC):
                         span=color_class.span,
                     )
                     recorder.maybe_snapshot()
+        if recorder is not None:
+            # One unified surfacing point: the engine's kernel/probability
+            # cache counters and the artifact store's per-tier hit/miss/
+            # eviction counters land in the same trace, as deltas since
+            # the last publish.
+            _engine.publish_stats(recorder)
+            _ARTIFACTS.publish_stats(recorder)
 
     @abstractmethod
     def _run_class(
@@ -238,7 +251,16 @@ class BatchScheduler(Scheduler):
     name = "batch"
 
     def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
-        self._memo: Dict[tuple, Tuple[object, int]] = {}
+        # With the artifact plane on, the memo is the shared store's
+        # ``situations`` tier: keys are pure local-situation content
+        # (interned kernel fingerprints, pins, weights — no names), so a
+        # decision memoized by one execute replays exactly in any later
+        # execute, including over a different same-shape instance.  With
+        # the plane off, a per-execute dict preserves legacy behaviour.
+        if artifacts_enabled():
+            self._memo = _ARTIFACTS.tier("situations")
+        else:
+            self._memo = {}
         self._hits = 0
         self._misses = 0
         super().execute(fixer, plan, instance)
@@ -625,6 +647,7 @@ class ProcessScheduler(Scheduler):
                         fault,
                         trace,
                         decide_mode(),
+                        artifacts_mode(),
                     )
                 except Exception as error:
                     # A crashed worker can break the pool while this

@@ -273,6 +273,7 @@ def execute_chunk(
     fault: Optional[WorkerFault] = None,
     trace: Optional[TraceContext] = None,
     decide: Optional[str] = None,
+    artifacts: Optional[str] = None,
 ):
     """Worker entry point: validate disjointness, then run each cell.
 
@@ -298,12 +299,23 @@ def execute_chunk(
     parent ships its active mode (``"vector"``/``"scalar"``) so a
     parent-side :func:`~repro.core.vector.set_decide_mode` — e.g. a
     test pinning the scalar oracle — governs the workers too, not just
-    the inherited ``REPRO_DECIDE`` environment.
+    the inherited ``REPRO_ARTIFACTS``/``REPRO_DECIDE`` environment.
+
+    ``artifacts`` likewise pins the worker's artifact plane to the
+    parent's.  With the plane on, the worker's process-global store
+    warms across chunks: unpickled kernels re-intern by content, so a
+    chunk's stacked truth table (keyed on interned fingerprints) is
+    built once per worker process and reused by every later same-shape
+    chunk.
     """
     if decide is not None:
         from repro.core.vector import set_decide_mode
 
         set_decide_mode(decide)
+    if artifacts is not None:
+        from repro.artifacts.store import set_artifacts_mode
+
+        set_artifacts_mode(artifacts)
     shard = ShardRecorder(trace) if trace is not None else None
     if shard is not None:
         shard.event(

@@ -9,6 +9,8 @@ import signal
 
 import pytest
 
+from repro.artifacts.store import STORE as _ARTIFACT_STORE
+
 from repro.generators import (
     all_zero_edge_instance,
     all_zero_triple_instance,
@@ -50,6 +52,18 @@ def pytest_runtest_call(item):
     finally:
         signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _clear_artifact_store():
+    """Each test starts with a cold artifact store.
+
+    The store is process-global by design (cross-instance reuse is the
+    point); without this, a test's kernel/plan/template hit counts
+    would depend on which tests ran before it.
+    """
+    _ARTIFACT_STORE.clear()
+    yield
 
 
 @pytest.fixture

@@ -26,7 +26,9 @@ import os
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.artifacts import STORE as ARTIFACT_STORE
 from repro.core import solve_distributed
+from repro.probability import engine
 from repro.faults import FaultPlan
 from repro.generators import (
     all_zero_edge_instance,
@@ -108,6 +110,16 @@ def assert_causally_ordered(events):
 
 def traced_run(build, scheduler_factory):
     """One traced process-backend solve; returns (events, assignment)."""
+    # Cold-trace contract: a warm artifact store elides kernel-compile /
+    # coloring work (and hence their obs events) on reruns, so every
+    # traced run starts from a cleared store — determinism is asserted
+    # over the cold trace.  Transcript identity cold-vs-warm is covered
+    # separately by tests/test_artifact_cache.py.  Engine counters are
+    # reset too: the scheduler publishes stat *deltas* into the trace,
+    # so work accrued outside the recording block must not leak into
+    # the first run's published counts.
+    ARTIFACT_STORE.clear()
+    engine.reset_stats()
     with recording(run_id="determinism") as recorder:
         result = solve_distributed(build(), scheduler=scheduler_factory())
     events = list(recorder.memory.events)
