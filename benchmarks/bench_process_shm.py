@@ -1,0 +1,280 @@
+"""[E8] Process-backend IPC planes: zero-copy shm vs pickle vs serial.
+
+The shared-memory execution plane (``repro.runtime.shm``) exists to fix
+one measured fact: the pickle-everything process backend ships every
+kernel, variable and ledger slice again on every chunk, so it loses to
+``SerialScheduler`` outright (E2).  This bench measures the steady
+state the plane was designed for — a **warm** scheduler re-executing a
+solve (pool up, segment broadcast, worker program caches hot) — and
+attributes the win: per-class serialized bytes split into
+``pickle_bytes`` vs ``shm_bytes`` + ``descriptor_bytes``, and the
+workers' ``worker_warm_hits``.
+
+Bit-identity is asserted on every row (shm == pickle == serial,
+assignments and certified bounds), plus a fault-injected shm leg whose
+recovery must certify and still match serial exactly.
+
+Acceptance floors are hardware-conditional: the ISSUE 9 headline floors
+(shm >= 2x serial, shm >= 4x pickle, warm rank-3) are enforced when the
+box has >= 4 CPUs; on smaller boxes true parallel wins are physically
+unavailable (E2 precedent: the committed process rows sit at 0.17-0.45x
+of serial on 1 CPU), so the gate degrades to the part the plane
+controls — shm must beat the pickle oracle — and the waiver is visible
+in the committed meta side-car (``cpu_count``).  Quick mode
+(``PROCESS_SHM_BENCH_QUICK=1``, the CI perf-gate leg) shrinks the
+workloads and keeps the same conditional structure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import _obs_harness
+from repro.core import Rank2Fixer, Rank3Fixer, certify_recovery
+from repro.faults import FaultPlan
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+)
+from repro.lll import verify_solution
+from repro.obs.recorder import recording
+from repro.runtime import ProcessScheduler, SerialScheduler
+from repro.runtime.plan import plan_for_instance
+
+QUICK = os.environ.get("PROCESS_SHM_BENCH_QUICK") == "1"
+
+#: Timing repetitions per backend over the warm scheduler; best kept.
+REPEATS = 2 if QUICK else 3
+
+CPUS = os.cpu_count() or 1
+
+#: The ISSUE 9 headline floors need real parallel hardware.
+PARALLEL_FLOORS = CPUS >= 4
+
+#: (shm vs serial, shm vs pickle) on the headline rank-3 workload.
+if PARALLEL_FLOORS:
+    SPEEDUP_FLOORS = (1.5, 2.0) if QUICK else (2.0, 4.0)
+else:
+    # The plane's own contribution is IPC cost, not parallelism: warm
+    # shm must beat the per-chunk pickle oracle even on one core.
+    SPEEDUP_FLOORS = (None, 1.2)
+
+WORKLOADS = [
+    (
+        "rank-2 cycle" + (" (quick)" if QUICK else ""),
+        lambda: all_zero_edge_instance(
+            cycle_graph(48 if QUICK else 240), 3
+        ),
+        False,
+    ),
+    (
+        "rank-3 cyclic triples" + (" (quick)" if QUICK else ""),
+        lambda: all_zero_triple_instance(
+            60 if QUICK else 240,
+            cyclic_triples(60 if QUICK else 240),
+            8,
+        ),
+        True,
+    ),
+]
+
+
+def _fixer_for(instance):
+    if instance.rank <= 2:
+        return Rank2Fixer(instance)
+    return Rank3Fixer(instance)
+
+
+def _make_scheduler(backend):
+    if backend == "serial":
+        return SerialScheduler()
+    return ProcessScheduler(ipc=backend)
+
+
+def _run_warm(backend, build_instance):
+    """Best-of-``REPEATS`` warm wall time of one backend.
+
+    One instance + plan per backend; an untimed warm-up execute pays
+    the one-time costs (segment broadcast, pool spawn, worker program
+    lowering, engine caches), then each timed repetition executes the
+    same plan through a fresh fixer — the steady state of a solver
+    service re-solving against a warm scheduler.
+    """
+    instance = build_instance()
+    plan = plan_for_instance(instance)
+    _obs_harness.reset_engine([instance])
+    scheduler = _make_scheduler(backend)
+    try:
+        scheduler.execute(_fixer_for(instance), plan, instance)
+        best_seconds = None
+        result = None
+        for _ in range(REPEATS):
+            fixer = _fixer_for(instance)
+            start = time.perf_counter()
+            scheduler.execute(fixer, plan, instance)
+            elapsed = time.perf_counter() - start
+            result = fixer.run(order=())
+            if best_seconds is None or elapsed < best_seconds:
+                best_seconds = elapsed
+        ipc_stats = dict(getattr(scheduler, "ipc_stats", {}) or {})
+        # Byte attribution needs a recorder (the pickle plane only
+        # sizes its payloads when one is active); one extra untimed
+        # traced execute collects the split without touching timings.
+        if isinstance(scheduler, ProcessScheduler):
+            with recording():
+                scheduler.execute(_fixer_for(instance), plan, instance)
+            traced = dict(scheduler.ipc_stats)
+            for key in ("pickle_bytes", "shm_bytes", "descriptor_bytes"):
+                ipc_stats[key] = traced.get(key, 0)
+    finally:
+        close = getattr(scheduler, "close", None)
+        if close is not None:
+            close()
+    ok = verify_solution(instance, result.assignment).ok
+    return best_seconds, result, ok, ipc_stats
+
+
+def _run_fault_leg(build_instance):
+    """The fault-injected shm leg: crash chunk 0, certify the recovery."""
+    instance = build_instance()
+    plan = plan_for_instance(instance)
+    _obs_harness.reset_engine([instance])
+    scheduler = ProcessScheduler(
+        ipc="shm",
+        fault_plan=FaultPlan(explicit_chunks=((0, "crash"),)),
+        backoff_base=0.0,
+        deadline=30.0,
+    )
+    try:
+        with recording() as recorder:
+            fixer = _fixer_for(instance)
+            scheduler.execute(fixer, plan, instance)
+            result = fixer.run(order=())
+            events = list(recorder.memory.events)
+    finally:
+        scheduler.close()
+    ok = verify_solution(instance, result.assignment).ok
+    return result, ok, certify_recovery(events)
+
+
+def run_shm_bench():
+    rows = []
+    for workload, build_instance, is_headline in WORKLOADS:
+        reference = None
+        seconds_by_backend = {}
+        for backend in ("serial", "pickle", "shm"):
+            seconds, result, ok, ipc_stats = _run_warm(
+                backend, build_instance
+            )
+            seconds_by_backend[backend] = seconds
+            if backend == "serial":
+                reference = result
+            identical = (
+                result.assignment.as_dict()
+                == reference.assignment.as_dict()
+                and result.certified_bounds == reference.certified_bounds
+            )
+            row = {
+                "workload": workload,
+                "headline": is_headline,
+                "backend": backend,
+                "best_seconds": round(seconds, 6),
+                "speedup_vs_serial": round(
+                    seconds_by_backend["serial"] / seconds, 3
+                ),
+                "steps": result.num_steps,
+                "ok": ok,
+                "identical_to_serial": identical,
+            }
+            if backend != "serial":
+                # Floats on purpose: these scale with the worker count
+                # (= cpu count), so the perf gate must treat them as
+                # informational attribution, not exact-match counts.
+                row.update(
+                    pickle_bytes=float(ipc_stats.get("pickle_bytes", 0)),
+                    shm_bytes=float(ipc_stats.get("shm_bytes", 0)),
+                    descriptor_bytes=float(
+                        ipc_stats.get("descriptor_bytes", 0)
+                    ),
+                    worker_warm_hits=float(
+                        ipc_stats.get("worker_warm_hits", 0)
+                    ),
+                    broadcasts=float(ipc_stats.get("broadcasts", 0)),
+                )
+            if backend == "shm":
+                row["speedup_vs_pickle"] = round(
+                    seconds_by_backend["pickle"] / seconds, 3
+                )
+            rows.append(row)
+        if is_headline:
+            result, ok, problems = _run_fault_leg(build_instance)
+            rows.append(
+                {
+                    "workload": workload,
+                    "headline": is_headline,
+                    "backend": "shm-faulted",
+                    "steps": result.num_steps,
+                    "ok": ok,
+                    "identical_to_serial": (
+                        result.assignment.as_dict()
+                        == reference.assignment.as_dict()
+                        and result.certified_bounds
+                        == reference.certified_bounds
+                    ),
+                    "recovered": not problems,
+                }
+            )
+    return rows
+
+
+def test_process_shm(benchmark, emit):
+    rows, wall = _obs_harness.timed(lambda: benchmark.pedantic(
+        run_shm_bench, rounds=1, iterations=1
+    ))
+    records = _obs_harness.rows_to_records(
+        "E8", rows, parameter_keys=("workload", "backend")
+    )
+    emit(
+        "E8",
+        records,
+        "Process-backend IPC planes: shm vs pickle vs serial",
+        wall_seconds=wall,
+    )
+
+    for row in rows:
+        assert row["ok"], (
+            f"invalid solution under {row['backend']} on {row['workload']}"
+        )
+        assert row["identical_to_serial"], (
+            f"{row['backend']} diverged from serial on {row['workload']}"
+        )
+        if row["backend"] == "shm-faulted":
+            assert row["recovered"], (
+                f"fault recovery failed certification on {row['workload']}"
+            )
+        if row["backend"] == "shm":
+            assert row["worker_warm_hits"] > 0, (
+                f"warm shm run replayed no cached programs on "
+                f"{row['workload']}"
+            )
+
+    headline = [
+        row for row in rows
+        if row["headline"] and row["backend"] == "shm"
+    ]
+    assert headline, "headline rank-3 shm row missing"
+    serial_floor, pickle_floor = SPEEDUP_FLOORS
+    for row in headline:
+        if serial_floor is not None:
+            assert row["speedup_vs_serial"] >= serial_floor, (
+                f"shm {row['speedup_vs_serial']}x vs serial below the "
+                f"{serial_floor}x floor on {row['workload']} "
+                f"({CPUS} cpus)"
+            )
+        assert row["speedup_vs_pickle"] >= pickle_floor, (
+            f"shm {row['speedup_vs_pickle']}x vs pickle below the "
+            f"{pickle_floor}x floor on {row['workload']} ({CPUS} cpus)"
+        )

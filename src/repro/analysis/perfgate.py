@@ -50,6 +50,7 @@ KEY_FIELDS: Dict[str, Tuple[str, ...]] = {
     "E5": ("mode",),
     "E6": ("phase", "mode"),
     "E7": ("phase",),
+    "E8": ("workload", "backend"),
 }
 
 #: Default relative tolerance band for speedup/overhead ratios.

@@ -51,13 +51,13 @@ FAMILIES = ("cycle", "regular", "torus", "triples")
 
 
 def _apply_backend_args(args) -> None:
-    """Install the ``--engine``/``--graph``/``--decide``/``--artifacts``
-    selections.
+    """Install the ``--engine``/``--graph``/``--decide``/``--artifacts``/
+    ``--ipc`` selections.
 
-    Each flag is the CLI front for one of the four process-wide backend
+    Each flag is the CLI front for one of the five process-wide backend
     switches (``REPRO_ENGINE`` / ``REPRO_GRAPH`` / ``REPRO_DECIDE`` /
-    ``REPRO_ARTIFACTS``); a flag that was not given leaves the ambient
-    environment selection untouched.
+    ``REPRO_ARTIFACTS`` / ``REPRO_IPC``); a flag that was not given
+    leaves the ambient environment selection untouched.
     """
     if getattr(args, "engine", None):
         from repro.probability import set_engine_mode
@@ -75,6 +75,10 @@ def _apply_backend_args(args) -> None:
         from repro.artifacts import set_artifacts_mode
 
         set_artifacts_mode(args.artifacts)
+    if getattr(args, "ipc", None):
+        from repro.runtime.shm import set_ipc_mode
+
+        set_ipc_mode(args.ipc)
 
 
 def _build_instance(args):
@@ -159,8 +163,15 @@ def _make_scheduler(args, fault_plan=None):
         return None
     from repro.runtime import make_scheduler
 
-    if name == "process" and fault_plan is not None:
-        return make_scheduler(name, fault_plan=fault_plan)
+    if name == "process":
+        # Worker count and IPC mode resolve *here*, at construction, so
+        # the run header can echo the exact backend configuration.
+        kwargs = {}
+        if fault_plan is not None:
+            kwargs["fault_plan"] = fault_plan
+        if getattr(args, "workers", None):
+            kwargs["max_workers"] = args.workers
+        return make_scheduler(name, **kwargs)
     return make_scheduler(name)
 
 
@@ -176,6 +187,8 @@ def _solve_impl(args) -> int:
     )
     fault_plan = _fault_plan_for(args)
     scheduler = _make_scheduler(args, fault_plan)
+    if scheduler is not None:
+        print(f"scheduler: {scheduler.describe()}")
     if scheduler is not None and args.protocol:
         raise ReproError(
             "--scheduler applies to the scheduled paths; the message-level "
@@ -492,6 +505,12 @@ def build_parser() -> argparse.ArgumentParser:
             "kernels/plans/templates across same-shape instances "
             "(default: REPRO_ARTIFACTS, else on)",
         )
+        subparser.add_argument(
+            "--ipc", choices=("shm", "pickle"), default=None,
+            help="process-scheduler IPC plane: zero-copy shared memory "
+            "or the per-chunk pickle oracle (default: REPRO_IPC, else "
+            "shm)",
+        )
 
     solve_parser = commands.add_parser(
         "solve", help="solve a generated workload"
@@ -510,6 +529,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scheduler", choices=SCHEDULER_NAMES, default=None,
         help="execution-plane backend for the fix plan "
         "(default: plain serial execution)",
+    )
+    solve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-process count for --scheduler process "
+        "(default: the CPU count)",
     )
     solve_parser.add_argument(
         "--obs-trace", metavar="PATH",

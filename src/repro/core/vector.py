@@ -1336,6 +1336,53 @@ def program_from_payloads(payloads) -> ClassProgram:
     return program
 
 
+def refresh_program(program: ClassProgram, payloads) -> None:
+    """Refresh a cached chunk program's dynamic state in place.
+
+    The shared-memory workers cache the :class:`ClassProgram` lowered
+    for a chunk shape (generation, class, roster range) and replay it on
+    later solves of the same instance; only the pins and the ledger
+    values change between executes.  Raises
+    :class:`_NotVectorizable` on any structural mismatch — callers fall
+    back to a fresh lowering or the scalar loop, so a stale cache can
+    never change results.
+    """
+    pins = program.pins
+    total = len(pins)
+    index = 0
+    for payload in payloads:
+        for event in payload.events:
+            if index >= total or program.names[index] != event.name:
+                raise _NotVectorizable(
+                    "cached program does not match the chunk's events"
+                )
+            pins[index] = list(event.pins)
+            index += 1
+    if index != total:
+        raise _NotVectorizable(
+            "cached program does not match the chunk's events"
+        )
+    # Ledger dicts are mutated in place by _apply_ledger during a run,
+    # so every shipped entry is rewritten from the payload values and
+    # every first-touch default (keys the payloads do not ship) is
+    # reset to the all-ones state local_weights would install.
+    shipped: set = set()
+    for payload in payloads:
+        for key, entries in payload.ledger:
+            ref = program.ledger.get(key)
+            if ref is None:
+                raise _NotVectorizable(
+                    "cached program does not match the chunk's ledger"
+                )
+            for name, weight in entries:
+                ref[name] = weight
+            shipped.add(key)
+    for key, ref in program.ledger.items():
+        if key not in shipped:
+            for name in ref:
+                ref[name] = 1.0
+
+
 def _read_weights(kind: str, rule: str, op) -> tuple:
     """The bookkeeping weights an op's decision reads, as Python floats."""
     if rule == "rank1":

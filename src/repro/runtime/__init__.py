@@ -38,6 +38,14 @@ from repro.runtime.schedulers import (
     SerialScheduler,
     make_scheduler,
 )
+from repro.runtime.shm import (
+    IPC_MODES,
+    ipc_mode,
+    live_segment_names,
+    set_ipc_mode,
+    shm_enabled,
+    using_ipc,
+)
 
 __all__ = [
     "ColorClass",
@@ -55,4 +63,10 @@ __all__ = [
     "Scheduler",
     "SerialScheduler",
     "make_scheduler",
+    "IPC_MODES",
+    "ipc_mode",
+    "live_segment_names",
+    "set_ipc_mode",
+    "shm_enabled",
+    "using_ipc",
 ]

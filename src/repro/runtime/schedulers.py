@@ -13,16 +13,21 @@ class are traversed:
   (ubiquitous on symmetric instances) share one engine pass; the cached
   choice is replayed by support position, which is exact because every
   numeric query is label-independent.
-* :class:`ProcessScheduler` — cells are serialised to picklable
-  payloads (:mod:`repro.runtime.workers`) and replayed in a process
-  pool; the parent commits the returned choices in plan order, so the
-  trace equals the serial one.  Workers re-validate read-set
-  disjointness: a schedule bug raises instead of corrupting phi.
-  The backend is fault-tolerant: per-chunk deadlines, pool-rebuilding
-  retries with bounded exponential backoff, and a final in-parent
-  fallback keep the merge bit-identical under worker crashes and hangs
-  (deterministically injectable through :class:`repro.faults.FaultPlan`
-  or the ``REPRO_FAULTS`` environment spec).
+* :class:`ProcessScheduler` — cells are replayed in a process pool; the
+  parent commits the returned choices in plan order, so the trace
+  equals the serial one.  Workers re-validate read-set disjointness: a
+  schedule bug raises instead of corrupting phi.  Two IPC planes exist
+  (``REPRO_IPC``): the default ``shm`` plane broadcasts the solve once
+  into a :class:`~repro.runtime.shm.SharedInstanceSegment` and ships
+  only fixed-width chunk descriptors to persistent warm workers, which
+  write their decisions into a shared result region; the ``pickle``
+  plane re-serialises payloads per chunk and is kept verbatim as the
+  differential oracle.  Both are fault-tolerant: per-chunk deadlines,
+  pool-rebuilding retries with bounded exponential backoff, and a
+  final in-parent fallback keep the merge bit-identical under worker
+  crashes and hangs (deterministically injectable through
+  :class:`repro.faults.FaultPlan` or the ``REPRO_FAULTS`` environment
+  spec).
 
 All three backends dispatch whole color classes through the fixers'
 ``decide_class``/``commit_class`` batch split when the vector decide
@@ -48,6 +53,7 @@ import pickle
 import shutil
 import tempfile
 import time
+import weakref
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     CancelledError as FuturesCancelledError,
@@ -72,12 +78,20 @@ from repro.core.selection import Decision
 from repro.core.vector import decide_mode
 from repro.lll.instance import LLLInstance
 from repro.runtime.plan import ColorClass, FixCell, FixPlan
+from repro.runtime.shm import (
+    IPC_MODES,
+    ChunkDescriptor,
+    ShmSession,
+    ipc_mode,
+)
 from repro.runtime.workers import (
     CellPayload,
     ChunkReply,
     EventPayload,
     OpPayload,
+    _shm_worker_init,
     execute_chunk,
+    execute_chunk_shm,
 )
 
 #: Registered scheduler names, in documentation order.
@@ -156,6 +170,10 @@ class Scheduler(ABC):
 
     #: Short name used by the CLI and the metrics.
     name: str = "abstract"
+
+    def describe(self) -> str:
+        """One-line backend config echo for run headers and reports."""
+        return self.name
 
     def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
         """Run every class of the plan, with validation and metrics."""
@@ -363,19 +381,71 @@ class _ChunkState:
     attempt: int = 0
     #: Whether any attempt of this chunk has failed (for recovery obs).
     faulted: bool = False
+    #: Shm mode only: the chunk's ``[start, stop)`` roster range — the
+    #: whole payload of a :class:`~repro.runtime.shm.ChunkDescriptor`.
+    start: int = 0
+    stop: int = 0
+
+
+class _ProcessResources:
+    """The pool and shm session of one :class:`ProcessScheduler`.
+
+    Lives in its own object (not on the scheduler) so the scheduler's
+    ``weakref.finalize`` callback can tear both down without keeping the
+    scheduler itself alive — a dropped scheduler can never leak a pool
+    or a ``/dev/shm`` segment past garbage collection.
+    """
+
+    __slots__ = ("pool", "session")
+
+    def __init__(self) -> None:
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.session: Optional[ShmSession] = None
+
+
+def _release_process_resources(box: _ProcessResources) -> None:
+    """Finalizer body: shut the pool down, unlink the segment."""
+    pool, box.pool = box.pool, None
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+    session, box.session = box.session, None
+    if session is not None:
+        try:
+            session.close()
+        except Exception:
+            pass
 
 
 class ProcessScheduler(Scheduler):
     """Cells of a class run in a ``ProcessPoolExecutor``; commits stay
     in the parent, in plan order.
 
-    Each dispatched cell carries its events' kernels and pins plus its
-    slice of the phi ledger (:class:`~repro.runtime.workers.CellPayload`);
-    the worker replays the cell through the shared selection rules and
-    returns the choices.  Cells that cannot be serialised (no compiled
-    kernel) execute in the parent at their merge position, preserving
-    order.  ``max_workers`` bounds the pool; ``min_dispatch_ops`` routes
-    tiny classes around the pool entirely.
+    Two IPC planes, selected by ``REPRO_IPC`` or the ``ipc`` argument
+    (resolved at construction, echoed by :meth:`describe`):
+
+    * ``shm`` (default) — the solve's static structure broadcasts once
+      into a :class:`~repro.runtime.shm.SharedInstanceSegment`; warm
+      workers attach at pool start, pre-warm their artifact store from
+      the blob, and receive only fixed-width
+      :class:`~repro.runtime.shm.ChunkDescriptor`\\ s per chunk.  Live
+      pins/phi refresh in place per class, decisions come back through
+      a preallocated shared result region, and the pool + segment stay
+      warm across executes until :meth:`close` (or GC/atexit via
+      ``weakref.finalize`` — no leaked ``/dev/shm`` entries).
+    * ``pickle`` — each dispatched cell carries its events' kernels and
+      pins plus its slice of the phi ledger
+      (:class:`~repro.runtime.workers.CellPayload`) on every chunk,
+      with a fresh pool per execute.  This is the differential oracle
+      for the shm plane.
+
+    Either way the worker replays cells through the shared selection
+    rules; cells that cannot be serialised (no compiled kernel, pins
+    unavailable) execute in the parent at their merge position,
+    preserving order.  ``max_workers`` bounds the pool;
+    ``min_dispatch_ops`` routes tiny classes around the pool entirely.
 
     Failure semantics (see docs/scheduling.md): every chunk result is
     awaited with ``deadline`` seconds of patience; a timeout or a dead
@@ -409,6 +479,7 @@ class ProcessScheduler(Scheduler):
         backoff_cap: float = 1.0,
         fault_plan: Optional[FaultPlan] = None,
         sleep: Callable[[float], None] = time.sleep,
+        ipc: Optional[str] = None,
     ) -> None:
         if max_workers is None:
             # Resolve the worker count ourselves instead of reaching
@@ -430,29 +501,152 @@ class ProcessScheduler(Scheduler):
         self._backoff_base = max(float(backoff_base), 0.0)
         self._backoff_cap = max(float(backoff_cap), 0.0)
         self._sleep = sleep
-        self._pool: Optional[ProcessPoolExecutor] = None
+        # The IPC plane is resolved *now*, not per execute: the run
+        # header echoes it, the E8 artifacts depend on it, and flipping
+        # REPRO_IPC mid-scheduler would desynchronise a warm pool from
+        # its segment.
+        if ipc is None:
+            ipc = ipc_mode()
+        if ipc not in IPC_MODES:
+            raise ReproError(
+                f"invalid IPC mode {ipc!r}; expected one of {IPC_MODES}"
+            )
+        self._ipc = ipc
+        self._box = _ProcessResources()
+        self._finalizer = weakref.finalize(
+            self, _release_process_resources, self._box
+        )
         self._next_chunk_id = 0
         self._shard_dir: Optional[str] = None
         self._profile_mode: Optional[str] = None
+        #: Per-execute IPC accounting, readable after ``execute`` —
+        #: the E8 report and the run header pull from here.
+        self.ipc_stats: Dict[str, object] = {}
+
+    @property
+    def _pool(self) -> Optional[ProcessPoolExecutor]:
+        return self._box.pool
+
+    @_pool.setter
+    def _pool(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        self._box.pool = pool
+
+    @property
+    def _session(self) -> Optional[ShmSession]:
+        return self._box.session
+
+    def describe(self) -> str:
+        parts = [f"process workers={self._num_workers} ipc={self._ipc}"]
+        if self._deadline is not None:
+            parts.append(f"deadline={self._deadline:g}s")
+        if self._fault_plan is not None:
+            parts.append("faults=on")
+        return " ".join(parts)
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared segment (idempotent).
+
+        Runs automatically when the scheduler is garbage-collected or at
+        interpreter exit (``weakref.finalize``); long-lived callers that
+        churn schedulers should call it eagerly to bound ``/dev/shm``
+        usage.
+        """
+        self._finalizer()
 
     def execute(self, fixer, plan: FixPlan, instance: LLLInstance) -> None:
-        if _obs_active() is not None:
+        recorder = _obs_active()
+        self.ipc_stats = {
+            "ipc": self._ipc,
+            "workers": self._num_workers,
+            "broadcasts": 0,
+            "generation": 0,
+            "chunks": 0,
+            "shm_bytes": 0,
+            "descriptor_bytes": 0,
+            "pickle_bytes": 0,
+            "worker_warm_hits": 0,
+        }
+        if recorder is not None:
             # Workers append crash-survivable telemetry here; the merged
             # trace is the durable artifact, so the shards are temporary.
             self._shard_dir = tempfile.mkdtemp(prefix="repro-shards-")
         try:
+            if self._ipc == "shm":
+                self._ensure_session(fixer, plan, instance, recorder)
             super().execute(fixer, plan, instance)
         finally:
-            if self._pool is not None:
+            if self._ipc != "shm" and self._pool is not None:
+                # The pickle oracle keeps its historical lifecycle: a
+                # fresh pool per execute.  The shm pool stays warm
+                # across executes (that is the point); ``close()`` or
+                # the finalizer reclaims it.
                 self._pool.shutdown(wait=True)
                 self._pool = None
             if self._shard_dir is not None:
                 shutil.rmtree(self._shard_dir, ignore_errors=True)
                 self._shard_dir = None
 
+    def _ensure_session(
+        self, fixer, plan: FixPlan, instance: LLLInstance, recorder
+    ) -> None:
+        """Publish the solve into the shared segment before any class.
+
+        A new segment name invalidates the warm pool (its initializers
+        attached the old name), so the pool is rebuilt; a same-segment
+        re-broadcast only bumps the generation — warm workers re-read
+        the blob on their next chunk and keep their processes.
+        """
+        if self._box.session is None:
+            self._box.session = ShmSession()
+        session = self._box.session
+        outcome = session.ensure(_fixer_kind(fixer), plan, instance)
+        if outcome == "segment" and self._pool is not None:
+            # No fault here — workers are idle between executes, so a
+            # graceful shutdown is safe and releases their attachments.
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self.ipc_stats["generation"] = session.generation
+        if outcome == "reuse":
+            return
+        blob_bytes = len(session.lowered.blob)
+        self.ipc_stats["broadcasts"] = (
+            int(self.ipc_stats["broadcasts"]) + 1
+        )
+        self.ipc_stats["shm_bytes"] = (
+            int(self.ipc_stats["shm_bytes"]) + blob_bytes
+        )
+        if recorder is not None:
+            recorder.count("runtime", "shm_broadcasts")
+            recorder.count("runtime", "shm_bytes", blob_bytes)
+            recorder.event(
+                "runtime",
+                "shm_broadcast",
+                outcome=outcome,
+                generation=session.generation,
+                blob_bytes=blob_bytes,
+                segment_bytes=session.segment.layout.total_bytes,
+                classes=len(session.lowered.parent_classes),
+            )
+
     def _acquire_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self._num_workers)
+            if self._ipc == "shm":
+                # Warm workers: every process attaches the segment and
+                # pins the parent's decide/artifact modes once, before
+                # its first chunk.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._num_workers,
+                    initializer=_shm_worker_init,
+                    initargs=(
+                        self._session.segment.name,
+                        artifacts_mode(),
+                        decide_mode(),
+                    ),
+                )
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._num_workers
+                )
         return self._pool
 
     def _abandon_pool(self) -> None:
@@ -461,7 +655,11 @@ class ProcessScheduler(Scheduler):
         ``shutdown(wait=True)`` on a pool with a hung worker would block
         the parent forever — the precise failure mode the deadline
         exists to bound — so the pool is shut down without waiting and
-        its remaining processes are terminated best-effort.
+        its remaining processes are terminated best-effort, then killed
+        if they ignore the terminate.  The join matters for the shm
+        plane: a terminated worker's segment mapping dies with the
+        process, so a retry wave can never race a half-dead writer over
+        the shared result region.
         """
         pool, self._pool = self._pool, None
         if pool is None:
@@ -470,10 +668,20 @@ class ProcessScheduler(Scheduler):
             pool.shutdown(wait=False, cancel_futures=True)
         except Exception:
             pass
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
+        processes = list(
+            (getattr(pool, "_processes", None) or {}).values()
+        )
+        for process in processes:
             try:
                 process.terminate()
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                process.join(0.5)
+                if process.is_alive():
+                    process.kill()
+                    process.join(0.5)
             except Exception:
                 pass
 
@@ -481,65 +689,12 @@ class ProcessScheduler(Scheduler):
         self, fixer, color_class: ColorClass, instance: LLLInstance
     ) -> None:
         recorder = _obs_active()
-        kind = _fixer_kind(fixer)
-        # Payload serialization timed apart from dispatch and merge, so
-        # pickling cost is attributable from the trace alone.  Kernels
-        # are interned per class (by fingerprint): cells of a symmetric
-        # class share the same kernel *objects*, so pickle's memo ships
-        # each distinct kernel once per chunk instead of once per cell.
-        payload_start = time.perf_counter_ns() if recorder is not None else 0
-        kernel_cache: Dict[tuple, object] = {}
-        payloads: List[Optional[CellPayload]] = [
-            self._cell_payload(fixer, kind, cell, instance, kernel_cache)
-            for cell in color_class.cells
-        ]
-        if recorder is not None:
-            recorder.record_span(
-                "runtime", "payload",
-                time.perf_counter_ns() - payload_start,
-                color=color_class.color, cells=len(payloads),
+        if self._ipc == "shm":
+            choices_by_cell = self._collect_shm(fixer, color_class, recorder)
+        else:
+            choices_by_cell = self._collect_pickle(
+                fixer, color_class, instance, recorder
             )
-        dispatchable = [
-            index for index, payload in enumerate(payloads)
-            if payload is not None
-        ]
-        if recorder is not None and dispatchable:
-            # Class-level shipping cost: the size of the class's whole
-            # dispatched payload in one pickle (the unit that actually
-            # crosses the process boundary, kernel interning included).
-            class_bytes = len(
-                pickle.dumps(
-                    [payloads[index] for index in dispatchable],
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-            )
-            recorder.observe_quantile(
-                "runtime", "payload_bytes_per_class", class_bytes
-            )
-        dispatch_ops = sum(
-            len(color_class.cells[index].ops) for index in dispatchable
-        )
-        choices_by_cell: Dict[int, List[object]] = {}
-        if len(dispatchable) >= 2 and dispatch_ops >= self._min_dispatch_ops:
-            chunks = self._chunk(dispatchable, self._num_workers)
-            choices_by_cell = self._dispatch(chunks, payloads, color_class)
-            if recorder is not None:
-                chunk_ops = [
-                    sum(len(color_class.cells[i].ops) for i in chunk)
-                    for chunk in chunks
-                ]
-                recorder.event(
-                    "runtime",
-                    "workers",
-                    color=color_class.color,
-                    workers=len(chunks),
-                    chunk_ops=chunk_ops,
-                    utilization=(
-                        min(chunk_ops) / max(chunk_ops)
-                        if chunk_ops and max(chunk_ops) > 0
-                        else 1.0
-                    ),
-                )
 
         # Deterministic merge: plan cell order, regardless of which
         # worker finished first (or whether a cell ran in-parent).
@@ -573,28 +728,244 @@ class ProcessScheduler(Scheduler):
             )
 
     # ------------------------------------------------------------------
+    # Per-class collection (shm and pickle planes)
+    # ------------------------------------------------------------------
+    def _collect_pickle(
+        self,
+        fixer,
+        color_class: ColorClass,
+        instance: LLLInstance,
+        recorder,
+    ) -> Dict[int, List[object]]:
+        """The original per-chunk serialisation plane (the oracle)."""
+        kind = _fixer_kind(fixer)
+        # Payload serialization timed apart from dispatch and merge, so
+        # pickling cost is attributable from the trace alone.  Kernels
+        # are interned per class (by fingerprint): cells of a symmetric
+        # class share the same kernel *objects*, so pickle's memo ships
+        # each distinct kernel once per chunk instead of once per cell.
+        payload_start = time.perf_counter_ns() if recorder is not None else 0
+        kernel_cache: Dict[tuple, object] = {}
+        payloads: List[Optional[CellPayload]] = [
+            self._cell_payload(fixer, kind, cell, instance, kernel_cache)
+            for cell in color_class.cells
+        ]
+        if recorder is not None:
+            recorder.record_span(
+                "runtime", "payload",
+                time.perf_counter_ns() - payload_start,
+                color=color_class.color, cells=len(payloads),
+            )
+        dispatchable = [
+            index for index, payload in enumerate(payloads)
+            if payload is not None
+        ]
+        if recorder is not None and dispatchable:
+            # Class-level shipping cost: the size of the class's whole
+            # dispatched payload in one pickle (the unit that actually
+            # crosses the process boundary, kernel interning included).
+            class_bytes = len(
+                pickle.dumps(
+                    [payloads[index] for index in dispatchable],
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            )
+            self.ipc_stats["pickle_bytes"] = (
+                int(self.ipc_stats.get("pickle_bytes", 0)) + class_bytes
+            )
+            recorder.observe_quantile(
+                "runtime", "pickle_bytes_per_class", class_bytes
+            )
+            recorder.count("runtime", "pickle_bytes", class_bytes)
+        dispatch_ops = sum(
+            len(color_class.cells[index].ops) for index in dispatchable
+        )
+        if len(dispatchable) < 2 or dispatch_ops < self._min_dispatch_ops:
+            return {}
+        chunks = self._chunk(dispatchable, self._num_workers)
+        self._emit_workers_event(recorder, color_class, chunks)
+
+        def submit(pool, state, fault, trace):
+            return pool.submit(
+                execute_chunk,
+                [payloads[index] for index in state.cells],
+                fault,
+                trace,
+                decide_mode(),
+                artifacts_mode(),
+            )
+
+        def harvest(state, reply):
+            replies = (
+                reply.results if isinstance(reply, ChunkReply) else reply
+            )
+            self._validate_replies(state, replies, color_class)
+            return list(zip(state.cells, replies))
+
+        return self._dispatch(self._make_states(chunks), submit, harvest)
+
+    def _collect_shm(
+        self, fixer, color_class: ColorClass, recorder
+    ) -> Dict[int, List[object]]:
+        """The zero-copy plane: refresh the segment, ship descriptors.
+
+        The parent writes the class's live pins/phi/roster into the
+        shared segment once (``shm_refresh`` span), submits fixed-width
+        :class:`~repro.runtime.shm.ChunkDescriptor`\\ s, and decodes the
+        workers' decisions straight out of the shared result region.
+        """
+        session = self._session
+        class_index = session.class_index(color_class)
+        refresh_start = time.perf_counter_ns() if recorder is not None else 0
+        roster, written = session.refresh_class(fixer, class_index)
+        self.ipc_stats["shm_bytes"] = (
+            int(self.ipc_stats.get("shm_bytes", 0)) + written
+        )
+        if recorder is not None:
+            recorder.record_span(
+                "runtime", "shm_refresh",
+                time.perf_counter_ns() - refresh_start,
+                color=color_class.color, cells=len(roster),
+            )
+            recorder.observe_quantile(
+                "runtime", "shm_bytes_per_class", written
+            )
+            recorder.count("runtime", "shm_bytes", written)
+        dispatch_ops = sum(
+            len(color_class.cells[cell_id].ops) for cell_id in roster
+        )
+        if len(roster) < 2 or dispatch_ops < self._min_dispatch_ops:
+            return {}
+        # Chunks are contiguous *roster position* ranges, so a chunk is
+        # fully described by [start, stop) — the descriptor wire format.
+        chunks = [
+            [roster[position] for position in positions]
+            for positions in self._chunk(
+                list(range(len(roster))), self._num_workers
+            )
+        ]
+        self._emit_workers_event(recorder, color_class, chunks)
+        states = self._make_states(chunks)
+        position = 0
+        for state in states:
+            state.start = position
+            position += len(state.cells)
+            state.stop = position
+        generation = session.generation
+
+        def submit(pool, state, fault, trace):
+            descriptor = ChunkDescriptor(
+                generation=generation,
+                class_index=class_index,
+                start=state.start,
+                stop=state.stop,
+                attempt=state.attempt,
+            )
+            nbytes = len(
+                pickle.dumps(descriptor, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self.ipc_stats["descriptor_bytes"] = (
+                int(self.ipc_stats.get("descriptor_bytes", 0)) + nbytes
+            )
+            if recorder is not None:
+                recorder.observe_quantile(
+                    "runtime", "descriptor_bytes_per_chunk", nbytes
+                )
+                recorder.count("runtime", "descriptor_bytes", nbytes)
+            return pool.submit(
+                execute_chunk_shm,
+                descriptor,
+                fault,
+                trace,
+                decide_mode(),
+                artifacts_mode(),
+            )
+
+        def harvest(state, ack):
+            counts = getattr(ack, "counts", None)
+            if counts is None:
+                raise SchedulerProtocolError(
+                    f"chunk {state.chunk_id}: shm worker returned "
+                    f"{type(ack).__name__} instead of a chunk ack"
+                )
+            if len(counts) != len(state.cells):
+                raise SchedulerProtocolError(
+                    f"chunk {state.chunk_id}: worker acknowledged "
+                    f"{len(counts)} cell results for {len(state.cells)} "
+                    f"cells"
+                )
+            for cell_id, count in zip(state.cells, counts):
+                cell = color_class.cells[cell_id]
+                if count != len(cell.ops):
+                    raise SchedulerProtocolError(
+                        f"cell {cell.owner!r} (chunk {state.chunk_id}): "
+                        f"worker wrote {count} choices for "
+                        f"{len(cell.ops)} ops"
+                    )
+            return session.decode_chunk(class_index, state.cells)
+
+        return self._dispatch(states, submit, harvest)
+
+    def _make_states(
+        self, chunks: Sequence[List[int]]
+    ) -> List[_ChunkState]:
+        states: List[_ChunkState] = []
+        for chunk in chunks:
+            states.append(_ChunkState(self._next_chunk_id, list(chunk)))
+            self._next_chunk_id += 1
+        self.ipc_stats["chunks"] = (
+            int(self.ipc_stats.get("chunks", 0)) + len(states)
+        )
+        return states
+
+    @staticmethod
+    def _emit_workers_event(
+        recorder, color_class: ColorClass, chunks: Sequence[List[int]]
+    ) -> None:
+        if recorder is None:
+            return
+        chunk_ops = [
+            sum(len(color_class.cells[index].ops) for index in chunk)
+            for chunk in chunks
+        ]
+        recorder.event(
+            "runtime",
+            "workers",
+            color=color_class.color,
+            workers=len(chunks),
+            chunk_ops=chunk_ops,
+            utilization=(
+                min(chunk_ops) / max(chunk_ops)
+                if chunk_ops and max(chunk_ops) > 0
+                else 1.0
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Dispatch with deadlines, retries and fallback
     # ------------------------------------------------------------------
     def _dispatch(
         self,
-        chunks: Sequence[List[int]],
-        payloads: Sequence[Optional[CellPayload]],
-        color_class: ColorClass,
+        states: Sequence[_ChunkState],
+        submit: Callable,
+        harvest: Callable,
     ) -> Dict[int, List[object]]:
         """Run the chunks through the pool; recover from failed workers.
 
-        Returns the collected choices per cell index.  Cells of chunks
-        that exhausted their retry budget are deliberately *absent* from
-        the result — the merge loop executes them in-parent at their
-        plan position, which reproduces the serial transcript exactly.
+        IPC-plane agnostic: ``submit(pool, state, fault, trace)``
+        dispatches one attempt and ``harvest(state, reply)`` validates
+        the reply and returns ``(cell index, choices)`` pairs — raising
+        :class:`~repro.errors.SchedulerProtocolError` on garbled replies,
+        which is never retried.  Returns the collected choices per cell
+        index.  Cells of chunks that exhausted their retry budget are
+        deliberately *absent* from the result — the merge loop executes
+        them in-parent at their plan position, which reproduces the
+        serial transcript exactly.
         """
         recorder = _obs_active()
         plan = self._fault_plan
         results: Dict[int, List[object]] = {}
-        pending: List[_ChunkState] = []
-        for chunk in chunks:
-            pending.append(_ChunkState(self._next_chunk_id, list(chunk)))
-            self._next_chunk_id += 1
+        pending: List[_ChunkState] = list(states)
         while pending:
             pool = self._acquire_pool()
             if recorder is not None:
@@ -641,14 +1012,7 @@ class ProcessScheduler(Scheduler):
                         worker_id=trace.worker_id,
                     )
                 try:
-                    future = pool.submit(
-                        execute_chunk,
-                        [payloads[index] for index in state.cells],
-                        fault,
-                        trace,
-                        decide_mode(),
-                        artifacts_mode(),
-                    )
+                    future = submit(pool, state, fault, trace)
                 except Exception as error:
                     # A crashed worker can break the pool while this
                     # wave is still being submitted; a synchronous
@@ -720,19 +1084,21 @@ class ProcessScheduler(Scheduler):
                     recorder.observe_quantile(
                         "runtime", "chunk_wait_ns", elapsed
                     )
-                if isinstance(reply, ChunkReply):
-                    replies = reply.results
+                records = getattr(reply, "records", None)
+                if records is not None and recorder is not None:
                     # Merge before validation: a rejected (garbled)
                     # reply still contributed worker telemetry, and the
                     # trace should show what the worker did.
+                    self._merge_shard(
+                        recorder, trace, state.attempt, records
+                    )
+                if getattr(reply, "warm", False):
+                    self.ipc_stats["worker_warm_hits"] = (
+                        int(self.ipc_stats.get("worker_warm_hits", 0)) + 1
+                    )
                     if recorder is not None:
-                        self._merge_shard(
-                            recorder, trace, state.attempt, reply.records
-                        )
-                else:
-                    replies = reply
-                self._validate_replies(state, replies, color_class)
-                for index, choices in zip(state.cells, replies):
+                        recorder.count("runtime", "worker_warm_hits")
+                for index, choices in harvest(state, reply):
                     results[index] = choices
                 if state.faulted and recorder is not None:
                     recorder.event(

@@ -22,15 +22,23 @@ same point of the serial order.
 
 from __future__ import annotations
 
+import atexit
 import os
+import pickle
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulerProtocolError, SimulationError
 from repro.faults.plan import WorkerFault
 from repro.obs.profile import profiled
 from repro.obs.shard import ShardRecorder, TraceContext
+from repro.runtime.shm import (
+    H_GENERATION,
+    AttachedSegment,
+    ChunkDescriptor,
+    encode_choice,
+)
 from repro.core.selection import (
     select_rank1,
     select_rank2,
@@ -383,3 +391,332 @@ def _validate_chunk_disjoint(payloads: Sequence[CellPayload]) -> None:
                 f"read by two cells of one class"
             )
         touched.update(reads)
+
+
+# --------------------------------------------------------------------------
+# Shared-memory worker plane (``REPRO_IPC=shm``)
+#
+# With the shm backend the pool's initializer attaches the parent's
+# SharedInstanceSegment once per worker process; thereafter each task is a
+# compact fixed-width ChunkDescriptor.  The worker rebuilds CellPayloads
+# from the segment's pins/phi regions (the static, solve-invariant part —
+# kernels, variables, ledger topology — unpickles once per broadcast from
+# the segment blob), runs the exact decide path of ``execute_chunk``, and
+# writes its choices into the shared result region instead of pickling
+# them back.
+
+
+@dataclass
+class ShmChunkAck:
+    """A shm chunk's reply: per-cell result counts, not the results.
+
+    The decisions themselves live in the segment's result region; the
+    parent validates ``counts`` against the chunk's op counts (the garble
+    tripwire — a truncated write shows up as a short count) before
+    decoding a single row.  ``warm`` reports whether the worker reused a
+    cached :class:`~repro.core.vector.ClassProgram` for this chunk — the
+    parent aggregates it into the ``worker_warm_hits`` metric.
+    """
+
+    counts: Tuple[int, ...]
+    warm: bool
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+
+class _ShmWorkerState:
+    """Per-process warm state: the attached segment plus derived caches.
+
+    ``programs`` caches lowered :class:`ClassProgram`\\ s keyed by
+    ``(class_index, start, stop)`` — across fixer iterations the same
+    chunk boundaries recur, so after the first pass a chunk only needs a
+    pins/ledger refresh, not a re-lowering.  Both caches are dropped on
+    generation change (a new solve published into the segment).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.attached = AttachedSegment(name)
+        self.generation = -1
+        self.static = None
+        self.programs: Dict[Tuple[int, int, int], object] = {}
+        self.ops_cache: Dict[Tuple[int, int], Tuple[OpPayload, ...]] = {}
+
+    def sync(self, generation: int) -> None:
+        """Adopt the segment's published solve if ours is stale."""
+        if self.generation == generation:
+            return
+        header_generation = int(self.attached.views.header[H_GENERATION])
+        if header_generation != generation:
+            raise SchedulerProtocolError(
+                f"shm worker: descriptor generation {generation} does not "
+                f"match segment generation {header_generation} — the parent "
+                f"republished mid-dispatch"
+            )
+        self.static = pickle.loads(self.attached.read_blob())
+        self.generation = generation
+        self.programs.clear()
+        self.ops_cache.clear()
+        self._prewarm()
+
+    def _prewarm(self) -> None:
+        """Pre-warm the per-process ArtifactStore from the new blob.
+
+        Interns every kernel fingerprint and, with the artifact plane
+        on, builds each class's stacked truth table before the first
+        chunk arrives — so chunk latency never pays the stack build.
+        Best-effort: a failure here only forfeits warmth.
+        """
+        from repro.artifacts.store import artifacts_enabled
+        from repro.core import vector
+
+        for cells in self.static.classes:
+            kernels: List[EventKernel] = []
+            seen: set = set()
+            for cell in cells:
+                if cell is None:
+                    continue
+                for event in cell.events:
+                    fingerprint = event.kernel.fingerprint()
+                    if fingerprint not in seen:
+                        seen.add(fingerprint)
+                        kernels.append(event.kernel)
+            if kernels and artifacts_enabled():
+                try:
+                    vector._shared_stack(tuple(kernels))
+                except Exception:
+                    pass
+
+
+_SHM_WORKER: Optional[_ShmWorkerState] = None
+
+
+def _shm_worker_close() -> None:
+    """atexit hook: detach the worker's segment view (never unlinks)."""
+    global _SHM_WORKER
+    state, _SHM_WORKER = _SHM_WORKER, None
+    if state is not None:
+        state.attached.close()
+
+
+def _shm_worker_init(
+    name: str,
+    artifacts: Optional[str] = None,
+    decide: Optional[str] = None,
+) -> None:
+    """Pool initializer: attach the segment and pin backend modes.
+
+    Runs once per worker process.  Modes are pinned *before* the first
+    chunk so a parent-side ``set_decide_mode``/``set_artifacts_mode``
+    governs workers even under a spawn start method.  If the parent has
+    already published a solve (header generation > 0) the worker syncs
+    eagerly, moving blob unpickling and artifact pre-warming off the
+    first chunk's critical path.
+    """
+    global _SHM_WORKER
+    if decide is not None:
+        from repro.core.vector import set_decide_mode
+
+        set_decide_mode(decide)
+    if artifacts is not None:
+        from repro.artifacts.store import set_artifacts_mode
+
+        set_artifacts_mode(artifacts)
+    _SHM_WORKER = _ShmWorkerState(name)
+    atexit.register(_shm_worker_close)
+    generation = int(_SHM_WORKER.attached.views.header[H_GENERATION])
+    if generation > 0:
+        _SHM_WORKER.sync(generation)
+
+
+def _run_warm_program(
+    state: _ShmWorkerState,
+    descriptor: ChunkDescriptor,
+    payloads: Sequence[CellPayload],
+) -> Tuple[List[List[object]], bool]:
+    """Vector-path chunk execution with the warm per-chunk program cache.
+
+    First visit of a ``(class, start, stop)`` chunk lowers and caches a
+    ClassProgram; later visits only refresh its pins and ledger values
+    in place (:func:`~repro.core.vector.refresh_program`).  Any failure
+    — structural mismatch, non-vectorizable shape — drops the cache
+    entry and falls back to the scalar per-cell loop, which rebuilds
+    from the payloads and therefore cannot see partial mutations.
+    """
+    from repro.core import vector
+    from repro.probability.engine import STATS
+
+    key = (descriptor.class_index, descriptor.start, descriptor.stop)
+    program = state.programs.get(key)
+    try:
+        if program is not None:
+            vector.refresh_program(program, payloads)
+            return vector.run_program(program), True
+        program = vector.program_from_payloads(list(payloads))
+        results = vector.run_program(program)
+        state.programs[key] = program
+        return results, False
+    except Exception:
+        STATS.vector_fallbacks += 1
+        state.programs.pop(key, None)
+        return [execute_cell(payload) for payload in payloads], False
+
+
+def execute_chunk_shm(
+    descriptor: ChunkDescriptor,
+    fault: Optional[WorkerFault] = None,
+    trace: Optional[TraceContext] = None,
+    decide: Optional[str] = None,
+    artifacts: Optional[str] = None,
+) -> ShmChunkAck:
+    """Worker entry point for the shm backend.
+
+    Mirrors :func:`execute_chunk` — same validation tripwire, same fault
+    injection points, same shard instrumentation, same decide path — but
+    reads its inputs from the attached segment and writes its choices
+    into the shared result region.  A ``garble`` fault therefore
+    manifests as a short ``counts`` tuple (the last cell's final row is
+    never accounted for), which the parent rejects exactly like a
+    truncated pickle reply.
+    """
+    if decide is not None:
+        from repro.core.vector import set_decide_mode
+
+        set_decide_mode(decide)
+    if artifacts is not None:
+        from repro.artifacts.store import set_artifacts_mode
+
+        set_artifacts_mode(artifacts)
+    state = _SHM_WORKER
+    if state is None:
+        raise SchedulerProtocolError(
+            "shm worker: received a chunk descriptor but no segment is "
+            "attached — the pool was started without _shm_worker_init"
+        )
+    shard = ShardRecorder(trace) if trace is not None else None
+    if shard is not None:
+        shard.event(
+            "worker",
+            "worker_start",
+            pid=os.getpid(),
+            cells=descriptor.stop - descriptor.start,
+            attempt=trace.attempt,
+        )
+    state.sync(descriptor.generation)
+    views = state.attached.views
+    static = state.static
+    if not 0 <= descriptor.class_index < len(static.classes):
+        raise SchedulerProtocolError(
+            f"shm worker: descriptor names class {descriptor.class_index} "
+            f"of a {len(static.classes)}-class plan"
+        )
+    class_cells = static.classes[descriptor.class_index]
+    pins_view = views.pins
+    phi = views.phi
+    cells = []
+    payloads: List[CellPayload] = []
+    for position in range(descriptor.start, descriptor.stop):
+        cell_id = int(views.roster[position])
+        if not 0 <= cell_id < len(class_cells) or class_cells[cell_id] is None:
+            raise SchedulerProtocolError(
+                f"shm worker: roster position {position} names "
+                f"non-dispatchable cell {cell_id} of class "
+                f"{descriptor.class_index}"
+            )
+        scell = class_cells[cell_id]
+        ops = state.ops_cache.get((descriptor.class_index, cell_id))
+        if ops is None:
+            ops = tuple(
+                OpPayload(variable=op.variable, event_names=op.event_names)
+                for op in scell.ops
+            )
+            state.ops_cache[(descriptor.class_index, cell_id)] = ops
+        events = tuple(
+            EventPayload(
+                name=event.name,
+                kernel=event.kernel,
+                scope_names=event.scope_names,
+                pins=tuple(
+                    int(pin)
+                    for pin in pins_view[event.event_id, : len(event.scope_names)]
+                ),
+            )
+            for event in scell.events
+        )
+        ledger = tuple(
+            (
+                frozenset(names),
+                tuple(
+                    (name, float(phi[slot]))
+                    for name, slot in zip(names, slots)
+                ),
+            )
+            for names, slots in scell.ledger
+        )
+        cells.append(scell)
+        payloads.append(
+            CellPayload(
+                owner=scell.owner,
+                kind=static.kind,
+                ops=ops,
+                events=events,
+                ledger=ledger,
+            )
+        )
+    if shard is not None:
+        with shard.span("worker", "validate", cells=len(payloads)):
+            _validate_chunk_disjoint(payloads)
+    else:
+        _validate_chunk_disjoint(payloads)
+    if fault is not None and fault.kind == "crash":
+        if shard is not None:
+            shard.event("worker", "fault_injected", **fault.as_payload())
+        os._exit(13)
+    from repro.core.vector import vector_enabled
+
+    results: List[List[object]] = []
+    warm = False
+    with profiled(shard, "worker", trace.profile if trace else None,
+                  name="chunk"):
+        if vector_enabled() and payloads:
+            num_ops = sum(len(payload.ops) for payload in payloads)
+            if shard is not None:
+                with shard.span(
+                    "worker", "decide_class",
+                    cells=len(payloads), ops=num_ops,
+                ):
+                    results, warm = _run_warm_program(
+                        state, descriptor, payloads
+                    )
+                shard.count("worker", "cells", len(payloads))
+                shard.count("worker", "ops", num_ops)
+            else:
+                results, warm = _run_warm_program(state, descriptor, payloads)
+        else:
+            for payload in payloads:
+                if shard is not None:
+                    with shard.span(
+                        "worker", "decide",
+                        cell=repr(payload.owner), ops=len(payload.ops),
+                    ):
+                        results.append(execute_cell(payload))
+                    shard.count("worker", "cells")
+                    shard.count("worker", "ops", len(payload.ops))
+                else:
+                    results.append(execute_cell(payload))
+    results = _apply_worker_fault(fault, results, shard)
+    result_rows = views.results
+    counts: List[int] = []
+    for scell, choices in zip(cells, results):
+        for position, choice in enumerate(choices):
+            variable = scell.ops[position].variable
+            values = [value for value, _prob in variable.support_items()]
+            encode_choice(
+                result_rows[scell.op_offset + position],
+                choice,
+                values.index(choice.value),
+            )
+        counts.append(len(choices))
+    return ShmChunkAck(
+        counts=tuple(counts),
+        warm=warm,
+        records=shard.drain() if shard is not None else [],
+    )

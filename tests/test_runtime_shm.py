@@ -1,0 +1,410 @@
+"""The zero-copy shared-memory IPC plane of the process backend.
+
+Three promises under test, matching the plane's contract
+(:mod:`repro.runtime.shm`):
+
+* **Differential bit-identity** — ``REPRO_IPC=shm`` and
+  ``REPRO_IPC=pickle`` produce the exact ``SerialScheduler``
+  transcript (assignments, steps, certified bounds), across fixers and
+  under injected worker faults.
+* **Segment lifecycle** — every created segment is unlinked: after
+  crash/hang recovery, after ``certify_recovery``, after ``close()``,
+  and at scheduler garbage collection.  No orphaned ``/dev/shm``
+  entries, ever.
+* **Warm reuse** — a second execute over the same solve re-uses the
+  published segment (no re-broadcast) and workers replay cached class
+  programs (``worker_warm_hits``).
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import certify_recovery, solve_distributed
+from repro.errors import ReproError, SchedulerProtocolError
+from repro.faults import FaultPlan
+from repro.generators import (
+    all_zero_edge_instance,
+    all_zero_triple_instance,
+    cycle_graph,
+    cyclic_triples,
+    random_regular_graph,
+)
+from repro.obs.recorder import recording
+from repro.runtime import (
+    IPC_MODES,
+    ProcessScheduler,
+    SerialScheduler,
+    ipc_mode,
+    live_segment_names,
+    set_ipc_mode,
+    shm_enabled,
+    using_ipc,
+)
+from repro.runtime.shm import (
+    ChunkDescriptor,
+    SegmentLayout,
+    ShmSession,
+    lower_solve,
+)
+
+SLOW_SETTINGS = settings(
+    deadline=None,
+    max_examples=8,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def shm_entries():
+    """The ``/dev/shm`` entries this library could have created."""
+    return sorted(glob.glob("/dev/shm/repro_shm_*"))
+
+
+def fast_scheduler(**kwargs):
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault("backoff_base", 0.0)
+    kwargs.setdefault("deadline", 15.0)
+    return ProcessScheduler(**kwargs)
+
+
+def instance_for(spec):
+    family, n, alphabet, seed = spec
+    if family == "cycle":
+        return all_zero_edge_instance(cycle_graph(n), alphabet)
+    if family == "regular":
+        return all_zero_edge_instance(
+            random_regular_graph(n, 3, seed=seed), alphabet
+        )
+    return all_zero_triple_instance(n, cyclic_triples(n), alphabet)
+
+
+def assert_identical(reference, candidate):
+    assert (
+        candidate.fixing.assignment.as_dict()
+        == reference.fixing.assignment.as_dict()
+    )
+    assert candidate.fixing.steps == reference.fixing.steps
+    assert (
+        candidate.fixing.certified_bounds
+        == reference.fixing.certified_bounds
+    )
+
+
+def specs():
+    cycles = st.tuples(
+        st.integers(min_value=3, max_value=14),
+        st.integers(min_value=3, max_value=5),
+    ).map(lambda t: ("cycle", t[0], t[1], 0))
+    regulars = st.tuples(
+        st.integers(min_value=4, max_value=7).map(lambda k: 2 * k),
+        st.integers(min_value=5, max_value=6),
+        st.integers(min_value=0, max_value=3),
+    ).map(lambda t: ("regular", t[0], t[1], t[2]))
+    triples = st.tuples(
+        st.integers(min_value=5, max_value=14),
+        st.integers(min_value=5, max_value=6),
+    ).map(lambda t: ("triples", t[0], t[1], 0))
+    return st.one_of(cycles, regulars, triples)
+
+
+# ----------------------------------------------------------------------
+# Mode plumbing
+# ----------------------------------------------------------------------
+class TestIpcMode:
+    def test_default_is_shm(self):
+        assert ipc_mode() in IPC_MODES
+
+    def test_set_and_restore(self):
+        previous = set_ipc_mode("pickle")
+        try:
+            assert ipc_mode() == "pickle"
+            assert not shm_enabled()
+        finally:
+            set_ipc_mode(previous)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ReproError):
+            set_ipc_mode("carrier-pigeon")
+
+    def test_context_manager_restores(self):
+        before = ipc_mode()
+        with using_ipc("pickle"):
+            assert ipc_mode() == "pickle"
+        assert ipc_mode() == before
+
+    def test_scheduler_resolves_mode_at_construction(self):
+        with using_ipc("pickle"):
+            scheduler = ProcessScheduler(max_workers=1)
+        # Flipping the ambient mode later must not retarget it.
+        assert "ipc=pickle" in scheduler.describe()
+        assert "workers=1" in scheduler.describe()
+
+    def test_explicit_ipc_argument_wins(self):
+        scheduler = ProcessScheduler(max_workers=1, ipc="pickle")
+        assert "ipc=pickle" in scheduler.describe()
+        with pytest.raises(ReproError):
+            ProcessScheduler(ipc="smoke-signals")
+
+    def test_serial_describe(self):
+        assert SerialScheduler().describe() == "serial"
+
+
+# ----------------------------------------------------------------------
+# Differential: shm == pickle == serial (Hypothesis)
+# ----------------------------------------------------------------------
+@SLOW_SETTINGS
+@given(spec=specs())
+def test_shm_matches_pickle_and_serial(spec):
+    reference = solve_distributed(
+        instance_for(spec), scheduler=SerialScheduler()
+    )
+    for mode in IPC_MODES:
+        scheduler = ProcessScheduler(max_workers=2, ipc=mode)
+        try:
+            candidate = solve_distributed(
+                instance_for(spec), scheduler=scheduler
+            )
+        finally:
+            scheduler.close()
+        assert_identical(reference, candidate)
+
+
+@SLOW_SETTINGS
+@given(spec=specs(), seed=st.integers(min_value=0, max_value=7))
+def test_shm_identical_under_faults_with_clean_segments(spec, seed):
+    """The fault-injected leg: recovery is invisible and leak-free."""
+    reference = solve_distributed(
+        instance_for(spec), scheduler=SerialScheduler()
+    )
+    plan = FaultPlan(
+        seed=seed,
+        explicit_chunks=((0, "crash"),),
+        slow_rate=0.3,
+        slow_seconds=0.001,
+    )
+    scheduler = fast_scheduler(fault_plan=plan, ipc="shm")
+    try:
+        candidate = solve_distributed(
+            instance_for(spec), scheduler=scheduler
+        )
+    finally:
+        scheduler.close()
+    assert_identical(reference, candidate)
+    assert live_segment_names() == ()
+    assert shm_entries() == []
+
+
+# ----------------------------------------------------------------------
+# Fault legs (explicit, with certification)
+# ----------------------------------------------------------------------
+class TestShmFaults:
+    @pytest.fixture
+    def instance_spec(self):
+        return ("cycle", 14, 3, 0)
+
+    def test_crash_recovery_certifies(self, instance_spec):
+        reference = solve_distributed(
+            instance_for(instance_spec), scheduler=SerialScheduler()
+        )
+        plan = FaultPlan(explicit_chunks=((0, "crash"),))
+        scheduler = fast_scheduler(fault_plan=plan, ipc="shm")
+        with recording() as recorder:
+            try:
+                candidate = solve_distributed(
+                    instance_for(instance_spec), scheduler=scheduler
+                )
+            finally:
+                scheduler.close()
+            events = list(recorder.memory.events)
+        assert_identical(reference, candidate)
+        kinds = {
+            e["event"] for e in events if e["component"] == "runtime"
+        }
+        assert "fault" in kinds and "retry" in kinds
+        assert certify_recovery(events) == []
+        assert shm_entries() == []
+
+    def test_hang_recovery_certifies(self, instance_spec):
+        reference = solve_distributed(
+            instance_for(instance_spec), scheduler=SerialScheduler()
+        )
+        plan = FaultPlan(
+            explicit_chunks=((1, "hang"),), hang_seconds=10.0
+        )
+        scheduler = fast_scheduler(
+            fault_plan=plan, deadline=1.0, ipc="shm"
+        )
+        with recording() as recorder:
+            try:
+                candidate = solve_distributed(
+                    instance_for(instance_spec), scheduler=scheduler
+                )
+            finally:
+                scheduler.close()
+            events = list(recorder.memory.events)
+        assert_identical(reference, candidate)
+        assert certify_recovery(events) == []
+        assert shm_entries() == []
+
+    def test_garbled_result_region_raises(self, instance_spec):
+        """A short shared-region write is a protocol error, not a retry."""
+        plan = FaultPlan(explicit_chunks=((0, "garble"),))
+        scheduler = fast_scheduler(fault_plan=plan, ipc="shm")
+        try:
+            with pytest.raises(SchedulerProtocolError):
+                solve_distributed(
+                    instance_for(instance_spec), scheduler=scheduler
+                )
+        finally:
+            scheduler.close()
+        assert shm_entries() == []
+
+
+# ----------------------------------------------------------------------
+# Segment lifecycle
+# ----------------------------------------------------------------------
+class TestSegmentLifecycle:
+    def test_close_is_idempotent_and_unlinks(self):
+        spec = ("cycle", 10, 3, 0)
+        scheduler = ProcessScheduler(max_workers=2, ipc="shm")
+        solve_distributed(instance_for(spec), scheduler=scheduler)
+        assert len(live_segment_names()) == 1
+        scheduler.close()
+        scheduler.close()
+        assert live_segment_names() == ()
+        assert shm_entries() == []
+
+    def test_garbage_collection_reclaims_segment(self):
+        spec = ("cycle", 10, 3, 0)
+        scheduler = ProcessScheduler(max_workers=2, ipc="shm")
+        solve_distributed(instance_for(spec), scheduler=scheduler)
+        assert len(live_segment_names()) == 1
+        del scheduler
+        gc.collect()
+        assert live_segment_names() == ()
+        assert shm_entries() == []
+
+    def test_pickle_mode_touches_no_segments(self):
+        spec = ("cycle", 10, 3, 0)
+        scheduler = ProcessScheduler(max_workers=2, ipc="pickle")
+        try:
+            solve_distributed(instance_for(spec), scheduler=scheduler)
+        finally:
+            scheduler.close()
+        assert live_segment_names() == ()
+        assert shm_entries() == []
+
+
+# ----------------------------------------------------------------------
+# Warm reuse across executes
+# ----------------------------------------------------------------------
+class TestWarmReuse:
+    def test_second_execute_reuses_segment_and_warms(self):
+        from repro.core.rank2 import Rank2Fixer
+        from repro.runtime import plan_for_instance
+
+        instance = all_zero_edge_instance(cycle_graph(16), 3)
+        plan = plan_for_instance(instance)
+        scheduler = ProcessScheduler(max_workers=2, ipc="shm")
+        try:
+            scheduler.execute(Rank2Fixer(instance), plan, instance)
+            first = dict(scheduler.ipc_stats)
+            scheduler.execute(Rank2Fixer(instance), plan, instance)
+            second = dict(scheduler.ipc_stats)
+        finally:
+            scheduler.close()
+        assert first["ipc"] == "shm"
+        assert first["broadcasts"] == 1
+        # Same (plan, instance): the segment is reused verbatim.
+        assert second["broadcasts"] == 0
+        assert second["generation"] == first["generation"]
+        # The second pass replays cached class programs in the workers.
+        assert second["worker_warm_hits"] > 0
+        assert second["descriptor_bytes"] > 0
+
+    def test_new_solve_rebroadcasts_without_new_segment_when_it_fits(self):
+        from repro.core.rank2 import Rank2Fixer
+        from repro.runtime import plan_for_instance
+
+        big = all_zero_edge_instance(cycle_graph(16), 3)
+        small = all_zero_edge_instance(cycle_graph(12), 3)
+        scheduler = ProcessScheduler(max_workers=2, ipc="shm")
+        try:
+            scheduler.execute(
+                Rank2Fixer(big), plan_for_instance(big), big
+            )
+            first_segment = live_segment_names()
+            scheduler.execute(
+                Rank2Fixer(small), plan_for_instance(small), small
+            )
+            second_segment = live_segment_names()
+            stats = dict(scheduler.ipc_stats)
+        finally:
+            scheduler.close()
+        assert stats["broadcasts"] == 1
+        assert first_segment == second_segment
+        assert shm_entries() == []
+
+
+# ----------------------------------------------------------------------
+# Unit coverage: layout, lowering, descriptors
+# ----------------------------------------------------------------------
+class TestShmUnits:
+    def test_layout_offsets_are_aligned_and_ordered(self):
+        layout = SegmentLayout(
+            num_events=5, pin_width=3, ledger_size=7,
+            max_cells=4, max_ops=9, record_width=16, blob_capacity=123,
+        )
+        offsets = [
+            layout.blob_offset, layout.pins_offset, layout.phi_offset,
+            layout.roster_offset, layout.results_offset,
+            layout.total_bytes,
+        ]
+        assert offsets == sorted(offsets)
+        assert all(offset % 8 == 0 for offset in offsets)
+
+    def test_lower_solve_mirrors_payload_gating(self):
+        from repro.core.rank2 import Rank2Fixer
+        from repro.runtime import plan_for_instance
+
+        instance = all_zero_edge_instance(cycle_graph(12), 3)
+        plan = plan_for_instance(instance)
+        Rank2Fixer(instance)  # kernels compile on instance construction
+        lowered = lower_solve("rank2", plan, instance)
+        assert lowered.kind == "rank2"
+        assert len(lowered.parent_classes) == plan.num_classes
+        total_cells = sum(
+            len(cells) for cells in lowered.parent_classes
+        )
+        assert total_cells == plan.num_cells
+        assert lowered.max_ops >= 1
+        assert lowered.record_width >= 16
+
+    def test_session_reuse_is_identity_keyed(self):
+        from repro.runtime import plan_for_instance
+
+        instance = all_zero_edge_instance(cycle_graph(10), 3)
+        plan = plan_for_instance(instance)
+        session = ShmSession()
+        try:
+            assert session.ensure("rank2", plan, instance) == "segment"
+            assert session.ensure("rank2", plan, instance) == "reuse"
+            # A different kind over the same objects re-broadcasts.
+            assert session.ensure("naive", plan, instance) in (
+                "broadcast", "segment"
+            )
+        finally:
+            session.close()
+        assert live_segment_names() == ()
+
+    def test_descriptor_is_tiny(self):
+        import pickle
+
+        descriptor = ChunkDescriptor(
+            generation=1, class_index=0, start=0, stop=8, attempt=0
+        )
+        assert len(pickle.dumps(descriptor)) < 200
