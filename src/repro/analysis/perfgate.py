@@ -51,6 +51,7 @@ KEY_FIELDS: Dict[str, Tuple[str, ...]] = {
     "E6": ("phase", "mode"),
     "E7": ("phase",),
     "E8": ("workload", "backend"),
+    "E9": ("workload", "phase"),
 }
 
 #: Default relative tolerance band for speedup/overhead ratios.

@@ -35,7 +35,7 @@ import os
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError
 
 #: Environment variable selecting the artifact plane ("on" or "off").
 ARTIFACTS_ENV = "REPRO_ARTIFACTS"
@@ -62,6 +62,11 @@ DEFAULT_CAPACITIES: Dict[str, int] = {
     "indexings": 256,
     "situations": 1 << 16,
     "parameters": 64,
+    # Whole solve responses memoized by the solve service, keyed on
+    # canonical request *content* (not shape): sound because the
+    # fixers are deterministic, so an identical instance always
+    # produces the bit-identical result.
+    "solutions": 512,
 }
 
 #: Capacity for tiers not listed in :data:`DEFAULT_CAPACITIES`.
@@ -71,7 +76,7 @@ FALLBACK_CAPACITY = 256
 def _mode_from_env() -> str:
     mode = os.environ.get(ARTIFACTS_ENV, "on").strip().lower()
     if mode not in _VALID_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"{ARTIFACTS_ENV}={mode!r} is not a valid artifacts mode; "
             f"expected one of {_VALID_MODES}"
         )
@@ -95,7 +100,7 @@ def set_artifacts_mode(mode: str) -> str:
     """Select the artifact plane process-wide; returns the previous mode."""
     global _MODE
     if mode not in _VALID_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"invalid artifacts mode {mode!r}; expected one of "
             f"{_VALID_MODES}"
         )
@@ -248,7 +253,7 @@ class ArtifactStore:
             try:
                 overrides[name.strip()] = int(value)
             except ValueError:
-                raise ReproError(
+                raise ConfigurationError(
                     f"{CAPACITY_ENV}: cannot parse {part!r}; expected "
                     f"tier=integer"
                 ) from None

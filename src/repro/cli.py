@@ -36,14 +36,7 @@ from repro import __version__
 from repro.analysis import format_table, log_star
 from repro.core import solve, solve_distributed, solve_distributed_local
 from repro.errors import CriterionViolationError, ReproError
-from repro.generators import (
-    all_zero_edge_instance,
-    all_zero_triple_instance,
-    cycle_graph,
-    cyclic_triples,
-    random_regular_graph,
-    torus_graph,
-)
+from repro.generators import build_family_instance, random_regular_graph
 from repro.lll import verify_solution
 from repro.runtime.schedulers import SCHEDULER_NAMES
 
@@ -82,21 +75,13 @@ def _apply_backend_args(args) -> None:
 
 
 def _build_instance(args):
-    if args.family == "cycle":
-        return all_zero_edge_instance(cycle_graph(args.n), args.alphabet)
-    if args.family == "regular":
-        return all_zero_edge_instance(
-            random_regular_graph(args.n, args.degree, seed=args.seed),
-            args.alphabet,
-        )
-    if args.family == "torus":
-        side = max(int(round(args.n**0.5)), 3)
-        return all_zero_edge_instance(torus_graph(side, side), args.alphabet)
-    if args.family == "triples":
-        return all_zero_triple_instance(
-            args.n, cyclic_triples(args.n), args.alphabet
-        )
-    raise ReproError(f"unknown family {args.family!r}")
+    return build_family_instance(
+        args.family,
+        args.n,
+        alphabet=args.alphabet,
+        degree=args.degree,
+        seed=args.seed,
+    )
 
 
 def _command_info(args) -> int:
@@ -227,6 +212,32 @@ def _solve_impl(args) -> int:
     ok = verify_solution(instance, assignment).ok
     print(f"verification: {'all bad events avoided' if ok else 'FAILED'}")
     return 0 if ok else 2
+
+
+def _command_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, run_server
+
+    _apply_backend_args(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        scheduler=args.scheduler,
+        workers=args.workers,
+        ipc=getattr(args, "ipc", None),
+        max_inflight=args.max_inflight,
+        deadline_s=args.deadline,
+    )
+    if getattr(args, "obs_trace", None):
+        from repro.obs import recording
+
+        with recording(path=args.obs_trace):
+            asyncio.run(run_server(config))
+        print(f"observability trace written to {args.obs_trace}")
+        return 0
+    asyncio.run(run_server(config))
+    return 0
 
 
 def _command_plan(args) -> int:
@@ -553,6 +564,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_instance_arguments(plan_parser)
     add_backend_arguments(plan_parser)
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the persistent HTTP solve service (LLL-as-a-service)",
+    )
+    add_backend_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port (0 picks a free one, announced on stdout)",
+    )
+    serve_parser.add_argument(
+        "--scheduler", choices=SCHEDULER_NAMES, default="process",
+        help="execution backend kept warm across requests",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-process count for --scheduler process "
+        "(default: the CPU count)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="admission bound on queued + running requests "
+        "(excess gets a typed 429)",
+    )
+    serve_parser.add_argument(
+        "--deadline", type=float, default=60.0, metavar="SECONDS",
+        help="default per-request deadline (requests may name their "
+        "own via 'deadline_s')",
+    )
+    serve_parser.add_argument(
+        "--obs-trace", metavar="PATH",
+        help="record a structured JSONL observability trace to PATH "
+        "(request latency quantiles, cache hit-rate gauges)",
+    )
+
     threshold_parser = commands.add_parser(
         "threshold", help="demonstrate the phase shift"
     )
@@ -703,6 +751,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _command_info,
         "solve": _command_solve,
         "plan": _command_plan,
+        "serve": _command_serve,
         "threshold": _command_threshold,
         "logstar": _command_logstar,
         "report": _command_report,

@@ -66,7 +66,7 @@ from repro.artifacts.store import (
     STORE as _ARTIFACTS,
     artifacts_enabled,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigurationError
 from repro.probability.engine import (
     DEFAULT_STACK_LIMIT,
     KernelStack,
@@ -93,7 +93,7 @@ _MODE: Optional[str] = None
 def _mode_from_env() -> str:
     mode = os.environ.get(DECIDE_ENV, "vector").strip().lower()
     if mode not in _VALID_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"{DECIDE_ENV}={mode!r} is not a valid decide mode; "
             f"expected one of {_VALID_MODES}"
         )
@@ -117,7 +117,7 @@ def set_decide_mode(mode: str) -> str:
     """Select the decide plane process-wide; returns the previous mode."""
     global _MODE
     if mode not in _VALID_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"invalid decide mode {mode!r}; expected one of {_VALID_MODES}"
         )
     previous = decide_mode()

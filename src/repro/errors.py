@@ -91,6 +91,37 @@ class SchedulerProtocolError(ReproError):
     """
 
 
+class ConfigurationError(ReproError):
+    """A configuration knob (environment variable or setter) is invalid.
+
+    Raised when a ``REPRO_*`` environment variable or a programmatic
+    mode setter names a value outside the allowed set.  The message
+    always names the variable (or setter) and the allowed values, so a
+    typo'd deployment environment fails loudly at first use instead of
+    silently changing which plane serves traffic.
+    """
+
+
+class AdmissionError(ReproError):
+    """The solve service rejected a request at admission.
+
+    The 429-style overload signal: the server's bounded in-flight queue
+    is full, or the server is draining and no longer accepts work.  The
+    request was never started, so retrying later is always safe.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline elapsed before a result was produced.
+
+    Raised by the solve service when a request spends its whole budget
+    queued behind other work, or when execution outlives the remaining
+    budget.  The underlying scheduler pool is not poisoned: per-chunk
+    deadlines (PR 5) bound worker hangs independently, so subsequent
+    requests proceed normally.
+    """
+
+
 class FaultSpecError(ReproError):
     """A fault-injection specification string or plan is malformed."""
 

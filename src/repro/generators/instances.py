@@ -45,6 +45,48 @@ def triple_variable_name(triple: Sequence[int]) -> Tuple[str, int, int, int]:
     return ("tri", a, b, c)
 
 
+#: Families understood by :func:`build_family_instance` — the CLI's
+#: ``--family`` choices and the solve service's ``"family"`` field.
+INSTANCE_FAMILIES = ("cycle", "regular", "torus", "triples")
+
+
+def build_family_instance(
+    family: str,
+    n: int,
+    alphabet: int = 3,
+    degree: int = 4,
+    seed: int = 0,
+) -> LLLInstance:
+    """Build a named below-threshold workload family.
+
+    The single instance-spec grammar shared by the ``repro`` CLI
+    (``--family``/``--n``/``--alphabet``/...) and the solve service's
+    JSON request bodies, so a served request names exactly the workload
+    an operator can reproduce from the command line.
+    """
+    from repro.generators.graphs import (
+        cycle_graph,
+        random_regular_graph,
+        torus_graph,
+    )
+    from repro.generators.hypergraphs import cyclic_triples
+
+    if family == "cycle":
+        return all_zero_edge_instance(cycle_graph(n), alphabet)
+    if family == "regular":
+        return all_zero_edge_instance(
+            random_regular_graph(n, degree, seed=seed), alphabet
+        )
+    if family == "torus":
+        side = max(int(round(n ** 0.5)), 3)
+        return all_zero_edge_instance(torus_graph(side, side), alphabet)
+    if family == "triples":
+        return all_zero_triple_instance(n, cyclic_triples(n), alphabet)
+    raise ReproError(
+        f"unknown family {family!r}; expected one of {INSTANCE_FAMILIES}"
+    )
+
+
 def _require_no_isolated_nodes(graph: nx.Graph) -> None:
     isolated = [node for node, degree in graph.degree() if degree == 0]
     if isolated:

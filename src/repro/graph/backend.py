@@ -14,7 +14,7 @@ import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from repro.errors import GraphSubstrateError
+from repro.errors import ConfigurationError, GraphSubstrateError
 
 VECTORIZED = "vectorized"
 REFERENCE = "reference"
@@ -32,9 +32,9 @@ def active_backend() -> str:
         return _override
     name = os.environ.get("REPRO_GRAPH", VECTORIZED).strip().lower()
     if name not in _BACKENDS:
-        raise GraphSubstrateError(
-            f"unknown REPRO_GRAPH backend {name!r}; expected one of "
-            f"{_BACKENDS}"
+        raise ConfigurationError(
+            f"REPRO_GRAPH={name!r} is not a valid graph backend; "
+            f"expected one of {_BACKENDS}"
         )
     return name
 

@@ -38,7 +38,7 @@ import math
 import os
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ProbabilityMassError, ReproError
+from repro.errors import ConfigurationError, ProbabilityMassError
 
 #: Probability mass above ``1 + tolerance`` indicates a support/weight bug.
 PROBABILITY_MASS_TOLERANCE = 1e-9
@@ -58,7 +58,7 @@ _VALID_MODES = ("naive", "compiled")
 def _mode_from_env() -> str:
     mode = os.environ.get(ENGINE_ENV, "compiled").strip().lower()
     if mode not in _VALID_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"{ENGINE_ENV}={mode!r} is not a valid engine mode; "
             f"expected one of {_VALID_MODES}"
         )
@@ -72,11 +72,13 @@ def _compile_limit_from_env() -> int:
     try:
         limit = int(raw)
     except ValueError:
-        raise ReproError(
+        raise ConfigurationError(
             f"{COMPILE_LIMIT_ENV}={raw!r} is not an integer"
         ) from None
     if limit < 1:
-        raise ReproError(f"{COMPILE_LIMIT_ENV} must be positive, got {limit}")
+        raise ConfigurationError(
+            f"{COMPILE_LIMIT_ENV} must be positive, got {limit}"
+        )
     return limit
 
 
@@ -112,7 +114,7 @@ def set_engine_mode(mode: str) -> str:
     """Select the engine process-wide; returns the previous mode."""
     global _MODE
     if mode not in _VALID_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"invalid engine mode {mode!r}; expected one of {_VALID_MODES}"
         )
     previous = engine_mode()

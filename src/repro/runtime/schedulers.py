@@ -79,10 +79,12 @@ from repro.core.vector import decide_mode
 from repro.lll.instance import LLLInstance
 from repro.runtime.plan import ColorClass, FixCell, FixPlan
 from repro.runtime.shm import (
+    CLEANUP_ERRORS,
     IPC_MODES,
     ChunkDescriptor,
     ShmSession,
     ipc_mode,
+    report_cleanup_error,
 )
 from repro.runtime.workers import (
     CellPayload,
@@ -409,14 +411,14 @@ def _release_process_resources(box: _ProcessResources) -> None:
     if pool is not None:
         try:
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
+        except CLEANUP_ERRORS as error:
+            report_cleanup_error("finalizer_pool_shutdown", error)
     session, box.session = box.session, None
     if session is not None:
         try:
             session.close()
-        except Exception:
-            pass
+        except CLEANUP_ERRORS as error:
+            report_cleanup_error("finalizer_session_close", error)
 
 
 class ProcessScheduler(Scheduler):
@@ -519,6 +521,10 @@ class ProcessScheduler(Scheduler):
         self._next_chunk_id = 0
         self._shard_dir: Optional[str] = None
         self._profile_mode: Optional[str] = None
+        #: Segment name the warm pool's initializers attached to; the
+        #: pool is rebuilt whenever the session's segment name drifts
+        #: from it (see :meth:`_ensure_session`).
+        self._attached_segment: Optional[str] = None
         #: Per-execute IPC accounting, readable after ``execute`` —
         #: the E8 report and the run header pull from here.
         self.ipc_stats: Dict[str, object] = {}
@@ -600,7 +606,15 @@ class ProcessScheduler(Scheduler):
             self._box.session = ShmSession()
         session = self._box.session
         outcome = session.ensure(_fixer_kind(fixer), plan, instance)
-        if outcome == "segment" and self._pool is not None:
+        # The warm pool is only valid while it is attached to the
+        # session's current segment *name*.  The name comparison (not
+        # ``outcome == "segment"``) also covers an earlier ensure that
+        # reallocated the segment and then failed before returning: its
+        # outcome was lost to the raise, but the mismatch is durable.
+        if (
+            self._pool is not None
+            and self._attached_segment != session.segment.name
+        ):
             # No fault here — workers are idle between executes, so a
             # graceful shutdown is safe and releases their attachments.
             self._pool.shutdown(wait=True)
@@ -634,11 +648,12 @@ class ProcessScheduler(Scheduler):
                 # Warm workers: every process attaches the segment and
                 # pins the parent's decide/artifact modes once, before
                 # its first chunk.
+                self._attached_segment = self._session.segment.name
                 self._pool = ProcessPoolExecutor(
                     max_workers=self._num_workers,
                     initializer=_shm_worker_init,
                     initargs=(
-                        self._session.segment.name,
+                        self._attached_segment,
                         artifacts_mode(),
                         decide_mode(),
                     ),
@@ -666,24 +681,24 @@ class ProcessScheduler(Scheduler):
             return
         try:
             pool.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
+        except CLEANUP_ERRORS as error:
+            report_cleanup_error("abandon_pool_shutdown", error)
         processes = list(
             (getattr(pool, "_processes", None) or {}).values()
         )
         for process in processes:
             try:
                 process.terminate()
-            except Exception:
-                pass
+            except CLEANUP_ERRORS as error:
+                report_cleanup_error("abandon_pool_terminate", error)
         for process in processes:
             try:
                 process.join(0.5)
                 if process.is_alive():
                     process.kill()
                     process.join(0.5)
-            except Exception:
-                pass
+            except CLEANUP_ERRORS as error:
+                report_cleanup_error("abandon_pool_join", error)
 
     def _run_class(
         self, fixer, color_class: ColorClass, instance: LLLInstance

@@ -52,8 +52,39 @@ from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.errors import ReproError, SchedulerProtocolError
+from repro.errors import (
+    ConfigurationError,
+    ObsError,
+    ReproError,
+    SchedulerProtocolError,
+)
+from repro.obs.recorder import active as _obs_active
 from repro.probability.engine import _numpy
+
+#: Error types expected from best-effort teardown of pools, worker
+#: processes and shared-memory segments: OS/IPC failures from closing
+#: half-dead resources.  Cleanup sites suppress exactly these (reported
+#: via :func:`report_cleanup_error`); anything else — including
+#: ``KeyboardInterrupt``/``SystemExit`` — propagates.
+CLEANUP_ERRORS = (OSError, RuntimeError, ValueError, BufferError, EOFError)
+
+
+def report_cleanup_error(site: str, error: BaseException) -> None:
+    """Surface a suppressed cleanup failure as an obs event.
+
+    Best-effort teardown must not mask failures invisibly: every
+    suppressed exception is emitted as a ``runtime/cleanup_error``
+    event naming the site, when a recorder is live.
+    """
+    recorder = _obs_active()
+    if recorder is None:
+        return
+    try:
+        recorder.event(
+            "runtime", "cleanup_error", site=site, error=repr(error)
+        )
+    except ObsError:
+        pass  # recorder closed mid-teardown (atexit ordering)
 
 # ----------------------------------------------------------------------
 # Mode selection (the REPRO_IPC differential-oracle switch)
@@ -74,7 +105,7 @@ _MODE: Optional[str] = None
 def _mode_from_env() -> str:
     mode = os.environ.get(IPC_ENV, "shm").strip().lower()
     if mode not in IPC_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"{IPC_ENV}={mode!r} is not a valid IPC mode; "
             f"expected one of {IPC_MODES}"
         )
@@ -98,7 +129,7 @@ def set_ipc_mode(mode: str) -> str:
     """Select the IPC plane process-wide; returns the previous mode."""
     global _MODE
     if mode not in IPC_MODES:
-        raise ReproError(
+        raise ConfigurationError(
             f"invalid IPC mode {mode!r}; expected one of {IPC_MODES}"
         )
     previous = ipc_mode()
@@ -649,8 +680,8 @@ def _cleanup_live_segments() -> None:
     for segment in list(_LIVE_SEGMENTS.values()):
         try:
             segment.close()
-        except Exception:
-            pass
+        except CLEANUP_ERRORS as error:
+            report_cleanup_error("atexit_segment_close", error)
 
 
 def _arm_atexit() -> None:
@@ -753,8 +784,8 @@ class AttachedSegment:
             self.views = None
         try:
             self._shm.close()
-        except Exception:
-            pass
+        except CLEANUP_ERRORS as error:
+            report_cleanup_error("attached_segment_close", error)
 
 
 # ----------------------------------------------------------------------
@@ -805,29 +836,52 @@ class ShmSession:
 
         ``segment`` means a new segment name was allocated — the caller
         must rebuild its worker pool so initializers re-attach.
+
+        Transactional against mid-broadcast rejection (the server's
+        back-to-back-solves hazard): the session's generation and solve
+        references only commit *after* ``publish`` succeeds.  A failed
+        publish forgets the half-published solve, so a retried request
+        re-lowers and republishes instead of taking the ``reuse`` fast
+        path against a segment whose header generation never advanced
+        — which warm workers would reject as a stale-generation
+        protocol violation.  The ``reuse`` path double-checks the
+        published header generation for the same reason.
         """
         if self._is_current(kind, plan, instance):
-            return "reuse"
+            segment = self.segment
+            if (
+                segment is not None
+                and int(segment.views.header[H_GENERATION])
+                == self.generation
+            ):
+                return "reuse"
+            # Defensive: the session claims this solve is current but
+            # the segment header disagrees — republish it.
         lowered = lower_solve(kind, plan, instance)
-        self.generation += 1
+        generation = self.generation + 1
         outcome = "broadcast"
-        if self.segment is not None and not self._fits(lowered):
-            self.segment.close()
-            self.segment = None
-        if self.segment is None:
-            self.segment = SharedInstanceSegment(
-                SegmentLayout(
-                    num_events=lowered.num_events,
-                    pin_width=lowered.pin_width,
-                    ledger_size=lowered.ledger_size,
-                    max_cells=lowered.max_cells,
-                    max_ops=lowered.max_ops,
-                    record_width=lowered.record_width,
-                    blob_capacity=_align8(len(lowered.blob)),
+        try:
+            if self.segment is not None and not self._fits(lowered):
+                self.segment.close()
+                self.segment = None
+            if self.segment is None:
+                self.segment = SharedInstanceSegment(
+                    SegmentLayout(
+                        num_events=lowered.num_events,
+                        pin_width=lowered.pin_width,
+                        ledger_size=lowered.ledger_size,
+                        max_cells=lowered.max_cells,
+                        max_ops=lowered.max_ops,
+                        record_width=lowered.record_width,
+                        blob_capacity=_align8(len(lowered.blob)),
+                    )
                 )
-            )
-            outcome = "segment"
-        self.segment.publish(lowered.blob, self.generation)
+                outcome = "segment"
+            self.segment.publish(lowered.blob, generation)
+        except BaseException:
+            self._forget()
+            raise
+        self.generation = generation
         self.lowered = lowered
         self._kind = kind
         try:
@@ -841,6 +895,19 @@ class ShmSession:
             for index, color_class in enumerate(plan.classes)
         }
         return outcome
+
+    def _forget(self) -> None:
+        """Drop the published-solve bookkeeping (not the segment).
+
+        Called when a broadcast fails partway: whatever reached the
+        segment is unpublished garbage, so the next ``ensure`` must
+        miss ``_is_current`` and republish from scratch.
+        """
+        self.lowered = None
+        self._kind = None
+        self._plan_ref = None
+        self._instance_ref = None
+        self._class_index = {}
 
     def class_index(self, color_class) -> int:
         return self._class_index[id(color_class)]

@@ -463,10 +463,15 @@ class _ShmWorkerState:
         Interns every kernel fingerprint and, with the artifact plane
         on, builds each class's stacked truth table before the first
         chunk arrives — so chunk latency never pays the stack build.
-        Best-effort: a failure here only forfeits warmth.
+        Best-effort: a failure here only forfeits warmth, and only the
+        error types the stack build is known to raise are suppressed —
+        the same build re-runs on the chunk path, where a real failure
+        surfaces through the instrumented vector fallback instead of
+        vanishing here.
         """
         from repro.artifacts.store import artifacts_enabled
         from repro.core import vector
+        from repro.errors import ReproError
 
         for cells in self.static.classes:
             kernels: List[EventKernel] = []
@@ -482,7 +487,7 @@ class _ShmWorkerState:
             if kernels and artifacts_enabled():
                 try:
                     vector._shared_stack(tuple(kernels))
-                except Exception:
+                except (ReproError, ValueError, TypeError, MemoryError):
                     pass
 
 
@@ -531,6 +536,7 @@ def _run_warm_program(
     state: _ShmWorkerState,
     descriptor: ChunkDescriptor,
     payloads: Sequence[CellPayload],
+    shard: Optional["ShardRecorder"] = None,
 ) -> Tuple[List[List[object]], bool]:
     """Vector-path chunk execution with the warm per-chunk program cache.
 
@@ -539,7 +545,10 @@ def _run_warm_program(
     in place (:func:`~repro.core.vector.refresh_program`).  Any failure
     — structural mismatch, non-vectorizable shape — drops the cache
     entry and falls back to the scalar per-cell loop, which rebuilds
-    from the payloads and therefore cannot see partial mutations.
+    from the payloads and therefore cannot see partial mutations.  The
+    fallback is a designed correctness net, but it is never silent: the
+    triggering error is counted in ``STATS.vector_fallbacks`` and
+    emitted as a ``worker/vector_fallback`` shard event when tracing.
     """
     from repro.core import vector
     from repro.probability.engine import STATS
@@ -554,9 +563,18 @@ def _run_warm_program(
         results = vector.run_program(program)
         state.programs[key] = program
         return results, False
-    except Exception:
+    except Exception as error:
         STATS.vector_fallbacks += 1
         state.programs.pop(key, None)
+        if shard is not None:
+            shard.event(
+                "worker",
+                "vector_fallback",
+                class_index=descriptor.class_index,
+                start=descriptor.start,
+                stop=descriptor.stop,
+                error=repr(error),
+            )
         return [execute_cell(payload) for payload in payloads], False
 
 
@@ -684,7 +702,7 @@ def execute_chunk_shm(
                     cells=len(payloads), ops=num_ops,
                 ):
                     results, warm = _run_warm_program(
-                        state, descriptor, payloads
+                        state, descriptor, payloads, shard
                     )
                 shard.count("worker", "cells", len(payloads))
                 shard.count("worker", "ops", num_ops)

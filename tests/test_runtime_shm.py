@@ -401,6 +401,64 @@ class TestShmUnits:
             session.close()
         assert live_segment_names() == ()
 
+    def test_failed_broadcast_is_transactional(self, monkeypatch):
+        """A rejected mid-broadcast ensure() must not poison the session.
+
+        The back-to-back-solves hazard of the solve service: request A
+        publishes, request B's broadcast raises partway (worker
+        rejection, allocation failure), request B is retried.  The
+        retry must republish — taking the ``reuse`` fast path against a
+        segment whose header generation never advanced would feed warm
+        workers a stale generation.
+        """
+        from repro.runtime import plan_for_instance
+        from repro.runtime.shm import H_GENERATION, SharedInstanceSegment
+
+        instance_a = all_zero_edge_instance(cycle_graph(10), 3)
+        plan_a = plan_for_instance(instance_a)
+        instance_b = all_zero_edge_instance(cycle_graph(14), 3)
+        plan_b = plan_for_instance(instance_b)
+        session = ShmSession()
+        try:
+            assert session.ensure("rank2", plan_a, instance_a) == "segment"
+            generation = session.generation
+            real_publish = SharedInstanceSegment.publish
+
+            def failing_publish(self, blob, gen):
+                raise RuntimeError("rejected mid-broadcast")
+
+            monkeypatch.setattr(
+                SharedInstanceSegment, "publish", failing_publish
+            )
+            with pytest.raises(RuntimeError):
+                session.ensure("rank2", plan_b, instance_b)
+            # Nothing committed: the generation is unchanged and the
+            # half-published solve is forgotten.
+            assert session.generation == generation
+
+            monkeypatch.setattr(
+                SharedInstanceSegment, "publish", real_publish
+            )
+            # The retried request republishes instead of claiming
+            # "reuse" on the poisoned payload ...
+            outcome = session.ensure("rank2", plan_b, instance_b)
+            assert outcome in ("broadcast", "segment")
+            assert session.generation == generation + 1
+            # ... and the segment header agrees with the session, so
+            # warm workers accept the generation.
+            assert (
+                int(session.segment.views.header[H_GENERATION])
+                == session.generation
+            )
+            # Back-to-back reuse stays exact after the recovery.
+            assert session.ensure("rank2", plan_b, instance_b) == "reuse"
+            assert session.ensure("rank2", plan_a, instance_a) in (
+                "broadcast", "segment"
+            )
+        finally:
+            session.close()
+        assert live_segment_names() == ()
+
     def test_descriptor_is_tiny(self):
         import pickle
 

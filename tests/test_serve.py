@@ -1,0 +1,350 @@
+"""The persistent solve service (:mod:`repro.serve`).
+
+Four promises under test, matching the serving contract
+(docs/serving.md):
+
+* **Differential bit-identity** — a served solve equals the in-process
+  serial-scheduler transcript exactly (assignment, certified bounds,
+  steps, slack), and a warm (memoized) response is byte-identical to
+  the cold response it was cached from.  ``REPRO_ARTIFACTS=off``
+  recomputes every request (the serving oracle) and still matches.
+* **Typed overload behaviour** — admission rejections are 429s naming
+  :class:`~repro.errors.AdmissionError`; expired deadlines are 504s
+  naming :class:`~repro.errors.DeadlineExceededError`; neither poisons
+  the scheduler pool for subsequent requests.
+* **Drain** — SIGTERM finishes in-flight work, exits 0, and leaves no
+  orphaned ``/dev/shm`` segments behind.
+* **Telemetry** — request counters, latency quantiles and cache
+  hit-rate surface through ``GET /v1/stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.artifacts.store import using_artifacts
+from repro.core.sequential import solve
+from repro.generators import build_family_instance
+from repro.lll.io import _encode_name, instance_to_dict
+from repro.runtime.schedulers import make_scheduler
+from repro.serve import ServeClient, ServeConfig, SolveServer
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ----------------------------------------------------------------------
+# Harness: one warm server per module, background event loop
+# ----------------------------------------------------------------------
+
+class ServerThread:
+    """A :class:`SolveServer` on its own event loop thread."""
+
+    def __init__(self, **config_kwargs) -> None:
+        config_kwargs.setdefault("port", 0)
+        self.config = ServeConfig(**config_kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self.server: SolveServer = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server failed to start")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self.server = SolveServer(self.config)
+        self._loop.run_until_complete(self.server.start())
+        self._started.set()
+        self._loop.run_forever()
+
+    def client(self, timeout: float = 120.0) -> ServeClient:
+        return ServeClient(self.config.host, self.server.port, timeout)
+
+    def drain(self) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(), self._loop
+        )
+        future.result(timeout=60)
+
+    def stop(self) -> None:
+        if not self.server._drained.is_set():
+            self.drain()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+@pytest.fixture(scope="module")
+def served():
+    thread = ServerThread(workers=2)
+    yield thread
+    thread.stop()
+
+
+def _reference_solve(family: str, n: int, alphabet: int):
+    """The differential oracle: in-process solve on the serial plan."""
+    instance = build_family_instance(family, n, alphabet=alphabet)
+    scheduler = make_scheduler("serial")
+    result = solve(instance, scheduler=scheduler)
+    assignment = [
+        [_encode_name(name), value]
+        for name, value in result.assignment.items()
+    ]
+    assignment.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+    bounds = [
+        [_encode_name(name), value]
+        for name, value in result.certified_bounds.items()
+    ]
+    bounds.sort(key=lambda pair: json.dumps(pair[0], sort_keys=True))
+    return instance, result, assignment, bounds
+
+
+# ----------------------------------------------------------------------
+# Differential suite
+# ----------------------------------------------------------------------
+
+class TestServeDifferential:
+    def test_served_solve_bit_identical_to_inprocess(self, served):
+        instance, result, assignment, bounds = _reference_solve(
+            "cycle", 48, 3
+        )
+        client = served.client()
+        status, body = client.solve(
+            {"family": "cycle", "n": 48, "alphabet": 3}
+        )
+        assert status == 200 and body["ok"]
+        assert body["result"]["assignment"] == assignment
+        assert body["result"]["certified_bounds"] == bounds
+        assert body["result"]["steps"] == result.num_steps
+        assert body["result"]["min_slack"] == result.min_slack
+        assert (
+            body["result"]["max_certified_bound"]
+            == result.max_certified_bound
+        )
+        client.close()
+
+    def test_instance_dict_requests_match_family_requests(self, served):
+        instance = build_family_instance("triples", 24, alphabet=8)
+        client = served.client()
+        status, by_dict = client.solve(
+            {"instance": instance_to_dict(instance)}
+        )
+        status2, by_family = client.solve(
+            {"family": "triples", "n": 24, "alphabet": 8}
+        )
+        assert status == status2 == 200
+        assert by_dict["result"] == by_family["result"]
+        client.close()
+
+    def test_warm_response_identical_to_cold_and_hit_rate(self, served):
+        client = served.client()
+        payload = {"family": "regular", "n": 36, "alphabet": 3, "seed": 5}
+        client.request("POST", "/v1/cache/clear")
+        _, cold = client.solve(payload)
+        _, warm = client.solve(payload)
+        assert cold["result"] == warm["result"]
+        assert cold["ok"] and warm["ok"]
+        # The warm request is pure reuse: every tier touch is a hit.
+        assert warm["cache"]["hit_rate"] == 1.0
+        assert warm["cache"]["misses"] == 0
+        client.close()
+
+    def test_artifacts_off_oracle_recomputes_and_matches(self, served):
+        client = served.client()
+        payload = {"family": "cycle", "n": 30, "alphabet": 3}
+        _, cached = client.solve(payload)
+        with using_artifacts("off"):
+            # The server thread shares this process-wide switch: with
+            # the plane off the solutions tier is inert, so the request
+            # recomputes from scratch — and must match bit-identically.
+            _, recomputed = client.solve(payload)
+            assert recomputed["cache"]["hits"] == 0
+        assert recomputed["result"] == cached["result"]
+        client.close()
+
+    def test_verify_roundtrip_and_tamper_detection(self, served):
+        client = served.client()
+        payload = {"family": "cycle", "n": 18, "alphabet": 3}
+        _, solved = client.solve(payload)
+        status, verified = client.request(
+            "POST",
+            "/v1/verify",
+            {**payload, "assignment": solved["result"]["assignment"]},
+        )
+        assert status == 200 and verified["ok"]
+        assert verified["result"]["complete"]
+        assert verified["result"]["occurring"] == []
+        # All-zero is exactly the assignment every bad event occurs on.
+        tampered = [
+            [name, 0] for name, _ in solved["result"]["assignment"]
+        ]
+        status, broken = client.request(
+            "POST", "/v1/verify", {**payload, "assignment": tampered}
+        )
+        assert status == 200 and not broken["ok"]
+        assert len(broken["result"]["occurring"]) == 18
+        client.close()
+
+    def test_plan_endpoint_matches_local_plan(self, served):
+        from repro.runtime.plan import plan_for_instance
+
+        instance = build_family_instance("cycle", 20, alphabet=3)
+        plan = plan_for_instance(instance)
+        client = served.client()
+        status, body = client.request(
+            "POST", "/v1/plan", {"family": "cycle", "n": 20, "alphabet": 3}
+        )
+        assert status == 200 and body["ok"]
+        assert body["result"]["num_classes"] == plan.num_classes
+        assert body["result"]["num_cells"] == plan.num_cells
+        assert body["result"]["num_ops"] == plan.num_ops
+        assert body["result"]["palette"] == plan.palette
+        client.close()
+
+    def test_include_flags_trim_the_response(self, served):
+        client = served.client()
+        _, body = client.solve(
+            {
+                "family": "cycle",
+                "n": 12,
+                "alphabet": 3,
+                "include_assignment": False,
+                "include_bounds": False,
+            }
+        )
+        assert "assignment" not in body["result"]
+        assert "certified_bounds" not in body["result"]
+        assert body["result"]["verified"] is True
+        assert body["result"]["steps"] >= 0
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Typed overload behaviour
+# ----------------------------------------------------------------------
+
+class TestAdmissionAndDeadlines:
+    def test_deadline_exceeded_is_typed_and_pool_survives(self, served):
+        client = served.client()
+        status, body = client.solve(
+            {"family": "cycle", "n": 24, "alphabet": 3, "deadline_s": 0.0}
+        )
+        assert status == 504
+        assert body["error"]["type"] == "DeadlineExceededError"
+        # The pool is not poisoned: the very next request succeeds.
+        status, body = client.solve(
+            {"family": "cycle", "n": 24, "alphabet": 3}
+        )
+        assert status == 200 and body["ok"]
+        client.close()
+
+    def test_admission_limit_rejects_with_429(self):
+        thread = ServerThread(scheduler="serial", max_inflight=0)
+        try:
+            client = thread.client()
+            status, body = client.solve({"family": "cycle", "n": 8})
+            assert status == 429
+            assert body["error"]["type"] == "AdmissionError"
+            status, stats = client.request("GET", "/v1/stats")
+            assert stats["rejections"] == 1
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_malformed_requests_are_400s(self, served):
+        client = served.client()
+        status, body = client.request(
+            "POST", "/v1/solve", {"family": "klein-bottle", "n": 8}
+        )
+        assert status == 400 and not body["ok"]
+        status, body = client.request("POST", "/v1/solve", {})
+        assert status == 400
+        assert "instance" in body["error"]["message"]
+        status, body = client.request("POST", "/v1/nonsense", {})
+        assert status == 404
+        client.close()
+
+    def test_stats_surface_latency_and_hit_rate(self, served):
+        client = served.client()
+        client.solve({"family": "cycle", "n": 10, "alphabet": 3})
+        client.solve({"family": "cycle", "n": 10, "alphabet": 3})
+        status, stats = client.request("GET", "/v1/stats")
+        assert status == 200
+        assert stats["requests"]["solve"] >= 2
+        assert "p50_ms" in stats["latency"]
+        assert "p99_ms" in stats["latency"]
+        assert stats["cache"]["hit_rate"] is not None
+        assert "solutions" in stats["cache"]["tiers"]
+        client.close()
+
+
+# ----------------------------------------------------------------------
+# Drain under SIGTERM (real process, real signals, real /dev/shm)
+# ----------------------------------------------------------------------
+
+class TestDrain:
+    def test_sigterm_drains_and_leaves_no_shm_orphans(self):
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH")
+            else src
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            announce = process.stdout.readline()
+            assert "listening on http://" in announce
+            port = int(announce.split("http://", 1)[1]
+                       .split()[0].rsplit(":", 1)[1])
+            client = ServeClient("127.0.0.1", port, timeout=120)
+            status, body = client.solve(
+                {"family": "cycle", "n": 16, "alphabet": 3}
+            )
+            assert status == 200 and body["ok"]
+            client.close()
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate(timeout=10)
+        assert process.returncode == 0, output
+        assert "drained after" in output
+        orphans = glob.glob(f"/dev/shm/repro_shm_{process.pid}_*")
+        assert orphans == []
+
+    def test_draining_server_rejects_new_work(self):
+        thread = ServerThread(scheduler="serial")
+        try:
+            client = thread.client()
+            status, body = client.solve({"family": "cycle", "n": 8})
+            assert status == 200 and body["ok"]
+            client.close()
+            thread.drain()
+            # The listening socket is closed during drain: new
+            # connections must fail outright.
+            with pytest.raises(ConnectionError):
+                fresh = thread.client(timeout=5)
+                fresh.request("GET", "/healthz")
+        finally:
+            thread.stop()
